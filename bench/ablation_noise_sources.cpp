@@ -1,0 +1,80 @@
+// Ablation: which physical noise channel drives gate criticality?  Each row
+// disables one mechanism of the noise model (Table I of the paper) and
+// re-runs charter on QFT(3).  Comparing impact statistics and the baseline
+// output error attributes the total error budget to its sources.
+
+#include "backend/backend.hpp"
+#include "common.hpp"
+#include "core/analyzer.hpp"
+#include "stats/stats.hpp"
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Ablation: noise-source decomposition of charter impacts.", argc,
+      argv);
+  if (!ctx) return 0;
+
+  namespace cb = charter::backend;
+  namespace cn = charter::noise;
+  namespace co = charter::core;
+  using charter::util::Table;
+
+  const auto spec = charter::algos::find_benchmark("qft3");
+
+  struct Case {
+    const char* label;
+    void (*apply)(cn::NoiseToggles&);
+  };
+  const Case cases[] = {
+      {"all noise on", [](cn::NoiseToggles&) {}},
+      {"no depolarizing", [](cn::NoiseToggles& t) { t.depolarizing = false; }},
+      {"no decoherence", [](cn::NoiseToggles& t) { t.decoherence = false; }},
+      {"no coherent error", [](cn::NoiseToggles& t) { t.coherent = false; }},
+      {"no static ZZ", [](cn::NoiseToggles& t) { t.static_zz = false; }},
+      {"no drive ZZ", [](cn::NoiseToggles& t) { t.drive_zz = false; }},
+      {"no SPAM",
+       [](cn::NoiseToggles& t) {
+         t.readout = false;
+         t.prep = false;
+       }},
+  };
+
+  Table table(
+      "Noise-source ablation on QFT(3) -- each row disables one channel");
+  table.set_header({"Configuration", "output TVD vs ideal", "mean impact",
+                    "max impact", "top gate"});
+
+  for (const Case& c : cases) {
+    cb::FakeBackend be = cb::FakeBackend::lagos(7);
+    c.apply(be.model().toggles());
+
+    const cb::CompiledProgram prog = be.compile(spec.build());
+    co::CharterOptions opts = ctx->charter_options(spec, ctx->reversals());
+    const co::CharterAnalyzer analyzer(be, opts);
+    const co::CharterReport report = analyzer.analyze(prog);
+
+    cb::RunOptions run;
+    run.shots = 0;
+    run.seed = ctx->seed();
+    const double out_err = charter::stats::tvd(be.run(prog, run),
+                                               be.ideal(prog));
+    const auto scores = report.scores();
+    double max = 0.0;
+    for (const double s : scores) max = std::max(max, s);
+    const auto sorted = report.sorted_by_impact();
+    const std::string top =
+        sorted.empty() ? "-"
+                       : charter::circ::gate_name(sorted[0].kind) + "@L" +
+                             std::to_string(sorted[0].layer);
+    table.add_row({c.label, Table::fmt(out_err, 3),
+                   Table::fmt(charter::stats::mean(scores), 3),
+                   Table::fmt(max, 3), top});
+  }
+  table.add_footnote(
+      "expected shape: depolarizing and decoherence carry most of the "
+      "budget; crosstalk/coherent terms shift WHICH gates rank on top, "
+      "demonstrating why scalar error rates cannot predict criticality");
+  table.add_footnote(ctx->mode_note());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: how does the reversal count r shape the signal?  The paper
+// (Sec. IV-A) argues one pair is lost in the noise floor, amplification is
+// roughly linear in r, and beyond ~5 reversals the gain saturates.  This
+// bench sweeps r = 1..9 and reports the impact magnitudes and the
+// validation correlation per r.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Ablation: reversal-count sweep (amplification curve).", argc, argv);
+  if (!ctx) return 0;
+
+  using charter::util::Table;
+  Table table(
+      "Reversal-count ablation -- impact magnitude and validation "
+      "correlation vs r");
+  table.set_header({"Algorithm", "r", "mean TVD", "max TVD",
+                    "corr vs ideal", "p-value"});
+
+  for (const char* key : {"qft3", "tfim4", "adder4"}) {
+    const auto spec = charter::algos::find_benchmark(key);
+    double prev_mean = 0.0;
+    for (const int r : {1, 2, 3, 5, 7, 9}) {
+      const auto report = ctx->sweep(spec, r);
+      const auto scores = report.scores();
+      const auto corr = report.validation_correlation();
+      const double mean = charter::stats::mean(scores);
+      double max = 0.0;
+      for (const double s : scores) max = std::max(max, s);
+      table.add_row({spec.name, std::to_string(r), Table::fmt(mean, 3),
+                     Table::fmt(max, 3), Table::fmt(corr.r, 2),
+                     Table::fmt_pvalue(corr.p_value)});
+      prev_mean = mean;
+    }
+    (void)prev_mean;
+    table.add_separator();
+  }
+  table.add_footnote(
+      "expected shape: mean/max TVD grow with r (amplification), the "
+      "correlation rises out of the shot+drift noise floor and saturates "
+      "around r=5 (the paper's default)");
+  table.add_footnote(ctx->mode_note());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: the shot-noise floor that motivates amplification.  With one
+// reversal, a gate's TVD signal sits near the statistical noise of finite
+// sampling (and run-to-run drift), so the validation correlation is weak;
+// more shots or more reversals lift the signal out of the floor.  This is
+// the quantitative backbone of the paper's Sec. IV-A.
+
+#include "common.hpp"
+#include "core/analyzer.hpp"
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Ablation: validation correlation vs shot count and reversals.", argc,
+      argv);
+  if (!ctx) return 0;
+
+  namespace co = charter::core;
+  using charter::util::Table;
+
+  const auto spec = charter::algos::find_benchmark("qft3");
+  const auto& be = ctx->backend_for(spec);
+  const auto prog = be.compile(spec.build());
+
+  Table table(
+      "Shot-noise ablation on QFT(3) -- Pearson(TVD vs ideal, TVD vs orig)");
+  table.set_header({"Shots", "corr @ r=1", "corr @ r=3", "corr @ r=5"});
+
+  for (const std::int64_t shots : {512LL, 2048LL, 8192LL, 32000LL, 0LL}) {
+    std::vector<std::string> row = {
+        shots == 0 ? "exact (no sampling)" : std::to_string(shots)};
+    for (const int r : {1, 3, 5}) {
+      co::CharterOptions opts = ctx->charter_options(spec, r);
+      opts.run.shots = shots;
+      const co::CharterAnalyzer analyzer(be, opts);
+      const auto corr = analyzer.analyze(prog).validation_correlation();
+      row.push_back(Table::fmt(corr.r, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_footnote(
+      "expected shape: correlations rise along both axes -- more shots "
+      "lower the noise floor, more reversals amplify the signal; the paper "
+      "fixes 32000 shots and brings r to 5 instead of paying more shots");
+  table.add_footnote(ctx->mode_note());
+  table.print();
+  return 0;
+}

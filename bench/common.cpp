@@ -1,0 +1,176 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace charter::bench {
+
+std::optional<BenchContext> BenchContext::create(const std::string& summary,
+                                                 int argc,
+                                                 const char* const* argv) {
+  util::Cli cli(summary +
+                "\n\nCommon bench flags (quick mode by default; --full "
+                "reproduces paper scale):");
+  cli.add_flag("full", false,
+               "paper scale: all gates, 32000 shots, 64 trajectories");
+  cli.add_flag("shots", std::int64_t{-1},
+               "shots per circuit run (-1 = mode default)");
+  cli.add_flag("drift", 0.06, "run-to-run calibration drift magnitude");
+  cli.add_flag("seed", std::int64_t{2022}, "master seed");
+  cli.add_flag("reversals", std::int64_t{5},
+               "reversed pairs per gate (charter default 5)");
+  cli.add_flag("cache-dir", std::string("bench_results"),
+               "impact-sweep cache directory (env CHARTER_BENCH_CACHE "
+               "overrides)");
+  cli.add_flag("no-cache", false, "ignore and do not write the sweep cache");
+  if (!cli.parse(argc, argv)) return std::nullopt;
+
+  BenchContext ctx;
+  ctx.full_ = cli.get_bool("full");
+  const std::int64_t shots = cli.get_int("shots");
+  ctx.shots_ = shots >= 0 ? shots : (ctx.full_ ? 32000 : 8192);
+  ctx.drift_ = cli.get_double("drift");
+  ctx.seed_ = static_cast<std::uint64_t>(cli.get_int("seed"));
+  ctx.reversals_ = static_cast<int>(cli.get_int("reversals"));
+  ctx.cache_dir_ = cli.get_string("cache-dir");
+  if (const char* env = std::getenv("CHARTER_BENCH_CACHE"))
+    ctx.cache_dir_ = env;
+  ctx.no_cache_ = cli.get_bool("no-cache");
+  return ctx;
+}
+
+const backend::FakeBackend& BenchContext::backend_for(
+    const algos::AlgoSpec& spec) const {
+  // Same rule and calibration seeds everywhere, so caches stay coherent.
+  if (spec.qubits <= 7) {
+    if (!lagos_) lagos_ = backend::FakeBackend::lagos(7);
+    return *lagos_;
+  }
+  if (!guadalupe_) guadalupe_ = backend::FakeBackend::guadalupe(16);
+  return *guadalupe_;
+}
+
+int BenchContext::gate_cap(int qubits) const {
+  if (full_) return 0;
+  if (qubits <= 5) return 36;
+  if (qubits <= 7) return 24;
+  if (qubits <= 9) return 14;
+  if (qubits <= 11) return 10;
+  return 5;
+}
+
+int BenchContext::trajectories(int qubits) const {
+  if (full_) return 64;
+  return qubits > 11 ? 8 : 24;
+}
+
+core::CharterOptions BenchContext::charter_options(
+    const algos::AlgoSpec& spec, int reversals, bool validation) const {
+  core::CharterOptions opts;
+  opts.reversals = reversals;
+  opts.max_gates = gate_cap(spec.qubits);
+  opts.compute_validation = validation;
+  opts.run.shots = shots_;
+  opts.run.drift = drift_;
+  opts.run.seed = seed_;
+  opts.run.trajectories = trajectories(spec.qubits);
+  return opts;
+}
+
+std::string BenchContext::mode_note() const {
+  if (full_) return "mode: full (paper scale; all eligible gates analyzed)";
+  return "mode: quick (gates subsampled evenly on larger circuits; "
+         "run with --full for paper scale)";
+}
+
+namespace {
+
+std::string cache_path(const std::string& dir, const std::string& key,
+                       int reversals, bool full, std::int64_t shots,
+                       std::uint64_t seed, double drift) {
+  char drift_tag[32];
+  std::snprintf(drift_tag, sizeof(drift_tag), "_d%g", drift);
+  return dir + "/impacts_" + key + "_r" + std::to_string(reversals) +
+         (full ? "_full" : "_quick") + "_s" + std::to_string(shots) +
+         drift_tag + "_" + std::to_string(seed) + ".csv";
+}
+
+}  // namespace
+
+void save_report(const std::string& path, const core::CharterReport& report) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(report.impacts.size());
+  for (const core::GateImpact& g : report.impacts) {
+    rows.push_back({std::to_string(g.op_index), circ::gate_name(g.kind),
+                    std::to_string(g.qubits[0]), std::to_string(g.qubits[1]),
+                    std::to_string(g.num_qubits), std::to_string(g.layer),
+                    util::Table::fmt(g.tvd, 9),
+                    util::Table::fmt(g.tvd_vs_ideal, 9),
+                    std::to_string(report.total_gates),
+                    std::to_string(report.eligible_gates)});
+  }
+  util::write_csv(path,
+                  {"op_index", "kind", "q0", "q1", "nq", "layer", "tvd",
+                   "tvd_ideal", "total_gates", "eligible_gates"},
+                  rows);
+}
+
+core::CharterReport load_report(const std::string& path) {
+  const util::CsvDocument doc = util::read_csv(path);
+  core::CharterReport report;
+  const std::size_t c_op = doc.column("op_index");
+  const std::size_t c_kind = doc.column("kind");
+  const std::size_t c_q0 = doc.column("q0");
+  const std::size_t c_q1 = doc.column("q1");
+  const std::size_t c_nq = doc.column("nq");
+  const std::size_t c_layer = doc.column("layer");
+  const std::size_t c_tvd = doc.column("tvd");
+  const std::size_t c_tvi = doc.column("tvd_ideal");
+  const std::size_t c_tot = doc.column("total_gates");
+  const std::size_t c_eli = doc.column("eligible_gates");
+  for (const auto& row : doc.rows) {
+    core::GateImpact g;
+    g.op_index = std::strtoull(row[c_op].c_str(), nullptr, 10);
+    g.kind = circ::gate_kind_from_name(row[c_kind]);
+    g.qubits[0] = static_cast<std::int16_t>(std::atoi(row[c_q0].c_str()));
+    g.qubits[1] = static_cast<std::int16_t>(std::atoi(row[c_q1].c_str()));
+    g.num_qubits = std::atoi(row[c_nq].c_str());
+    g.layer = std::atoi(row[c_layer].c_str());
+    g.tvd = std::atof(row[c_tvd].c_str());
+    g.tvd_vs_ideal = std::atof(row[c_tvi].c_str());
+    report.impacts.push_back(g);
+    report.total_gates = std::strtoull(row[c_tot].c_str(), nullptr, 10);
+    report.eligible_gates = std::strtoull(row[c_eli].c_str(), nullptr, 10);
+  }
+  report.analyzed_gates = report.impacts.size();
+  return report;
+}
+
+core::CharterReport BenchContext::sweep(const algos::AlgoSpec& spec,
+                                        int reversals) const {
+  const std::string path = cache_path(cache_dir_, spec.key, reversals, full_,
+                                      shots_, seed_, drift_);
+  if (cache_enabled() && util::file_exists(path)) {
+    std::fprintf(stderr, "[sweep] %s r=%d: cached (%s)\n", spec.key.c_str(),
+                 reversals, path.c_str());
+    return load_report(path);
+  }
+  std::fprintf(stderr, "[sweep] %s r=%d: computing...\n", spec.key.c_str(),
+               reversals);
+  util::Timer timer;
+  const backend::FakeBackend& be = backend_for(spec);
+  const backend::CompiledProgram prog = be.compile(spec.build());
+  const core::CharterAnalyzer analyzer(be,
+                                       charter_options(spec, reversals));
+  const core::CharterReport report = analyzer.analyze(prog);
+  std::fprintf(stderr, "[sweep] %s r=%d: %zu gates in %.1fs\n",
+               spec.key.c_str(), reversals, report.analyzed_gates,
+               timer.seconds());
+  if (cache_enabled()) save_report(path, report);
+  return report;
+}
+
+}  // namespace charter::bench

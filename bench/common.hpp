@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared infrastructure for the paper-reproduction benches.
+///
+/// Every bench binary regenerates one table or figure of the paper.  They
+/// share: flag parsing (quick vs --full paper scale), the paper's
+/// device-assignment rule (<= 7 qubits on ibm_lagos, larger on
+/// ibmq_guadalupe), quick-mode gate-subsampling caps, and a CSV cache of
+/// per-gate impact sweeps so Tables III/V/VI/VII reuse each other's runs.
+/// Delete the cache directory (default: bench_results/) to force recompute.
+
+#include <optional>
+#include <string>
+
+#include "algos/registry.hpp"
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace charter::bench {
+
+/// Parsed common options for a bench binary.
+class BenchContext {
+ public:
+  /// Parses standard flags; returns nullopt when --help was requested.
+  static std::optional<BenchContext> create(const std::string& summary,
+                                            int argc, const char* const* argv);
+
+  bool full() const { return full_; }
+  std::int64_t shots() const { return shots_; }
+  double drift() const { return drift_; }
+  std::uint64_t seed() const { return seed_; }
+  int reversals() const { return reversals_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+  bool cache_enabled() const { return !no_cache_; }
+
+  /// The backend the paper would run this config on (cached per device).
+  const backend::FakeBackend& backend_for(const algos::AlgoSpec& spec) const;
+
+  /// Quick-mode cap on analyzed gates for a config (0 = all, in --full).
+  int gate_cap(int qubits) const;
+
+  /// Trajectory count for wide programs.
+  int trajectories(int qubits) const;
+
+  /// Charter options preconfigured for this context.
+  core::CharterOptions charter_options(const algos::AlgoSpec& spec,
+                                       int reversals,
+                                       bool validation = true) const;
+
+  /// Per-gate impact sweep for one paper config, served from the CSV cache
+  /// when available.  Prints progress to stderr.
+  core::CharterReport sweep(const algos::AlgoSpec& spec, int reversals) const;
+
+  /// Annotation string for table footnotes ("quick mode: ..." or "full").
+  std::string mode_note() const;
+
+ private:
+  BenchContext() = default;
+
+  bool full_ = false;
+  std::int64_t shots_ = 8192;
+  double drift_ = 0.06;
+  std::uint64_t seed_ = 2022;
+  int reversals_ = 5;
+  std::string cache_dir_ = "bench_results";
+  bool no_cache_ = false;
+
+  mutable std::optional<backend::FakeBackend> lagos_;
+  mutable std::optional<backend::FakeBackend> guadalupe_;
+};
+
+/// Serializes a report's per-gate impacts to CSV (cache format).
+void save_report(const std::string& path, const core::CharterReport& report);
+
+/// Loads a cached report; throws NotFound when absent.
+core::CharterReport load_report(const std::string& path);
+
+}  // namespace charter::bench

@@ -1,0 +1,85 @@
+// Reproduces the paper's Fig. 1: the same two-qubit gate, executed on the
+// same pair of physical qubits at five different points of the QFT program,
+// has a different impact on the output error each time.  This
+// position-dependence is the motivation for gate-level analysis.
+
+#include "circuit/circuit.hpp"
+#include "common.hpp"
+#include "core/analyzer.hpp"
+#include "core/reversal.hpp"
+#include "stats/stats.hpp"
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Fig. 1: impact of the same CX at five positions in QFT.", argc, argv);
+  if (!ctx) return 0;
+
+  namespace cb = charter::backend;
+  namespace cc = charter::circ;
+  namespace co = charter::core;
+  using charter::util::Table;
+
+  const auto spec = charter::algos::find_benchmark("qft7");
+  const cb::FakeBackend& be = ctx->backend_for(spec);
+  const cb::CompiledProgram prog = be.compile(spec.build());
+
+  // Group CX ops by physical pair and pick the pair with the most
+  // occurrences (the paper needs five).
+  std::map<std::pair<int, int>, std::vector<std::size_t>> by_pair;
+  for (std::size_t i = 0; i < prog.physical.size(); ++i) {
+    const cc::Gate& g = prog.physical.op(i);
+    if (g.kind != cc::GateKind::CX) continue;
+    by_pair[{std::min(g.qubits[0], g.qubits[1]),
+             std::max(g.qubits[0], g.qubits[1])}]
+        .push_back(i);
+  }
+  std::pair<int, int> best{-1, -1};
+  std::size_t best_count = 0;
+  for (const auto& [pair, ops] : by_pair) {
+    if (ops.size() > best_count) {
+      best_count = ops.size();
+      best = pair;
+    }
+  }
+  std::vector<std::size_t> occurrences = by_pair[best];
+  if (occurrences.size() > 5) occurrences.resize(5);
+
+  // Charter each occurrence.
+  cb::RunOptions run;
+  run.shots = ctx->shots();
+  run.drift = ctx->drift();
+  run.seed = ctx->seed();
+  const auto orig = be.run(prog, run);
+  const cc::Layering layering = cc::assign_layers(prog.physical);
+
+  Table table(
+      "Fig. 1 -- TVD impact of the same CX on physical pair (" +
+      std::to_string(best.first) + "," + std::to_string(best.second) +
+      ") at successive positions in QFT (7)");
+  table.set_header({"Occurrence", "Op index", "Layer", "Error impact (TVD)"});
+  std::vector<double> impacts;
+  for (std::size_t k = 0; k < occurrences.size(); ++k) {
+    cb::CompiledProgram rev = prog;
+    rev.physical = co::insert_reversed_pairs(prog.physical, occurrences[k],
+                                             ctx->reversals());
+    cb::RunOptions rrun = run;
+    rrun.seed = ctx->seed() + 101 + k;
+    const double tvd =
+        charter::stats::tvd(orig, be.run(rev, rrun));
+    impacts.push_back(tvd);
+    table.add_row({std::to_string(k), std::to_string(occurrences[k]),
+                   std::to_string(layering.layer[occurrences[k]]),
+                   Table::fmt(tvd, 3)});
+  }
+  const double spread = *std::max_element(impacts.begin(), impacts.end()) -
+                        *std::min_element(impacts.begin(), impacts.end());
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "impact spread across positions: %.3f TVD -- same physical "
+                "gate, different criticality by position (paper Fig. 1 "
+                "spans ~0.1..0.9)",
+                spread);
+  table.add_footnote(buf);
+  table.print();
+  return 0;
+}

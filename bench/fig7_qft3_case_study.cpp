@@ -1,0 +1,106 @@
+// Reproduces the paper's Fig. 7: the QFT(3) case study.  For each input
+// (chosen so the ideal output has Hamming weight 0..3) every gate —
+// including the virtual RZ gates, to demonstrate their negligible impact —
+// is reversed and scored.  The per-qubit / per-layer TVD profile is printed
+// as text bars, followed by the input-block reversal TVDs the paper uses to
+// find the most error-sensitive input (paper: 0.06 / 0.02 / 0.06 / 0.07,
+// Hamming weight 3 worst).
+
+#include <cstdio>
+
+#include "algos/algorithms.hpp"
+#include "common.hpp"
+#include "core/analyzer.hpp"
+
+namespace {
+
+/// Text bar of length proportional to value (v in [0,1], width 24).
+std::string bar(double v) {
+  const int width = static_cast<int>(v * 24.0 + 0.5);
+  return std::string(static_cast<std::size_t>(std::max(0, width)), '#');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Fig. 7: QFT(3) per-gate impact case study across inputs.", argc,
+      argv);
+  if (!ctx) return 0;
+
+  namespace cb = charter::backend;
+  namespace cc = charter::circ;
+  namespace co = charter::core;
+  using charter::util::Table;
+
+  // Inputs chosen so the ideal output has Hamming weight 0..3.
+  const std::uint64_t outputs[4] = {0, 1, 3, 7};
+  const auto spec = charter::algos::find_benchmark("qft3");
+  const cb::FakeBackend& be = ctx->backend_for(spec);
+
+  double input_tvd[4] = {0, 0, 0, 0};
+  for (int hw = 0; hw < 4; ++hw) {
+    const cb::CompiledProgram prog =
+        be.compile(charter::algos::qft(3, outputs[hw]));
+
+    co::CharterOptions opts;
+    opts.reversals = ctx->reversals();
+    opts.skip_rz = false;  // the case study demonstrates RZ's ~zero impact
+    opts.run.shots = ctx->shots();
+    opts.run.drift = ctx->drift();
+    opts.run.seed = ctx->seed() + static_cast<std::uint64_t>(hw);
+    const co::CharterAnalyzer analyzer(be, opts);
+    const co::CharterReport report = analyzer.analyze(prog);
+    input_tvd[hw] = analyzer.input_impact(prog);
+
+    std::printf(
+        "\nFig. 7(%c) -- QFT(3), output Hamming weight %d (%zu gates "
+        "analyzed, incl. RZ)\n",
+        'b' + hw, hw, report.analyzed_gates);
+    Table table;
+    table.set_header({"Phys qubit", "Layer", "Gate", "TVD", ""});
+    double max_rz = 0.0;
+    for (const auto& g : report.impacts) {
+      if (g.kind == cc::GateKind::RZ) {
+        max_rz = std::max(max_rz, g.tvd);
+        continue;  // plotted as invisible bars in the paper; summarized below
+      }
+      const std::string qubits =
+          g.num_qubits == 2 ? std::to_string(g.qubits[0]) + "," +
+                                  std::to_string(g.qubits[1])
+                            : std::to_string(g.qubits[0]);
+      table.add_row({qubits, std::to_string(g.layer),
+                     cc::gate_name(g.kind), Table::fmt(g.tvd, 3),
+                     bar(g.tvd)});
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "max RZ-gate impact: %.4f (negligible -- the paper's "
+                  "rationale for skipping RZ runs)",
+                  max_rz);
+    table.add_footnote(buf);
+    table.print();
+  }
+
+  std::printf("\nInput-block reversal TVDs (paper: HW0 0.06, HW1 0.02, HW2 "
+              "0.06, HW3 0.07; HW3 is the most error-sensitive input)\n");
+  Table inputs("");
+  inputs.set_header({"Output Hamming weight", "Input-reversal TVD", ""});
+  int worst = 0;
+  for (int hw = 0; hw < 4; ++hw) {
+    if (input_tvd[hw] > input_tvd[worst]) worst = hw;
+    inputs.add_row({std::to_string(hw), Table::fmt(input_tvd[hw], 3),
+                    bar(input_tvd[hw])});
+  }
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "most error-sensitive input: Hamming weight %d", worst);
+  inputs.add_footnote(buf);
+  inputs.add_footnote(
+      "the transferable result is the input-dependence itself (impact "
+      "spread across inputs); which input is worst depends on the device's "
+      "calibration, so the paper's specific ordering need not reproduce");
+  inputs.add_footnote(ctx->mode_note());
+  inputs.print();
+  return 0;
+}

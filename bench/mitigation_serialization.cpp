@@ -1,0 +1,76 @@
+// Reproduces the paper's mitigation experiment (Sec. V, Observation V):
+// charter flags the highest-impact gates; serializing just their layers with
+// barriers trades a little schedule length for the removed drive crosstalk.
+// On hardware the paper reduces QFT(3) output error from 0.19 to 0.12 TVD
+// (7 points); we print the same before/after comparison, plus the
+// cautionary sweep showing that serializing *everything* backfires.
+
+#include "algos/algorithms.hpp"
+#include "common.hpp"
+#include "core/analyzer.hpp"
+#include "core/mitigation.hpp"
+#include "stats/stats.hpp"
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Mitigation: selective serialization of high-impact layers.", argc,
+      argv);
+  if (!ctx) return 0;
+
+  namespace cb = charter::backend;
+  namespace co = charter::core;
+  using charter::util::Table;
+
+  // The paper's scenario: QFT(3) with the Hamming-weight-3 input, whose
+  // early layers suffer parallel-gate crosstalk.
+  const auto spec = charter::algos::find_benchmark("qft3");
+  const cb::FakeBackend& be = ctx->backend_for(spec);
+  const cb::CompiledProgram prog =
+      be.compile(charter::algos::qft(3, 7));
+
+  co::CharterOptions opts;
+  opts.reversals = ctx->reversals();
+  opts.run.shots = ctx->shots();
+  opts.run.drift = ctx->drift();
+  opts.run.seed = ctx->seed();
+  const co::CharterAnalyzer analyzer(be, opts);
+  const co::CharterReport report = analyzer.analyze(prog);
+
+  cb::RunOptions run;
+  run.shots = 0;  // exact engine distribution isolates the schedule effect
+  run.seed = ctx->seed();
+  const auto ideal = be.ideal(prog);
+  const double before = charter::stats::tvd(be.run(prog, run), ideal);
+
+  Table table(
+      "Selective serialization of high-impact layers on QFT(3), HW-3 input "
+      "(paper: TVD vs ideal drops 0.19 -> 0.12)");
+  table.set_header(
+      {"Serialized fraction", "Layers serialized", "TVD vs ideal", "Change"});
+  table.add_row({"none (baseline)", "0", Table::fmt(before, 3), "-"});
+
+  double best_after = before;
+  for (const double fraction : {0.05, 0.10, 0.25, 1.0}) {
+    const auto layers = co::high_impact_layers(report, fraction);
+    cb::CompiledProgram mitigated = prog;
+    mitigated.physical = co::serialize_layers(prog.physical, layers);
+    const double after = charter::stats::tvd(be.run(mitigated, run), ideal);
+    if (fraction <= 0.25) best_after = std::min(best_after, after);
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.3f", after - before);
+    table.add_row({Table::fmt_percent(fraction),
+                   std::to_string(layers.size()), Table::fmt(after, 3),
+                   delta});
+  }
+  char buf[200];
+  std::snprintf(
+      buf, sizeof(buf),
+      "best selective result: %.3f vs baseline %.3f (%.1f-point change; "
+      "paper: -7 points). Serializing everything adds decoherence and can "
+      "backfire -- selectivity matters.",
+      best_after, before, 100.0 * (best_after - before));
+  table.add_footnote(buf);
+  table.add_footnote(ctx->mode_note());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the hot simulation kernels: gate
+// application on state vectors of increasing width and the fused channel
+// kernels of the density-matrix engine.  These bound the cost of every
+// charter run and justify the fused single-pass channel forms.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "circuit/gate.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using charter::circ::GateKind;
+using charter::circ::make_gate;
+namespace cs = charter::sim;
+
+void BM_Statevector1QGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::Statevector sv(n);
+  const auto u =
+      charter::circ::gate_unitary_1q(make_gate(GateKind::SX, {0}));
+  for (auto _ : state) {
+    sv.apply_unitary_1q(u, n / 2);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_Statevector1QGate)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_StatevectorCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::Statevector sv(n);
+  for (auto _ : state) {
+    cs::kernels::apply_cx(sv.mutable_amplitudes().data(), sv.dim(), 0,
+                          n - 1);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_StatevectorCx)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_StatevectorDiag2Q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::Statevector sv(n);
+  const std::array<charter::math::cplx, 4> d = {
+      std::exp(charter::math::cplx(0.0, -0.01)),
+      std::exp(charter::math::cplx(0.0, 0.01)),
+      std::exp(charter::math::cplx(0.0, 0.01)),
+      std::exp(charter::math::cplx(0.0, -0.01))};
+  for (auto _ : state) {
+    cs::kernels::apply_diag_2q(sv.mutable_amplitudes().data(), sv.dim(), 0,
+                               1, d);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(BM_StatevectorDiag2Q)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_DensityMatrix1QGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::DensityMatrixEngine dm(n);
+  const auto u =
+      charter::circ::gate_unitary_1q(make_gate(GateKind::SX, {0}));
+  for (auto _ : state) {
+    dm.apply_unitary_1q(u, n / 2);
+    benchmark::DoNotOptimize(&dm);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
+}
+BENCHMARK(BM_DensityMatrix1QGate)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_DensityMatrixThermalRelaxation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::DensityMatrixEngine dm(n);
+  for (auto _ : state) {
+    dm.apply_thermal_relaxation(n / 2, 1e-4, 5e-5);
+    benchmark::DoNotOptimize(&dm);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
+}
+BENCHMARK(BM_DensityMatrixThermalRelaxation)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_DensityMatrixDepolarizing2Q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  cs::DensityMatrixEngine dm(n);
+  for (auto _ : state) {
+    dm.apply_depolarizing_2q(0, 1, 1e-2);
+    benchmark::DoNotOptimize(&dm);
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
+}
+BENCHMARK(BM_DensityMatrixDepolarizing2Q)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

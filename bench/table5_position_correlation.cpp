@@ -1,0 +1,72 @@
+// Reproduces the paper's Table V: Pearson correlation between a gate's
+// charter impact and its layer position.  The paper's headline: the
+// correlation is low or insignificant for most algorithms — high-impact
+// gates are NOT concentrated at the end of circuits, contradicting the
+// decoherence-motivated conventional wisdom (Observation III).
+
+#include "common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double corr;
+  const char* p;
+};
+
+// Paper Table V reference values.
+constexpr PaperRow kPaper[] = {
+    {"HLF (5)", -0.04, "0.79"},   {"HLF (10)", 0.14, "0.05"},
+    {"QFT (3)", 0.17, "0.27"},    {"QFT (7)", -0.66, "4e-37"},
+    {"Adder (4)", -0.02, "0.84"}, {"Adder (9)", 0.05, "0.78"},
+    {"Multiply (5)", 0.10, "0.36"}, {"Multiply (10)", 0.58, "4e-60"},
+    {"QAOA (5)", 0.43, "2e-7"},   {"QAOA (10)", 0.29, "9e-9"},
+    {"VQE (4)", 0.21, "1e-5"},    {"Heisenberg (4)", 0.27, "2e-10"},
+    {"TFIM (4)", 0.12, "0.20"},   {"TFIM (8)", 0.33, "2e-15"},
+    {"TFIM (16)", 0.26, "1e-9"},  {"XY (4)", -0.14, "0.18"},
+    {"XY (8)", 0.42, "1e-22"},
+};
+
+const PaperRow& paper_row(const std::string& name) {
+  for (const PaperRow& row : kPaper)
+    if (name == row.name) return row;
+  return kPaper[0];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = charter::bench::BenchContext::create(
+      "Table V: correlation between gate impact and layer position.", argc,
+      argv);
+  if (!ctx) return 0;
+
+  using charter::util::Table;
+  Table table(
+      "Table V -- Pearson(gate impact, layer index), paper reference in "
+      "parentheses");
+  table.set_header({"Algorithm", "Corr. (paper)", "p-value (paper)"});
+
+  int weak = 0;
+  const auto specs = charter::algos::paper_benchmarks();
+  for (const auto& spec : specs) {
+    const auto report = ctx->sweep(spec, ctx->reversals());
+    const auto corr = report.layer_correlation();
+    const PaperRow& ref = paper_row(spec.name);
+    if (std::abs(corr.r) < 0.5) ++weak;
+    table.add_row({spec.name,
+                   Table::fmt(corr.r, 2) + " (" + Table::fmt(ref.corr, 2) +
+                       ")",
+                   Table::fmt_pvalue(corr.p_value) + " (" + ref.p + ")"});
+  }
+  table.add_footnote(ctx->mode_note());
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "measured: %d/%zu algorithms show |corr| < 0.5 -- high-impact "
+                "gates are not simply concentrated at the circuit end "
+                "(paper: 15/17)",
+                weak, specs.size());
+  table.add_footnote(buf);
+  table.print();
+  return 0;
+}

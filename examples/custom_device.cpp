@@ -1,0 +1,86 @@
+// Custom device: charter on your own topology and noise data.
+//
+// Everything the fake IBM backends do is available piecewise: build a
+// Topology, fill a NoiseModel (from your own characterization data or the
+// seeded generator), wrap them in a FakeBackend, and analyze any circuit.
+// Here we build a 5-qubit ring with one deliberately bad edge and verify
+// charter flags the gates crossing it.
+//
+// Build & run:  ./build/examples/custom_device
+
+#include <cstdio>
+
+#include "backend/backend.hpp"
+#include "circuit/circuit.hpp"
+#include "core/analyzer.hpp"
+#include "noise/calibration.hpp"
+#include "transpile/topology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace cb = charter::backend;
+  namespace cc = charter::circ;
+  namespace cn = charter::noise;
+  namespace co = charter::core;
+  namespace ct = charter::transpile;
+
+  // A 5-qubit ring with generated calibration...
+  const ct::Topology topo = ct::ring(5);
+  cn::NoiseModel model =
+      cn::generate_calibration(5, topo.edges(), /*seed=*/123);
+  // ...and one edge that degraded badly since the last calibration.
+  model.edge(2, 3).cx_depol = 0.15;
+  cb::FakeBackend backend(topo, model);
+
+  // A ring of entangling gates touches every edge, including the bad one.
+  cc::Circuit circuit(5);
+  for (int q = 0; q < 5; ++q) circuit.h(q);
+  for (int q = 0; q < 5; ++q) circuit.cx(q, (q + 1) % 5);
+  for (int q = 0; q < 5; ++q) circuit.h(q);
+
+  // Compile with a trivial layout so the logical ring maps onto the
+  // physical ring directly (noise-aware layout would dodge the bad edge —
+  // which is also worth seeing; flip the flag to compare).
+  ct::TranspileOptions topts;
+  topts.noise_aware = false;
+  const cb::CompiledProgram program = backend.compile(circuit, topts);
+
+  co::CharterOptions options;
+  options.reversals = 5;
+  options.run.shots = 16384;
+  options.run.seed = 3;
+  const co::CharterAnalyzer analyzer(backend, options);
+  const co::CharterReport report = analyzer.analyze(program);
+
+  charter::util::Table table(
+      "Gate ranking on the custom ring (edge 2-3 is degraded):");
+  table.set_header({"Rank", "Gate", "Phys qubits", "Impact (TVD)"});
+  const auto ranked = report.sorted_by_impact();
+  for (std::size_t i = 0; i < 8 && i < ranked.size(); ++i) {
+    std::string qubits = std::to_string(ranked[i].qubits[0]);
+    if (ranked[i].num_qubits == 2)
+      qubits += "," + std::to_string(ranked[i].qubits[1]);
+    table.add_row({std::to_string(i + 1),
+                   cc::gate_name(ranked[i].kind), qubits,
+                   charter::util::Table::fmt(ranked[i].tvd, 3)});
+  }
+  std::size_t degraded_rank = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].num_qubits == 2 &&
+        ((ranked[i].qubits[0] == 2 && ranked[i].qubits[1] == 3) ||
+         (ranked[i].qubits[0] == 3 && ranked[i].qubits[1] == 2))) {
+      degraded_rank = i + 1;
+      break;
+    }
+  }
+  char note[200];
+  std::snprintf(note, sizeof(note),
+                "the degraded edge 2-3 ranks #%zu; if a healthier gate "
+                "out-ranks it, that is the paper's Observation I at work: "
+                "position in the circuit matters as much as the raw error "
+                "rate",
+                degraded_rank);
+  table.add_footnote(note);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Input discovery: which program input makes the hardware hurt the most?
+//
+// The paper's Sec. V use case: instead of reversing one gate at a time,
+// charter reverses *all input-preparation gates as one block*.  The
+// resulting TVD scores the combined criticality of the input loading for
+// each candidate input — here, the operand pairs of a 2-bit quantum adder.
+//
+// Build & run:  ./build/examples/input_discovery
+
+#include <cstdio>
+
+#include "algos/algorithms.hpp"
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace cb = charter::backend;
+  namespace co = charter::core;
+
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+
+  co::CharterOptions options;
+  options.reversals = 5;
+  options.run.shots = 8192;
+  options.run.seed = 7;
+  const co::CharterAnalyzer analyzer(backend, options);
+
+  charter::util::Table table(
+      "Input-block reversal impact of a 2-bit Cuccaro adder, per operand "
+      "pair:");
+  table.set_header({"a", "b", "a+b", "Input impact (TVD)"});
+
+  double worst = -1.0;
+  std::pair<std::uint64_t, std::uint64_t> worst_input{0, 0};
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      if (a + b == 0) continue;  // no prep gates to reverse for 0+0
+      const auto program = backend.compile(
+          charter::algos::cuccaro_adder(2, a, b, /*carry_out=*/true));
+      const double impact = analyzer.input_impact(program);
+      if (impact > worst) {
+        worst = impact;
+        worst_input = {a, b};
+      }
+      table.add_row({std::to_string(a), std::to_string(b),
+                     std::to_string(a + b),
+                     charter::util::Table::fmt(impact, 3)});
+    }
+  }
+  char note[256];
+  std::snprintf(note, sizeof(note),
+                "most error-sensitive input: a=%llu b=%llu (TVD %.3f) -- "
+                "more X gates loaded generally means more to lose",
+                static_cast<unsigned long long>(worst_input.first),
+                static_cast<unsigned long long>(worst_input.second), worst);
+  table.add_footnote(note);
+  table.print();
+  return 0;
+}

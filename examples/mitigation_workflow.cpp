@@ -1,0 +1,73 @@
+// Mitigation workflow: find the critical gates, then fix them.
+//
+// Charter's output is actionable: the paper serializes the layers holding
+// the highest-impact gates (barriers force them to run alone), trading a
+// slightly longer schedule for the removed drive crosstalk.  This example
+// walks the full loop on a Trotterized TFIM circuit and prints the output
+// error before and after, plus what over-serializing would have cost.
+//
+// Build & run:  ./build/examples/mitigation_workflow
+
+#include <cstdio>
+
+#include "algos/algorithms.hpp"
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "core/mitigation.hpp"
+#include "stats/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace cb = charter::backend;
+  namespace co = charter::core;
+
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram program =
+      backend.compile(charter::algos::tfim(4, 5));
+
+  // Step 1: charter analysis.
+  co::CharterOptions options;
+  options.reversals = 5;
+  options.run.shots = 8192;
+  options.run.seed = 11;
+  const co::CharterAnalyzer analyzer(backend, options);
+  const co::CharterReport report = analyzer.analyze(program);
+
+  const auto top = report.sorted_by_impact();
+  std::printf("Top-3 critical gates found by charter:\n");
+  for (std::size_t i = 0; i < 3 && i < top.size(); ++i)
+    std::printf("  #%zu: %s at layer %d, impact %.3f\n", i + 1,
+                charter::circ::gate_name(top[i].kind).c_str(), top[i].layer,
+                top[i].tvd);
+
+  // Step 2: serialize increasing fractions and compare against ideal.
+  cb::RunOptions run;
+  run.shots = 0;
+  run.seed = 11;
+  const auto ideal = backend.ideal(program);
+  const double baseline =
+      charter::stats::tvd(backend.run(program, run), ideal);
+
+  charter::util::Table table("\nSelective serialization sweep (TFIM(4)):");
+  table.set_header({"Serialized top fraction", "Output TVD vs ideal",
+                    "Schedule length (ns)"});
+  table.add_row({"0% (baseline)", charter::util::Table::fmt(baseline, 3),
+                 charter::util::Table::fmt(backend.duration_ns(program), 0)});
+  for (const double fraction : {0.05, 0.15, 0.50, 1.0}) {
+    cb::CompiledProgram mitigated = program;
+    mitigated.physical =
+        co::serialize_high_impact(program.physical, report, fraction);
+    const double err =
+        charter::stats::tvd(backend.run(mitigated, run), ideal);
+    table.add_row({charter::util::Table::fmt_percent(fraction),
+                   charter::util::Table::fmt(err, 3),
+                   charter::util::Table::fmt(
+                       backend.duration_ns(mitigated), 0)});
+  }
+  table.add_footnote(
+      "selective serialization removes crosstalk where it matters; "
+      "serializing everything stretches the schedule and lets decoherence "
+      "eat the gains (the paper's caution)");
+  table.print();
+  return 0;
+}

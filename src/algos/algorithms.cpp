@@ -1,0 +1,219 @@
+#include "algos/algorithms.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::algos {
+
+using circ::Circuit;
+using circ::kFlagInputPrep;
+
+Circuit qft(int n, std::uint64_t output_state) {
+  require(n >= 1 && n <= 20, "qft size out of range");
+  require(output_state < (std::uint64_t{1} << n), "output state out of range");
+  Circuit c(n);
+  // Input prep: F^dagger|k> = prod_j (|0> + exp(-2 pi i k 2^j / 2^n)|1>)/sqrt2.
+  for (int q = 0; q < n; ++q) {
+    c.h(q, kFlagInputPrep);
+    const double phase =
+        -2.0 * M_PI * static_cast<double>(output_state) *
+        std::pow(2.0, q - n);
+    c.rz(q, phase, kFlagInputPrep);
+  }
+  // Main QFT: F|x> = (1/sqrt N) sum_y exp(2 pi i x y / N)|y>.
+  for (int j = n - 1; j >= 0; --j) {
+    c.h(j);
+    for (int m = j - 1; m >= 0; --m)
+      c.cp(m, j, M_PI / std::pow(2.0, j - m));
+  }
+  for (int q = 0; q < n / 2; ++q) c.swap(q, n - 1 - q);
+  return c;
+}
+
+Circuit hlf_from_adjacency(int n, const std::vector<int>& adjacency) {
+  require(static_cast<int>(adjacency.size()) == n * n,
+          "adjacency must be n x n");
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.h(q, kFlagInputPrep);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      require(adjacency[i * n + j] == adjacency[j * n + i],
+              "adjacency must be symmetric");
+      if (adjacency[i * n + j]) c.cz(i, j);
+    }
+  for (int i = 0; i < n; ++i)
+    if (adjacency[i * n + i]) c.s(i);
+  for (int q = 0; q < n; ++q) c.h(q);
+  return c;
+}
+
+Circuit hlf(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> adjacency(static_cast<std::size_t>(n * n), 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      const int bit = rng.bernoulli(0.5) ? 1 : 0;
+      adjacency[static_cast<std::size_t>(i * n + j)] = bit;
+      adjacency[static_cast<std::size_t>(j * n + i)] = bit;
+    }
+  return hlf_from_adjacency(n, adjacency);
+}
+
+Circuit qaoa_maxcut(int n, int p, std::uint64_t seed) {
+  require(n >= 2 && p >= 1, "qaoa needs n >= 2, p >= 1");
+  util::Rng rng(seed);
+  // Random graph with expected degree ~3 (at least a spanning path so the
+  // cost layer touches every qubit).
+  std::vector<std::pair<int, int>> graph;
+  for (int i = 0; i + 1 < n; ++i) graph.push_back({i, i + 1});
+  const double extra_prob = std::min(1.0, 2.0 / n + 0.1);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 2; j < n; ++j)
+      if (rng.bernoulli(extra_prob)) graph.push_back({i, j});
+
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.h(q, kFlagInputPrep);
+  for (int layer = 0; layer < p; ++layer) {
+    const double gamma = rng.uniform(0.2, 1.2);
+    const double beta = rng.uniform(0.2, 1.2);
+    for (const auto& [a, b] : graph) c.rzz(a, b, 2.0 * gamma);
+    for (int q = 0; q < n; ++q) c.rx(q, 2.0 * beta);
+  }
+  return c;
+}
+
+Circuit vqe_ansatz(int n, int reps, std::uint64_t seed) {
+  require(n >= 2 && reps >= 1, "vqe needs n >= 2, reps >= 1");
+  util::Rng rng(seed);
+  Circuit c(n);
+  for (int r = 0; r < reps; ++r) {
+    for (int q = 0; q < n; ++q) {
+      c.ry(q, rng.uniform(-M_PI, M_PI));
+      c.rz(q, rng.uniform(-M_PI, M_PI));
+    }
+    for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  }
+  // Final rotation layer.
+  for (int q = 0; q < n; ++q) {
+    c.ry(q, rng.uniform(-M_PI, M_PI));
+    c.rz(q, rng.uniform(-M_PI, M_PI));
+  }
+  return c;
+}
+
+namespace {
+// Cuccaro primitives; operands are (carry/chain, b, a).
+void maj(Circuit& c, int x, int y, int z) {
+  c.cx(z, y);
+  c.cx(z, x);
+  c.ccx(x, y, z);
+}
+void uma(Circuit& c, int x, int y, int z) {
+  c.ccx(x, y, z);
+  c.cx(z, x);
+  c.cx(x, y);
+}
+}  // namespace
+
+Circuit cuccaro_adder(int n_bits, std::uint64_t a, std::uint64_t b,
+                      bool carry_out) {
+  require(n_bits >= 1 && n_bits <= 8, "adder size out of range");
+  require(a < (std::uint64_t{1} << n_bits) && b < (std::uint64_t{1} << n_bits),
+          "operand out of range");
+  const int width = 2 * n_bits + 1 + (carry_out ? 1 : 0);
+  Circuit c(width);
+  // Layout: qubit 0 = cin; b_i at 1 + 2i; a_i at 2 + 2i; optional cout last.
+  const auto bq = [](int i) { return 1 + 2 * i; };
+  const auto aq = [](int i) { return 2 + 2 * i; };
+  const int cout_q = 2 * n_bits + 1;
+
+  for (int i = 0; i < n_bits; ++i) {
+    if ((a >> i) & 1) c.x(aq(i), kFlagInputPrep);
+    if ((b >> i) & 1) c.x(bq(i), kFlagInputPrep);
+  }
+
+  maj(c, 0, bq(0), aq(0));
+  for (int i = 1; i < n_bits; ++i) maj(c, aq(i - 1), bq(i), aq(i));
+  if (carry_out) c.cx(aq(n_bits - 1), cout_q);
+  for (int i = n_bits - 1; i >= 1; --i) uma(c, aq(i - 1), bq(i), aq(i));
+  uma(c, 0, bq(0), aq(0));
+  return c;
+}
+
+Circuit multiplier(int nx, int ny, std::uint64_t x, std::uint64_t y) {
+  require((nx == 1 && ny == 2) || (nx == 2 && ny == 2),
+          "multiplier supports 1x2 (5 qubits) and 2x2 (10 qubits)");
+  require(x < (std::uint64_t{1} << nx) && y < (std::uint64_t{1} << ny),
+          "operand out of range");
+  if (nx == 1) {
+    // Qubits: x0=0, y0=1, y1=2, p0=3, p1=4.
+    Circuit c(5);
+    if (x & 1) c.x(0, kFlagInputPrep);
+    if (y & 1) c.x(1, kFlagInputPrep);
+    if (y & 2) c.x(2, kFlagInputPrep);
+    c.ccx(0, 1, 3);  // p0 = x0 y0
+    c.ccx(0, 2, 4);  // p1 = x0 y1
+    return c;
+  }
+  // 2x2: qubits x0=0 x1=1 y0=2 y1=3 p0..p3=4..7 anc0=8 anc1=9.
+  Circuit c(10);
+  for (int i = 0; i < 2; ++i) {
+    if ((x >> i) & 1) c.x(i, kFlagInputPrep);
+    if ((y >> i) & 1) c.x(2 + i, kFlagInputPrep);
+  }
+  c.ccx(0, 2, 4);  // p0 = x0 y0
+  c.ccx(0, 3, 8);  // anc0 = x0 y1
+  c.ccx(1, 2, 9);  // anc1 = x1 y0
+  c.ccx(8, 9, 6);  // p2 ^= carry c1 = (x0 y1)(x1 y0)
+  c.cx(8, 5);      // p1 ^= x0 y1
+  c.cx(9, 5);      // p1 ^= x1 y0
+  c.ccx(0, 3, 8);  // uncompute anc0
+  c.ccx(1, 2, 9);  // uncompute anc1
+  c.ccx(1, 3, 8);  // anc0 = x1 y1
+  c.ccx(8, 6, 7);  // p3 = (x1 y1) c1   (p2 still holds c1)
+  c.cx(8, 6);      // p2 = c1 xor x1 y1
+  c.ccx(1, 3, 8);  // uncompute anc0
+  return c;
+}
+
+Circuit tfim(int n, int steps, double dt, double j, double h) {
+  require(n >= 2 && steps >= 1, "tfim needs n >= 2, steps >= 1");
+  Circuit c(n);
+  for (int s = 0; s < steps; ++s) {
+    for (int q = 0; q + 1 < n; ++q) c.rzz(q, q + 1, 2.0 * j * dt);
+    for (int q = 0; q < n; ++q) c.rx(q, 2.0 * h * dt);
+  }
+  return c;
+}
+
+Circuit xy_model(int n, int steps, double dt, double j) {
+  require(n >= 2 && steps >= 1, "xy needs n >= 2, steps >= 1");
+  Circuit c(n);
+  for (int q = 1; q < n; q += 2) c.x(q, kFlagInputPrep);  // Neel input
+  for (int s = 0; s < steps; ++s) {
+    for (int q = 0; q + 1 < n; ++q) {
+      c.rxx(q, q + 1, 2.0 * j * dt);
+      c.ryy(q, q + 1, 2.0 * j * dt);
+    }
+  }
+  return c;
+}
+
+Circuit heisenberg(int n, int steps, double dt, double jx, double jy,
+                   double jz) {
+  require(n >= 2 && steps >= 1, "heisenberg needs n >= 2, steps >= 1");
+  Circuit c(n);
+  for (int q = 1; q < n; q += 2) c.x(q, kFlagInputPrep);  // Neel input
+  for (int s = 0; s < steps; ++s) {
+    for (int q = 0; q + 1 < n; ++q) {
+      c.rxx(q, q + 1, 2.0 * jx * dt);
+      c.ryy(q, q + 1, 2.0 * jy * dt);
+      c.rzz(q, q + 1, 2.0 * jz * dt);
+    }
+  }
+  return c;
+}
+
+}  // namespace charter::algos

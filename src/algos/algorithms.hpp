@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// Generators for every algorithm/benchmark in the paper's Table II.
+///
+/// All generators return *logical* circuits (transpile before noisy
+/// execution).  Gates that prepare the program input are flagged
+/// kFlagInputPrep so charter's input-impact analysis (multi-gate reversal)
+/// can identify them after transpilation.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::algos {
+
+/// Quantum Fourier Transform primed so the ideal output is the basis state
+/// \p output_state: the input-prep section builds F^dagger|k> (a product
+/// state of H + RZ per qubit, matching the paper's Fig. 7a), and the main
+/// section applies the standard QFT.
+circ::Circuit qft(int n, std::uint64_t output_state);
+
+/// Hidden Linear Function circuit (Bravyi-Gosset-Koenig) for the symmetric
+/// binary adjacency matrix \p adjacency (row-major n x n; diagonal = S
+/// gates, off-diagonal = CZ).  H layers sandwich the Clifford core.
+circ::Circuit hlf_from_adjacency(int n, const std::vector<int>& adjacency);
+
+/// HLF on a random instance with edge probability 1/2, seeded.
+circ::Circuit hlf(int n, std::uint64_t seed);
+
+/// QAOA MaxCut ansatz: \p p alternating cost/mixer layers over a random
+/// graph with expected degree ~3, with seeded angles.
+circ::Circuit qaoa_maxcut(int n, int p, std::uint64_t seed);
+
+/// Hardware-efficient VQE ansatz: \p reps repetitions of per-qubit RY+RZ
+/// followed by a linear CX entangler, with seeded parameters.
+circ::Circuit vqe_ansatz(int n, int reps, std::uint64_t seed);
+
+/// Cuccaro ripple-carry adder computing b <- a + b.  Register layout:
+/// qubit 0 = carry-in, then a[i]/b[i] interleaved as (b0, a0, b1, a1, ...),
+/// optionally a final carry-out qubit.  Width = 2*n_bits + 1 (+1 if
+/// \p carry_out).  Inputs a and b are loaded with X gates (input prep).
+circ::Circuit cuccaro_adder(int n_bits, std::uint64_t a, std::uint64_t b,
+                            bool carry_out);
+
+/// Toffoli-based binary multiplier p = x * y.
+///   nx = 1, ny = 2 -> 5 qubits  [x0 | y0 y1 | p0 p1]          (Multiply 5)
+///   nx = 2, ny = 2 -> 10 qubits [x0 x1 | y0 y1 | p0..p3 | 2 ancillas]
+/// Inputs are loaded with X gates (input prep).  Only these two shapes are
+/// supported.
+circ::Circuit multiplier(int nx, int ny, std::uint64_t x, std::uint64_t y);
+
+/// First-order Trotter evolution of the transverse-field Ising model on a
+/// chain: per step RZZ(2 J dt) on every bond, then RX(2 h dt) on every
+/// qubit.  Starts from |0...0>.
+circ::Circuit tfim(int n, int steps, double dt = 0.2, double j = 1.0,
+                   double h = 1.0);
+
+/// XY-model Trotter evolution (RXX + RYY per bond per step) from a Neel
+/// input state (X on odd qubits, flagged input prep).
+circ::Circuit xy_model(int n, int steps, double dt = 0.2, double j = 1.0);
+
+/// Heisenberg-model Trotter evolution (RXX + RYY + RZZ per bond per step)
+/// from a Neel input state.
+circ::Circuit heisenberg(int n, int steps, double dt = 0.2, double jx = 1.0,
+                         double jy = 1.0, double jz = 1.0);
+
+}  // namespace charter::algos

@@ -1,0 +1,41 @@
+#include "algos/registry.hpp"
+
+#include "algos/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace charter::algos {
+
+std::vector<AlgoSpec> paper_benchmarks() {
+  // Seeds are arbitrary but fixed so every bench sees the same instances.
+  // Trotter step counts are chosen to land the basis-gate counts in the
+  // regime of the paper's Table IV.
+  return {
+      {"HLF (5)", "hlf5", 5, [] { return hlf(5, 11); }},
+      {"HLF (10)", "hlf10", 10, [] { return hlf(10, 12); }},
+      {"QFT (3)", "qft3", 3, [] { return qft(3, 0); }},
+      {"QFT (7)", "qft7", 7, [] { return qft(7, 0); }},
+      {"Adder (4)", "adder4", 4,
+       [] { return cuccaro_adder(1, 1, 1, /*carry_out=*/true); }},
+      {"Adder (9)", "adder9", 9,
+       [] { return cuccaro_adder(4, 5, 7, /*carry_out=*/false); }},
+      {"Multiply (5)", "mult5", 5, [] { return multiplier(1, 2, 1, 3); }},
+      {"Multiply (10)", "mult10", 10, [] { return multiplier(2, 2, 3, 2); }},
+      {"QAOA (5)", "qaoa5", 5, [] { return qaoa_maxcut(5, 2, 21); }},
+      {"QAOA (10)", "qaoa10", 10, [] { return qaoa_maxcut(10, 2, 22); }},
+      {"VQE (4)", "vqe4", 4, [] { return vqe_ansatz(4, 20, 31); }},
+      {"Heisenberg (4)", "heis4", 4, [] { return heisenberg(4, 8); }},
+      {"TFIM (4)", "tfim4", 4, [] { return tfim(4, 5); }},
+      {"TFIM (8)", "tfim8", 8, [] { return tfim(8, 9); }},
+      {"TFIM (16)", "tfim16", 16, [] { return tfim(16, 12); }},
+      {"XY (4)", "xy4", 4, [] { return xy_model(4, 2); }},
+      {"XY (8)", "xy8", 8, [] { return xy_model(8, 4); }},
+  };
+}
+
+AlgoSpec find_benchmark(const std::string& key) {
+  for (AlgoSpec& spec : paper_benchmarks())
+    if (spec.key == key) return spec;
+  throw NotFound("unknown benchmark key: " + key);
+}
+
+}  // namespace charter::algos

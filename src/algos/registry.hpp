@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file registry.hpp
+/// The 17 algorithm configurations of the paper's evaluation (Tables III-VII)
+/// with the same names, sizes, and device assignment rule: up to 7 qubits run
+/// on ibm_lagos, larger ones on ibmq_guadalupe.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::algos {
+
+/// One benchmark configuration.
+struct AlgoSpec {
+  std::string name;   ///< paper row label, e.g. "QFT (3)"
+  std::string key;    ///< machine-friendly id, e.g. "qft3"
+  int qubits = 0;
+  std::function<circ::Circuit()> build;
+};
+
+/// All 17 paper configurations, in the paper's row order.
+std::vector<AlgoSpec> paper_benchmarks();
+
+/// Looks up a configuration by key ("qft3", "tfim16", ...); throws NotFound.
+AlgoSpec find_benchmark(const std::string& key);
+
+}  // namespace charter::algos

@@ -1,0 +1,190 @@
+#include "backend/backend.hpp"
+
+#include <algorithm>
+
+#include "noise/executor.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/measurement.hpp"
+#include "sim/statevector.hpp"
+#include "sim/trajectory.hpp"
+#include "util/error.hpp"
+
+namespace charter::backend {
+
+using circ::Circuit;
+using circ::Gate;
+
+FakeBackend::FakeBackend(transpile::Topology topology, noise::NoiseModel model)
+    : topology_(std::move(topology)), model_(std::move(model)) {
+  require(model_.num_qubits() == topology_.num_qubits(),
+          "noise model width must match topology");
+}
+
+FakeBackend FakeBackend::lagos(std::uint64_t cal_seed) {
+  return from_topology(transpile::ibm_lagos(), cal_seed);
+}
+
+FakeBackend FakeBackend::guadalupe(std::uint64_t cal_seed) {
+  return from_topology(transpile::ibmq_guadalupe(), cal_seed);
+}
+
+FakeBackend FakeBackend::from_topology(const transpile::Topology& topology,
+                                       std::uint64_t cal_seed,
+                                       const noise::CalibrationConfig& cfg) {
+  noise::NoiseModel model = noise::generate_calibration(
+      topology.num_qubits(), topology.edges(), cal_seed, cfg);
+  return FakeBackend(topology, std::move(model));
+}
+
+CompiledProgram FakeBackend::compile(
+    const Circuit& logical, const transpile::TranspileOptions& options) const {
+  const transpile::TranspileResult result =
+      transpile::transpile(logical, topology_, &model_, options);
+  return CompiledProgram{result.physical, result.final_layout,
+                         logical.num_qubits()};
+}
+
+noise::NoiseModel restrict_model(const noise::NoiseModel& model,
+                                 const std::vector<int>& kept) {
+  noise::NoiseModel out(static_cast<int>(kept.size()));
+  out.toggles() = model.toggles();
+  std::vector<int> local_of(static_cast<std::size_t>(model.num_qubits()), -1);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    local_of[static_cast<std::size_t>(kept[i])] = static_cast<int>(i);
+    out.qubit(static_cast<int>(i)) = model.qubit(kept[i]);
+    out.gate_1q(circ::GateKind::SX, static_cast<int>(i)) =
+        model.gate_1q(circ::GateKind::SX, kept[i]);
+    out.gate_1q(circ::GateKind::X, static_cast<int>(i)) =
+        model.gate_1q(circ::GateKind::X, kept[i]);
+  }
+  for (const auto& [a, b] : model.edges()) {
+    const int la = local_of[static_cast<std::size_t>(a)];
+    const int lb = local_of[static_cast<std::size_t>(b)];
+    if (la >= 0 && lb >= 0) out.add_edge(la, lb, model.edge(a, b));
+  }
+  return out;
+}
+
+namespace {
+
+/// Physical qubits a program touches (gates or measured logical qubits),
+/// sorted ascending.
+std::vector<int> used_qubits(const CompiledProgram& program) {
+  std::vector<bool> used(
+      static_cast<std::size_t>(program.physical.num_qubits()), false);
+  for (const Gate& g : program.physical.ops())
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+      used[static_cast<std::size_t>(g.qubits[i])] = true;
+  for (const int p : program.final_layout)
+    used[static_cast<std::size_t>(p)] = true;
+  std::vector<int> kept;
+  for (int q = 0; q < program.physical.num_qubits(); ++q)
+    if (used[static_cast<std::size_t>(q)]) kept.push_back(q);
+  return kept;
+}
+
+/// Relabels the physical circuit onto local indices 0..k-1.
+Circuit compact_circuit(const Circuit& physical,
+                        const std::vector<int>& kept) {
+  std::vector<std::int16_t> local_of(
+      static_cast<std::size_t>(physical.num_qubits()), -1);
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    local_of[static_cast<std::size_t>(kept[i])] =
+        static_cast<std::int16_t>(i);
+  Circuit out(static_cast<int>(kept.size()));
+  for (const Gate& g : physical.ops()) {
+    Gate lg = g;
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+      lg.qubits[i] = local_of[static_cast<std::size_t>(g.qubits[i])];
+    out.append(lg);
+  }
+  return out;
+}
+
+/// Folds a local-qubit distribution down to the logical qubits.
+std::vector<double> to_logical(const std::vector<double>& local_probs,
+                               const CompiledProgram& program,
+                               const std::vector<int>& kept) {
+  std::vector<int> local_of(
+      static_cast<std::size_t>(program.physical.num_qubits()), -1);
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    local_of[static_cast<std::size_t>(kept[i])] = static_cast<int>(i);
+  transpile::Layout local_layout(
+      static_cast<std::size_t>(program.num_logical));
+  for (int q = 0; q < program.num_logical; ++q) {
+    const int phys = program.final_layout[static_cast<std::size_t>(q)];
+    const int local = local_of[static_cast<std::size_t>(phys)];
+    CHARTER_ASSERT(local >= 0, "measured qubit missing from compaction");
+    local_layout[static_cast<std::size_t>(q)] = local;
+  }
+  return transpile::remap_distribution(local_probs, local_layout,
+                                       program.num_logical);
+}
+
+}  // namespace
+
+std::vector<double> FakeBackend::run(const CompiledProgram& program,
+                                     const RunOptions& options) const {
+  require(program.physical.num_qubits() == topology_.num_qubits(),
+          "program compiled for a different device");
+  require(static_cast<int>(program.final_layout.size()) ==
+              program.num_logical,
+          "bad program layout");
+
+  const std::vector<int> kept = used_qubits(program);
+  const Circuit local = compact_circuit(program.physical, kept);
+  noise::NoiseModel model = restrict_model(model_, kept);
+  if (options.drift > 0.0)
+    model = model.with_drift(options.seed ^ 0xd21f7ULL, options.drift);
+
+  const int width = local.num_qubits();
+  EngineKind engine = options.engine;
+  if (engine == EngineKind::kAuto) {
+    engine = width <= sim::DensityMatrixEngine::kMaxQubits
+                 ? EngineKind::kDensityMatrix
+                 : EngineKind::kTrajectory;
+  }
+  require(engine != EngineKind::kDensityMatrix ||
+              width <= sim::DensityMatrixEngine::kMaxQubits,
+          "program too wide for the density-matrix engine");
+
+  const noise::NoisyExecutor executor(model);
+  std::vector<double> probs;
+  if (engine == EngineKind::kDensityMatrix) {
+    sim::DensityMatrixEngine dm(width);
+    executor.run(local, dm);
+    probs = dm.probabilities();
+  } else {
+    probs = sim::run_trajectories(
+        width, options.trajectories, options.seed ^ 0x7ca3bULL,
+        [&](sim::NoisyEngine& engine_ref) { executor.run(local, engine_ref); });
+  }
+
+  sim::apply_readout_error(probs, model.readout_errors());
+
+  if (options.shots > 0) {
+    util::Rng rng(options.seed ^ 0x51a9eULL);
+    const std::vector<std::uint64_t> counts = sim::sample_counts(
+        probs, static_cast<std::uint64_t>(options.shots), rng);
+    probs = sim::counts_to_distribution(counts);
+  }
+  return to_logical(probs, program, kept);
+}
+
+std::vector<double> FakeBackend::ideal(const CompiledProgram& program) const {
+  const std::vector<int> kept = used_qubits(program);
+  const Circuit local = compact_circuit(program.physical, kept);
+  sim::Statevector sv(local.num_qubits());
+  sv.apply(local);
+  return to_logical(sv.probabilities(), program, kept);
+}
+
+double FakeBackend::duration_ns(const CompiledProgram& program) const {
+  const std::vector<int> kept = used_qubits(program);
+  const Circuit local = compact_circuit(program.physical, kept);
+  const noise::NoiseModel model = restrict_model(model_, kept);
+  const noise::NoisyExecutor executor(model);
+  return executor.make_schedule(local).total_time;
+}
+
+}  // namespace charter::backend

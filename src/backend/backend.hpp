@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file backend.hpp
+/// Fake noisy backends: the stand-in for the paper's IBM Q devices.
+///
+/// A FakeBackend couples a Topology with seeded calibration data (a
+/// NoiseModel) and executes *compiled programs* — transpiled physical
+/// circuits plus the layout metadata needed to read program qubits out of
+/// device qubits.  Before execution the physical circuit is compacted to the
+/// qubits it actually touches so the density-matrix engine stays feasible on
+/// the 16-qubit device; wider programs fall back to trajectory averaging.
+///
+/// Runs are deterministic in RunOptions::seed: drift, trajectories, and shot
+/// sampling all derive from it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/calibration.hpp"
+#include "noise/noise_model.hpp"
+#include "transpile/topology.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace charter::backend {
+
+/// Simulation engine choice.
+enum class EngineKind {
+  kAuto,           ///< density matrix when it fits, else trajectories
+  kDensityMatrix,  ///< exact channels; <= DensityMatrixEngine::kMaxQubits
+  kTrajectory,     ///< Monte-Carlo Kraus unravelling, any width
+};
+
+/// Per-run execution options.
+struct RunOptions {
+  /// Shots to sample; 0 returns the exact (engine-level) distribution.
+  std::int64_t shots = 4096;
+  EngineKind engine = EngineKind::kAuto;
+  /// Trajectory count when the trajectory engine is used.
+  int trajectories = 48;
+  /// Seed for drift, trajectory branching, and shot sampling.
+  std::uint64_t seed = 1;
+  /// Calibration drift magnitude for this run (0 disables; the paper-scale
+  /// experiments use ~0.05 to model run-to-run device drift).
+  double drift = 0.0;
+};
+
+/// A transpiled program plus everything needed to interpret its output.
+struct CompiledProgram {
+  circ::Circuit physical;         ///< basis gates, width = device width
+  transpile::Layout final_layout; ///< logical qubit -> physical qubit
+  int num_logical = 0;
+};
+
+/// Noisy device simulator.
+class FakeBackend {
+ public:
+  FakeBackend(transpile::Topology topology, noise::NoiseModel model);
+
+  /// The paper's devices, with calibration generated from \p cal_seed.
+  static FakeBackend lagos(std::uint64_t cal_seed = 7);
+  static FakeBackend guadalupe(std::uint64_t cal_seed = 16);
+  /// Any topology with generated calibration.
+  static FakeBackend from_topology(const transpile::Topology& topology,
+                                   std::uint64_t cal_seed,
+                                   const noise::CalibrationConfig& cfg = {});
+
+  const transpile::Topology& topology() const { return topology_; }
+  const noise::NoiseModel& model() const { return model_; }
+  noise::NoiseModel& model() { return model_; }
+  const std::string& name() const { return topology_.name(); }
+
+  /// Compiles a logical circuit for this device (noise-aware by default).
+  CompiledProgram compile(const circ::Circuit& logical,
+                          const transpile::TranspileOptions& options = {}) const;
+
+  /// Runs a compiled program and returns the distribution over the
+  /// *logical* qubits (readout error and optional shot noise included).
+  std::vector<double> run(const CompiledProgram& program,
+                          const RunOptions& options = {}) const;
+
+  /// Noiseless execution of the same compiled program (validation oracle).
+  std::vector<double> ideal(const CompiledProgram& program) const;
+
+  /// Wall-clock duration (ns) of the compiled program on this device.
+  double duration_ns(const CompiledProgram& program) const;
+
+ private:
+  transpile::Topology topology_;
+  noise::NoiseModel model_;
+};
+
+/// Restricts \p model to \p kept physical qubits (relabelled 0..k-1); edges
+/// to dropped qubits are omitted.  Exposed for tests.
+noise::NoiseModel restrict_model(const noise::NoiseModel& model,
+                                 const std::vector<int>& kept);
+
+}  // namespace charter::backend

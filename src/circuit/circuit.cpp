@@ -1,0 +1,198 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charter::circ {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1, "circuit needs at least one qubit");
+}
+
+void Circuit::append(const Gate& g) {
+  for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+    require(g.qubits[i] >= 0 && g.qubits[i] < num_qubits_,
+            "gate operand out of range for circuit width");
+  ops_.push_back(g);
+}
+
+void Circuit::append(const Circuit& other) {
+  require(other.num_qubits_ == num_qubits_,
+          "appending circuit of different width");
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+void Circuit::insert(std::size_t pos, const Gate& g) {
+  require(pos <= ops_.size(), "insert position out of range");
+  for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+    require(g.qubits[i] >= 0 && g.qubits[i] < num_qubits_,
+            "gate operand out of range for circuit width");
+  ops_.insert(ops_.begin() + static_cast<std::ptrdiff_t>(pos), g);
+}
+
+Circuit& Circuit::rz(int q, double theta, std::uint8_t flags) {
+  append(make_gate(GateKind::RZ, {q}, {theta}, flags));
+  return *this;
+}
+Circuit& Circuit::sx(int q, std::uint8_t flags) {
+  append(make_gate(GateKind::SX, {q}, {}, flags));
+  return *this;
+}
+Circuit& Circuit::sxdg(int q, std::uint8_t flags) {
+  append(make_gate(GateKind::SXDG, {q}, {}, flags));
+  return *this;
+}
+Circuit& Circuit::x(int q, std::uint8_t flags) {
+  append(make_gate(GateKind::X, {q}, {}, flags));
+  return *this;
+}
+Circuit& Circuit::cx(int control, int target, std::uint8_t flags) {
+  append(make_gate(GateKind::CX, {control, target}, {}, flags));
+  return *this;
+}
+Circuit& Circuit::id(int q) {
+  append(make_gate(GateKind::ID, {q}));
+  return *this;
+}
+Circuit& Circuit::h(int q, std::uint8_t flags) {
+  append(make_gate(GateKind::H, {q}, {}, flags));
+  return *this;
+}
+Circuit& Circuit::s(int q) {
+  append(make_gate(GateKind::S, {q}));
+  return *this;
+}
+Circuit& Circuit::sdg(int q) {
+  append(make_gate(GateKind::SDG, {q}));
+  return *this;
+}
+Circuit& Circuit::t(int q) {
+  append(make_gate(GateKind::T, {q}));
+  return *this;
+}
+Circuit& Circuit::tdg(int q) {
+  append(make_gate(GateKind::TDG, {q}));
+  return *this;
+}
+Circuit& Circuit::rx(int q, double theta) {
+  append(make_gate(GateKind::RX, {q}, {theta}));
+  return *this;
+}
+Circuit& Circuit::ry(int q, double theta) {
+  append(make_gate(GateKind::RY, {q}, {theta}));
+  return *this;
+}
+Circuit& Circuit::u3(int q, double theta, double phi, double lambda) {
+  append(make_gate(GateKind::U3, {q}, {theta, phi, lambda}));
+  return *this;
+}
+Circuit& Circuit::cz(int a, int b) {
+  append(make_gate(GateKind::CZ, {a, b}));
+  return *this;
+}
+Circuit& Circuit::cp(int control, int target, double theta) {
+  append(make_gate(GateKind::CP, {control, target}, {theta}));
+  return *this;
+}
+Circuit& Circuit::crz(int control, int target, double theta) {
+  append(make_gate(GateKind::CRZ, {control, target}, {theta}));
+  return *this;
+}
+Circuit& Circuit::swap(int a, int b) {
+  append(make_gate(GateKind::SWAP, {a, b}));
+  return *this;
+}
+Circuit& Circuit::rzz(int a, int b, double theta) {
+  append(make_gate(GateKind::RZZ, {a, b}, {theta}));
+  return *this;
+}
+Circuit& Circuit::rxx(int a, int b, double theta) {
+  append(make_gate(GateKind::RXX, {a, b}, {theta}));
+  return *this;
+}
+Circuit& Circuit::ryy(int a, int b, double theta) {
+  append(make_gate(GateKind::RYY, {a, b}, {theta}));
+  return *this;
+}
+Circuit& Circuit::ccx(int c0, int c1, int target) {
+  append(make_gate(GateKind::CCX, {c0, c1, target}));
+  return *this;
+}
+Circuit& Circuit::reset(int q) {
+  append(make_gate(GateKind::RESET, {q}));
+  return *this;
+}
+Circuit& Circuit::barrier(std::uint8_t flags) {
+  append(make_barrier(flags));
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(num_qubits_);
+  inv.ops_.reserve(ops_.size());
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it)
+    inv.ops_.push_back(inverse_gate(*it));
+  return inv;
+}
+
+Circuit Circuit::slice(std::size_t begin, std::size_t end) const {
+  require(begin <= end && end <= ops_.size(), "bad slice range");
+  Circuit s(num_qubits_);
+  s.ops_.assign(ops_.begin() + static_cast<std::ptrdiff_t>(begin),
+                ops_.begin() + static_cast<std::ptrdiff_t>(end));
+  return s;
+}
+
+std::size_t Circuit::count_kind(GateKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [kind](const Gate& g) { return g.kind == kind; }));
+}
+
+std::size_t Circuit::count_if(
+    const std::function<bool(const Gate&)>& pred) const {
+  return static_cast<std::size_t>(
+      std::count_if(ops_.begin(), ops_.end(), pred));
+}
+
+void Circuit::add_flags(std::size_t begin, std::size_t end,
+                        std::uint8_t flags) {
+  require(begin <= end && end <= ops_.size(), "bad flag range");
+  for (std::size_t i = begin; i < end; ++i) ops_[i].flags |= flags;
+}
+
+std::vector<std::size_t> Circuit::ops_with_flag(GateFlags flag) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i)
+    if (ops_[i].has_flag(flag)) out.push_back(i);
+  return out;
+}
+
+int Circuit::depth() const { return assign_layers(*this).num_layers; }
+
+Layering assign_layers(const Circuit& c) {
+  Layering result;
+  result.layer.assign(c.size(), 0);
+  std::vector<int> frontier(static_cast<std::size_t>(c.num_qubits()), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.op(i);
+    if (g.kind == GateKind::BARRIER) {
+      // Synchronize all qubits to the max frontier; barrier occupies no slot.
+      const int top = *std::max_element(frontier.begin(), frontier.end());
+      std::fill(frontier.begin(), frontier.end(), top);
+      result.layer[i] = top;
+      continue;
+    }
+    int layer = 0;
+    for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+      layer = std::max(layer, frontier[static_cast<std::size_t>(g.qubits[k])]);
+    result.layer[i] = layer;
+    for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+      frontier[static_cast<std::size_t>(g.qubits[k])] = layer + 1;
+    result.num_layers = std::max(result.num_layers, layer + 1);
+  }
+  return result;
+}
+
+}  // namespace charter::circ

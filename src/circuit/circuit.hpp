@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file circuit.hpp
+/// The circuit IR: an ordered gate list over n qubits with a fluent builder.
+///
+/// Measurement is implicit: every circuit measures all qubits in the
+/// computational basis at the end (the convention used by all of the paper's
+/// benchmarks).  Structural barriers fence scheduling across all qubits.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace charter::circ {
+
+/// Ordered list of gates over a fixed-width qubit register.
+class Circuit {
+ public:
+  /// Creates an empty circuit over \p num_qubits qubits.
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  const Gate& op(std::size_t i) const { return ops_[i]; }
+  Gate& mutable_op(std::size_t i) { return ops_[i]; }
+
+  /// Appends a validated gate; operands must be < num_qubits().
+  void append(const Gate& g);
+  /// Appends every gate of \p other (must have the same width).
+  void append(const Circuit& other);
+  /// Inserts \p g before position \p pos.
+  void insert(std::size_t pos, const Gate& g);
+
+  // ---- Fluent builder (returns *this for chaining) ----
+  Circuit& rz(int q, double theta, std::uint8_t flags = kFlagNone);
+  Circuit& sx(int q, std::uint8_t flags = kFlagNone);
+  Circuit& sxdg(int q, std::uint8_t flags = kFlagNone);
+  Circuit& x(int q, std::uint8_t flags = kFlagNone);
+  Circuit& cx(int control, int target, std::uint8_t flags = kFlagNone);
+  Circuit& id(int q);
+  Circuit& h(int q, std::uint8_t flags = kFlagNone);
+  Circuit& s(int q);
+  Circuit& sdg(int q);
+  Circuit& t(int q);
+  Circuit& tdg(int q);
+  Circuit& rx(int q, double theta);
+  Circuit& ry(int q, double theta);
+  Circuit& u3(int q, double theta, double phi, double lambda);
+  Circuit& cz(int a, int b);
+  Circuit& cp(int control, int target, double theta);
+  Circuit& crz(int control, int target, double theta);
+  Circuit& swap(int a, int b);
+  Circuit& rzz(int a, int b, double theta);
+  Circuit& rxx(int a, int b, double theta);
+  Circuit& ryy(int a, int b, double theta);
+  Circuit& ccx(int c0, int c1, int target);
+  Circuit& reset(int q);
+  Circuit& barrier(std::uint8_t flags = kFlagNone);
+
+  /// The adjoint circuit: gates reversed and individually inverted.
+  /// Throws InvalidArgument when the circuit contains a RESET.
+  Circuit inverse() const;
+
+  /// Sub-circuit of ops [begin, end).
+  Circuit slice(std::size_t begin, std::size_t end) const;
+
+  /// Number of gates of the given kind.
+  std::size_t count_kind(GateKind kind) const;
+  /// Number of gates satisfying \p pred.
+  std::size_t count_if(const std::function<bool(const Gate&)>& pred) const;
+
+  /// Ors \p flags into every op in [begin, end).
+  void add_flags(std::size_t begin, std::size_t end, std::uint8_t flags);
+
+  /// Indices of ops carrying \p flag.
+  std::vector<std::size_t> ops_with_flag(GateFlags flag) const;
+
+  /// Depth = number of ASAP layers of non-barrier gates (paper's Table IV).
+  int depth() const;
+
+ private:
+  int num_qubits_;
+  std::vector<Gate> ops_;
+};
+
+/// ASAP layer assignment.  layer[i] is the layer of op i (barriers get the
+/// layer they synchronize at but occupy no slot).  num_layers = depth.
+struct Layering {
+  std::vector<int> layer;
+  int num_layers = 0;
+};
+
+/// Computes the ASAP layering; barriers force all qubits to the same frontier.
+Layering assign_layers(const Circuit& c);
+
+}  // namespace charter::circ

@@ -1,0 +1,127 @@
+#include "circuit/print.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace charter::circ {
+
+std::string gate_to_string(const Gate& g) {
+  std::ostringstream os;
+  os << gate_name(g.kind);
+  if (g.num_params > 0) {
+    os << '(';
+    for (std::uint8_t i = 0; i < g.num_params; ++i) {
+      if (i) os << ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", g.params[i]);
+      os << buf;
+    }
+    os << ')';
+  }
+  if (g.num_qubits > 0) {
+    os << ' ';
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i) {
+      if (i) os << ", ";
+      os << 'q' << g.qubits[i];
+    }
+  }
+  return os.str();
+}
+
+std::string to_ascii(const Circuit& c, int max_layers) {
+  const Layering lay = assign_layers(c);
+  const int shown = std::min(lay.num_layers, max_layers);
+  const int nq = c.num_qubits();
+
+  // cells[q][l] holds the token for qubit q at layer l.
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(nq),
+      std::vector<std::string>(static_cast<std::size_t>(shown), ""));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.op(i);
+    const int l = lay.layer[i];
+    if (l >= shown) continue;
+    if (g.kind == GateKind::BARRIER) {
+      continue;  // drawn as its own separator is too noisy; skip
+    }
+    if (g.kind == GateKind::CX && g.num_qubits == 2) {
+      cells[static_cast<std::size_t>(g.qubits[0])][static_cast<std::size_t>(
+          l)] = "*";  // control
+      cells[static_cast<std::size_t>(g.qubits[1])][static_cast<std::size_t>(
+          l)] = "X";  // target
+      continue;
+    }
+    std::string token = gate_name(g.kind);
+    if (g.num_params > 0) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%.2f", g.params[0]);
+      token += '(';
+      token += buf;
+      token += ')';
+    }
+    for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+      cells[static_cast<std::size_t>(g.qubits[k])][static_cast<std::size_t>(
+          l)] = token;
+  }
+
+  // Column widths.
+  std::vector<std::size_t> width(static_cast<std::size_t>(shown), 1);
+  for (int q = 0; q < nq; ++q)
+    for (int l = 0; l < shown; ++l)
+      width[static_cast<std::size_t>(l)] =
+          std::max(width[static_cast<std::size_t>(l)],
+                   cells[static_cast<std::size_t>(q)]
+                        [static_cast<std::size_t>(l)].size());
+
+  std::ostringstream os;
+  for (int q = 0; q < nq; ++q) {
+    os << 'q' << q << ": ";
+    for (int l = 0; l < shown; ++l) {
+      std::string& cell = cells[static_cast<std::size_t>(q)]
+                               [static_cast<std::size_t>(l)];
+      if (cell.empty()) cell = "-";
+      os << '-' << cell
+         << std::string(width[static_cast<std::size_t>(l)] - cell.size(),
+                        '-');
+    }
+    if (shown < lay.num_layers) os << "...";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_qasm(const Circuit& c) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n"
+     << "include \"qelib1.inc\";\n"
+     << "qreg q[" << c.num_qubits() << "];\n"
+     << "creg m[" << c.num_qubits() << "];\n";
+  for (const Gate& g : c.ops()) {
+    if (g.kind == GateKind::BARRIER) {
+      os << "barrier q;\n";
+      continue;
+    }
+    os << gate_name(g.kind);
+    if (g.num_params > 0) {
+      os << '(';
+      for (std::uint8_t i = 0; i < g.num_params; ++i) {
+        if (i) os << ',';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", g.params[i]);
+        os << buf;
+      }
+      os << ')';
+    }
+    os << ' ';
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i) {
+      if (i) os << ",";
+      os << "q[" << g.qubits[i] << ']';
+    }
+    os << ";\n";
+  }
+  os << "measure q -> m;\n";
+  return os.str();
+}
+
+}  // namespace charter::circ

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file print.hpp
+/// Text renderings of circuits: ASCII diagrams and OpenQASM 2.0.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::circ {
+
+/// Multi-line ASCII diagram (one row per qubit, one column per ASAP layer).
+/// For wide circuits, pass \p max_layers to truncate with an ellipsis.
+std::string to_ascii(const Circuit& c, int max_layers = 120);
+
+/// OpenQASM 2.0 program equivalent to the circuit (measure-all appended).
+/// SXDG is emitted via its standard-gate definition so the output loads in
+/// other toolchains.
+std::string to_qasm(const Circuit& c);
+
+/// One-line textual form of a single gate, e.g. "cx q1, q2" or
+/// "rz(0.7854) q0".
+std::string gate_to_string(const Gate& g);
+
+}  // namespace charter::circ

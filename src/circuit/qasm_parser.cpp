@@ -1,0 +1,301 @@
+#include "circuit/qasm_parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace charter::circ {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& line, const std::string& why) {
+  throw charter::InvalidArgument("qasm parse error: " + why + " in: '" +
+                                 line + "'");
+}
+
+/// Recursive-descent evaluator for constant parameter expressions.
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : text_(text) {}
+
+  double parse() {
+    const double v = expression();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw charter::InvalidArgument("trailing characters in expression: " +
+                                     text_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double expression() {
+    double v = term();
+    for (;;) {
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        const double d = factor();
+        if (d == 0.0)
+          throw charter::InvalidArgument("division by zero in expression");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (consume('-')) return -factor();
+    if (consume('+')) return factor();
+    if (consume('(')) {
+      const double v = expression();
+      if (!consume(')'))
+        throw charter::InvalidArgument("missing ')' in expression");
+      return v;
+    }
+    // pi keyword.
+    if (pos_ + 1 < text_.size() + 1 && text_.compare(pos_, 2, "pi") == 0) {
+      pos_ += 2;
+      return M_PI;
+    }
+    // Number.
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+            ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+             (text_[end - 1] == 'e' || text_[end - 1] == 'E'))))
+      ++end;
+    if (end == pos_)
+      throw charter::InvalidArgument("expected number in expression: " +
+                                     text_);
+    const double v = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+double eval_expr(const std::string& text) { return ExprParser(text).parse(); }
+
+/// Splits "a, b, c" into trimmed pieces.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string piece;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(piece);
+      piece.clear();
+    } else {
+      piece += c;
+    }
+  }
+  if (!piece.empty()) out.push_back(piece);
+  for (std::string& s : out) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+      s.erase(s.begin());
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+      s.pop_back();
+  }
+  return out;
+}
+
+struct RegisterMap {
+  // register name -> (base offset, size)
+  std::map<std::string, std::pair<int, int>> regs;
+  int total = 0;
+
+  int resolve(const std::string& operand, const std::string& line) const {
+    const auto bracket = operand.find('[');
+    if (bracket == std::string::npos)
+      fail(line, "expected qubit operand like q[0], got '" + operand + "'");
+    const std::string name = operand.substr(0, bracket);
+    const auto close = operand.find(']', bracket);
+    if (close == std::string::npos) fail(line, "missing ']'");
+    const int index =
+        std::stoi(operand.substr(bracket + 1, close - bracket - 1));
+    const auto it = regs.find(name);
+    if (it == regs.end()) fail(line, "unknown register '" + name + "'");
+    if (index < 0 || index >= it->second.second)
+      fail(line, "qubit index out of range");
+    return it->second.first + index;
+  }
+};
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& source) {
+  // Strip comments, split on ';'.
+  std::string cleaned;
+  cleaned.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+    }
+    if (i < source.size()) cleaned += source[i];
+  }
+
+  std::vector<std::string> statements;
+  {
+    std::string stmt;
+    std::istringstream is(cleaned);
+    while (std::getline(is, stmt, ';')) {
+      // Trim whitespace/newlines.
+      std::string trimmed;
+      bool prev_space = true;
+      for (const char c : stmt) {
+        const bool space = std::isspace(static_cast<unsigned char>(c));
+        if (space && prev_space) continue;
+        trimmed += space ? ' ' : c;
+        prev_space = space;
+      }
+      while (!trimmed.empty() && trimmed.back() == ' ') trimmed.pop_back();
+      if (!trimmed.empty()) statements.push_back(trimmed);
+    }
+  }
+
+  RegisterMap qregs;
+  std::vector<std::pair<std::string, std::vector<std::string>>> pending;
+
+  // First pass: register declarations (so width is known up front).
+  for (const std::string& stmt : statements) {
+    if (stmt.rfind("qreg ", 0) == 0) {
+      const auto bracket = stmt.find('[');
+      const auto close = stmt.find(']');
+      if (bracket == std::string::npos || close == std::string::npos)
+        fail(stmt, "malformed qreg");
+      std::string name = stmt.substr(5, bracket - 5);
+      while (!name.empty() && name.back() == ' ') name.pop_back();
+      const int size =
+          std::stoi(stmt.substr(bracket + 1, close - bracket - 1));
+      require(size >= 1, "qreg must have positive size");
+      qregs.regs[name] = {qregs.total, size};
+      qregs.total += size;
+    }
+  }
+  if (qregs.total == 0)
+    throw charter::InvalidArgument("qasm program declares no qubits");
+
+  Circuit circuit(qregs.total);
+
+  for (const std::string& stmt : statements) {
+    if (stmt.rfind("OPENQASM", 0) == 0 || stmt.rfind("include", 0) == 0 ||
+        stmt.rfind("qreg", 0) == 0 || stmt.rfind("creg", 0) == 0)
+      continue;
+    if (stmt.rfind("measure", 0) == 0) continue;  // implicit measure-all
+    if (stmt.rfind("gate ", 0) == 0 || stmt.rfind("opaque", 0) == 0 ||
+        stmt.rfind("if", 0) == 0)
+      fail(stmt, "unsupported construct");
+
+    // Parse:  name[(params)] operands
+    std::size_t pos = 0;
+    while (pos < stmt.size() && (std::isalnum(static_cast<unsigned char>(
+                                     stmt[pos])) ||
+                                 stmt[pos] == '_'))
+      ++pos;
+    std::string name = stmt.substr(0, pos);
+    if (name.empty()) fail(stmt, "expected gate name");
+
+    std::vector<double> params;
+    if (pos < stmt.size() && stmt[pos] == '(') {
+      const auto close = stmt.rfind(')');
+      if (close == std::string::npos || close < pos) fail(stmt, "missing ')'");
+      for (const std::string& piece :
+           split_list(stmt.substr(pos + 1, close - pos - 1)))
+        params.push_back(eval_expr(piece));
+      pos = close + 1;
+    }
+    std::string operand_text = stmt.substr(pos);
+
+    if (name == "barrier") {
+      circuit.barrier();
+      continue;
+    }
+    std::vector<int> operands;
+    for (const std::string& piece : split_list(operand_text))
+      operands.push_back(qregs.resolve(piece, stmt));
+
+    // Aliases.
+    if (name == "u1" || name == "p") name = "rz";
+    if (name == "cnot") name = "cx";
+    if (name == "toffoli") name = "ccx";
+    if (name == "i") name = "id";
+    if (name == "u" || name == "u3") name = "u3";
+    if (name == "u2") {
+      require(params.size() == 2, "u2 expects 2 params");
+      params.insert(params.begin(), M_PI_2);
+      name = "u3";
+    }
+
+    GateKind kind;
+    try {
+      kind = gate_kind_from_name(name);
+    } catch (const charter::NotFound&) {
+      fail(stmt, "unknown gate '" + name + "'");
+    }
+    if (static_cast<int>(operands.size()) != gate_arity(kind))
+      fail(stmt, "wrong operand count for " + name);
+    if (static_cast<int>(params.size()) != gate_param_count(kind))
+      fail(stmt, "wrong parameter count for " + name);
+
+    Gate g;
+    g.kind = kind;
+    g.num_qubits = static_cast<std::uint8_t>(operands.size());
+    g.num_params = static_cast<std::uint8_t>(params.size());
+    for (std::size_t i = 0; i < operands.size(); ++i)
+      g.qubits[i] = static_cast<std::int16_t>(operands[i]);
+    for (std::size_t i = 0; i < params.size(); ++i) g.params[i] = params[i];
+    circuit.append(g);
+  }
+  (void)pending;
+  return circuit;
+}
+
+Circuit parse_qasm_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw charter::NotFound("qasm file not found: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_qasm(buffer.str());
+}
+
+}  // namespace charter::circ

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file qasm_parser.hpp
+/// OpenQASM 2.0 reader (qelib1 subset).
+///
+/// Parses the dialect to_qasm() emits plus the common qelib1 one/two/three
+/// qubit gates, so circuits produced by other toolchains (Qiskit dumps,
+/// QASMBench files) can be loaded and analyzed by charter directly.
+///
+/// Supported statements: OPENQASM/include headers, one or more qreg
+/// declarations (registers concatenate in declaration order), creg
+/// (ignored), gate applications with constant-expression parameters
+/// (numbers, pi, + - * / and parentheses), barrier (any operand list ->
+/// global barrier), reset, and measure (ignored; measurement is implicit).
+/// Gate aliases: u1/p -> rz, u2(a,b) -> u3(pi/2,a,b), u/u3 -> u3,
+/// cnot -> cx, toffoli -> ccx, i/id -> id.
+///
+/// Unsupported constructs (custom gate definitions, if statements, opaque
+/// declarations) throw InvalidArgument with the offending line.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::circ {
+
+/// Parses an OpenQASM 2.0 program; throws InvalidArgument on errors.
+Circuit parse_qasm(const std::string& source);
+
+/// Reads and parses a .qasm file; throws NotFound when missing.
+Circuit parse_qasm_file(const std::string& path);
+
+}  // namespace charter::circ

@@ -1,0 +1,96 @@
+#include "circuit/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charter::circ {
+
+double GateDurations::operator()(const Gate& g) const {
+  switch (g.kind) {
+    case GateKind::RZ:
+    case GateKind::ID:
+    case GateKind::BARRIER:
+      return virtual_ns;
+    case GateKind::CX:
+      return two_qubit_ns;
+    case GateKind::RESET:
+      return reset_ns;
+    case GateKind::SX:
+    case GateKind::SXDG:
+    case GateKind::X:
+      return one_qubit_ns;
+    default:
+      // Logical gates are scheduled as if they were their dominant physical
+      // cost; precise timing only matters post-transpilation anyway.
+      return gate_arity(g.kind) >= 2 ? two_qubit_ns : one_qubit_ns;
+  }
+}
+
+Schedule schedule_asap(const Circuit& c, const DurationFn& durations,
+                       bool with_overlaps) {
+  Schedule sched;
+  sched.ops.resize(c.size());
+  std::vector<double> qubit_time(static_cast<std::size_t>(c.num_qubits()),
+                                 0.0);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.op(i);
+    if (g.kind == GateKind::BARRIER) {
+      const double top =
+          *std::max_element(qubit_time.begin(), qubit_time.end());
+      std::fill(qubit_time.begin(), qubit_time.end(), top);
+      sched.ops[i] = {i, top, top};
+      continue;
+    }
+    double start = 0.0;
+    for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+      start = std::max(start,
+                       qubit_time[static_cast<std::size_t>(g.qubits[k])]);
+    const double dur = durations(g);
+    CHARTER_ASSERT(dur >= 0.0, "negative gate duration");
+    const double end = start + dur;
+    sched.ops[i] = {i, start, end};
+    for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+      qubit_time[static_cast<std::size_t>(g.qubits[k])] = end;
+    sched.total_time = std::max(sched.total_time, end);
+  }
+
+  if (with_overlaps) {
+    // Sweep ops by start time keeping a live set; physical ops only.
+    struct Item {
+      std::size_t op;
+      double start;
+      double end;
+    };
+    std::vector<Item> items;
+    items.reserve(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const Gate& g = c.op(i);
+      if (is_virtual(g.kind)) continue;
+      if (sched.ops[i].t_end <= sched.ops[i].t_start) continue;
+      items.push_back({i, sched.ops[i].t_start, sched.ops[i].t_end});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.start < b.start; });
+    std::vector<Item> live;
+    for (const Item& it : items) {
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const Item& l) {
+                                  return l.end <= it.start;
+                                }),
+                 live.end());
+      for (const Item& l : live) {
+        const double overlap = std::min(l.end, it.end) - it.start;
+        if (overlap > 0.0) {
+          sched.overlaps.push_back({std::min(l.op, it.op),
+                                    std::max(l.op, it.op), overlap});
+        }
+      }
+      live.push_back(it);
+    }
+  }
+  return sched;
+}
+
+}  // namespace charter::circ

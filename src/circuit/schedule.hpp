@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Duration-aware ASAP scheduling.
+///
+/// The noise model needs wall-clock times: decoherence scales with idle/busy
+/// duration, and crosstalk depends on which operations overlap in time.  The
+/// scheduler assigns each op a start/end time using per-gate durations
+/// (virtual RZ gates take zero time; barriers synchronize every qubit).
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::circ {
+
+/// Returns the duration (in nanoseconds) of a gate instance.
+using DurationFn = std::function<double(const Gate&)>;
+
+/// Timing of one scheduled op.
+struct ScheduledOp {
+  std::size_t op_index = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+};
+
+/// Complete schedule of a circuit.
+struct Schedule {
+  std::vector<ScheduledOp> ops;  ///< same order as circuit ops
+  double total_time = 0.0;       ///< makespan (ns)
+
+  /// Pairs of op indices that overlap in time (open intervals), with the
+  /// overlap duration; precomputed for crosstalk.  Only pairs of *physical*
+  /// (non-virtual, non-barrier) ops are listed, each pair once (i < j).
+  struct Overlap {
+    std::size_t op_a = 0;
+    std::size_t op_b = 0;
+    double duration = 0.0;
+  };
+  std::vector<Overlap> overlaps;
+};
+
+/// Uniform device timing parameters (defaults match IBM-era devices).
+struct GateDurations {
+  double one_qubit_ns = 35.0;   ///< SX, SXDG, X
+  double two_qubit_ns = 300.0;  ///< CX
+  double reset_ns = 840.0;      ///< active reset
+  double virtual_ns = 0.0;      ///< RZ, ID, BARRIER
+
+  double operator()(const Gate& g) const;
+};
+
+/// Computes the ASAP schedule of \p c under \p durations.
+/// \p with_overlaps controls whether temporal overlaps are enumerated
+/// (quadratic in the number of simultaneously live ops; cheap in practice).
+Schedule schedule_asap(const Circuit& c, const DurationFn& durations,
+                       bool with_overlaps = true);
+
+}  // namespace charter::circ

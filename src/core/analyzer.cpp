@@ -1,0 +1,184 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::core {
+
+using backend::CompiledProgram;
+using circ::GateKind;
+
+std::vector<double> CharterReport::scores() const {
+  std::vector<double> s;
+  s.reserve(impacts.size());
+  for (const GateImpact& g : impacts) s.push_back(g.tvd);
+  return s;
+}
+
+stats::Correlation CharterReport::layer_correlation() const {
+  std::vector<double> layers;
+  layers.reserve(impacts.size());
+  for (const GateImpact& g : impacts)
+    layers.push_back(static_cast<double>(g.layer));
+  return stats::pearson(scores(), layers);
+}
+
+stats::Correlation CharterReport::validation_correlation() const {
+  std::vector<double> vs_ideal;
+  vs_ideal.reserve(impacts.size());
+  for (const GateImpact& g : impacts) vs_ideal.push_back(g.tvd_vs_ideal);
+  return stats::pearson(vs_ideal, scores());
+}
+
+double CharterReport::qubit_coverage(double fraction, int num_qubits) const {
+  if (impacts.empty() || num_qubits <= 0) return 0.0;
+  const std::vector<double> s = scores();
+  const std::vector<std::size_t> top = stats::top_fraction(s, fraction);
+  std::set<int> seen;
+  for (const std::size_t idx : top) {
+    const GateImpact& g = impacts[idx];
+    for (int k = 0; k < g.num_qubits; ++k) seen.insert(g.qubits[static_cast<std::size_t>(k)]);
+  }
+  return static_cast<double>(seen.size()) / static_cast<double>(num_qubits);
+}
+
+CharterReport::OneQubitExceed CharterReport::one_qubit_above_min_cx() const {
+  OneQubitExceed out;
+  double min_cx = -1.0;
+  for (const GateImpact& g : impacts) {
+    if (g.kind == GateKind::CX)
+      min_cx = (min_cx < 0.0) ? g.tvd : std::min(min_cx, g.tvd);
+  }
+  for (const GateImpact& g : impacts) {
+    if (g.kind == GateKind::SX || g.kind == GateKind::SXDG ||
+        g.kind == GateKind::X) {
+      ++out.one_qubit_total;
+      if (min_cx >= 0.0 && g.tvd > min_cx) ++out.count;
+    }
+  }
+  if (out.one_qubit_total > 0 && min_cx >= 0.0)
+    out.fraction = static_cast<double>(out.count) /
+                   static_cast<double>(out.one_qubit_total);
+  return out;
+}
+
+std::vector<GateImpact> CharterReport::sorted_by_impact() const {
+  std::vector<GateImpact> sorted = impacts;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const GateImpact& a, const GateImpact& b) {
+                     return a.tvd > b.tvd;
+                   });
+  return sorted;
+}
+
+CharterAnalyzer::CharterAnalyzer(const backend::FakeBackend& backend,
+                                 CharterOptions options)
+    : backend_(backend), options_(std::move(options)) {
+  require(options_.reversals >= 1, "need at least one reversal");
+}
+
+namespace {
+
+/// Evenly subsamples \p indices down to \p limit entries (keeps ends).
+std::vector<std::size_t> subsample(const std::vector<std::size_t>& indices,
+                                   int limit) {
+  if (limit <= 0 || static_cast<int>(indices.size()) <= limit) return indices;
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(limit));
+  const double step = static_cast<double>(indices.size() - 1) /
+                      static_cast<double>(limit - 1);
+  std::size_t last = indices.size();  // sentinel
+  for (int k = 0; k < limit; ++k) {
+    const std::size_t pick = static_cast<std::size_t>(
+        std::min<double>(std::llround(k * step),
+                         static_cast<double>(indices.size() - 1)));
+    if (pick != last) out.push_back(indices[pick]);
+    last = pick;
+  }
+  return out;
+}
+
+/// Per-circuit seed derivation: mixes the base seed with a circuit tag so
+/// each run (original, every reversed circuit) gets an independent stream
+/// for drift/trajectories/shots.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) {
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (tag + 1));
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
+  CharterReport report;
+  const circ::Circuit& c = program.physical;
+
+  const std::vector<std::size_t> all_ops = reversible_ops(c, false);
+  const std::vector<std::size_t> eligible =
+      reversible_ops(c, options_.skip_rz);
+  const std::vector<std::size_t> chosen =
+      subsample(eligible, options_.max_gates);
+  report.total_gates = all_ops.size();
+  report.eligible_gates = eligible.size();
+  report.analyzed_gates = chosen.size();
+
+  const circ::Layering layering = circ::assign_layers(c);
+
+  // Original run.
+  backend::RunOptions orig_run = options_.run;
+  orig_run.seed = derive_seed(options_.run.seed, 0);
+  report.original_distribution = backend_.run(program, orig_run);
+  if (options_.compute_validation)
+    report.ideal_distribution = backend_.ideal(program);
+
+  report.impacts.resize(chosen.size());
+
+  // Each reversed circuit is an independent run; parallelize across them.
+  // Inner simulation kernels detect nesting and stay serial.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(chosen.size());
+       ++k) {
+    const std::size_t op_index = chosen[static_cast<std::size_t>(k)];
+    const circ::Gate& g = c.op(op_index);
+
+    CompiledProgram reversed = program;
+    reversed.physical = insert_reversed_pairs(c, op_index,
+                                              options_.reversals,
+                                              options_.isolate);
+    backend::RunOptions run = options_.run;
+    run.seed = derive_seed(options_.run.seed, op_index + 1);
+    const std::vector<double> rev_dist = backend_.run(reversed, run);
+
+    GateImpact& impact = report.impacts[static_cast<std::size_t>(k)];
+    impact.op_index = op_index;
+    impact.kind = g.kind;
+    impact.qubits = g.qubits;
+    impact.num_qubits = g.num_qubits;
+    impact.layer = layering.layer[op_index];
+    impact.tvd = stats::tvd(report.original_distribution, rev_dist);
+    if (options_.compute_validation)
+      impact.tvd_vs_ideal = stats::tvd(report.ideal_distribution, rev_dist);
+  }
+  return report;
+}
+
+double CharterAnalyzer::input_impact(const CompiledProgram& program) const {
+  CompiledProgram reversed = program;
+  reversed.physical = insert_input_block_reversal(
+      program.physical, options_.reversals, options_.isolate);
+
+  backend::RunOptions orig_run = options_.run;
+  orig_run.seed = derive_seed(options_.run.seed, 0);
+  const std::vector<double> orig = backend_.run(program, orig_run);
+
+  backend::RunOptions rev_run = options_.run;
+  rev_run.seed = derive_seed(options_.run.seed, 0x11fa7ULL);
+  const std::vector<double> rev = backend_.run(reversed, rev_run);
+  return stats::tvd(orig, rev);
+}
+
+}  // namespace charter::core

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file analyzer.hpp
+/// The CHARTER analysis pipeline (paper Fig. 6):
+///   1. take a compiled (pre-mapped, basis-gate) program;
+///   2. build one reversed circuit per eligible gate (RZ skipped);
+///   3. run the original and every reversed circuit on the noisy backend;
+///   4. score each gate by TVD(original output, reversed output).
+///
+/// The technique never consults an ideal simulation; the analyzer can
+/// *optionally* compute the ideal distribution to validate the scores
+/// (paper Table III), clearly separated in the options.
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "core/reversal.hpp"
+#include "stats/stats.hpp"
+
+namespace charter::core {
+
+/// Analysis configuration.
+struct CharterOptions {
+  /// Reversed pairs per gate; the paper settles on 5 (Sec. IV-A).
+  int reversals = 5;
+  /// Skip virtual RZ gates (Sec. IV-B).  Turning this off reproduces the
+  /// paper's demonstration that RZ impact is negligible.
+  bool skip_rz = true;
+  /// Barrier-isolate reversed pairs (paper Fig. 5).
+  bool isolate = true;
+  /// Analyze at most this many gates (0 = all).  When subsampling, gates
+  /// are taken evenly across the circuit so every region stays represented.
+  int max_gates = 0;
+  /// Also compute the ideal distribution and per-gate TVD vs ideal
+  /// (validation only — not part of the technique).
+  bool compute_validation = false;
+  /// Execution options for every run (seed is re-derived per circuit).
+  backend::RunOptions run;
+};
+
+/// Impact record for one analyzed gate.
+struct GateImpact {
+  std::size_t op_index = 0;       ///< index in the compiled circuit
+  circ::GateKind kind = circ::GateKind::ID;
+  std::array<std::int16_t, 3> qubits{{-1, -1, -1}};
+  int num_qubits = 0;
+  int layer = 0;                  ///< ASAP layer in the compiled circuit
+  double tvd = 0.0;               ///< TVD(O_rev, O_orig) — the charter score
+  double tvd_vs_ideal = 0.0;      ///< TVD(O_rev, O_ideal) — validation only
+};
+
+/// Full analysis result with the derived statistics the paper reports.
+struct CharterReport {
+  std::vector<GateImpact> impacts;
+  std::vector<double> original_distribution;
+  std::vector<double> ideal_distribution;  ///< empty unless validation on
+  std::size_t total_gates = 0;     ///< non-barrier ops in the circuit
+  std::size_t eligible_gates = 0;  ///< after RZ skipping
+  std::size_t analyzed_gates = 0;  ///< after subsampling
+
+  /// charter scores in impact order (same order as impacts).
+  std::vector<double> scores() const;
+
+  /// Pearson between gate impact and layer index (paper Table V).
+  stats::Correlation layer_correlation() const;
+
+  /// Pearson between TVD(rev, ideal) and TVD(rev, orig) (paper Table III).
+  /// Requires compute_validation.
+  stats::Correlation validation_correlation() const;
+
+  /// Fraction of the program's qubits that appear among the top
+  /// \p fraction highest-impact gates (paper Table VI).
+  double qubit_coverage(double fraction, int num_qubits) const;
+
+  /// Count and fraction of one-qubit SX/X gates whose impact exceeds the
+  /// *least-impact* CX gate (paper Table VII).  Returns {0, 0} when the
+  /// circuit has no CX or no one-qubit gates.
+  struct OneQubitExceed {
+    std::size_t count = 0;
+    std::size_t one_qubit_total = 0;
+    double fraction = 0.0;
+  };
+  OneQubitExceed one_qubit_above_min_cx() const;
+
+  /// Impacts sorted by score descending.
+  std::vector<GateImpact> sorted_by_impact() const;
+};
+
+/// Orchestrates charter over a backend.
+class CharterAnalyzer {
+ public:
+  CharterAnalyzer(const backend::FakeBackend& backend, CharterOptions options);
+
+  /// Full per-gate analysis of a compiled program.
+  CharterReport analyze(const backend::CompiledProgram& program) const;
+
+  /// Combined impact of the input-preparation region via block reversal
+  /// (paper Sec. V "Discovering High-Impact Inputs"): TVD between the
+  /// block-reversed circuit's output and the original output.
+  double input_impact(const backend::CompiledProgram& program) const;
+
+  const CharterOptions& options() const { return options_; }
+
+ private:
+  const backend::FakeBackend& backend_;
+  CharterOptions options_;
+};
+
+}  // namespace charter::core

@@ -1,0 +1,74 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace charter::core {
+
+using circ::Gate;
+using circ::GateKind;
+
+std::vector<double> calibration_scores(
+    const backend::CompiledProgram& program, const noise::NoiseModel& model,
+    const std::vector<std::size_t>& ops, const BaselineOptions& options) {
+  std::vector<double> scores;
+  scores.reserve(ops.size());
+  for (const std::size_t idx : ops) {
+    require(idx < program.physical.size(), "op index out of range");
+    const Gate& g = program.physical.op(idx);
+    double score = 0.0;
+    switch (g.kind) {
+      case GateKind::CX:
+        score = model.edge(g.qubits[0], g.qubits[1]).cx_depol;
+        break;
+      case GateKind::SX:
+      case GateKind::SXDG:
+      case GateKind::X:
+        score = model.gate_1q(g.kind, g.qubits[0]).depol;
+        break;
+      default:
+        score = 0.0;  // virtual gates are free in calibration data too
+        break;
+    }
+    if (options.include_decoherence && !circ::is_virtual(g.kind)) {
+      const double duration = model.duration(g);
+      for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+        score += duration / model.qubit(g.qubits[k]).t1_ns;
+    }
+    scores.push_back(score);
+  }
+  return scores;
+}
+
+BaselineComparison compare_with_baseline(
+    const backend::CompiledProgram& program, const noise::NoiseModel& model,
+    const CharterReport& report, const BaselineOptions& options) {
+  BaselineComparison out;
+  std::vector<std::size_t> ops;
+  ops.reserve(report.impacts.size());
+  for (const GateImpact& g : report.impacts) ops.push_back(g.op_index);
+  out.gates = ops.size();
+  if (ops.size() < 3) return out;
+
+  const std::vector<double> baseline =
+      calibration_scores(program, model, ops, options);
+  const std::vector<double> charter_scores = report.scores();
+  out.spearman = stats::spearman(baseline, charter_scores);
+
+  const auto top_charter = stats::top_fraction(charter_scores, 0.25);
+  const auto top_baseline = stats::top_fraction(baseline, 0.25);
+  const std::set<std::size_t> baseline_set(top_baseline.begin(),
+                                           top_baseline.end());
+  std::size_t shared = 0;
+  for (const std::size_t i : top_charter) shared += baseline_set.count(i);
+  out.top_quartile_overlap =
+      top_charter.empty()
+          ? 0.0
+          : static_cast<double>(shared) /
+                static_cast<double>(top_charter.size());
+  return out;
+}
+
+}  // namespace charter::core

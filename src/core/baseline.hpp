@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file baseline.hpp
+/// The prior-work baseline charter argues against: criticality from
+/// calibration data alone.
+///
+/// Noise-adaptive compilation (Murali et al., Tannu & Qureshi, and the other
+/// works the paper cites) scores gates by their device calibration — "one
+/// number per physical gate type" (paper Observation I): a CX costs its
+/// edge's measured error rate, a one-qubit gate its qubit's rate, optionally
+/// inflated by the decoherence its duration implies.  Charter's claim is
+/// that this ranking misses position/state effects; comparing the two
+/// rankings (bench/baseline_comparison) quantifies exactly that gap.
+
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "stats/stats.hpp"
+
+namespace charter::core {
+
+/// Options for the calibration baseline.
+struct BaselineOptions {
+  /// Include the decoherence cost of the gate's duration (duration / T1 of
+  /// the touched qubits) on top of the gate error rate.
+  bool include_decoherence = true;
+};
+
+/// Calibration-only criticality score for each op listed in \p ops (indices
+/// into the program's physical circuit): the gate's isolated error rate per
+/// the device model, position-blind by construction.
+std::vector<double> calibration_scores(
+    const backend::CompiledProgram& program, const noise::NoiseModel& model,
+    const std::vector<std::size_t>& ops, const BaselineOptions& options = {});
+
+/// Comparison between charter's measured ranking and the calibration
+/// baseline over the same gates.
+struct BaselineComparison {
+  stats::Correlation spearman;  ///< rank correlation of the two scores
+  /// Fraction of charter's top-25% gates the baseline also places in its
+  /// top 25% (1.0 = the baseline finds the same hot set).
+  double top_quartile_overlap = 0.0;
+  std::size_t gates = 0;
+};
+
+/// Scores the report's gates with the baseline and compares rankings.
+BaselineComparison compare_with_baseline(
+    const backend::CompiledProgram& program, const noise::NoiseModel& model,
+    const CharterReport& report, const BaselineOptions& options = {});
+
+}  // namespace charter::core

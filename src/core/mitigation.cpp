@@ -1,0 +1,55 @@
+#include "core/mitigation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/stats.hpp"
+
+namespace charter::core {
+
+using circ::Circuit;
+using circ::Gate;
+using circ::GateKind;
+
+Circuit serialize_layers(const Circuit& c, const std::vector<int>& layers) {
+  const std::set<int> selected(layers.begin(), layers.end());
+  const circ::Layering layering = circ::assign_layers(c);
+
+  Circuit out(c.num_qubits());
+  bool last_was_barrier = false;
+  const auto emit_barrier = [&] {
+    if (!last_was_barrier) {
+      out.append(circ::make_barrier(circ::kFlagMitigation));
+      last_was_barrier = true;
+    }
+  };
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.op(i);
+    const bool serialize = g.kind != GateKind::BARRIER &&
+                           selected.count(layering.layer[i]) > 0 &&
+                           !circ::is_virtual(g.kind);
+    if (serialize) emit_barrier();
+    out.append(g);
+    last_was_barrier = g.kind == GateKind::BARRIER;
+    if (serialize) emit_barrier();
+  }
+  return out;
+}
+
+std::vector<int> high_impact_layers(const CharterReport& report,
+                                    double fraction) {
+  std::set<int> layers;
+  const std::vector<double> s = report.scores();
+  if (s.empty()) return {};
+  for (const std::size_t idx : stats::top_fraction(s, fraction))
+    layers.insert(report.impacts[idx].layer);
+  return {layers.begin(), layers.end()};
+}
+
+Circuit serialize_high_impact(const Circuit& c, const CharterReport& report,
+                              double fraction) {
+  return serialize_layers(c, high_impact_layers(report, fraction));
+}
+
+}  // namespace charter::core

@@ -1,0 +1,86 @@
+#include "core/reversal.hpp"
+
+#include "util/error.hpp"
+
+namespace charter::core {
+
+using circ::Circuit;
+using circ::Gate;
+using circ::GateKind;
+
+std::vector<std::size_t> reversible_ops(const Circuit& c, bool skip_rz) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.op(i);
+    if (g.kind == GateKind::BARRIER) continue;
+    if (g.kind == GateKind::RESET) continue;  // non-unitary, no reverse
+    if (skip_rz && circ::is_virtual(g.kind)) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+Circuit insert_reversed_pairs(const Circuit& c, std::size_t op_index,
+                              int reversals, bool isolate) {
+  require(op_index < c.size(), "op index out of range");
+  require(reversals >= 1, "need at least one reversal");
+  const Gate& g = c.op(op_index);
+  require(g.kind != GateKind::BARRIER, "cannot reverse a barrier");
+
+  Circuit out(c.num_qubits());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    out.append(c.op(i));
+    if (i != op_index) continue;
+    Gate rev = circ::inverse_gate(g);
+    rev.flags |= circ::kFlagReversal;
+    Gate fwd = g;
+    fwd.flags |= circ::kFlagReversal;
+    if (isolate) out.append(circ::make_barrier(circ::kFlagReversal));
+    for (int r = 0; r < reversals; ++r) {
+      out.append(rev);
+      out.append(fwd);
+    }
+    if (isolate) out.append(circ::make_barrier(circ::kFlagReversal));
+  }
+  return out;
+}
+
+Circuit insert_block_reversal(const Circuit& c, std::size_t begin,
+                              std::size_t end, int reversals, bool isolate) {
+  require(begin < end && end <= c.size(), "bad block range");
+  require(reversals >= 1, "need at least one reversal");
+
+  const Circuit block = c.slice(begin, end);
+  Circuit block_rev = block.inverse();
+
+  Circuit out(c.num_qubits());
+  for (std::size_t i = 0; i < end; ++i) out.append(c.op(i));
+  if (isolate) out.append(circ::make_barrier(circ::kFlagReversal));
+  for (int r = 0; r < reversals; ++r) {
+    for (const Gate& g : block_rev.ops()) {
+      Gate tagged = g;
+      tagged.flags |= circ::kFlagReversal;
+      out.append(tagged);
+    }
+    for (const Gate& g : block.ops()) {
+      Gate tagged = g;
+      tagged.flags |= circ::kFlagReversal;
+      out.append(tagged);
+    }
+  }
+  if (isolate) out.append(circ::make_barrier(circ::kFlagReversal));
+  for (std::size_t i = end; i < c.size(); ++i) out.append(c.op(i));
+  return out;
+}
+
+Circuit insert_input_block_reversal(const Circuit& c, int reversals,
+                                    bool isolate) {
+  const std::vector<std::size_t> prep =
+      c.ops_with_flag(circ::kFlagInputPrep);
+  if (prep.empty())
+    throw NotFound("circuit has no input-preparation gates to reverse");
+  return insert_block_reversal(c, prep.front(), prep.back() + 1, reversals,
+                               isolate);
+}
+
+}  // namespace charter::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file reversal.hpp
+/// Reversed-pair circuit construction — the mechanical heart of CHARTER.
+///
+/// For a gate U at position i, a "reversed circuit" is the original circuit
+/// with r copies of the pair (U^dagger, U) inserted immediately after
+/// position i (paper Fig. 5).  The pairs are mathematical identities, so the
+/// ideal output is untouched; on hardware they amplify exactly the noise
+/// channels U experiences.  Barriers isolate the pairs so no other gate runs
+/// in parallel with them (other qubits idle).
+///
+/// Multi-gate (block) reversal reverses a whole region at once — the paper's
+/// technique for scoring the combined impact of all input-preparation gates.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace charter::core {
+
+/// Indices of ops eligible for reversal analysis.  Barriers are never
+/// eligible; with \p skip_rz (charter's default, Sec. IV-B) the virtual
+/// RZ/ID gates are excluded too.
+std::vector<std::size_t> reversible_ops(const circ::Circuit& c, bool skip_rz);
+
+/// Builds the reversed circuit for the gate at \p op_index with \p reversals
+/// back-to-back pairs; \p isolate wraps the pair block in barriers.
+/// Inserted gates carry kFlagReversal.
+circ::Circuit insert_reversed_pairs(const circ::Circuit& c,
+                                    std::size_t op_index, int reversals,
+                                    bool isolate = true);
+
+/// Builds the block-reversed circuit: r copies of (block^dagger, block) are
+/// inserted after op range [begin, end).  Used for input-impact discovery.
+circ::Circuit insert_block_reversal(const circ::Circuit& c, std::size_t begin,
+                                    std::size_t end, int reversals,
+                                    bool isolate = true);
+
+/// Convenience: block reversal over all ops flagged kFlagInputPrep (the
+/// smallest contiguous range covering them).  Throws NotFound when the
+/// circuit has no input-prep gates.
+circ::Circuit insert_input_block_reversal(const circ::Circuit& c,
+                                          int reversals, bool isolate = true);
+
+}  // namespace charter::core

@@ -1,0 +1,156 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+namespace charter::math {
+
+Mat2 Mat2::identity() {
+  Mat2 r;
+  r(0, 0) = 1.0;
+  r(1, 1) = 1.0;
+  return r;
+}
+
+Mat2 Mat2::zero() { return Mat2{}; }
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i) r(i, i) = 1.0;
+  return r;
+}
+
+Mat4 Mat4::zero() { return Mat4{}; }
+
+Mat2 mul(const Mat2& a, const Mat2& b) {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      r(i, j) = a(i, 0) * b(0, j) + a(i, 1) * b(1, j);
+  return r;
+}
+
+Mat4 mul(const Mat4& a, const Mat4& b) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      cplx acc = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) acc += a(i, k) * b(k, j);
+      r(i, j) = acc;
+    }
+  return r;
+}
+
+Mat2 adjoint(const Mat2& a) {
+  Mat2 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) r(i, j) = std::conj(a(j, i));
+  return r;
+}
+
+Mat4 adjoint(const Mat4& a) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) r(i, j) = std::conj(a(j, i));
+  return r;
+}
+
+Mat2 scale(const Mat2& a, cplx s) {
+  Mat2 r = a;
+  for (auto& v : r.m) v *= s;
+  return r;
+}
+
+Mat4 scale(const Mat4& a, cplx s) {
+  Mat4 r = a;
+  for (auto& v : r.m) v *= s;
+  return r;
+}
+
+Mat2 add(const Mat2& a, const Mat2& b) {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m[i] = a.m[i] + b.m[i];
+  return r;
+}
+
+Mat4 add(const Mat4& a, const Mat4& b) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m[i] = a.m[i] + b.m[i];
+  return r;
+}
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 r;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k)
+        for (std::size_t l = 0; l < 2; ++l)
+          r(2 * i + k, 2 * j + l) = a(i, j) * b(k, l);
+  return r;
+}
+
+double max_abs_diff(const Mat2& a, const Mat2& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    d = std::max(d, std::abs(a.m[i] - b.m[i]));
+  return d;
+}
+
+double max_abs_diff(const Mat4& a, const Mat4& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < 16; ++i)
+    d = std::max(d, std::abs(a.m[i] - b.m[i]));
+  return d;
+}
+
+bool is_unitary(const Mat2& a, double tol) {
+  return max_abs_diff(mul(adjoint(a), a), Mat2::identity()) <= tol;
+}
+
+bool is_unitary(const Mat4& a, double tol) {
+  return max_abs_diff(mul(adjoint(a), a), Mat4::identity()) <= tol;
+}
+
+namespace {
+template <typename M>
+bool equal_up_to_phase_impl(const M& a, const M& b, double tol) {
+  // Find the largest entry of b and use it to fix the relative phase.
+  std::size_t best = 0;
+  double best_abs = 0.0;
+  for (std::size_t i = 0; i < b.m.size(); ++i) {
+    const double v = std::abs(b.m[i]);
+    if (v > best_abs) {
+      best_abs = v;
+      best = i;
+    }
+  }
+  if (best_abs < tol) {
+    // b is (numerically) zero; a must be too.
+    for (const auto& v : a.m)
+      if (std::abs(v) > tol) return false;
+    return true;
+  }
+  const cplx phase = a.m[best] / b.m[best];
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  for (std::size_t i = 0; i < a.m.size(); ++i)
+    if (std::abs(a.m[i] - phase * b.m[i]) > tol) return false;
+  return true;
+}
+}  // namespace
+
+bool equal_up_to_phase(const Mat2& a, const Mat2& b, double tol) {
+  return equal_up_to_phase_impl(a, b, tol);
+}
+
+bool equal_up_to_phase(const Mat4& a, const Mat4& b, double tol) {
+  return equal_up_to_phase_impl(a, b, tol);
+}
+
+bool is_cptp(const std::array<const Mat2*, 4>& kraus, std::size_t count,
+             double tol) {
+  Mat2 sum = Mat2::zero();
+  for (std::size_t i = 0; i < count; ++i)
+    sum = add(sum, mul(adjoint(*kraus[i]), *kraus[i]));
+  return max_abs_diff(sum, Mat2::identity()) <= tol;
+}
+
+}  // namespace charter::math

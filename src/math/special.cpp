@@ -1,0 +1,78 @@
+#include "math/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace charter::math {
+
+double log_gamma(double x) { return std::lgamma(x); }
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Numerical-Recipes
+/// style modified Lentz algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double reg_incomplete_beta(double a, double b, double x) {
+  require(a > 0.0 && b > 0.0, "reg_incomplete_beta requires a,b > 0");
+  require(x >= 0.0 && x <= 1.0, "reg_incomplete_beta requires x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the symmetry relation to stay in the rapidly convergent regime.
+  if (x < (a + 1.0) / (a + b + 2.0))
+    return front * beta_continued_fraction(a, b, x) / a;
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_sided_pvalue(double t, double dof) {
+  if (dof <= 0.0) return 1.0;
+  if (!std::isfinite(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  // P(|T| >= t) = I_{dof/(dof+t^2)}(dof/2, 1/2).
+  double p = reg_incomplete_beta(0.5 * dof, 0.5, x);
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  return p;
+}
+
+}  // namespace charter::math

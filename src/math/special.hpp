@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file special.hpp
+/// Special functions needed for the paper's statistics.
+///
+/// The paper reports Pearson correlations with two-sided p-values (SciPy's
+/// pearsonr).  The p-value comes from the Student-t distribution, whose CDF is
+/// a regularized incomplete beta function; we implement it with the standard
+/// Lentz continued-fraction evaluation.
+
+namespace charter::math {
+
+/// Natural log of the gamma function (wraps std::lgamma; kept here so the
+/// statistics code has a single math entry point).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+double reg_incomplete_beta(double a, double b, double x);
+
+/// Two-sided survival probability of |T| >= |t| for Student-t with \p dof
+/// degrees of freedom.  Returns 1.0 when dof <= 0.
+double student_t_two_sided_pvalue(double t, double dof);
+
+}  // namespace charter::math

@@ -1,0 +1,60 @@
+#include "noise/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::noise {
+
+NoiseModel generate_calibration(
+    int num_qubits, const std::vector<std::pair<int, int>>& coupling,
+    std::uint64_t seed, const CalibrationConfig& cfg) {
+  NoiseModel model(num_qubits);
+  util::Rng rng(seed);
+  const auto lognormal = [&rng](double median, double sigma) {
+    return median * std::exp(rng.normal(0.0, sigma));
+  };
+
+  for (int q = 0; q < num_qubits; ++q) {
+    QubitCal& c = model.qubit(q);
+    c.t1_ns = lognormal(cfg.t1_median_ns, cfg.t1_sigma);
+    c.t2_ns = std::min(2.0 * c.t1_ns,
+                       c.t1_ns * rng.uniform(cfg.t2_frac_lo, cfg.t2_frac_hi));
+    c.prep_error =
+        std::min(0.2, lognormal(cfg.prep_error_median, cfg.prep_error_sigma));
+    c.readout.p_meas1_given0 =
+        std::min(0.2, lognormal(cfg.readout_e01_median, cfg.readout_sigma));
+    c.readout.p_meas0_given1 =
+        std::min(0.3, lognormal(cfg.readout_e10_median, cfg.readout_sigma));
+    for (circ::GateKind kind : {circ::GateKind::SX, circ::GateKind::X}) {
+      OneQubitGateCal& g = model.gate_1q(kind, q);
+      g.depol = std::min(0.1, lognormal(cfg.depol_1q_median,
+                                        cfg.depol_1q_sigma));
+      g.overrot_frac = rng.normal(0.0, cfg.overrot_1q_sigma);
+      g.duration_ns = cfg.duration_1q_ns;
+    }
+  }
+
+  for (const auto& [a, b] : coupling) {
+    require(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits && a != b,
+            "coupling edge out of range");
+    EdgeCal e;
+    e.cx_depol =
+        std::min(0.3, lognormal(cfg.depol_cx_median, cfg.depol_cx_sigma));
+    e.cx_zz_angle = rng.normal(0.0, cfg.cx_zz_angle_sigma);
+    e.cx_duration_ns = std::max(
+        120.0, lognormal(cfg.cx_duration_median_ns, cfg.cx_duration_sigma));
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    e.static_zz_rate = sign * lognormal(cfg.static_zz_median_rad_per_ns,
+                                        cfg.static_zz_sigma);
+    e.drive_zz_rate =
+        e.static_zz_rate * lognormal(cfg.drive_zz_multiplier_median,
+                                     cfg.drive_zz_multiplier_sigma);
+    model.add_edge(a, b, e);
+  }
+  return model;
+}
+
+}  // namespace charter::noise

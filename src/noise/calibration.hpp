@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Seeded generation of realistic device calibration data.
+///
+/// Stands in for the calibration data IBM publishes for its devices: every
+/// qubit and edge gets parameters drawn from lognormal distributions around
+/// IBM-era medians, so devices are heterogeneous (some qubits/edges are much
+/// worse than others — the premise of noise-aware mapping the paper
+/// discusses).  A given (topology, seed) pair always produces the same
+/// device.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "noise/noise_model.hpp"
+
+namespace charter::noise {
+
+/// Distribution medians/widths used by generate_calibration.
+struct CalibrationConfig {
+  // Decoherence.
+  double t1_median_ns = 120e3;
+  double t1_sigma = 0.25;   ///< lognormal width
+  double t2_frac_lo = 0.5;  ///< T2/T1 uniform range (clamped to <= 2)
+  double t2_frac_hi = 1.4;
+  // One-qubit gates.
+  double depol_1q_median = 4e-4;
+  double depol_1q_sigma = 0.5;
+  double overrot_1q_sigma = 0.02;  ///< fractional angle error width
+  double duration_1q_ns = 35.0;
+  // CX gates.
+  double depol_cx_median = 1.2e-2;
+  double depol_cx_sigma = 0.4;
+  double cx_zz_angle_sigma = 0.05;  ///< coherent residual ZZ (rad)
+  double cx_duration_median_ns = 300.0;
+  double cx_duration_sigma = 0.15;
+  // Crosstalk.
+  double static_zz_median_rad_per_ns = 7.0e-5;  ///< ~2pi * 11 kHz residual ZZ
+  double static_zz_sigma = 0.6;
+  double drive_zz_multiplier_median = 1.5;  ///< drive / static ratio
+  double drive_zz_multiplier_sigma = 0.3;
+  // SPAM.
+  double prep_error_median = 0.008;
+  double prep_error_sigma = 0.4;
+  double readout_e01_median = 0.015;  ///< P(read 1 | true 0)
+  double readout_e10_median = 0.030;  ///< P(read 0 | true 1)
+  double readout_sigma = 0.4;
+};
+
+/// Generates a full noise model for \p num_qubits qubits coupled per
+/// \p coupling (undirected edges).  Deterministic in \p seed.
+NoiseModel generate_calibration(int num_qubits,
+                                const std::vector<std::pair<int, int>>& coupling,
+                                std::uint64_t seed,
+                                const CalibrationConfig& cfg = {});
+
+}  // namespace charter::noise

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file executor.hpp
+/// The noisy executor: drives a NoisyEngine through a scheduled circuit.
+///
+/// Walking the ASAP schedule it interleaves, in physical order:
+///  1. state-preparation bit flips at t = 0;
+///  2. lazy per-qubit thermal relaxation — each qubit's clock advances to an
+///     op's start time just before the op touches it, applying the
+///     accumulated T1/T2 channel for the elapsed window;
+///  3. lazy static-ZZ flushing — each coupled pair accumulates phase
+///     continuously; the accumulated RZZ is applied just before a
+///     non-diagonal op touches either endpoint (diagonal RZ commutes with ZZ
+///     and triggers no flush);
+///  4. the gate itself with its coherent miscalibration (imperfect rotation
+///     angle for SX/SXDG/X — note SXDG uses the *same* fractional error as
+///     SX, mirroring hardware synthesis from the same pulse — and a residual
+///     ZZ rotation after CX);
+///  5. the gate's stochastic depolarizing channel;
+///  6. drive-crosstalk: for every pair of temporally overlapping ops acting
+///     on coupled qubits, an extra ZZ phase proportional to the overlap,
+///     applied when the later op completes.
+///
+/// Convention: a gate's unitary is applied at the start of its scheduled
+/// window and the qubit then decoheres across the window — so a qubit is
+/// "busy or idle" for decoherence purposes over the entire wall clock, and
+/// the total damping applied to any qubit equals the circuit makespan.
+///
+/// The executor only accepts basis-gate circuits (transpile first).
+
+#include "circuit/circuit.hpp"
+#include "circuit/schedule.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+
+namespace charter::noise {
+
+/// Executes circuits against engines under a fixed noise model.
+class NoisyExecutor {
+ public:
+  explicit NoisyExecutor(const NoiseModel& model);
+
+  /// Runs \p c (basis gates only) on \p engine from |0...0>.
+  /// The engine is reset first.  Throws InvalidArgument when the circuit
+  /// contains a non-basis gate or a CX on an uncoupled pair.
+  void run(const circ::Circuit& c, sim::NoisyEngine& engine) const;
+
+  /// The schedule the executor will use for \p c (exposed for tests and for
+  /// the benches that report circuit durations).
+  circ::Schedule make_schedule(const circ::Circuit& c) const;
+
+ private:
+  const NoiseModel& model_;
+};
+
+}  // namespace charter::noise

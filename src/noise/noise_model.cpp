@@ -1,0 +1,157 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::noise {
+
+using circ::Gate;
+using circ::GateKind;
+
+NoiseModel::NoiseModel(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits >= 1, "noise model needs at least one qubit");
+  qubits_.resize(static_cast<std::size_t>(num_qubits));
+  sx_.resize(static_cast<std::size_t>(num_qubits));
+  x_.resize(static_cast<std::size_t>(num_qubits));
+}
+
+QubitCal& NoiseModel::qubit(int q) {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return qubits_[static_cast<std::size_t>(q)];
+}
+
+const QubitCal& NoiseModel::qubit(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return qubits_[static_cast<std::size_t>(q)];
+}
+
+OneQubitGateCal& NoiseModel::gate_1q(GateKind kind, int q) {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  switch (kind) {
+    case GateKind::SX:
+    case GateKind::SXDG:
+      return sx_[static_cast<std::size_t>(q)];
+    case GateKind::X:
+      return x_[static_cast<std::size_t>(q)];
+    default:
+      throw InvalidArgument("no 1q calibration for gate " +
+                            circ::gate_name(kind));
+  }
+}
+
+const OneQubitGateCal& NoiseModel::gate_1q(GateKind kind, int q) const {
+  return const_cast<NoiseModel*>(this)->gate_1q(kind, q);
+}
+
+std::pair<int, int> NoiseModel::key(int a, int b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void NoiseModel::add_edge(int a, int b, const EdgeCal& cal) {
+  require(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+          "bad edge");
+  edges_[key(a, b)] = cal;
+}
+
+bool NoiseModel::has_edge(int a, int b) const {
+  return edges_.count(key(a, b)) > 0;
+}
+
+EdgeCal& NoiseModel::edge(int a, int b) {
+  const auto it = edges_.find(key(a, b));
+  require(it != edges_.end(), "qubits " + std::to_string(a) + "," +
+                                  std::to_string(b) + " are not coupled");
+  return it->second;
+}
+
+const EdgeCal& NoiseModel::edge(int a, int b) const {
+  return const_cast<NoiseModel*>(this)->edge(a, b);
+}
+
+std::vector<std::pair<int, int>> NoiseModel::edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(edges_.size());
+  for (const auto& [k, v] : edges_) out.push_back(k);
+  return out;
+}
+
+double NoiseModel::duration(const Gate& g) const {
+  switch (g.kind) {
+    case GateKind::RZ:
+    case GateKind::ID:
+    case GateKind::BARRIER:
+      return 0.0;
+    case GateKind::SX:
+    case GateKind::SXDG:
+    case GateKind::X:
+      return gate_1q(g.kind, g.qubits[0]).duration_ns;
+    case GateKind::CX:
+      return edge(g.qubits[0], g.qubits[1]).cx_duration_ns;
+    case GateKind::RESET:
+      return reset_duration_ns;
+    default:
+      throw InvalidArgument("noise model has no duration for non-basis gate " +
+                            circ::gate_name(g.kind));
+  }
+}
+
+double NoiseModel::gamma_for(int q, double dt) const {
+  if (!toggles_.decoherence || dt <= 0.0) return 0.0;
+  return 1.0 - std::exp(-dt / qubit(q).t1_ns);
+}
+
+double NoiseModel::pz_for(int q, double dt) const {
+  if (!toggles_.decoherence || dt <= 0.0) return 0.0;
+  const QubitCal& c = qubit(q);
+  // 1/T2 = 1/(2 T1) + 1/Tphi; only pure dephasing contributes here (T1 is
+  // handled by gamma_for).
+  const double inv_tphi =
+      std::max(0.0, 1.0 / c.t2_ns - 0.5 / c.t1_ns);
+  if (inv_tphi <= 0.0) return 0.0;
+  return 0.5 * (1.0 - std::exp(-dt * inv_tphi));
+}
+
+std::vector<sim::ReadoutError> NoiseModel::readout_errors() const {
+  std::vector<sim::ReadoutError> out(
+      static_cast<std::size_t>(num_qubits_));
+  if (!toggles_.readout) return out;
+  for (int q = 0; q < num_qubits_; ++q)
+    out[static_cast<std::size_t>(q)] = qubit(q).readout;
+  return out;
+}
+
+NoiseModel NoiseModel::with_drift(std::uint64_t run_seed,
+                                  double magnitude) const {
+  NoiseModel drifted = *this;
+  if (magnitude <= 0.0) return drifted;
+  util::Rng rng(run_seed);
+  const auto jitter = [&rng, magnitude](double v) {
+    return v * std::exp(rng.normal(0.0, magnitude));
+  };
+  for (int q = 0; q < num_qubits_; ++q) {
+    QubitCal& c = drifted.qubit(q);
+    c.t1_ns = jitter(c.t1_ns);
+    c.t2_ns = std::min(jitter(c.t2_ns), 2.0 * c.t1_ns);
+    c.prep_error = std::min(0.5, jitter(c.prep_error));
+    c.readout.p_meas1_given0 = std::min(0.5, jitter(c.readout.p_meas1_given0));
+    c.readout.p_meas0_given1 = std::min(0.5, jitter(c.readout.p_meas0_given1));
+    for (GateKind kind : {GateKind::SX, GateKind::X}) {
+      OneQubitGateCal& g = drifted.gate_1q(kind, q);
+      g.depol = std::min(0.75, jitter(g.depol));
+      g.overrot_frac += rng.normal(0.0, 0.25 * magnitude);
+    }
+  }
+  for (const auto& [a, b] : edges()) {
+    EdgeCal& e = drifted.edge(a, b);
+    e.cx_depol = std::min(0.9, jitter(e.cx_depol));
+    e.cx_zz_angle += rng.normal(0.0, 0.5 * magnitude * 0.05);
+    e.static_zz_rate = jitter(e.static_zz_rate);
+    e.drive_zz_rate = jitter(e.drive_zz_rate);
+  }
+  return drifted;
+}
+
+}  // namespace charter::noise

@@ -1,0 +1,204 @@
+#include "sim/density_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/kernels.hpp"
+#include "util/error.hpp"
+
+namespace charter::sim {
+
+using math::cplx;
+using math::Mat2;
+
+namespace {
+
+/// Widens x by inserting a zero bit at the position given by \p mask.
+inline std::uint64_t insert_zero_bit(std::uint64_t x, std::uint64_t mask) {
+  return ((x & ~(mask - 1)) << 1) | (x & (mask - 1));
+}
+
+inline Mat2 conj2(const Mat2& u) {
+  Mat2 r;
+  for (std::size_t i = 0; i < 4; ++i) r.m[i] = std::conj(u.m[i]);
+  return r;
+}
+
+}  // namespace
+
+DensityMatrixEngine::DensityMatrixEngine(int num_qubits)
+    : num_qubits_(num_qubits) {
+  require(num_qubits >= 1 && num_qubits <= 14,
+          "density matrix engine supports 1..14 qubits");
+  rho_.assign(dim2(), cplx(0.0));
+  rho_[0] = 1.0;
+}
+
+void DensityMatrixEngine::reset() {
+  std::fill(rho_.begin(), rho_.end(), cplx(0.0));
+  rho_[0] = 1.0;
+}
+
+void DensityMatrixEngine::apply_unitary_1q(const Mat2& u, int q) {
+  kernels::apply_1q(rho_.data(), dim2(), q, u);
+  kernels::apply_1q(rho_.data(), dim2(), q + num_qubits_, conj2(u));
+}
+
+void DensityMatrixEngine::apply_diag_1q(cplx d0, cplx d1, int q) {
+  kernels::apply_diag_1q(rho_.data(), dim2(), q, d0, d1);
+  kernels::apply_diag_1q(rho_.data(), dim2(), q + num_qubits_, std::conj(d0),
+                         std::conj(d1));
+}
+
+void DensityMatrixEngine::apply_cx(int c, int t) {
+  kernels::apply_cx(rho_.data(), dim2(), c, t);
+  kernels::apply_cx(rho_.data(), dim2(), c + num_qubits_, t + num_qubits_);
+}
+
+void DensityMatrixEngine::apply_diag_2q(const std::array<cplx, 4>& d, int qa,
+                                        int qb) {
+  kernels::apply_diag_2q(rho_.data(), dim2(), qa, qb, d);
+  kernels::apply_diag_2q(
+      rho_.data(), dim2(), qa + num_qubits_, qb + num_qubits_,
+      {std::conj(d[0]), std::conj(d[1]), std::conj(d[2]), std::conj(d[3])});
+}
+
+void DensityMatrixEngine::apply_thermal_relaxation(int q, double gamma,
+                                                   double pz) {
+  if (gamma <= 0.0 && pz <= 0.0) return;
+  const std::uint64_t row = 1ULL << q;
+  const std::uint64_t col = 1ULL << (q + num_qubits_);
+  const double keep = std::sqrt(1.0 - gamma) * (1.0 - 2.0 * pz);
+  cplx* a = rho_.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
+        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
+                                             row);
+        base = insert_zero_bit(base, col);
+        const std::uint64_t i00 = base;
+        const std::uint64_t i10 = base | row;        // rho_{1,0}
+        const std::uint64_t i01 = base | col;        // rho_{0,1}
+        const std::uint64_t i11 = base | row | col;  // rho_{1,1}
+        a[i00] += gamma * a[i11];
+        a[i11] *= (1.0 - gamma);
+        a[i01] *= keep;
+        a[i10] *= keep;
+      });
+}
+
+void DensityMatrixEngine::apply_depolarizing_1q(int q, double p) {
+  if (p <= 0.0) return;
+  const std::uint64_t row = 1ULL << q;
+  const std::uint64_t col = 1ULL << (q + num_qubits_);
+  const double mix = 2.0 * p / 3.0;        // diagonal exchange weight
+  const double coh = 1.0 - 4.0 * p / 3.0;  // coherence scaling
+  cplx* a = rho_.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
+        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
+                                             row);
+        base = insert_zero_bit(base, col);
+        const std::uint64_t i00 = base;
+        const std::uint64_t i10 = base | row;
+        const std::uint64_t i01 = base | col;
+        const std::uint64_t i11 = base | row | col;
+        const cplx d0 = a[i00], d1 = a[i11];
+        a[i00] = (1.0 - mix) * d0 + mix * d1;
+        a[i11] = (1.0 - mix) * d1 + mix * d0;
+        a[i01] *= coh;
+        a[i10] *= coh;
+      });
+}
+
+void DensityMatrixEngine::apply_depolarizing_2q(int qa, int qb, double p) {
+  if (p <= 0.0) return;
+  const std::uint64_t ra = 1ULL << qa;
+  const std::uint64_t rb = 1ULL << qb;
+  const std::uint64_t ca = 1ULL << (qa + num_qubits_);
+  const std::uint64_t cb = 1ULL << (qb + num_qubits_);
+  // rho' = (1-16p/15) rho + (16p/15) * twirl(rho).
+  const double lambda = 16.0 * p / 15.0;
+  // Sorted bit positions for zero-insertion.
+  std::array<std::uint64_t, 4> masks = {ra, rb, ca, cb};
+  std::sort(masks.begin(), masks.end());
+  cplx* a = rho_.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(dim2() >> 4), [=](std::int64_t i) {
+        std::uint64_t base = static_cast<std::uint64_t>(i);
+        for (const std::uint64_t m : masks) base = insert_zero_bit(base, m);
+        std::uint64_t idx[4][4];
+        for (unsigned r = 0; r < 4; ++r)
+          for (unsigned c = 0; c < 4; ++c)
+            idx[r][c] = base | ((r & 1u) ? ra : 0) | ((r & 2u) ? rb : 0) |
+                        ((c & 1u) ? ca : 0) | ((c & 2u) ? cb : 0);
+        const cplx avg = 0.25 * (a[idx[0][0]] + a[idx[1][1]] +
+                                 a[idx[2][2]] + a[idx[3][3]]);
+        for (unsigned r = 0; r < 4; ++r)
+          for (unsigned c = 0; c < 4; ++c) {
+            if (r == c)
+              a[idx[r][c]] = (1.0 - lambda) * a[idx[r][c]] + lambda * avg;
+            else
+              a[idx[r][c]] *= (1.0 - lambda);
+          }
+      });
+}
+
+void DensityMatrixEngine::apply_bitflip(int q, double p) {
+  if (p <= 0.0) return;
+  const std::uint64_t row = 1ULL << q;
+  const std::uint64_t col = 1ULL << (q + num_qubits_);
+  cplx* a = rho_.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
+        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
+                                             row);
+        base = insert_zero_bit(base, col);
+        const std::uint64_t i00 = base;
+        const std::uint64_t i10 = base | row;
+        const std::uint64_t i01 = base | col;
+        const std::uint64_t i11 = base | row | col;
+        const cplx b00 = a[i00], b01 = a[i01], b10 = a[i10], b11 = a[i11];
+        a[i00] = (1.0 - p) * b00 + p * b11;
+        a[i11] = (1.0 - p) * b11 + p * b00;
+        a[i01] = (1.0 - p) * b01 + p * b10;
+        a[i10] = (1.0 - p) * b10 + p * b01;
+      });
+}
+
+void DensityMatrixEngine::apply_kraus_1q(std::span<const Mat2> kraus, int q) {
+  require(!kraus.empty(), "empty Kraus set");
+  accum_.assign(dim2(), cplx(0.0));
+  scratch_.resize(dim2());
+  for (const Mat2& k : kraus) {
+    std::copy(rho_.begin(), rho_.end(), scratch_.begin());
+    kernels::apply_1q(scratch_.data(), dim2(), q, k);
+    kernels::apply_1q(scratch_.data(), dim2(), q + num_qubits_, conj2(k));
+    cplx* acc = accum_.data();
+    const cplx* src = scratch_.data();
+    util::parallel_for(static_cast<std::int64_t>(dim2()),
+                       [=](std::int64_t i) { acc[i] += src[i]; });
+  }
+  rho_.swap(accum_);
+}
+
+std::vector<double> DensityMatrixEngine::probabilities() const {
+  const std::uint64_t d = dim();
+  std::vector<double> p(d);
+  for (std::uint64_t k = 0; k < d; ++k)
+    p[k] = rho_[k + (k << num_qubits_)].real();
+  return p;
+}
+
+double DensityMatrixEngine::trace() const {
+  double t = 0.0;
+  for (std::uint64_t k = 0; k < dim(); ++k)
+    t += rho_[k + (k << num_qubits_)].real();
+  return t;
+}
+
+double DensityMatrixEngine::purity() const {
+  // Tr(rho^2) = sum |rho_{rc}|^2 because rho is Hermitian.
+  return kernels::norm_sq(rho_.data(), dim2());
+}
+
+}  // namespace charter::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file density_matrix.hpp
+/// Exact density-matrix engine.
+///
+/// Stores vec(rho) column-major as a 2n-qubit pseudo-state: index
+/// r + 2^n * c holds rho_{rc}.  A unitary U on qubit q becomes
+/// U on pseudo-qubit q and conj(U) on pseudo-qubit q+n, so the state-vector
+/// kernels are reused unchanged.  Noise channels use fused single-pass
+/// closed forms (see DESIGN.md):
+///  - thermal relaxation mixes the 2x2 qubit blocks directly,
+///  - depolarizing mixes diagonal entries toward the block average and
+///    scales coherences.
+///
+/// Memory is 16 bytes * 4^n: n=10 -> 16 MiB, n=11 -> 64 MiB; the backend
+/// switches to the trajectory engine above kMaxQubits.
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace charter::sim {
+
+/// Exact open-system simulator implementing NoisyEngine.
+class DensityMatrixEngine final : public NoisyEngine {
+ public:
+  /// Largest width the backend will pick this engine for by default.
+  static constexpr int kMaxQubits = 11;
+
+  explicit DensityMatrixEngine(int num_qubits);
+
+  int num_qubits() const override { return num_qubits_; }
+  void reset() override;
+
+  void apply_unitary_1q(const math::Mat2& u, int q) override;
+  void apply_diag_1q(math::cplx d0, math::cplx d1, int q) override;
+  void apply_cx(int c, int t) override;
+  void apply_diag_2q(const std::array<math::cplx, 4>& d, int qa,
+                     int qb) override;
+
+  void apply_thermal_relaxation(int q, double gamma, double pz) override;
+  void apply_depolarizing_1q(int q, double p) override;
+  void apply_depolarizing_2q(int qa, int qb, double p) override;
+  void apply_bitflip(int q, double p) override;
+  void apply_kraus_1q(std::span<const math::Mat2> kraus, int q) override;
+
+  std::vector<double> probabilities() const override;
+
+  /// Trace of rho (should remain 1 under CPTP evolution).
+  double trace() const;
+
+  /// Purity Tr(rho^2); 1 for pure states, 1/2^n for maximally mixed.
+  double purity() const;
+
+  /// Raw vec(rho) access for tests.
+  const std::vector<math::cplx>& raw() const { return rho_; }
+
+ private:
+  std::uint64_t dim() const { return std::uint64_t{1} << num_qubits_; }
+  std::uint64_t dim2() const { return std::uint64_t{1} << (2 * num_qubits_); }
+
+  int num_qubits_;
+  std::vector<math::cplx> rho_;
+  // Scratch buffers for the generic Kraus path.
+  std::vector<math::cplx> scratch_;
+  std::vector<math::cplx> accum_;
+};
+
+}  // namespace charter::sim

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Low-level gate kernels over raw amplitude arrays.
+///
+/// These are the hot loops of every engine.  They operate on a contiguous
+/// array of 2^n complex amplitudes; qubit q corresponds to bit q of the state
+/// index (qubit 0 = least significant).  The density-matrix engine reuses the
+/// same kernels by treating vec(rho) as a 2n-qubit state.
+///
+/// All kernels are OpenMP-parallel above a size threshold and in-place.
+
+#include <array>
+#include <cstdint>
+
+#include "math/matrix.hpp"
+#include "util/parallel.hpp"
+
+namespace charter::sim {
+
+using math::cplx;
+using math::Mat2;
+using math::Mat4;
+
+namespace kernels {
+
+/// Applies a general 2x2 unitary (or Kraus operator) on qubit \p q.
+inline void apply_1q(cplx* a, std::uint64_t dim, int q, const Mat2& u) {
+  const std::uint64_t stride = 1ULL << q;
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+  const std::int64_t npairs = static_cast<std::int64_t>(dim >> 1);
+  util::parallel_for(npairs, [=](std::int64_t p) {
+    // Index of the p-th pair: insert a 0 bit at position q.
+    const std::uint64_t up = static_cast<std::uint64_t>(p);
+    const std::uint64_t i0 = ((up & ~(stride - 1)) << 1) | (up & (stride - 1));
+    const std::uint64_t i1 = i0 | stride;
+    const cplx a0 = a[i0];
+    const cplx a1 = a[i1];
+    a[i0] = u00 * a0 + u01 * a1;
+    a[i1] = u10 * a0 + u11 * a1;
+  });
+}
+
+/// Applies the diagonal gate diag(d0, d1) on qubit \p q (e.g. RZ).
+inline void apply_diag_1q(cplx* a, std::uint64_t dim, int q, cplx d0,
+                          cplx d1) {
+  const std::uint64_t mask = 1ULL << q;
+  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
+    const std::uint64_t ui = static_cast<std::uint64_t>(i);
+    a[ui] *= (ui & mask) ? d1 : d0;
+  });
+}
+
+/// Applies Pauli-X on qubit \p q (amplitude swap).
+inline void apply_x(cplx* a, std::uint64_t dim, int q) {
+  const std::uint64_t stride = 1ULL << q;
+  const std::int64_t npairs = static_cast<std::int64_t>(dim >> 1);
+  util::parallel_for(npairs, [=](std::int64_t p) {
+    const std::uint64_t up = static_cast<std::uint64_t>(p);
+    const std::uint64_t i0 = ((up & ~(stride - 1)) << 1) | (up & (stride - 1));
+    std::swap(a[i0], a[i0 | stride]);
+  });
+}
+
+/// Applies CX with control \p c and target \p t.
+inline void apply_cx(cplx* a, std::uint64_t dim, int c, int t) {
+  const std::uint64_t cmask = 1ULL << c;
+  const std::uint64_t tmask = 1ULL << t;
+  util::parallel_for(static_cast<std::int64_t>(dim >> 1), [=](std::int64_t i) {
+    // Enumerate indices with target bit = 0 by inserting a 0 at position t.
+    const std::uint64_t ui = static_cast<std::uint64_t>(i);
+    const std::uint64_t i0 =
+        ((ui & ~(tmask - 1)) << 1) | (ui & (tmask - 1));
+    if (i0 & cmask) std::swap(a[i0], a[i0 | tmask]);
+  });
+}
+
+/// Applies the diagonal two-qubit gate diag(d) on (qa, qb); the 2-bit index
+/// into \p d is bit(qa) + 2*bit(qb).
+inline void apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
+                          const std::array<cplx, 4>& d) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
+    const std::uint64_t ui = static_cast<std::uint64_t>(i);
+    const unsigned idx =
+        ((ui & amask) ? 1u : 0u) | ((ui & bmask) ? 2u : 0u);
+    a[ui] *= d[idx];
+  });
+}
+
+/// Applies a general 4x4 unitary on (qa, qb); matrix index convention as in
+/// gate_unitary_2q: idx = bit(qa) + 2*bit(qb).
+inline void apply_2q(cplx* a, std::uint64_t dim, int qa, int qb,
+                     const Mat4& u) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  const std::uint64_t lo = amask < bmask ? amask : bmask;
+  const std::uint64_t hi = amask < bmask ? bmask : amask;
+  util::parallel_for(static_cast<std::int64_t>(dim >> 2), [=, &u](
+                                                              std::int64_t i) {
+    // Insert 0 bits at both qubit positions (lo first, then hi).
+    std::uint64_t base = static_cast<std::uint64_t>(i);
+    base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
+    base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
+    const std::uint64_t idx[4] = {base, base | amask, base | bmask,
+                                  base | amask | bmask};
+    cplx in[4];
+    for (int k = 0; k < 4; ++k) in[k] = a[idx[k]];
+    for (int r = 0; r < 4; ++r) {
+      cplx acc = 0.0;
+      for (int k = 0; k < 4; ++k) acc += u(r, k) * in[k];
+      a[idx[r]] = acc;
+    }
+  });
+}
+
+/// Applies Toffoli (controls c0, c1; target t).
+inline void apply_ccx(cplx* a, std::uint64_t dim, int c0, int c1, int t) {
+  const std::uint64_t c0m = 1ULL << c0;
+  const std::uint64_t c1m = 1ULL << c1;
+  const std::uint64_t tm = 1ULL << t;
+  util::parallel_for(static_cast<std::int64_t>(dim >> 1), [=](std::int64_t i) {
+    const std::uint64_t ui = static_cast<std::uint64_t>(i);
+    const std::uint64_t i0 = ((ui & ~(tm - 1)) << 1) | (ui & (tm - 1));
+    if ((i0 & c0m) && (i0 & c1m)) std::swap(a[i0], a[i0 | tm]);
+  });
+}
+
+/// Applies SWAP(qa, qb).
+inline void apply_swap(cplx* a, std::uint64_t dim, int qa, int qb) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
+    const std::uint64_t ui = static_cast<std::uint64_t>(i);
+    // Swap amplitudes where bit a = 1, bit b = 0 with the mirrored index;
+    // touch each pair once.
+    if ((ui & amask) && !(ui & bmask)) {
+      const std::uint64_t j = (ui & ~amask) | bmask;
+      std::swap(a[ui], a[j]);
+    }
+  });
+}
+
+/// Squared norm of the state.
+inline double norm_sq(const cplx* a, std::uint64_t dim) {
+  return util::parallel_sum(static_cast<std::int64_t>(dim),
+                            [=](std::int64_t i) { return std::norm(a[i]); });
+}
+
+/// Scales all amplitudes by \p s.
+inline void scale(cplx* a, std::uint64_t dim, double s) {
+  util::parallel_for(static_cast<std::int64_t>(dim),
+                     [=](std::int64_t i) { a[i] *= s; });
+}
+
+}  // namespace kernels
+}  // namespace charter::sim

@@ -1,0 +1,71 @@
+#include "sim/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charter::sim {
+
+void apply_readout_error(std::vector<double>& probs,
+                         const std::vector<ReadoutError>& errors) {
+  const std::size_t n = errors.size();
+  require(probs.size() == (std::size_t{1} << n),
+          "probs size must be 2^num_qubits");
+  for (std::size_t q = 0; q < n; ++q) {
+    const double e01 = errors[q].p_meas1_given0;
+    const double e10 = errors[q].p_meas0_given1;
+    if (e01 <= 0.0 && e10 <= 0.0) continue;
+    const std::uint64_t mask = 1ULL << q;
+    for (std::uint64_t i0 = 0; i0 < probs.size(); ++i0) {
+      if (i0 & mask) continue;
+      const std::uint64_t i1 = i0 | mask;
+      const double p0 = probs[i0], p1 = probs[i1];
+      probs[i0] = (1.0 - e01) * p0 + e10 * p1;
+      probs[i1] = e01 * p0 + (1.0 - e10) * p1;
+    }
+  }
+}
+
+std::vector<std::uint64_t> sample_counts(const std::vector<double>& probs,
+                                         std::uint64_t shots,
+                                         util::Rng& rng) {
+  require(!probs.empty(), "empty distribution");
+  // Cumulative distribution + binary search per shot.
+  std::vector<double> cdf(probs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += std::max(0.0, probs[i]);
+    cdf[i] = acc;
+  }
+  require(acc > 0.0, "distribution has zero mass");
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform() * acc;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t idx = std::min(
+        static_cast<std::size_t>(it - cdf.begin()), probs.size() - 1);
+    ++counts[idx];
+  }
+  return counts;
+}
+
+std::vector<double> counts_to_distribution(
+    const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  require(total > 0, "no shots recorded");
+  std::vector<double> p(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    p[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+  return p;
+}
+
+std::string bitstring(std::uint64_t index, int num_qubits) {
+  std::string s(static_cast<std::size_t>(num_qubits), '0');
+  for (int q = 0; q < num_qubits; ++q)
+    if (index & (1ULL << q)) s[static_cast<std::size_t>(num_qubits - 1 - q)] = '1';
+  return s;
+}
+
+}  // namespace charter::sim

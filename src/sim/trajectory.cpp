@@ -1,0 +1,176 @@
+#include "sim/trajectory.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "sim/kernels.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace charter::sim {
+
+using math::cplx;
+using math::Mat2;
+
+TrajectoryEngine::TrajectoryEngine(int num_qubits, std::uint64_t seed)
+    : state_(num_qubits), rng_(seed) {}
+
+void TrajectoryEngine::reset() { state_.reset(); }
+
+void TrajectoryEngine::apply_unitary_1q(const Mat2& u, int q) {
+  state_.apply_unitary_1q(u, q);
+}
+
+void TrajectoryEngine::apply_diag_1q(cplx d0, cplx d1, int q) {
+  kernels::apply_diag_1q(state_.mutable_amplitudes().data(), state_.dim(), q,
+                         d0, d1);
+}
+
+void TrajectoryEngine::apply_cx(int c, int t) {
+  kernels::apply_cx(state_.mutable_amplitudes().data(), state_.dim(), c, t);
+}
+
+void TrajectoryEngine::apply_diag_2q(const std::array<cplx, 4>& d, int qa,
+                                     int qb) {
+  kernels::apply_diag_2q(state_.mutable_amplitudes().data(), state_.dim(), qa,
+                         qb, d);
+}
+
+void TrajectoryEngine::apply_pauli(int which, int q) {
+  cplx* a = state_.mutable_amplitudes().data();
+  const std::uint64_t d = state_.dim();
+  switch (which) {
+    case 0:
+      kernels::apply_x(a, d, q);
+      return;
+    case 1: {
+      Mat2 y;
+      y(0, 1) = cplx(0.0, -1.0);
+      y(1, 0) = cplx(0.0, 1.0);
+      kernels::apply_1q(a, d, q, y);
+      return;
+    }
+    default:
+      kernels::apply_diag_1q(a, d, q, 1.0, -1.0);
+      return;
+  }
+}
+
+void TrajectoryEngine::apply_thermal_relaxation(int q, double gamma,
+                                                double pz) {
+  if (gamma > 0.0) {
+    const double p1 = state_.probability_one(q);
+    const double p_jump = gamma * p1;
+    if (rng_.bernoulli(p_jump)) {
+      // Jump branch K1: |1> collapses to |0>.
+      cplx* a = state_.mutable_amplitudes().data();
+      const std::uint64_t dim = state_.dim();
+      const std::uint64_t mask = 1ULL << q;
+      const double inv = 1.0 / std::sqrt(p1);
+      util::parallel_for(
+          static_cast<std::int64_t>(dim >> 1), [=](std::int64_t i) {
+            const std::uint64_t ui = static_cast<std::uint64_t>(i);
+            const std::uint64_t i0 =
+                ((ui & ~(mask - 1)) << 1) | (ui & (mask - 1));
+            const std::uint64_t i1 = i0 | mask;
+            a[i0] = a[i1] * inv;
+            a[i1] = 0.0;
+          });
+    } else {
+      // No-jump branch K0 = diag(1, sqrt(1-gamma)), then renormalize.
+      kernels::apply_diag_1q(state_.mutable_amplitudes().data(), state_.dim(),
+                             q, 1.0, std::sqrt(1.0 - gamma));
+      state_.normalize();
+    }
+  }
+  if (pz > 0.0 && rng_.bernoulli(pz)) apply_pauli(2, q);
+}
+
+void TrajectoryEngine::apply_depolarizing_1q(int q, double p) {
+  if (p <= 0.0) return;
+  if (!rng_.bernoulli(p)) return;
+  apply_pauli(static_cast<int>(rng_.uniform_int(3)), q);
+}
+
+void TrajectoryEngine::apply_depolarizing_2q(int qa, int qb, double p) {
+  if (p <= 0.0) return;
+  if (!rng_.bernoulli(p)) return;
+  // One of the 15 non-identity two-qubit Paulis, uniformly.
+  const int pick = static_cast<int>(rng_.uniform_int(15)) + 1;
+  const int pa = pick % 4;        // 0=I, 1=X, 2=Y, 3=Z on qa
+  const int pb = pick / 4;        // same encoding on qb
+  if (pa != 0) apply_pauli(pa - 1, qa);
+  if (pb != 0) apply_pauli(pb - 1, qb);
+}
+
+void TrajectoryEngine::apply_bitflip(int q, double p) {
+  if (p > 0.0 && rng_.bernoulli(p)) apply_pauli(0, q);
+}
+
+void TrajectoryEngine::apply_kraus_1q(std::span<const Mat2> kraus, int q) {
+  require(!kraus.empty(), "empty Kraus set");
+  // Sample a branch with the Born probability ||K_i psi||^2.
+  const double u = rng_.uniform();
+  double acc = 0.0;
+  std::vector<cplx> backup = state_.amplitudes();
+  for (std::size_t i = 0; i < kraus.size(); ++i) {
+    std::copy(backup.begin(), backup.end(),
+              state_.mutable_amplitudes().begin());
+    state_.apply_unitary_1q(kraus[i], q);  // kernels accept non-unitary K
+    const double pr = state_.norm_sq();
+    acc += pr;
+    if (u < acc || i + 1 == kraus.size()) {
+      CHARTER_ASSERT(pr > 1e-300, "selected Kraus branch has zero weight");
+      state_.normalize();
+      return;
+    }
+  }
+}
+
+std::vector<double> TrajectoryEngine::probabilities() const {
+  return state_.probabilities();
+}
+
+std::vector<double> run_trajectories(
+    int num_qubits, int num_trajectories, std::uint64_t seed,
+    const std::function<void(NoisyEngine&)>& program) {
+  require(num_trajectories >= 1, "need at least one trajectory");
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits;
+  std::vector<double> total(dim, 0.0);
+  util::Rng seeder(seed);
+
+#ifdef _OPENMP
+  // Static scheduling plus a thread-ordered merge keeps the floating-point
+  // accumulation order fixed, so results are bit-identical across runs for
+  // a given OMP thread count.
+  const int nthreads = omp_get_max_threads();
+  std::vector<std::vector<double>> locals(
+      static_cast<std::size_t>(nthreads), std::vector<double>(dim, 0.0));
+#pragma omp parallel num_threads(nthreads)
+  {
+    std::vector<double>& local =
+        locals[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (int t = 0; t < num_trajectories; ++t) {
+      TrajectoryEngine engine(num_qubits, seeder.split(t).next_u64());
+      program(engine);
+      const std::vector<double> p = engine.probabilities();
+      for (std::uint64_t i = 0; i < dim; ++i) local[i] += p[i];
+    }
+  }
+  for (const auto& local : locals)
+    for (std::uint64_t i = 0; i < dim; ++i) total[i] += local[i];
+#else
+  for (int t = 0; t < num_trajectories; ++t) {
+    TrajectoryEngine engine(num_qubits, seeder.split(t).next_u64());
+    program(engine);
+    const std::vector<double> p = engine.probabilities();
+    for (std::uint64_t i = 0; i < dim; ++i) total[i] += p[i];
+  }
+#endif
+  const double inv = 1.0 / num_trajectories;
+  for (double& v : total) v *= inv;
+  return total;
+}
+
+}  // namespace charter::sim

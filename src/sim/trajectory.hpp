@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file trajectory.hpp
+/// Monte-Carlo (quantum trajectory) noisy engine.
+///
+/// Holds a pure state and realizes each noise channel by sampling one Kraus
+/// branch with the Born-rule probability.  Coherent errors (over-rotation,
+/// ZZ phases) are deterministic and identical in every trajectory, so the
+/// only sampling variance comes from the stochastic channels.  Each
+/// trajectory contributes its *entire* |psi|^2 distribution — variance is
+/// therefore far lower than shot-by-shot sampling and a few dozen
+/// trajectories reproduce a density-matrix run closely (validated in
+/// tests/test_sim.cpp and bench/ablation_engines).
+
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/statevector.hpp"
+#include "util/rng.hpp"
+
+namespace charter::sim {
+
+/// One stochastic unravelling of the noisy evolution.
+class TrajectoryEngine final : public NoisyEngine {
+ public:
+  /// \p seed drives every stochastic branch of this trajectory.
+  TrajectoryEngine(int num_qubits, std::uint64_t seed);
+
+  int num_qubits() const override { return state_.num_qubits(); }
+  void reset() override;
+
+  void apply_unitary_1q(const math::Mat2& u, int q) override;
+  void apply_diag_1q(math::cplx d0, math::cplx d1, int q) override;
+  void apply_cx(int c, int t) override;
+  void apply_diag_2q(const std::array<math::cplx, 4>& d, int qa,
+                     int qb) override;
+
+  void apply_thermal_relaxation(int q, double gamma, double pz) override;
+  void apply_depolarizing_1q(int q, double p) override;
+  void apply_depolarizing_2q(int qa, int qb, double p) override;
+  void apply_bitflip(int q, double p) override;
+  void apply_kraus_1q(std::span<const math::Mat2> kraus, int q) override;
+
+  std::vector<double> probabilities() const override;
+
+  /// Underlying pure state (tests).
+  const Statevector& state() const { return state_; }
+
+ private:
+  void apply_pauli(int which, int q);  // 0=X, 1=Y, 2=Z
+
+  Statevector state_;
+  util::Rng rng_;
+};
+
+/// Averages probabilities over \p num_trajectories independent unravellings
+/// of the noisy program \p program (a callback that drives one engine).
+/// Trajectories run in parallel across threads; \p seed splits per
+/// trajectory, so results are deterministic regardless of thread count.
+std::vector<double> run_trajectories(
+    int num_qubits, int num_trajectories, std::uint64_t seed,
+    const std::function<void(NoisyEngine&)>& program);
+
+}  // namespace charter::sim

@@ -1,0 +1,113 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/special.hpp"
+#include "util/error.hpp"
+
+namespace charter::stats {
+
+double tvd(std::span<const double> p, std::span<const double> q) {
+  require(p.size() == q.size(), "tvd requires equal-size distributions");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - q[i]);
+  return 0.5 * acc;
+}
+
+Correlation pearson(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "pearson requires equal-size samples");
+  Correlation out;
+  out.n = x.size();
+  if (x.size() < 3) return out;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return out;
+  double r = sxy / std::sqrt(sxx * syy);
+  r = std::clamp(r, -1.0, 1.0);
+  out.r = r;
+  const double dof = static_cast<double>(x.size()) - 2.0;
+  if (std::fabs(r) >= 1.0) {
+    out.p_value = 0.0;
+  } else {
+    const double t = r * std::sqrt(dof / (1.0 - r * r));
+    out.p_value = math::student_t_two_sided_pvalue(t, dof);
+  }
+  return out;
+}
+
+namespace {
+/// Fractional ranks (1-based, ties averaged) of a sample.
+std::vector<double> fractional_ranks(std::span<const double> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+Correlation spearman(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "spearman requires equal-size samples");
+  const std::vector<double> rx = fractional_ranks(x);
+  const std::vector<double> ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+std::vector<std::size_t> rank_descending(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] > values[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> top_fraction(std::span<const double> values,
+                                      double fraction) {
+  require(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  std::vector<std::size_t> order = rank_descending(values);
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(values.size()))));
+  order.resize(std::min(keep, order.size()));
+  return order;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace charter::stats

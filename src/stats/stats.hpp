@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file stats.hpp
+/// The statistics the paper reports: total variation distance between output
+/// distributions, Pearson correlation with two-sided p-values (SciPy
+/// semantics), Spearman rank correlation, and ranking/top-k helpers used by
+/// Tables V-VII.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace charter::stats {
+
+/// Total variation distance between two distributions over the same outcome
+/// space: TVD = (1/2) sum_k |p_k - q_k|.  Sizes must match.
+double tvd(std::span<const double> p, std::span<const double> q);
+
+/// Pearson correlation with its two-sided p-value (Student-t, n-2 dof).
+struct Correlation {
+  double r = 0.0;
+  double p_value = 1.0;
+  std::size_t n = 0;
+};
+
+/// Computes Pearson r between x and y; returns r=0, p=1 when fewer than three
+/// samples or either variance is zero.
+Correlation pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+Correlation spearman(std::span<const double> x, std::span<const double> y);
+
+/// Indices of \p values sorted by value descending (ties by index).
+std::vector<std::size_t> rank_descending(std::span<const double> values);
+
+/// Indices of the top ceil(fraction * n) values, descending.  fraction in
+/// (0, 1].
+std::vector<std::size_t> top_fraction(std::span<const double> values,
+                                      double fraction);
+
+/// Mean of a sample.
+double mean(std::span<const double> values);
+
+/// Population standard deviation of a sample.
+double stddev(std::span<const double> values);
+
+}  // namespace charter::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file decompose.hpp
+/// Lowering of the logical gate set to the physical basis {RZ, SX, X, CX}
+/// (SXDG also passes through — it is physical).
+///
+/// All rewrites preserve the unitary up to global phase; gate flags (e.g.
+/// input-prep tags) propagate to every replacement gate so program regions
+/// stay identifiable after lowering.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "math/matrix.hpp"
+
+namespace charter::transpile {
+
+/// ZYZ Euler angles of a one-qubit unitary: U = e^{i phase} RZ(phi) RY(theta)
+/// RZ(lambda).
+struct EulerAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double phase = 0.0;
+};
+
+/// Euler decomposition of an arbitrary 2x2 unitary.
+EulerAngles zyz_decompose(const math::Mat2& u);
+
+/// Synthesizes a one-qubit unitary over {RZ, SX} using the ZXZXZ identity
+/// U3(t,p,l) ~ RZ(p+pi) SX RZ(t+pi) SX RZ(l); near-identity rotations and
+/// zero-angle RZs are elided.  Gates carry \p flags.
+std::vector<circ::Gate> synthesize_1q(const math::Mat2& u, int qubit,
+                                      std::uint8_t flags = circ::kFlagNone);
+
+/// Expands a single non-basis gate into basis gates (one rewriting step;
+/// output can contain gates needing further expansion, e.g. H inside CZ).
+std::vector<circ::Gate> expand_gate(const circ::Gate& g);
+
+/// Fully lowers \p c to the physical basis set.
+circ::Circuit decompose_to_basis(const circ::Circuit& c);
+
+}  // namespace charter::transpile

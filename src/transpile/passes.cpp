@@ -1,0 +1,246 @@
+#include "transpile/passes.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "math/matrix.hpp"
+#include "transpile/decompose.hpp"
+#include "util/error.hpp"
+
+namespace charter::transpile {
+
+using circ::Circuit;
+using circ::Gate;
+using circ::GateKind;
+
+namespace {
+
+bool is_zero_mod_2pi(double a) {
+  a = std::fmod(std::fabs(a), 2.0 * M_PI);
+  return a < 1e-10 || (2.0 * M_PI - a) < 1e-10;
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  if (a.num_qubits != b.num_qubits) return false;
+  for (std::uint8_t i = 0; i < a.num_qubits; ++i)
+    if (a.qubits[i] != b.qubits[i]) return false;
+  return true;
+}
+
+bool inverse_pair(const Gate& a, const Gate& b) {
+  if (!same_operands(a, b)) return false;
+  if (a.kind == GateKind::X && b.kind == GateKind::X) return true;
+  if (a.kind == GateKind::SX && b.kind == GateKind::SXDG) return true;
+  if (a.kind == GateKind::SXDG && b.kind == GateKind::SX) return true;
+  if (a.kind == GateKind::CX && b.kind == GateKind::CX) return true;
+  return false;
+}
+
+}  // namespace
+
+Circuit merge_rz(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  // Index into out.ops() of the trailing RZ per qubit, if that RZ is still
+  // the most recent op on its qubit.
+  std::vector<std::optional<std::size_t>> pending(
+      static_cast<std::size_t>(c.num_qubits()));
+  std::vector<Gate> ops;
+  for (const Gate& g : c.ops()) {
+    if (g.kind == GateKind::BARRIER) {
+      for (auto& p : pending) p.reset();
+      ops.push_back(g);
+      continue;
+    }
+    if (g.kind == GateKind::RZ) {
+      auto& slot = pending[static_cast<std::size_t>(g.qubits[0])];
+      if (slot.has_value()) {
+        ops[*slot].params[0] += g.params[0];
+        ops[*slot].flags |= g.flags;
+        continue;
+      }
+      slot = ops.size();
+      ops.push_back(g);
+      continue;
+    }
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+      pending[static_cast<std::size_t>(g.qubits[i])].reset();
+    ops.push_back(g);
+  }
+  for (const Gate& g : ops) {
+    if (g.kind == GateKind::RZ && is_zero_mod_2pi(g.params[0])) continue;
+    out.append(g);
+  }
+  return out;
+}
+
+Circuit cancel_inverse_pairs(const Circuit& c) {
+  std::vector<Gate> ops(c.ops().begin(), c.ops().end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<bool> dead(ops.size(), false);
+    // last_op[q]: index of the latest surviving op touching qubit q.
+    std::vector<std::ptrdiff_t> last_op(
+        static_cast<std::size_t>(c.num_qubits()), -1);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (dead[i]) continue;
+      const Gate& g = ops[i];
+      if (g.kind == GateKind::BARRIER) {
+        for (auto& l : last_op) l = -1;
+        continue;
+      }
+      // Check whether the previous op on ALL operands is the same op and
+      // forms an inverse pair with g.
+      std::ptrdiff_t prev = -1;
+      bool uniform = true;
+      for (std::uint8_t k = 0; k < g.num_qubits; ++k) {
+        const std::ptrdiff_t cand =
+            last_op[static_cast<std::size_t>(g.qubits[k])];
+        if (k == 0) {
+          prev = cand;
+        } else if (cand != prev) {
+          uniform = false;
+        }
+      }
+      if (uniform && prev >= 0 && !dead[static_cast<std::size_t>(prev)] &&
+          inverse_pair(ops[static_cast<std::size_t>(prev)], g)) {
+        dead[static_cast<std::size_t>(prev)] = true;
+        dead[i] = true;
+        changed = true;
+        // The operands' last op reverts to "unknown"; conservatively reset.
+        for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+          last_op[static_cast<std::size_t>(g.qubits[k])] = -1;
+        continue;
+      }
+      // Every gate (including RZ, which does not commute through a CX
+      // target or an SX) interrupts candidate pairs on its operands.
+      for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+        last_op[static_cast<std::size_t>(g.qubits[k])] =
+            static_cast<std::ptrdiff_t>(i);
+    }
+    if (changed) {
+      std::vector<Gate> survivors;
+      survivors.reserve(ops.size());
+      for (std::size_t i = 0; i < ops.size(); ++i)
+        if (!dead[i]) survivors.push_back(ops[i]);
+      ops.swap(survivors);
+    }
+  }
+  Circuit out(c.num_qubits());
+  for (const Gate& g : ops) out.append(g);
+  return out;
+}
+
+Circuit fuse_1q_runs(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  // Accumulated unitary + flags + original gates of the open run per qubit.
+  struct Run {
+    math::Mat2 u = math::Mat2::identity();
+    std::uint8_t flags = circ::kFlagNone;
+    bool open = false;
+    std::vector<Gate> originals;
+  };
+  std::vector<Run> runs(static_cast<std::size_t>(c.num_qubits()));
+
+  const auto flush = [&](int q) {
+    Run& r = runs[static_cast<std::size_t>(q)];
+    if (!r.open) return;
+    // Re-synthesis only wins when it is actually shorter (a lone SX would
+    // otherwise balloon into a 5-gate Euler sequence).
+    const std::vector<Gate> synth = synthesize_1q(r.u, q, r.flags);
+    const std::vector<Gate>& chosen =
+        synth.size() < r.originals.size() ? synth : r.originals;
+    for (const Gate& g : chosen) out.append(g);
+    r = Run{};
+  };
+
+  for (const Gate& g : c.ops()) {
+    if (g.kind == GateKind::BARRIER) {
+      for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+      out.append(g);
+      continue;
+    }
+    if (g.num_qubits == 1 && circ::is_basis_gate(g.kind)) {
+      Run& r = runs[static_cast<std::size_t>(g.qubits[0])];
+      if (r.open && r.flags != g.flags) flush(g.qubits[0]);
+      Run& r2 = runs[static_cast<std::size_t>(g.qubits[0])];
+      r2.u = math::mul(circ::gate_unitary_1q(g), r2.u);
+      r2.flags = g.flags;
+      r2.open = true;
+      r2.originals.push_back(g);
+      continue;
+    }
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i) flush(g.qubits[i]);
+    out.append(g);
+  }
+  for (int q = 0; q < c.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+Circuit commute_push_left(const Circuit& c) {
+  std::vector<Gate> ops(c.ops().begin(), c.ops().end());
+  // Each successful move restarts the scan; total moves are bounded by the
+  // number of (gate, CX) inversions, so this terminates.
+  bool moved = true;
+  std::size_t guard = 0;
+  while (moved && ++guard <= 4 * ops.size() + 64) {
+    moved = false;
+    std::vector<std::ptrdiff_t> prev_on(
+        static_cast<std::size_t>(c.num_qubits()), -1);
+    for (std::size_t i = 0; i < ops.size() && !moved; ++i) {
+      const Gate& g = ops[i];
+      if (g.kind == GateKind::BARRIER) {
+        for (auto& p : prev_on) p = -1;
+        continue;
+      }
+      const bool movable_rz = g.kind == GateKind::RZ;
+      const bool movable_x = g.kind == GateKind::X;
+      if (movable_rz || movable_x) {
+        const int q = g.qubits[0];
+        const std::ptrdiff_t j = prev_on[static_cast<std::size_t>(q)];
+        if (j >= 0 &&
+            ops[static_cast<std::size_t>(j)].kind == GateKind::CX &&
+            static_cast<std::size_t>(j) + 1 < i + 1) {
+          const Gate& cx = ops[static_cast<std::size_t>(j)];
+          const bool commutes = (movable_rz && cx.qubits[0] == q) ||
+                                (movable_x && cx.qubits[1] == q);
+          // Nothing between j and i touches q (j is q's previous op), and
+          // the moved gate only acts on q, so hoisting it before the CX is
+          // semantics-preserving.
+          if (commutes && static_cast<std::size_t>(j) != i) {
+            std::rotate(ops.begin() + j, ops.begin() + static_cast<std::ptrdiff_t>(i),
+                        ops.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+            moved = true;
+          }
+        }
+      }
+      if (!moved) {
+        for (std::uint8_t k = 0; k < g.num_qubits; ++k)
+          prev_on[static_cast<std::size_t>(g.qubits[k])] =
+              static_cast<std::ptrdiff_t>(i);
+      }
+    }
+  }
+  Circuit out(c.num_qubits());
+  for (const Gate& g : ops) out.append(g);
+  return out;
+}
+
+Circuit optimize(const Circuit& c, int level) {
+  require(level >= 0 && level <= 3, "optimization level must be 0..3");
+  if (level == 0) return c;
+  Circuit cur = cancel_inverse_pairs(merge_rz(c));
+  if (level == 1) return cur;
+  cur = cancel_inverse_pairs(merge_rz(fuse_1q_runs(cur)));
+  if (level == 2) return cur;
+  // Level 3: add commutation-based reordering and iterate to a fixpoint.
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t before = cur.size();
+    cur = cancel_inverse_pairs(merge_rz(commute_push_left(cur)));
+    cur = cancel_inverse_pairs(merge_rz(fuse_1q_runs(cur)));
+    if (cur.size() == before) break;
+  }
+  return cur;
+}
+
+}  // namespace charter::transpile

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file passes.hpp
+/// Peephole optimization passes over basis-gate circuits.
+///
+/// These mirror the Qiskit optimizations the paper enables before applying
+/// charter (Sec. III): RZ merging, inverse-pair cancellation, and one-qubit
+/// run re-synthesis.  Passes never move gates across barriers, and runs with
+/// different region flags are not fused (input-prep tags must survive).
+
+#include "circuit/circuit.hpp"
+
+namespace charter::transpile {
+
+/// Merges adjacent RZ gates on the same qubit; drops RZ(0 mod 2pi).
+circ::Circuit merge_rz(const circ::Circuit& c);
+
+/// Cancels adjacent inverse pairs: X-X, SX-SXDG, SXDG-SX, CX-CX on the same
+/// (control, target).  Repeats until no pair cancels.
+circ::Circuit cancel_inverse_pairs(const circ::Circuit& c);
+
+/// Fuses maximal one-qubit runs (RZ/SX/SXDG/X) into a single unitary and
+/// re-synthesizes the minimal {RZ, SX} sequence.  Runs split at two-qubit
+/// gates, barriers, and flag boundaries.
+circ::Circuit fuse_1q_runs(const circ::Circuit& c);
+
+/// Commutation-based reordering ("commutative cancellation" in the paper's
+/// Qiskit pipeline): RZ on a CX *control* and X on a CX *target* commute
+/// with the CX, so they are bubbled left past it, exposing RZ merges and
+/// CX-CX cancellations to the other passes.  Never crosses barriers.
+circ::Circuit commute_push_left(const circ::Circuit& c);
+
+/// Applies the pass pipeline for the given optimization level:
+///   0: identity,
+///   1: merge_rz + cancel_inverse_pairs,
+///   2: level 1 + fuse_1q_runs,
+///   3: level 2 iterated to a fixpoint.
+circ::Circuit optimize(const circ::Circuit& c, int level);
+
+}  // namespace charter::transpile

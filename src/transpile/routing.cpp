@@ -1,0 +1,239 @@
+#include "transpile/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace charter::transpile {
+
+using circ::Circuit;
+using circ::Gate;
+using circ::GateKind;
+
+Layout trivial_layout(int num_logical, const Topology& topo) {
+  require(num_logical <= topo.num_qubits(),
+          "circuit needs more qubits than the device has");
+  Layout layout(static_cast<std::size_t>(num_logical));
+  std::iota(layout.begin(), layout.end(), 0);
+  return layout;
+}
+
+Layout noise_aware_layout(const Circuit& logical, const Topology& topo,
+                          const noise::NoiseModel& model) {
+  const int nl = logical.num_qubits();
+  require(nl <= topo.num_qubits(),
+          "circuit needs more qubits than the device has");
+
+  // Edge quality: CX depolarizing + endpoint readout error.
+  const auto edge_cost = [&](int a, int b) {
+    double cost = model.has_edge(a, b) ? model.edge(a, b).cx_depol : 0.5;
+    cost += 0.25 * (model.qubit(a).readout.p_meas0_given1 +
+                    model.qubit(b).readout.p_meas0_given1);
+    return cost;
+  };
+
+  // Grow a connected region greedily from the best edge.
+  std::pair<int, int> best_edge{-1, -1};
+  double best_cost = std::numeric_limits<double>::max();
+  for (const auto& [a, b] : topo.edges()) {
+    const double cost = edge_cost(a, b);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_edge = {a, b};
+    }
+  }
+  require(best_edge.first >= 0 || nl == 1, "topology has no edges");
+
+  std::vector<int> region;
+  std::vector<bool> in_region(static_cast<std::size_t>(topo.num_qubits()),
+                              false);
+  const auto add = [&](int q) {
+    region.push_back(q);
+    in_region[static_cast<std::size_t>(q)] = true;
+  };
+  if (nl == 1) {
+    // Single qubit: pick the best readout qubit.
+    int best_q = 0;
+    double best_r = std::numeric_limits<double>::max();
+    for (int q = 0; q < topo.num_qubits(); ++q) {
+      const double r = model.qubit(q).readout.p_meas0_given1 +
+                       model.qubit(q).readout.p_meas1_given0;
+      if (r < best_r) {
+        best_r = r;
+        best_q = q;
+      }
+    }
+    add(best_q);
+  } else {
+    add(best_edge.first);
+    add(best_edge.second);
+  }
+  while (static_cast<int>(region.size()) < nl) {
+    int pick = -1;
+    double pick_cost = std::numeric_limits<double>::max();
+    for (const int u : region) {
+      for (const int v : topo.neighbors(u)) {
+        if (in_region[static_cast<std::size_t>(v)]) continue;
+        const double cost = edge_cost(u, v);
+        if (cost < pick_cost) {
+          pick_cost = cost;
+          pick = v;
+        }
+      }
+    }
+    require(pick >= 0, "device region is too disconnected for the circuit");
+    add(pick);
+  }
+
+  // Logical interaction degree (2q gate count per qubit).
+  std::vector<double> degree(static_cast<std::size_t>(nl), 0.0);
+  for (const Gate& g : logical.ops()) {
+    if (g.num_qubits == 2) {
+      degree[static_cast<std::size_t>(g.qubits[0])] += 1.0;
+      degree[static_cast<std::size_t>(g.qubits[1])] += 1.0;
+    }
+  }
+  // Physical seat quality within the region: connectivity first, then error.
+  std::vector<double> seat_score(region.size(), 0.0);
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    double score = 0.0;
+    for (const int v : topo.neighbors(region[i]))
+      if (in_region[static_cast<std::size_t>(v)])
+        score += 1.0 - edge_cost(region[i], v);
+    seat_score[i] = score;
+  }
+  std::vector<std::size_t> logical_order(static_cast<std::size_t>(nl));
+  std::iota(logical_order.begin(), logical_order.end(), 0);
+  std::sort(logical_order.begin(), logical_order.end(),
+            [&](std::size_t a, std::size_t b) { return degree[a] > degree[b]; });
+  std::vector<std::size_t> seat_order(region.size());
+  std::iota(seat_order.begin(), seat_order.end(), 0);
+  std::sort(seat_order.begin(), seat_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return seat_score[a] > seat_score[b];
+            });
+
+  Layout layout(static_cast<std::size_t>(nl), -1);
+  for (std::size_t i = 0; i < logical_order.size(); ++i)
+    layout[logical_order[i]] = region[seat_order[i]];
+  return layout;
+}
+
+RoutedCircuit route(const Circuit& logical, const Topology& topo,
+                    const Layout& layout, int lookahead) {
+  require(static_cast<int>(layout.size()) == logical.num_qubits(),
+          "layout size must match circuit width");
+  for (const Gate& g : logical.ops())
+    require(g.num_qubits <= 2 || g.kind == GateKind::BARRIER,
+            "route requires gates of arity <= 2; decompose first");
+
+  RoutedCircuit out{Circuit(topo.num_qubits()), layout, layout, 0};
+  Layout pi = layout;  // logical -> physical
+
+  // Positions (in the op list) of upcoming two-qubit gates, for lookahead.
+  std::vector<std::size_t> future_2q;
+  for (std::size_t i = 0; i < logical.size(); ++i)
+    if (logical.op(i).num_qubits == 2) future_2q.push_back(i);
+  std::size_t future_cursor = 0;
+
+  const auto swap_score = [&](const Layout& trial, std::size_t from) {
+    // Total distance of the next `lookahead` two-qubit gates under `trial`,
+    // geometrically discounted.
+    double score = 0.0;
+    double weight = 1.0;
+    int counted = 0;
+    for (std::size_t k = from;
+         k < future_2q.size() && counted < lookahead; ++k, ++counted) {
+      const Gate& g = logical.op(future_2q[k]);
+      score += weight *
+               topo.distance(trial[static_cast<std::size_t>(g.qubits[0])],
+                             trial[static_cast<std::size_t>(g.qubits[1])]);
+      weight *= 0.75;
+    }
+    return score;
+  };
+
+  for (std::size_t i = 0; i < logical.size(); ++i) {
+    const Gate& g = logical.op(i);
+    if (g.kind == GateKind::BARRIER) {
+      out.physical.append(g);
+      continue;
+    }
+    if (g.num_qubits == 1) {
+      Gate pg = g;
+      pg.qubits[0] =
+          static_cast<std::int16_t>(pi[static_cast<std::size_t>(g.qubits[0])]);
+      out.physical.append(pg);
+      continue;
+    }
+    // Two-qubit gate: insert SWAPs until operands are adjacent.
+    while (future_cursor < future_2q.size() && future_2q[future_cursor] < i)
+      ++future_cursor;
+    int pa = pi[static_cast<std::size_t>(g.qubits[0])];
+    int pb = pi[static_cast<std::size_t>(g.qubits[1])];
+    int guard = 0;
+    while (topo.distance(pa, pb) > 1) {
+      require(++guard <= 4 * topo.num_qubits(), "routing failed to converge");
+      // Candidate swaps: edges incident to either operand's current seat.
+      double best = std::numeric_limits<double>::max();
+      std::pair<int, int> best_swap{-1, -1};
+      for (const int endpoint : {pa, pb}) {
+        for (const int nb : topo.neighbors(endpoint)) {
+          Layout trial = pi;
+          for (auto& p : trial) {
+            if (p == endpoint)
+              p = nb;
+            else if (p == nb)
+              p = endpoint;
+          }
+          const double score = swap_score(trial, future_cursor);
+          if (score < best) {
+            best = score;
+            best_swap = {endpoint, nb};
+          }
+        }
+      }
+      CHARTER_ASSERT(best_swap.first >= 0, "no candidate swap found");
+      out.physical.swap(best_swap.first, best_swap.second);
+      ++out.swaps_inserted;
+      for (auto& p : pi) {
+        if (p == best_swap.first)
+          p = best_swap.second;
+        else if (p == best_swap.second)
+          p = best_swap.first;
+      }
+      pa = pi[static_cast<std::size_t>(g.qubits[0])];
+      pb = pi[static_cast<std::size_t>(g.qubits[1])];
+    }
+    Gate pg = g;
+    pg.qubits[0] = static_cast<std::int16_t>(pa);
+    pg.qubits[1] = static_cast<std::int16_t>(pb);
+    out.physical.append(pg);
+  }
+  out.final = pi;
+  return out;
+}
+
+std::vector<double> remap_distribution(const std::vector<double>& physical,
+                                       const Layout& final_layout,
+                                       int num_logical) {
+  require(num_logical >= 1 &&
+              static_cast<int>(final_layout.size()) == num_logical,
+          "bad layout for remap");
+  const std::size_t out_dim = std::size_t{1} << num_logical;
+  std::vector<double> logical(out_dim, 0.0);
+  for (std::size_t phys = 0; phys < physical.size(); ++phys) {
+    std::size_t idx = 0;
+    for (int q = 0; q < num_logical; ++q) {
+      const int pq = final_layout[static_cast<std::size_t>(q)];
+      if (phys & (std::size_t{1} << pq)) idx |= (std::size_t{1} << q);
+    }
+    logical[idx] += physical[phys];
+  }
+  return logical;
+}
+
+}  // namespace charter::transpile

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file routing.hpp
+/// Layout selection and SWAP routing onto a device topology.
+///
+/// Layout: either trivial (logical i -> physical i) or noise-aware — a
+/// greedy search for a connected low-error region, mirroring the
+/// noise-adaptive mapping literature the paper cites.
+///
+/// Routing: lookahead-greedy SWAP insertion (a light SABRE).  When a
+/// two-qubit gate's operands are not adjacent, candidate SWAPs on the
+/// frontier are scored by the total distance of the next few two-qubit
+/// gates; the best SWAP is applied until the gate becomes executable.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/noise_model.hpp"
+#include "transpile/topology.hpp"
+
+namespace charter::transpile {
+
+/// logical qubit -> physical qubit map.
+using Layout = std::vector<int>;
+
+/// Trivial layout (logical i on physical i); requires enough qubits.
+Layout trivial_layout(int num_logical, const Topology& topo);
+
+/// Greedy noise-aware layout: picks a connected region of \p num_logical
+/// physical qubits minimizing CX + readout error, then assigns
+/// high-interaction logical qubits to the best-connected physical seats.
+Layout noise_aware_layout(const circ::Circuit& logical, const Topology& topo,
+                          const noise::NoiseModel& model);
+
+/// Routed circuit plus the layouts needed to interpret its outputs.
+struct RoutedCircuit {
+  circ::Circuit physical;  ///< width = topology size, SWAPs inserted
+  Layout initial;          ///< layout before the first gate
+  Layout final;            ///< layout after the last gate (SWAPs permute it)
+  int swaps_inserted = 0;
+};
+
+/// Routes \p logical (arbitrary gate set; two-qubit gates are routed, wider
+/// gates must be decomposed first) onto \p topo starting from \p layout.
+RoutedCircuit route(const circ::Circuit& logical, const Topology& topo,
+                    const Layout& layout, int lookahead = 8);
+
+/// Folds a physical-output distribution back to logical qubits: logical bit
+/// q is read from physical bit final_layout[q]; unused physical qubits are
+/// marginalized out.
+std::vector<double> remap_distribution(const std::vector<double>& physical,
+                                       const Layout& final_layout,
+                                       int num_logical);
+
+}  // namespace charter::transpile

@@ -1,0 +1,119 @@
+#include "transpile/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace charter::transpile {
+
+Topology::Topology(std::string name, int num_qubits,
+                   std::vector<std::pair<int, int>> edges)
+    : name_(std::move(name)), num_qubits_(num_qubits),
+      edges_(std::move(edges)) {
+  require(num_qubits >= 1, "topology needs at least one qubit");
+  adj_.resize(static_cast<std::size_t>(num_qubits));
+  for (auto& [a, b] : edges_) {
+    require(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits && a != b,
+            "bad topology edge");
+    if (a > b) std::swap(a, b);
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+
+  // BFS all-pairs distances.
+  dist_.assign(static_cast<std::size_t>(num_qubits),
+               std::vector<int>(static_cast<std::size_t>(num_qubits), -1));
+  for (int s = 0; s < num_qubits; ++s) {
+    auto& d = dist_[static_cast<std::size_t>(s)];
+    d[static_cast<std::size_t>(s)] = 0;
+    std::deque<int> queue{s};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool Topology::connected(int a, int b) const {
+  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_) return false;
+  const auto& nbrs = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+const std::vector<int>& Topology::neighbors(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return adj_[static_cast<std::size_t>(q)];
+}
+
+int Topology::distance(int a, int b) const {
+  require(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+          "qubit out of range");
+  return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+Topology ibm_lagos() {
+  return Topology("ibm_lagos", 7,
+                  {{0, 1}, {1, 2}, {1, 3}, {3, 5}, {4, 5}, {5, 6}});
+}
+
+Topology ibmq_guadalupe() {
+  return Topology("ibmq_guadalupe", 16,
+                  {{0, 1},
+                   {1, 2},
+                   {1, 4},
+                   {2, 3},
+                   {3, 5},
+                   {4, 7},
+                   {5, 8},
+                   {6, 7},
+                   {7, 10},
+                   {8, 9},
+                   {8, 11},
+                   {10, 12},
+                   {11, 14},
+                   {12, 13},
+                   {12, 15},
+                   {13, 14}});
+}
+
+Topology line(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Topology("line" + std::to_string(n), n, std::move(edges));
+}
+
+Topology ring(int n) {
+  require(n >= 3, "ring needs at least 3 qubits");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return Topology("ring" + std::to_string(n), n, std::move(edges));
+}
+
+Topology grid(int rows, int cols) {
+  std::vector<std::pair<int, int>> edges;
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  return Topology("grid" + std::to_string(rows) + "x" + std::to_string(cols),
+                  rows * cols, std::move(edges));
+}
+
+Topology full(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) edges.push_back({i, j});
+  return Topology("full" + std::to_string(n), n, std::move(edges));
+}
+
+}  // namespace charter::transpile

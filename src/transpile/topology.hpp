@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file topology.hpp
+/// Device connectivity graphs, including the two IBM devices in the paper.
+///
+/// ibm_lagos (7 qubits, "H" shape) and ibmq_guadalupe (16 qubits) follow the
+/// layouts of the paper's Fig. 4.  Synthetic line/ring/grid topologies
+/// support tests and custom experiments.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace charter::transpile {
+
+/// Undirected coupling graph of a device.
+class Topology {
+ public:
+  Topology(std::string name, int num_qubits,
+           std::vector<std::pair<int, int>> edges);
+
+  const std::string& name() const { return name_; }
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  bool connected(int a, int b) const;
+  const std::vector<int>& neighbors(int q) const;
+
+  /// All-pairs shortest-path distances (BFS); dist[a][b] in hops.
+  const std::vector<std::vector<int>>& distances() const { return dist_; }
+  int distance(int a, int b) const;
+
+ private:
+  std::string name_;
+  int num_qubits_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> dist_;
+};
+
+/// The 7-qubit ibm_lagos layout (paper Fig. 4a):
+///   0-1-3-5-6 backbone with 2 hanging off 1 and 4 hanging off 5.
+Topology ibm_lagos();
+
+/// The 16-qubit ibmq_guadalupe layout (paper Fig. 4b).
+Topology ibmq_guadalupe();
+
+/// 1-D chain of n qubits.
+Topology line(int n);
+
+/// Ring of n qubits.
+Topology ring(int n);
+
+/// rows x cols grid.
+Topology grid(int rows, int cols);
+
+/// Fully connected graph (for tests that want routing to be a no-op).
+Topology full(int n);
+
+}  // namespace charter::transpile

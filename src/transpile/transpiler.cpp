@@ -1,0 +1,40 @@
+#include "transpile/transpiler.hpp"
+
+#include "transpile/decompose.hpp"
+#include "util/error.hpp"
+
+namespace charter::transpile {
+
+TranspileResult transpile(const circ::Circuit& logical, const Topology& topo,
+                          const noise::NoiseModel* model,
+                          const TranspileOptions& options) {
+  require(logical.num_qubits() <= topo.num_qubits(),
+          "circuit does not fit on the device");
+
+  // 1. Lower to basis gates (3-qubit gates must go before routing).
+  circ::Circuit basis = decompose_to_basis(logical);
+
+  // 2. Layout.
+  const Layout layout = (options.noise_aware && model != nullptr)
+                            ? noise_aware_layout(basis, topo, *model)
+                            : trivial_layout(basis.num_qubits(), topo);
+
+  // 3. Route (inserts SWAP kinds), then lower the SWAPs.
+  RoutedCircuit routed = route(basis, topo, layout, options.lookahead);
+  circ::Circuit physical = decompose_to_basis(routed.physical);
+
+  // 4. Peephole optimization.
+  physical = optimize(physical, options.optimization_level);
+
+  // 5. Validate connectivity against the topology.
+  for (const circ::Gate& g : physical.ops()) {
+    if (g.kind == circ::GateKind::CX)
+      require(topo.connected(g.qubits[0], g.qubits[1]),
+              "internal: routed circuit violates topology");
+  }
+
+  return TranspileResult{std::move(physical), routed.initial, routed.final,
+                         routed.swaps_inserted};
+}
+
+}  // namespace charter::transpile

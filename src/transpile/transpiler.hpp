@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file transpiler.hpp
+/// The full compilation pipeline, mirroring the paper's methodology
+/// (Sec. III): decompose to the device basis, choose a (noise-aware) layout,
+/// route with SWAP insertion, decompose the SWAPs, then peephole-optimize.
+///
+/// The result keeps the initial/final layouts so outputs of the physical
+/// circuit can be folded back to program qubits.
+
+#include <optional>
+
+#include "noise/noise_model.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/routing.hpp"
+#include "transpile/topology.hpp"
+
+namespace charter::transpile {
+
+/// Pipeline configuration.
+struct TranspileOptions {
+  /// 0: decompose+route only; 1-3 add increasing peephole optimization
+  /// (paper uses the maximum when preparing circuits, then 0 afterwards so
+  /// charter's inserted reversals are never optimized away).
+  int optimization_level = 3;
+  /// Use calibration data to pick the device region (vs trivial layout).
+  bool noise_aware = true;
+  int lookahead = 8;
+};
+
+/// A compiled program: physical basis circuit + layout bookkeeping.
+struct TranspileResult {
+  circ::Circuit physical;
+  Layout initial_layout;
+  Layout final_layout;
+  int swaps_inserted = 0;
+
+  /// Folds a physical output distribution back onto program qubits.
+  std::vector<double> to_logical(const std::vector<double>& physical_probs,
+                                 int num_logical) const {
+    return remap_distribution(physical_probs, final_layout, num_logical);
+  }
+};
+
+/// Compiles \p logical for \p topo.  \p model enables noise-aware layout;
+/// pass nullptr (or noise_aware=false) for a trivial layout.
+TranspileResult transpile(const circ::Circuit& logical, const Topology& topo,
+                          const noise::NoiseModel* model,
+                          const TranspileOptions& options = {});
+
+}  // namespace charter::transpile

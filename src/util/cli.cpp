@@ -1,0 +1,139 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace charter::util {
+
+Cli::Cli(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  flags_.push_back({name, Kind::kString, default_value, default_value, help});
+}
+
+void Cli::add_flag(const std::string& name, std::int64_t default_value,
+                   const std::string& help) {
+  const std::string text = std::to_string(default_value);
+  flags_.push_back({name, Kind::kInt, text, text, help});
+}
+
+void Cli::add_flag(const std::string& name, double default_value,
+                   const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_.push_back({name, Kind::kDouble, os.str(), os.str(), help});
+}
+
+void Cli::add_flag(const std::string& name, bool default_value,
+                   const std::string& help) {
+  const std::string text = default_value ? "true" : "false";
+  flags_.push_back({name, Kind::kBool, text, text, help});
+}
+
+Cli::Flag* Cli::find(const std::string& name) {
+  for (auto& flag : flags_)
+    if (flag.name == name) return &flag;
+  return nullptr;
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const auto& flag : flags_)
+    if (flag.name == name) return &flag;
+  return nullptr;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    // google-benchmark flags pass through untouched so mixed binaries work.
+    if (arg.rfind("--benchmark", 0) == 0) continue;
+    if (arg.rfind("--", 0) != 0)
+      throw InvalidArgument("unexpected positional argument: " + arg);
+
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = find(name);
+    if (flag == nullptr) throw InvalidArgument("unknown flag: --" + name);
+
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw InvalidArgument("flag --" + name + " requires a value");
+      }
+    }
+    if (flag->kind == Kind::kInt) {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0')
+        throw InvalidArgument("flag --" + name + " expects an integer, got '" +
+                              value + "'");
+    } else if (flag->kind == Kind::kDouble) {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0')
+        throw InvalidArgument("flag --" + name + " expects a number, got '" +
+                              value + "'");
+    } else if (flag->kind == Kind::kBool) {
+      if (value != "true" && value != "false" && value != "1" && value != "0")
+        throw InvalidArgument("flag --" + name + " expects true/false");
+    }
+    flag->value = value;
+  }
+  return true;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  const Flag* flag = find(name);
+  if (flag == nullptr) throw NotFound("undeclared flag: --" + name);
+  return flag->value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const Flag* flag = find(name);
+  if (flag == nullptr || flag->kind != Kind::kInt)
+    throw NotFound("undeclared int flag: --" + name);
+  return std::strtoll(flag->value.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  const Flag* flag = find(name);
+  if (flag == nullptr || (flag->kind != Kind::kDouble && flag->kind != Kind::kInt))
+    throw NotFound("undeclared numeric flag: --" + name);
+  return std::strtod(flag->value.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const Flag* flag = find(name);
+  if (flag == nullptr || flag->kind != Kind::kBool)
+    throw NotFound("undeclared bool flag: --" + name);
+  return flag->value == "true" || flag->value == "1";
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    os << "  --" << flag.name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace charter::util

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parser used by the bench and example binaries.
+///
+/// Supports `--name=value`, `--name value`, and boolean `--name` forms plus
+/// automatic `--help` text.  Unknown flags are reported as errors so typos in
+/// bench invocations fail loudly rather than silently running the default.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charter::util {
+
+/// Declarative command-line parser; declare flags, then parse(argc, argv).
+class Cli {
+ public:
+  /// \p program_summary is printed at the top of --help output.
+  explicit Cli(std::string program_summary);
+
+  /// Declares a string flag and returns its default until parse() runs.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  /// Declares an integer flag.
+  void add_flag(const std::string& name, std::int64_t default_value,
+                const std::string& help);
+  /// Declares a floating-point flag.
+  void add_flag(const std::string& name, double default_value,
+                const std::string& help);
+  /// Declares a boolean flag (default false unless stated).
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv; returns false (after printing help) when --help was given.
+  /// Throws InvalidArgument on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; throw NotFound for undeclared flags.
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Renders the --help text.
+  std::string help() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  Flag* find(const std::string& name);
+  const Flag* find(const std::string& name) const;
+
+  std::string summary_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace charter::util

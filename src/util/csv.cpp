@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace charter::util {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw NotFound("csv column not found: " + name);
+}
+
+namespace {
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+}  // namespace
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot open csv for writing: " + path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << cells[i];
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+}
+
+CsvDocument read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw NotFound("csv file not found: " + path);
+  CsvDocument doc;
+  std::string line;
+  if (std::getline(in, line)) doc.header = split_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    doc.rows.push_back(split_line(line));
+  }
+  return doc;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace charter::util

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV reader/writer used by the bench result cache.
+///
+/// Impact sweeps are expensive, and several paper tables consume the same
+/// per-gate impact data, so benches persist results as CSV under a cache
+/// directory and reuse them across binaries.  The format is plain RFC-4180
+/// minus quoting (none of our fields contain commas).
+
+#include <string>
+#include <vector>
+
+namespace charter::util {
+
+/// One parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column; throws NotFound when absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Writes header+rows to \p path, creating parent directories as needed.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a CSV written by write_csv; throws NotFound when the file is absent.
+CsvDocument read_csv(const std::string& path);
+
+/// True when \p path names a readable file.
+bool file_exists(const std::string& path);
+
+}  // namespace charter::util

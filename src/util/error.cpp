@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace charter::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "charter: invariant violated at %s:%d: (%s) %s\n", file,
+               line, expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace charter::detail

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every charter library.
+///
+/// Policy (following the C++ Core Guidelines): exceptions signal violations of
+/// a function's preconditions or unrecoverable runtime failures visible to API
+/// users; CHARTER_ASSERT guards *internal* invariants and compiles to a hard
+/// abort with location info so broken invariants never propagate silently.
+
+#include <stdexcept>
+#include <string>
+
+namespace charter {
+
+/// Base class for all exceptions thrown by the charter libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes arguments violating a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a requested resource (file, cache entry, backend) is missing.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+}  // namespace detail
+
+/// Require a caller-visible precondition; throws InvalidArgument on failure.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace charter
+
+/// Internal invariant check; aborts with location info when violated.
+#define CHARTER_ASSERT(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::charter::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

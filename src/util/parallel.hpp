@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Shared-memory parallel loop helpers.
+///
+/// Following the HPC guides, all parallelism in charter goes through these
+/// high-level abstractions rather than ad-hoc thread management: OpenMP when
+/// available, serial fallback otherwise.  Kernels stay oblivious to the
+/// threading backend.
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace charter::util {
+
+/// Number of hardware threads the parallel helpers will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs fn(i) for i in [0, n); parallel when n is large enough to amortize
+/// scheduling overhead.  fn must be safe to invoke concurrently for distinct i.
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
+#ifdef _OPENMP
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Parallel sum-reduction of fn(i) over i in [0, n).
+template <typename Fn>
+double parallel_sum(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
+  double total = 0.0;
+#ifdef _OPENMP
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (std::int64_t i = 0; i < n; ++i) total += fn(i);
+    return total;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::int64_t i = 0; i < n; ++i) total += fn(i);
+  return total;
+}
+
+}  // namespace charter::util

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned ASCII table rendering for bench output.
+///
+/// Every bench binary reproduces one of the paper's tables/figures as text;
+/// this helper keeps the rows aligned and supports a caption plus footnotes
+/// (used to annotate subsampling in quick mode).
+
+#include <string>
+#include <vector>
+
+namespace charter::util {
+
+/// Column-aligned text table with caption and footnotes.
+class Table {
+ public:
+  explicit Table(std::string caption = "");
+
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator between rows.
+  void add_separator();
+
+  /// Appends a footnote line printed under the table.
+  void add_footnote(std::string note);
+
+  /// Renders the table to a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with \p decimals digits after the point.
+  static std::string fmt(double value, int decimals = 2);
+
+  /// Formats a p-value the way the paper does (e.g. "3.2e-31" or "0.26").
+  static std::string fmt_pvalue(double p);
+
+  /// Formats a ratio as a percentage string ("42%").
+  static std::string fmt_percent(double fraction, int decimals = 0);
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  // Row sentinel: an empty vector renders as a separator line.
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+}  // namespace charter::util

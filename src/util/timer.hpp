@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing for benches and progress reporting.
+
+#include <chrono>
+
+namespace charter::util {
+
+/// Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace charter::util

@@ -1,0 +1,264 @@
+// Functional tests for the algorithm generators: each circuit must compute
+// what it claims on an ideal simulator (QFT delta outputs, adder sums,
+// multiplier products, HLF structure, Trotter unitarity), carry correct
+// input-prep tags, and the registry must expose the paper's 17 configs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/algorithms.hpp"
+#include "algos/registry.hpp"
+#include "sim/statevector.hpp"
+#include "util/error.hpp"
+
+namespace ca = charter::algos;
+namespace cc = charter::circ;
+namespace cs = charter::sim;
+using cc::GateKind;
+
+namespace {
+
+/// Index of the most probable outcome.
+std::size_t argmax(const std::vector<double>& p) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < p.size(); ++i)
+    if (p[i] > p[best]) best = i;
+  return best;
+}
+
+}  // namespace
+
+// ---- QFT ----
+
+class QftDelta : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QftDelta, OutputsRequestedBasisState) {
+  const std::uint64_t k = GetParam();
+  const cc::Circuit c = ca::qft(3, k);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[k], 1.0, 1e-9) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOutputs3Qubit, QftDelta,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(Qft, LargerInstanceStillDelta) {
+  const cc::Circuit c = ca::qft(5, 19);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[19], 1.0, 1e-9);
+}
+
+TEST(Qft, InputPrepTagsOnlyPrepGates) {
+  const cc::Circuit c = ca::qft(3, 5);
+  const auto prep = c.ops_with_flag(cc::kFlagInputPrep);
+  ASSERT_EQ(prep.size(), 6u);  // H + RZ per qubit
+  // Prep gates are a prefix.
+  for (std::size_t i = 0; i < prep.size(); ++i) EXPECT_EQ(prep[i], i);
+}
+
+TEST(Qft, GateBudgetMatchesPaperStructure) {
+  // Paper Fig. 7a: QFT(3) has 9 CX, 18 RZ, 12 SX after transpilation; the
+  // logical circuit should have 3 CP gates (-> 6 CX + swaps -> 9).
+  const cc::Circuit c = ca::qft(3, 0);
+  EXPECT_EQ(c.count_kind(GateKind::CP), 3u);
+  EXPECT_EQ(c.count_kind(GateKind::SWAP), 1u);
+  EXPECT_EQ(c.count_kind(GateKind::H), 6u);  // 3 prep + 3 main
+}
+
+// ---- HLF ----
+
+TEST(Hlf, ZeroAdjacencyIsIdentity) {
+  const std::vector<int> zero(25, 0);
+  const cc::Circuit c = ca::hlf_from_adjacency(5, zero);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);  // H^2 = I on every qubit
+}
+
+TEST(Hlf, DiagonalOnlyGivesPlusPhases) {
+  // A = diag(1,0): circuit = H S H on qubit 0 -> outputs 0/1 with prob 1/2.
+  const std::vector<int> adj = {1, 0, 0, 0};
+  const cc::Circuit c = ca::hlf_from_adjacency(2, adj);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+}
+
+TEST(Hlf, DeterministicInSeed) {
+  const cc::Circuit a = ca::hlf(5, 42);
+  const cc::Circuit b = ca::hlf(5, 42);
+  const cc::Circuit c = ca::hlf(5, 43);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_NE(a.size(), c.size());  // different instance (holds for these seeds)
+}
+
+TEST(Hlf, RejectsAsymmetricAdjacency) {
+  std::vector<int> adj(4, 0);
+  adj[1] = 1;  // (0,1) set but (1,0) not
+  EXPECT_THROW(ca::hlf_from_adjacency(2, adj), charter::InvalidArgument);
+}
+
+// ---- adder ----
+
+class AdderAllInputs
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(AdderAllInputs, TwoBitSumsAreExact) {
+  const auto [a, b] = GetParam();
+  const cc::Circuit c = ca::cuccaro_adder(2, a, b, /*carry_out=*/true);
+  ASSERT_EQ(c.num_qubits(), 6);
+  const auto p = cs::ideal_probabilities(c);
+  const std::size_t out = argmax(p);
+  EXPECT_NEAR(p[out], 1.0, 1e-9);
+  // Decode: b_i at qubit 1+2i, a_i at 2+2i, cout at 2n+1.
+  const std::uint64_t sum_bits =
+      (((out >> 1) & 1) << 0) | (((out >> 3) & 1) << 1) |
+      (((out >> 5) & 1) << 2);
+  EXPECT_EQ(sum_bits, a + b) << "a=" << a << " b=" << b;
+  // a register restored.
+  const std::uint64_t a_bits = (((out >> 2) & 1) << 0) | (((out >> 4) & 1) << 1);
+  EXPECT_EQ(a_bits, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, AdderAllInputs,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 3u),
+                       ::testing::Values(0u, 1u, 2u, 3u)));
+
+TEST(Adder, PaperConfigurationsHaveRightWidths) {
+  EXPECT_EQ(ca::cuccaro_adder(1, 1, 1, true).num_qubits(), 4);   // Adder (4)
+  EXPECT_EQ(ca::cuccaro_adder(4, 5, 7, false).num_qubits(), 9);  // Adder (9)
+}
+
+TEST(Adder, FourBitSumModulo) {
+  // Without carry-out the sum is modulo 16.
+  const cc::Circuit c = ca::cuccaro_adder(4, 9, 11, false);
+  const auto p = cs::ideal_probabilities(c);
+  const std::size_t out = argmax(p);
+  std::uint64_t sum_bits = 0;
+  for (int i = 0; i < 4; ++i) sum_bits |= ((out >> (1 + 2 * i)) & 1) << i;
+  EXPECT_EQ(sum_bits, (9u + 11u) % 16u);
+}
+
+// ---- multiplier ----
+
+TEST(Multiplier, OneByTwoProductsExact) {
+  for (std::uint64_t x = 0; x < 2; ++x)
+    for (std::uint64_t y = 0; y < 4; ++y) {
+      const cc::Circuit c = ca::multiplier(1, 2, x, y);
+      ASSERT_EQ(c.num_qubits(), 5);
+      const auto p = cs::ideal_probabilities(c);
+      const std::size_t out = argmax(p);
+      const std::uint64_t product = ((out >> 3) & 1) | (((out >> 4) & 1) << 1);
+      EXPECT_EQ(product, x * y) << "x=" << x << " y=" << y;
+    }
+}
+
+TEST(Multiplier, TwoByTwoProductsExact) {
+  for (std::uint64_t x = 0; x < 4; ++x)
+    for (std::uint64_t y = 0; y < 4; ++y) {
+      const cc::Circuit c = ca::multiplier(2, 2, x, y);
+      ASSERT_EQ(c.num_qubits(), 10);
+      const auto p = cs::ideal_probabilities(c);
+      const std::size_t out = argmax(p);
+      EXPECT_NEAR(p[out], 1.0, 1e-9);
+      std::uint64_t product = 0;
+      for (int i = 0; i < 4; ++i) product |= ((out >> (4 + i)) & 1) << i;
+      EXPECT_EQ(product, x * y) << "x=" << x << " y=" << y;
+      // Ancillas (qubits 8, 9) uncomputed.
+      EXPECT_EQ((out >> 8) & 3, 0u);
+    }
+}
+
+TEST(Multiplier, RejectsUnsupportedShapes) {
+  EXPECT_THROW(ca::multiplier(3, 3, 0, 0), charter::InvalidArgument);
+}
+
+// ---- Hamiltonian simulations ----
+
+TEST(Trotter, TfimPreservesNorm) {
+  const cc::Circuit c = ca::tfim(4, 5);
+  cs::Statevector sv(4);
+  sv.apply(c);
+  EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-10);
+}
+
+TEST(Trotter, TfimZeroFieldKeepsComputationalBasis) {
+  // With h = 0 the evolution is diagonal: |0000> stays |0000>.
+  const cc::Circuit c = ca::tfim(4, 5, 0.2, 1.0, 0.0);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+}
+
+TEST(Trotter, XyModelConservesExcitationNumber) {
+  // The XY interaction hops excitations but never creates/destroys them:
+  // starting from Neel (2 excitations in n=4), every populated output state
+  // must have Hamming weight 2.
+  const cc::Circuit c = ca::xy_model(4, 3);
+  const auto p = cs::ideal_probabilities(c);
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    if (p[s] > 1e-9) EXPECT_EQ(__builtin_popcountll(s), 2) << "state " << s;
+  }
+}
+
+TEST(Trotter, HeisenbergConservesMagnetization) {
+  const cc::Circuit c = ca::heisenberg(4, 4);
+  const auto p = cs::ideal_probabilities(c);
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    if (p[s] > 1e-9) EXPECT_EQ(__builtin_popcountll(s), 2) << "state " << s;
+  }
+}
+
+TEST(Trotter, StepsIncreaseDepth) {
+  EXPECT_GT(ca::tfim(4, 10).depth(), ca::tfim(4, 2).depth());
+}
+
+TEST(Trotter, NeelPrepIsTagged) {
+  const cc::Circuit c = ca::xy_model(4, 1);
+  EXPECT_EQ(c.ops_with_flag(cc::kFlagInputPrep).size(), 2u);
+}
+
+// ---- VQE / QAOA ----
+
+TEST(Vqe, StructureAndDeterminism) {
+  const cc::Circuit a = ca::vqe_ansatz(4, 3, 9);
+  const cc::Circuit b = ca::vqe_ansatz(4, 3, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.op(i).params[0], b.op(i).params[0]);
+  EXPECT_EQ(a.count_kind(GateKind::CX), 9u);   // 3 reps * 3 ladder CX
+  EXPECT_EQ(a.count_kind(GateKind::RY), 16u);  // (3+1) layers * 4 qubits
+}
+
+TEST(Qaoa, TouchesEveryQubit) {
+  const cc::Circuit c = ca::qaoa_maxcut(5, 2, 33);
+  std::vector<bool> touched(5, false);
+  for (const cc::Gate& g : c.ops())
+    for (int i = 0; i < g.num_qubits; ++i) touched[g.qubits[i]] = true;
+  for (int q = 0; q < 5; ++q) EXPECT_TRUE(touched[q]);
+  EXPECT_GE(c.count_kind(GateKind::RZZ), 8u);  // 2 layers * >= 4 edges
+}
+
+// ---- registry ----
+
+TEST(Registry, HasAll17PaperConfigs) {
+  const auto specs = ca::paper_benchmarks();
+  ASSERT_EQ(specs.size(), 17u);
+  EXPECT_EQ(specs[0].name, "HLF (5)");
+  EXPECT_EQ(specs[2].name, "QFT (3)");
+  EXPECT_EQ(specs[14].name, "TFIM (16)");
+}
+
+TEST(Registry, WidthsMatchNames) {
+  for (const auto& spec : ca::paper_benchmarks()) {
+    const cc::Circuit c = spec.build();
+    EXPECT_EQ(c.num_qubits(), spec.qubits) << spec.name;
+  }
+}
+
+TEST(Registry, LookupByKey) {
+  const auto spec = ca::find_benchmark("qft3");
+  EXPECT_EQ(spec.qubits, 3);
+  EXPECT_THROW(ca::find_benchmark("nope"), charter::NotFound);
+}

@@ -1,0 +1,221 @@
+// Tests for the fake backends: compilation, compaction, logical-output
+// remapping, engine selection and agreement, determinism, shot noise, and
+// calibration drift.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/algorithms.hpp"
+#include "backend/backend.hpp"
+#include "stats/stats.hpp"
+#include "util/error.hpp"
+
+namespace ca = charter::algos;
+namespace cb = charter::backend;
+namespace cc = charter::circ;
+namespace cn = charter::noise;
+namespace ct = charter::transpile;
+using cc::GateKind;
+
+namespace {
+
+/// Silences every noise mechanism on a backend.
+void quiet(cn::NoiseModel& m) {
+  m.toggles() = cn::NoiseToggles{};
+  m.toggles().decoherence = false;
+  m.toggles().depolarizing = false;
+  m.toggles().coherent = false;
+  m.toggles().static_zz = false;
+  m.toggles().drive_zz = false;
+  m.toggles().readout = false;
+  m.toggles().prep = false;
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+TEST(Backend, DeviceConstruction) {
+  const cb::FakeBackend lagos = cb::FakeBackend::lagos();
+  EXPECT_EQ(lagos.topology().num_qubits(), 7);
+  EXPECT_EQ(lagos.name(), "ibm_lagos");
+  const cb::FakeBackend guadalupe = cb::FakeBackend::guadalupe();
+  EXPECT_EQ(guadalupe.topology().num_qubits(), 16);
+}
+
+TEST(Backend, CalibrationIsSeededPerDevice) {
+  const cb::FakeBackend a = cb::FakeBackend::lagos(5);
+  const cb::FakeBackend b = cb::FakeBackend::lagos(5);
+  const cb::FakeBackend c = cb::FakeBackend::lagos(6);
+  EXPECT_DOUBLE_EQ(a.model().qubit(3).t1_ns, b.model().qubit(3).t1_ns);
+  EXPECT_NE(a.model().qubit(3).t1_ns, c.model().qubit(3).t1_ns);
+}
+
+TEST(Backend, CompileProducesLegalProgram) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 5));
+  EXPECT_EQ(prog.num_logical, 3);
+  EXPECT_EQ(prog.physical.num_qubits(), 7);
+  ASSERT_EQ(prog.final_layout.size(), 3u);
+  for (const cc::Gate& g : prog.physical.ops()) {
+    EXPECT_TRUE(cc::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER);
+    if (g.kind == GateKind::CX)
+      EXPECT_TRUE(backend.topology().connected(g.qubits[0], g.qubits[1]));
+  }
+}
+
+TEST(Backend, IdealOutputSurvivesCompilation) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  for (const std::uint64_t k : {0ULL, 3ULL, 6ULL}) {
+    const cb::CompiledProgram prog = backend.compile(ca::qft(3, k));
+    const auto ideal = backend.ideal(prog);
+    EXPECT_NEAR(ideal[k], 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Backend, QuietBackendMatchesIdeal) {
+  cb::FakeBackend backend = cb::FakeBackend::lagos();
+  quiet(backend.model());
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 2));
+  cb::RunOptions opts;
+  opts.shots = 0;  // exact distribution
+  const auto noisy = backend.run(prog, opts);
+  const auto ideal = backend.ideal(prog);
+  EXPECT_LT(charter::stats::tvd(noisy, ideal), 1e-9);
+}
+
+TEST(Backend, NoisyOutputIsAValidDistribution) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 0));
+  cb::RunOptions opts;
+  opts.shots = 0;
+  const auto probs = backend.run(prog, opts);
+  ASSERT_EQ(probs.size(), 8u);
+  EXPECT_NEAR(sum(probs), 1.0, 1e-9);
+  for (const double p : probs) EXPECT_GE(p, -1e-12);
+}
+
+TEST(Backend, NoiseDegradesTheDeltaOutput) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 0));
+  cb::RunOptions opts;
+  opts.shots = 0;
+  const auto noisy = backend.run(prog, opts);
+  const auto ideal = backend.ideal(prog);
+  const double err = charter::stats::tvd(noisy, ideal);
+  EXPECT_GT(err, 0.02);  // visible error
+  EXPECT_LT(err, 0.75);  // but far from garbage
+}
+
+TEST(Backend, RunsAreDeterministicInSeed) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 1));
+  cb::RunOptions opts;
+  opts.shots = 2048;
+  opts.seed = 99;
+  const auto a = backend.run(prog, opts);
+  const auto b = backend.run(prog, opts);
+  EXPECT_EQ(a, b);
+  opts.seed = 100;
+  const auto c = backend.run(prog, opts);
+  EXPECT_NE(a, c);
+}
+
+TEST(Backend, ShotNoiseShrinksWithShots) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 1));
+  cb::RunOptions exact;
+  exact.shots = 0;
+  const auto truth = backend.run(prog, exact);
+
+  double err_small = 0.0, err_large = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    cb::RunOptions small;
+    small.shots = 128;
+    small.seed = 1000 + s;
+    err_small += charter::stats::tvd(backend.run(prog, small), truth);
+    cb::RunOptions large;
+    large.shots = 32000;
+    large.seed = 2000 + s;
+    err_large += charter::stats::tvd(backend.run(prog, large), truth);
+  }
+  EXPECT_GT(err_small, 2.0 * err_large);
+}
+
+TEST(Backend, DriftPerturbsRuns) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 1));
+  cb::RunOptions a;
+  a.shots = 0;
+  a.drift = 0.05;
+  a.seed = 7;
+  cb::RunOptions b = a;
+  b.seed = 8;
+  const auto pa = backend.run(prog, a);
+  const auto pb = backend.run(prog, b);
+  const double d = charter::stats::tvd(pa, pb);
+  EXPECT_GT(d, 1e-5);
+  EXPECT_LT(d, 0.2);
+}
+
+TEST(Backend, EnginesAgreeOnSmallPrograms) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 3));
+  cb::RunOptions dm;
+  dm.shots = 0;
+  dm.engine = cb::EngineKind::kDensityMatrix;
+  cb::RunOptions mc;
+  mc.shots = 0;
+  mc.engine = cb::EngineKind::kTrajectory;
+  mc.trajectories = 3000;
+  mc.seed = 5;
+  const auto p_dm = backend.run(prog, dm);
+  const auto p_mc = backend.run(prog, mc);
+  EXPECT_LT(charter::stats::tvd(p_dm, p_mc), 0.03);
+}
+
+TEST(Backend, CompactionKeepsWideDeviceFeasible) {
+  // A 3-qubit program on the 16-qubit guadalupe must run on the DM engine
+  // (16 qubits would need a 4^16 density matrix).
+  const cb::FakeBackend backend = cb::FakeBackend::guadalupe();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 4));
+  cb::RunOptions opts;
+  opts.shots = 0;
+  opts.engine = cb::EngineKind::kDensityMatrix;
+  const auto probs = backend.run(prog, opts);
+  EXPECT_EQ(probs.size(), 8u);
+  EXPECT_NEAR(sum(probs), 1.0, 1e-9);
+}
+
+TEST(Backend, RestrictModelRelabelsEdges) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  // Keep qubits {1, 3, 5} (a path in lagos: 1-3, 3-5).
+  const cn::NoiseModel sub = cb::restrict_model(backend.model(), {1, 3, 5});
+  EXPECT_EQ(sub.num_qubits(), 3);
+  EXPECT_TRUE(sub.has_edge(0, 1));   // 1-3
+  EXPECT_TRUE(sub.has_edge(1, 2));   // 3-5
+  EXPECT_FALSE(sub.has_edge(0, 2));  // 1-5 not coupled
+  EXPECT_DOUBLE_EQ(sub.qubit(1).t1_ns, backend.model().qubit(3).t1_ns);
+  EXPECT_DOUBLE_EQ(sub.edge(0, 1).cx_depol,
+                   backend.model().edge(1, 3).cx_depol);
+}
+
+TEST(Backend, DurationGrowsWithCircuitLength) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram small = backend.compile(ca::tfim(4, 2));
+  const cb::CompiledProgram large = backend.compile(ca::tfim(4, 8));
+  EXPECT_GT(backend.duration_ns(large), backend.duration_ns(small));
+  EXPECT_GT(backend.duration_ns(small), 100.0);
+}
+
+TEST(Backend, RejectsForeignPrograms) {
+  const cb::FakeBackend lagos = cb::FakeBackend::lagos();
+  const cb::FakeBackend guadalupe = cb::FakeBackend::guadalupe();
+  const cb::CompiledProgram prog = lagos.compile(ca::qft(3, 0));
+  EXPECT_THROW(guadalupe.run(prog, {}), charter::InvalidArgument);
+}

@@ -1,0 +1,120 @@
+// Tests for the bench infrastructure: flag parsing, quick-mode policies,
+// and the impact-sweep CSV cache round trip.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common.hpp"
+
+namespace cb = charter::bench;
+namespace co = charter::core;
+
+TEST(BenchContext, DefaultsAreQuickMode) {
+  const char* argv[] = {"bench"};
+  const auto ctx = cb::BenchContext::create("t", 1, argv);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_FALSE(ctx->full());
+  EXPECT_EQ(ctx->shots(), 8192);
+  EXPECT_EQ(ctx->reversals(), 5);
+  EXPECT_GT(ctx->gate_cap(10), 0);
+  EXPECT_GT(ctx->gate_cap(4), ctx->gate_cap(10));
+}
+
+TEST(BenchContext, FullModeLiftsCaps) {
+  const char* argv[] = {"bench", "--full"};
+  const auto ctx = cb::BenchContext::create("t", 2, argv);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_TRUE(ctx->full());
+  EXPECT_EQ(ctx->shots(), 32000);
+  EXPECT_EQ(ctx->gate_cap(16), 0);
+  EXPECT_GT(ctx->trajectories(16), ctx->trajectories(16) / 2);
+}
+
+TEST(BenchContext, ExplicitShotsOverrideMode) {
+  const char* argv[] = {"bench", "--full", "--shots=1234"};
+  const auto ctx = cb::BenchContext::create("t", 3, argv);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->shots(), 1234);
+}
+
+TEST(BenchContext, BackendAssignmentRule) {
+  const char* argv[] = {"bench"};
+  const auto ctx = cb::BenchContext::create("t", 1, argv);
+  const auto small = charter::algos::find_benchmark("qft3");
+  const auto large = charter::algos::find_benchmark("tfim8");
+  EXPECT_EQ(ctx->backend_for(small).name(), "ibm_lagos");
+  EXPECT_EQ(ctx->backend_for(large).name(), "ibmq_guadalupe");
+}
+
+TEST(BenchCache, ReportRoundTrips) {
+  co::CharterReport report;
+  co::GateImpact g;
+  g.op_index = 17;
+  g.kind = charter::circ::GateKind::CX;
+  g.qubits = {3, 5, -1};
+  g.num_qubits = 2;
+  g.layer = 9;
+  g.tvd = 0.123456789;
+  g.tvd_vs_ideal = 0.87654321;
+  report.impacts.push_back(g);
+  g.op_index = 2;
+  g.kind = charter::circ::GateKind::SX;
+  g.qubits = {1, -1, -1};
+  g.num_qubits = 1;
+  g.layer = 0;
+  g.tvd = 0.01;
+  g.tvd_vs_ideal = 0.5;
+  report.impacts.push_back(g);
+  report.total_gates = 40;
+  report.eligible_gates = 22;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "charter_report_test.csv")
+          .string();
+  cb::save_report(path, report);
+  const co::CharterReport loaded = cb::load_report(path);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(loaded.impacts.size(), 2u);
+  EXPECT_EQ(loaded.impacts[0].op_index, 17u);
+  EXPECT_EQ(loaded.impacts[0].kind, charter::circ::GateKind::CX);
+  EXPECT_EQ(loaded.impacts[0].qubits[1], 5);
+  EXPECT_EQ(loaded.impacts[0].layer, 9);
+  EXPECT_NEAR(loaded.impacts[0].tvd, 0.123456789, 1e-8);
+  EXPECT_NEAR(loaded.impacts[1].tvd_vs_ideal, 0.5, 1e-8);
+  EXPECT_EQ(loaded.total_gates, 40u);
+  EXPECT_EQ(loaded.eligible_gates, 22u);
+  EXPECT_EQ(loaded.analyzed_gates, 2u);
+}
+
+TEST(BenchCache, LoadedAnalyticsMatchOriginal) {
+  // The derived statistics must be computable from a cache hit.
+  co::CharterReport report;
+  for (int i = 0; i < 8; ++i) {
+    co::GateImpact g;
+    g.op_index = static_cast<std::size_t>(i);
+    g.kind = i % 2 ? charter::circ::GateKind::CX
+                   : charter::circ::GateKind::SX;
+    g.qubits = {static_cast<std::int16_t>(i % 3),
+                static_cast<std::int16_t>(i % 2 ? (i % 3 + 1) % 3 : -1), -1};
+    g.num_qubits = i % 2 ? 2 : 1;
+    g.layer = i;
+    g.tvd = 0.1 * (i + 1);
+    g.tvd_vs_ideal = 0.05 * (i + 1);
+    report.impacts.push_back(g);
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "charter_report_test2.csv")
+          .string();
+  cb::save_report(path, report);
+  const co::CharterReport loaded = cb::load_report(path);
+  std::filesystem::remove(path);
+
+  EXPECT_NEAR(loaded.layer_correlation().r, report.layer_correlation().r,
+              1e-7);
+  EXPECT_NEAR(loaded.validation_correlation().r,
+              report.validation_correlation().r, 1e-7);
+  EXPECT_NEAR(loaded.qubit_coverage(0.25, 3), report.qubit_coverage(0.25, 3),
+              1e-12);
+}

@@ -1,0 +1,474 @@
+// Unit and property tests for the circuit IR: gate metadata, unitaries,
+// inverses, the builder, layering, scheduling, and printing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/print.hpp"
+#include "circuit/schedule.hpp"
+#include "math/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cc = charter::circ;
+namespace cm = charter::math;
+using cc::Gate;
+using cc::GateKind;
+
+namespace {
+
+const GateKind kOneQubitKinds[] = {
+    GateKind::RZ, GateKind::SX, GateKind::SXDG, GateKind::X,  GateKind::ID,
+    GateKind::H,  GateKind::S,  GateKind::SDG,  GateKind::T,  GateKind::TDG,
+    GateKind::RX, GateKind::RY, GateKind::U3};
+
+const GateKind kTwoQubitKinds[] = {GateKind::CX,   GateKind::CZ,
+                                   GateKind::CP,   GateKind::CRZ,
+                                   GateKind::SWAP, GateKind::RZZ,
+                                   GateKind::RXX,  GateKind::RYY};
+
+Gate sample_gate(GateKind kind, charter::util::Rng& rng) {
+  const int np = cc::gate_param_count(kind);
+  if (cc::gate_arity(kind) == 1) {
+    if (np == 0) return cc::make_gate(kind, {0});
+    if (np == 1) return cc::make_gate(kind, {0}, {rng.uniform(-M_PI, M_PI)});
+    return cc::make_gate(kind, {0},
+                         {rng.uniform(-M_PI, M_PI), rng.uniform(-M_PI, M_PI),
+                          rng.uniform(-M_PI, M_PI)});
+  }
+  if (np == 0) return cc::make_gate(kind, {0, 1});
+  return cc::make_gate(kind, {0, 1}, {rng.uniform(-M_PI, M_PI)});
+}
+
+}  // namespace
+
+// ---- gate metadata ----
+
+TEST(GateMeta, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (GateKind k : kOneQubitKinds) names.insert(cc::gate_name(k));
+  for (GateKind k : kTwoQubitKinds) names.insert(cc::gate_name(k));
+  names.insert(cc::gate_name(GateKind::CCX));
+  names.insert(cc::gate_name(GateKind::BARRIER));
+  EXPECT_EQ(names.size(), std::size(kOneQubitKinds) +
+                              std::size(kTwoQubitKinds) + 2);
+}
+
+TEST(GateMeta, ArityAndParams) {
+  EXPECT_EQ(cc::gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(cc::gate_arity(GateKind::CCX), 3);
+  EXPECT_EQ(cc::gate_arity(GateKind::BARRIER), 0);
+  EXPECT_EQ(cc::gate_param_count(GateKind::U3), 3);
+  EXPECT_EQ(cc::gate_param_count(GateKind::RZ), 1);
+  EXPECT_EQ(cc::gate_param_count(GateKind::SX), 0);
+}
+
+TEST(GateMeta, BasisAndVirtualClassification) {
+  EXPECT_TRUE(cc::is_basis_gate(GateKind::RZ));
+  EXPECT_TRUE(cc::is_basis_gate(GateKind::SXDG));
+  EXPECT_FALSE(cc::is_basis_gate(GateKind::H));
+  EXPECT_TRUE(cc::is_virtual(GateKind::RZ));
+  EXPECT_TRUE(cc::is_virtual(GateKind::BARRIER));
+  EXPECT_FALSE(cc::is_virtual(GateKind::SX));
+  EXPECT_TRUE(cc::is_one_qubit_physical(GateKind::SX));
+  EXPECT_FALSE(cc::is_one_qubit_physical(GateKind::RZ));
+  EXPECT_FALSE(cc::is_one_qubit_physical(GateKind::CX));
+}
+
+TEST(GateMeta, MakeGateValidatesArity) {
+  EXPECT_THROW(cc::make_gate(GateKind::CX, {0}), charter::InvalidArgument);
+  EXPECT_THROW(cc::make_gate(GateKind::RZ, {0}), charter::InvalidArgument);
+  EXPECT_THROW(cc::make_gate(GateKind::CX, {1, 1}),
+               charter::InvalidArgument);
+}
+
+// ---- unitaries ----
+
+TEST(GateUnitary, AllOneQubitGatesAreUnitary) {
+  charter::util::Rng rng(5);
+  for (GateKind k : kOneQubitKinds) {
+    const Gate g = sample_gate(k, rng);
+    EXPECT_TRUE(cm::is_unitary(cc::gate_unitary_1q(g)))
+        << cc::gate_name(k);
+  }
+}
+
+TEST(GateUnitary, AllTwoQubitGatesAreUnitary) {
+  charter::util::Rng rng(6);
+  for (GateKind k : kTwoQubitKinds) {
+    const Gate g = sample_gate(k, rng);
+    EXPECT_TRUE(cm::is_unitary(cc::gate_unitary_2q(g)))
+        << cc::gate_name(k);
+  }
+}
+
+TEST(GateUnitary, SxSquaredIsX) {
+  const auto sx = cc::gate_unitary_1q(cc::make_gate(GateKind::SX, {0}));
+  const auto x = cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0}));
+  EXPECT_TRUE(cm::equal_up_to_phase(cm::mul(sx, sx), x));
+}
+
+TEST(GateUnitary, SxdgIsAdjointOfSx) {
+  const auto sx = cc::gate_unitary_1q(cc::make_gate(GateKind::SX, {0}));
+  const auto sxdg = cc::gate_unitary_1q(cc::make_gate(GateKind::SXDG, {0}));
+  EXPECT_NEAR(cm::max_abs_diff(sxdg, cm::adjoint(sx)), 0.0, 1e-15);
+}
+
+TEST(GateUnitary, HadamardEqualsU3Form) {
+  // H = U3(pi/2, 0, pi) up to phase.
+  const auto h = cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0}));
+  const auto u = cc::gate_unitary_1q(
+      cc::make_gate(GateKind::U3, {0}, {M_PI_2, 0.0, M_PI}));
+  EXPECT_TRUE(cm::equal_up_to_phase(u, h));
+}
+
+TEST(GateUnitary, RzIsDiagonalPhase) {
+  const auto rz = cc::gate_unitary_1q(
+      cc::make_gate(GateKind::RZ, {0}, {M_PI_2}));
+  EXPECT_NEAR(std::abs(rz(0, 1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(rz(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::arg(rz(1, 1) / rz(0, 0)), M_PI_2, 1e-12);
+}
+
+TEST(GateUnitary, CxMapsBasisStatesCorrectly) {
+  // Convention: idx = bit(control) + 2*bit(target).
+  const auto cx = cc::gate_unitary_2q(cc::make_gate(GateKind::CX, {0, 1}));
+  // |control=1,target=0> (idx 1) -> |control=1,target=1> (idx 3).
+  EXPECT_NEAR(std::abs(cx(3, 1) - cm::cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(cx(1, 3) - cm::cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(cx(0, 0) - cm::cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(cx(2, 2) - cm::cplx(1.0)), 0.0, 1e-15);
+}
+
+TEST(GateUnitary, SwapExchanges) {
+  const auto sw = cc::gate_unitary_2q(cc::make_gate(GateKind::SWAP, {0, 1}));
+  EXPECT_NEAR(std::abs(sw(2, 1) - cm::cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(sw(1, 2) - cm::cplx(1.0)), 0.0, 1e-15);
+}
+
+TEST(GateUnitary, RzzDiagonalSigns) {
+  const auto rzz = cc::gate_unitary_2q(
+      cc::make_gate(GateKind::RZZ, {0, 1}, {M_PI_2}));
+  // Same-parity states get e^{-i pi/4}; opposite parity e^{+i pi/4}.
+  EXPECT_NEAR(std::arg(rzz(0, 0)), -M_PI_2 / 2.0, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(1, 1)), M_PI_2 / 2.0, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(3, 3)), -M_PI_2 / 2.0, 1e-12);
+}
+
+// ---- inverses (property: U * inverse(U) == I up to phase) ----
+
+class GateInverseOneQubit : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(GateInverseOneQubit, ProductIsIdentity) {
+  charter::util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gate g = sample_gate(GetParam(), rng);
+    const Gate gi = cc::inverse_gate(g);
+    const auto prod =
+        cm::mul(cc::gate_unitary_1q(gi), cc::gate_unitary_1q(g));
+    EXPECT_TRUE(cm::equal_up_to_phase(prod, cm::Mat2::identity()))
+        << cc::gate_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOneQubit, GateInverseOneQubit,
+                         ::testing::ValuesIn(kOneQubitKinds),
+                         [](const auto& info) {
+                           return cc::gate_name(info.param);
+                         });
+
+class GateInverseTwoQubit : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(GateInverseTwoQubit, ProductIsIdentity) {
+  charter::util::Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gate g = sample_gate(GetParam(), rng);
+    const Gate gi = cc::inverse_gate(g);
+    const auto prod =
+        cm::mul(cc::gate_unitary_2q(gi), cc::gate_unitary_2q(g));
+    EXPECT_TRUE(cm::equal_up_to_phase(prod, cm::Mat4::identity()))
+        << cc::gate_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwoQubit, GateInverseTwoQubit,
+                         ::testing::ValuesIn(kTwoQubitKinds),
+                         [](const auto& info) {
+                           return cc::gate_name(info.param);
+                         });
+
+// ---- circuit container ----
+
+TEST(Circuit, BuilderAppendsInOrder) {
+  cc::Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.5).barrier().x(2);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.op(0).kind, GateKind::H);
+  EXPECT_EQ(c.op(1).kind, GateKind::CX);
+  EXPECT_EQ(c.op(3).kind, GateKind::BARRIER);
+  EXPECT_EQ(c.op(4).qubits[0], 2);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperand) {
+  cc::Circuit c(2);
+  EXPECT_THROW(c.x(2), charter::InvalidArgument);
+  EXPECT_THROW(c.cx(0, 5), charter::InvalidArgument);
+}
+
+TEST(Circuit, AppendCircuitRequiresSameWidth) {
+  cc::Circuit a(2), b(3);
+  EXPECT_THROW(a.append(b), charter::InvalidArgument);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  cc::Circuit c(2);
+  c.sx(0).rz(1, 0.7).cx(0, 1);
+  const cc::Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 3u);
+  EXPECT_EQ(inv.op(0).kind, GateKind::CX);
+  EXPECT_EQ(inv.op(1).kind, GateKind::RZ);
+  EXPECT_DOUBLE_EQ(inv.op(1).params[0], -0.7);
+  EXPECT_EQ(inv.op(2).kind, GateKind::SXDG);
+}
+
+TEST(Circuit, SliceAndCounts) {
+  cc::Circuit c(2);
+  c.rz(0, 1.0).rz(1, 2.0).sx(0).cx(0, 1).x(1);
+  EXPECT_EQ(c.count_kind(GateKind::RZ), 2u);
+  EXPECT_EQ(c.count_kind(GateKind::CX), 1u);
+  const cc::Circuit mid = c.slice(1, 4);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.op(0).kind, GateKind::RZ);
+  EXPECT_EQ(mid.op(2).kind, GateKind::CX);
+}
+
+TEST(Circuit, FlagsMarkRegions) {
+  cc::Circuit c(2);
+  c.x(0).x(1).h(0);
+  c.add_flags(0, 2, cc::kFlagInputPrep);
+  const auto tagged = c.ops_with_flag(cc::kFlagInputPrep);
+  ASSERT_EQ(tagged.size(), 2u);
+  EXPECT_EQ(tagged[0], 0u);
+  EXPECT_EQ(tagged[1], 1u);
+  EXPECT_FALSE(c.op(2).has_flag(cc::kFlagInputPrep));
+}
+
+// ---- layering ----
+
+TEST(Layering, ParallelGatesShareLayer) {
+  cc::Circuit c(3);
+  c.sx(0).sx(1).sx(2);  // all independent
+  const auto lay = cc::assign_layers(c);
+  EXPECT_EQ(lay.num_layers, 1);
+  EXPECT_EQ(lay.layer[0], 0);
+  EXPECT_EQ(lay.layer[2], 0);
+}
+
+TEST(Layering, DependentGatesStack) {
+  cc::Circuit c(2);
+  c.sx(0).sx(0).cx(0, 1).sx(1);
+  const auto lay = cc::assign_layers(c);
+  EXPECT_EQ(lay.layer[0], 0);
+  EXPECT_EQ(lay.layer[1], 1);
+  EXPECT_EQ(lay.layer[2], 2);
+  EXPECT_EQ(lay.layer[3], 3);
+  EXPECT_EQ(lay.num_layers, 4);
+}
+
+TEST(Layering, BarrierSynchronizes) {
+  cc::Circuit c(2);
+  c.sx(0).barrier().sx(1);
+  const auto lay = cc::assign_layers(c);
+  // Without the barrier sx(1) would be at layer 0; the barrier pushes it to 1.
+  EXPECT_EQ(lay.layer[2], 1);
+  EXPECT_EQ(lay.num_layers, 2);
+}
+
+TEST(Layering, DepthMatchesPaperConvention) {
+  cc::Circuit c(3);
+  c.h(0).h(1).h(2).cx(0, 1).cx(1, 2);
+  EXPECT_EQ(c.depth(), 3);
+}
+
+// ---- scheduling ----
+
+TEST(Schedule, RespectsDurations) {
+  cc::Circuit c(2);
+  c.sx(0).cx(0, 1).rz(1, 0.3).x(1);
+  cc::GateDurations dur;
+  const auto sched = cc::schedule_asap(c, dur);
+  EXPECT_DOUBLE_EQ(sched.ops[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(sched.ops[0].t_end, 35.0);
+  EXPECT_DOUBLE_EQ(sched.ops[1].t_start, 35.0);
+  EXPECT_DOUBLE_EQ(sched.ops[1].t_end, 335.0);
+  // RZ takes zero time.
+  EXPECT_DOUBLE_EQ(sched.ops[2].t_start, 335.0);
+  EXPECT_DOUBLE_EQ(sched.ops[2].t_end, 335.0);
+  EXPECT_DOUBLE_EQ(sched.ops[3].t_end, 370.0);
+  EXPECT_DOUBLE_EQ(sched.total_time, 370.0);
+}
+
+TEST(Schedule, BarrierAlignsQubits) {
+  cc::Circuit c(2);
+  c.cx(0, 1).x(0).barrier().x(1);
+  cc::GateDurations dur;
+  const auto sched = cc::schedule_asap(c, dur);
+  // x(1) must wait for x(0) to finish (t=335) because of the barrier.
+  EXPECT_DOUBLE_EQ(sched.ops[3].t_start, 335.0);
+}
+
+TEST(Schedule, OverlapsDetected) {
+  cc::Circuit c(4);
+  c.cx(0, 1).cx(2, 3);  // simultaneous CXs
+  cc::GateDurations dur;
+  const auto sched = cc::schedule_asap(c, dur);
+  ASSERT_EQ(sched.overlaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(sched.overlaps[0].duration, 300.0);
+}
+
+TEST(Schedule, SequentialOpsDoNotOverlap) {
+  cc::Circuit c(2);
+  c.x(0).x(0).cx(0, 1);
+  cc::GateDurations dur;
+  const auto sched = cc::schedule_asap(c, dur);
+  EXPECT_TRUE(sched.overlaps.empty());
+}
+
+TEST(Schedule, ZeroDurationOpsProduceNoOverlap) {
+  cc::Circuit c(2);
+  c.rz(0, 0.5).cx(0, 1);
+  cc::GateDurations dur;
+  const auto sched = cc::schedule_asap(c, dur);
+  EXPECT_TRUE(sched.overlaps.empty());
+}
+
+// ---- printing ----
+
+TEST(Print, GateToString) {
+  EXPECT_EQ(cc::gate_to_string(cc::make_gate(GateKind::CX, {1, 2})),
+            "cx q1, q2");
+  const std::string rz =
+      cc::gate_to_string(cc::make_gate(GateKind::RZ, {0}, {M_PI_4}));
+  EXPECT_NE(rz.find("rz(0.7854) q0"), std::string::npos);
+}
+
+TEST(Print, AsciiContainsAllQubits) {
+  cc::Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.5);
+  const std::string art = cc::to_ascii(c);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q2:"), std::string::npos);
+  EXPECT_NE(art.find("h"), std::string::npos);
+}
+
+TEST(Print, QasmHasHeaderAndMeasure) {
+  cc::Circuit c(2);
+  c.h(0).cx(0, 1);
+  const std::string qasm = cc::to_qasm(c);
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q -> m;"), std::string::npos);
+}
+
+TEST(GateMeta, ResetHasNoInverse) {
+  const cc::Gate r = cc::make_gate(GateKind::RESET, {0});
+  EXPECT_THROW(cc::inverse_gate(r), charter::InvalidArgument);
+  cc::Circuit c(1);
+  c.x(0).reset(0);
+  EXPECT_THROW(c.inverse(), charter::InvalidArgument);
+}
+
+TEST(GateMeta, ResetIsPhysicalNonBasis) {
+  EXPECT_FALSE(cc::is_basis_gate(GateKind::RESET));
+  EXPECT_FALSE(cc::is_virtual(GateKind::RESET));
+  EXPECT_EQ(cc::gate_arity(GateKind::RESET), 1);
+  EXPECT_EQ(cc::gate_kind_from_name("reset"), GateKind::RESET);
+}
+
+// ---- OpenQASM parsing ----
+
+#include "circuit/qasm_parser.hpp"
+#include "sim/statevector.hpp"
+
+TEST(Qasm, RoundTripsEmittedPrograms) {
+  cc::Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.7).sx(1).barrier().ccx(0, 1, 2).swap(0, 2);
+  const cc::Circuit parsed = cc::parse_qasm(cc::to_qasm(c));
+  ASSERT_EQ(parsed.size(), c.size());
+  ASSERT_EQ(parsed.num_qubits(), 3);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(parsed.op(i).kind, c.op(i).kind) << i;
+    for (int k = 0; k < c.op(i).num_qubits; ++k)
+      EXPECT_EQ(parsed.op(i).qubits[k], c.op(i).qubits[k]);
+    for (int k = 0; k < c.op(i).num_params; ++k)
+      EXPECT_NEAR(parsed.op(i).params[k], c.op(i).params[k], 1e-9);
+  }
+}
+
+TEST(Qasm, ParsesExpressionsAndAliases) {
+  const char* src = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    u1(pi/2) q[0];       // alias for rz
+    u2(0, pi) q[1];      // becomes u3(pi/2, 0, pi) = H up to phase
+    p(-pi/4) q[0];
+    cnot q[0], q[1];
+    rz(2*pi - pi/3) q[1];
+    measure q -> c;
+  )";
+  const cc::Circuit c = cc::parse_qasm(src);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.op(0).kind, GateKind::RZ);
+  EXPECT_NEAR(c.op(0).params[0], M_PI_2, 1e-12);
+  EXPECT_EQ(c.op(1).kind, GateKind::U3);
+  EXPECT_NEAR(c.op(1).params[0], M_PI_2, 1e-12);
+  EXPECT_EQ(c.op(3).kind, GateKind::CX);
+  EXPECT_NEAR(c.op(4).params[0], 2.0 * M_PI - M_PI / 3.0, 1e-12);
+}
+
+TEST(Qasm, MultipleRegistersConcatenate) {
+  const char* src =
+      "OPENQASM 2.0; qreg a[2]; qreg b[2]; cx a[1], b[0]; x b[1];";
+  const cc::Circuit c = cc::parse_qasm(src);
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.op(0).qubits[0], 1);
+  EXPECT_EQ(c.op(0).qubits[1], 2);
+  EXPECT_EQ(c.op(1).qubits[0], 3);
+}
+
+TEST(Qasm, SemanticsSurviveTheRoundTrip) {
+  charter::util::Rng rng(31);
+  cc::Circuit c(3);
+  c.h(0).cp(0, 1, rng.uniform(-1.0, 1.0)).rzz(1, 2, 0.4).t(2).cx(2, 0);
+  const cc::Circuit parsed = cc::parse_qasm(cc::to_qasm(c));
+  charter::sim::Statevector a(3), b(3);
+  a.apply(c);
+  b.apply(parsed);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, 1e-9);
+}
+
+TEST(Qasm, RejectsMalformedPrograms) {
+  EXPECT_THROW(cc::parse_qasm("OPENQASM 2.0; cx q[0], q[1];"),
+               charter::InvalidArgument);  // no qreg
+  EXPECT_THROW(cc::parse_qasm("qreg q[2]; frobnicate q[0];"),
+               charter::InvalidArgument);  // unknown gate
+  EXPECT_THROW(cc::parse_qasm("qreg q[2]; cx q[0];"),
+               charter::InvalidArgument);  // wrong arity
+  EXPECT_THROW(cc::parse_qasm("qreg q[1]; x q[3];"),
+               charter::InvalidArgument);  // index out of range
+  EXPECT_THROW(cc::parse_qasm("qreg q[2]; gate foo a { x a; } foo q[0];"),
+               charter::InvalidArgument);  // custom gates unsupported
+}
+
+TEST(Qasm, FileLoadingErrors) {
+  EXPECT_THROW(cc::parse_qasm_file("/nonexistent/foo.qasm"),
+               charter::NotFound);
+}

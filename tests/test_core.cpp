@@ -1,0 +1,529 @@
+// Tests for the charter core: reversed-pair construction invariants, the
+// analyzer's ability to localize injected noise, amplification with the
+// reversal count, RZ skipping, input-impact discovery, report analytics, and
+// the serialization mitigation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algos/algorithms.hpp"
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "core/mitigation.hpp"
+#include "core/baseline.hpp"
+#include "core/reversal.hpp"
+#include "stats/stats.hpp"
+#include "util/error.hpp"
+
+namespace ca = charter::algos;
+namespace cb = charter::backend;
+namespace cc = charter::circ;
+namespace cn = charter::noise;
+namespace co = charter::core;
+namespace ct = charter::transpile;
+using cc::GateKind;
+
+namespace {
+
+/// A small line-topology backend with mild uniform noise; tests then poison
+/// specific elements to verify charter localizes them.
+cb::FakeBackend uniform_backend(int n, double depol_1q = 1e-4,
+                                double depol_cx = 1e-3) {
+  const ct::Topology topo = ct::line(n);
+  cn::NoiseModel model(n);
+  for (int q = 0; q < n; ++q) {
+    model.qubit(q).t1_ns = 1e9;  // effectively no decoherence
+    model.qubit(q).t2_ns = 2e9;
+    model.qubit(q).prep_error = 0.0;
+    model.qubit(q).readout = {};
+    for (GateKind k : {GateKind::SX, GateKind::X}) {
+      model.gate_1q(k, q).depol = depol_1q;
+      model.gate_1q(k, q).overrot_frac = 0.0;
+    }
+  }
+  for (const auto& [a, b] : topo.edges()) {
+    cn::EdgeCal e;
+    e.cx_depol = depol_cx;
+    e.cx_zz_angle = 0.0;
+    e.static_zz_rate = 0.0;
+    e.drive_zz_rate = 0.0;
+    model.add_edge(a, b, e);
+  }
+  return cb::FakeBackend(topo, model);
+}
+
+/// Compiles without noise-aware layout so poisoned qubits stay in use.
+cb::CompiledProgram compile_trivial(const cb::FakeBackend& backend,
+                                    const cc::Circuit& logical) {
+  ct::TranspileOptions opts;
+  opts.noise_aware = false;
+  return backend.compile(logical, opts);
+}
+
+co::CharterOptions exact_options(int reversals = 5) {
+  co::CharterOptions opts;
+  opts.reversals = reversals;
+  opts.run.shots = 0;  // exact distributions: no sampling noise in tests
+  return opts;
+}
+
+}  // namespace
+
+// ---- reversed-pair construction ----
+
+TEST(Reversal, EligibleOpsSkipRzAndBarriers) {
+  cc::Circuit c(2);
+  c.rz(0, 0.5).sx(0).barrier().x(1).cx(0, 1).rz(1, 0.1);
+  EXPECT_EQ(co::reversible_ops(c, true).size(), 3u);   // sx, x, cx
+  EXPECT_EQ(co::reversible_ops(c, false).size(), 5u);  // + both rz
+}
+
+TEST(Reversal, InsertedPairStructure) {
+  cc::Circuit c(2);
+  c.sx(0).cx(0, 1);
+  const cc::Circuit rev = co::insert_reversed_pairs(c, 0, 3);
+  // Original 2 ops + 2 barriers + 3 pairs of (sxdg, sx).
+  ASSERT_EQ(rev.size(), 2u + 2u + 6u);
+  EXPECT_EQ(rev.op(0).kind, GateKind::SX);
+  EXPECT_EQ(rev.op(1).kind, GateKind::BARRIER);
+  EXPECT_EQ(rev.op(2).kind, GateKind::SXDG);
+  EXPECT_EQ(rev.op(3).kind, GateKind::SX);
+  EXPECT_TRUE(rev.op(2).has_flag(cc::kFlagReversal));
+  EXPECT_EQ(rev.op(8).kind, GateKind::BARRIER);
+  EXPECT_EQ(rev.op(9).kind, GateKind::CX);
+}
+
+TEST(Reversal, NoBarriersWhenIsolationOff) {
+  cc::Circuit c(1);
+  c.x(0);
+  const cc::Circuit rev = co::insert_reversed_pairs(c, 0, 2, false);
+  EXPECT_EQ(rev.size(), 5u);
+  EXPECT_EQ(rev.count_kind(GateKind::BARRIER), 0u);
+}
+
+TEST(Reversal, PreservesIdealSemantics) {
+  // Property: for every gate of a compiled program and several reversal
+  // counts, the reversed circuit's ideal output equals the original's.
+  const cb::FakeBackend backend = uniform_backend(4);
+  const cb::CompiledProgram prog =
+      compile_trivial(backend, ca::qft(3, 5));
+  const auto want = backend.ideal(prog);
+  for (const std::size_t idx : co::reversible_ops(prog.physical, true)) {
+    for (const int r : {1, 5}) {
+      cb::CompiledProgram rev = prog;
+      rev.physical = co::insert_reversed_pairs(prog.physical, idx, r);
+      const auto got = backend.ideal(rev);
+      ASSERT_LT(charter::stats::tvd(want, got), 1e-9)
+          << "op " << idx << " r " << r;
+    }
+  }
+}
+
+TEST(Reversal, BlockReversalPreservesIdealSemantics) {
+  const cb::FakeBackend backend = uniform_backend(4);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 3));
+  cb::CompiledProgram rev = prog;
+  rev.physical =
+      co::insert_block_reversal(prog.physical, 0, prog.physical.size(), 2);
+  EXPECT_LT(charter::stats::tvd(backend.ideal(prog), backend.ideal(rev)),
+            1e-9);
+}
+
+TEST(Reversal, InputBlockCoversPrepGates) {
+  const cb::FakeBackend backend = uniform_backend(4);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 7));
+  const cc::Circuit rev =
+      co::insert_input_block_reversal(prog.physical, 3);
+  EXPECT_GT(rev.size(), prog.physical.size());
+  EXPECT_LT(
+      charter::stats::tvd(backend.ideal(prog),
+                          backend.ideal({rev, prog.final_layout, 3})),
+      1e-9);
+}
+
+TEST(Reversal, InputBlockRequiresPrepTags) {
+  cc::Circuit c(2);
+  c.sx(0).cx(0, 1);
+  EXPECT_THROW(co::insert_input_block_reversal(c, 3), charter::NotFound);
+}
+
+// ---- analyzer ----
+
+TEST(Analyzer, QuietBackendYieldsZeroImpacts) {
+  cb::FakeBackend backend = uniform_backend(4, 0.0, 0.0);
+  backend.model().toggles().decoherence = false;
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  ASSERT_GT(report.impacts.size(), 0u);
+  for (const co::GateImpact& g : report.impacts) EXPECT_LT(g.tvd, 1e-9);
+}
+
+TEST(Analyzer, LocalizesAHotEdge) {
+  // Poison one CX edge; the top-ranked gates must be CX gates on that edge.
+  cb::FakeBackend backend = uniform_backend(4);
+  backend.model().edge(1, 2).cx_depol = 0.08;
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  const auto sorted = report.sorted_by_impact();
+  ASSERT_GE(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].kind, GateKind::CX);
+  const bool on_hot_edge =
+      (sorted[0].qubits[0] == 1 && sorted[0].qubits[1] == 2) ||
+      (sorted[0].qubits[0] == 2 && sorted[0].qubits[1] == 1);
+  EXPECT_TRUE(on_hot_edge);
+}
+
+TEST(Analyzer, LocalizesAHotOneQubitGate) {
+  // Poison SX on one qubit; paper Observation V: one-qubit gates can beat
+  // CX gates in impact.
+  cb::FakeBackend backend = uniform_backend(4);
+  backend.model().gate_1q(GateKind::SX, 0).depol = 0.06;
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  const auto sorted = report.sorted_by_impact();
+  EXPECT_TRUE(sorted[0].kind == GateKind::SX ||
+              sorted[0].kind == GateKind::SXDG);
+  EXPECT_EQ(sorted[0].qubits[0], 0);
+  // And the Table VII statistic sees one-qubit gates above the weakest CX.
+  const auto exceed = report.one_qubit_above_min_cx();
+  EXPECT_GT(exceed.count, 0u);
+}
+
+TEST(Analyzer, AmplificationGrowsWithReversals) {
+  cb::FakeBackend backend = uniform_backend(4);
+  backend.model().edge(1, 2).cx_depol = 0.03;
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+
+  double max_r1 = 0.0, max_r7 = 0.0;
+  {
+    const co::CharterAnalyzer analyzer(backend, exact_options(1));
+    for (const auto& g : analyzer.analyze(prog).impacts)
+      max_r1 = std::max(max_r1, g.tvd);
+  }
+  {
+    const co::CharterAnalyzer analyzer(backend, exact_options(7));
+    for (const auto& g : analyzer.analyze(prog).impacts)
+      max_r7 = std::max(max_r7, g.tvd);
+  }
+  EXPECT_GT(max_r7, 2.0 * max_r1);
+}
+
+TEST(Analyzer, RzGatesHaveNegligibleImpact) {
+  cb::FakeBackend backend = uniform_backend(4);
+  co::CharterOptions opts = exact_options();
+  opts.skip_rz = false;  // paper's QFT(3) demonstration includes RZ runs
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, opts);
+  const co::CharterReport report = analyzer.analyze(prog);
+  double max_rz = 0.0, max_other = 0.0;
+  for (const co::GateImpact& g : report.impacts) {
+    if (g.kind == GateKind::RZ)
+      max_rz = std::max(max_rz, g.tvd);
+    else
+      max_other = std::max(max_other, g.tvd);
+  }
+  // RZ pairs are free gates; the only residual is the barrier-induced
+  // re-alignment of the schedule, orders of magnitude below real gates.
+  EXPECT_LT(max_rz, 1e-5);
+  EXPECT_GT(max_other, 50.0 * max_rz);
+}
+
+TEST(Analyzer, SkipRzShrinksRunCount) {
+  cb::FakeBackend backend = uniform_backend(4);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  co::CharterOptions with_rz = exact_options();
+  with_rz.skip_rz = false;
+  co::CharterOptions without_rz = exact_options();
+  const co::CharterAnalyzer a(backend, with_rz);
+  const co::CharterAnalyzer b(backend, without_rz);
+  const auto ra = a.analyze(prog);
+  const auto rb = b.analyze(prog);
+  EXPECT_GT(ra.analyzed_gates, rb.analyzed_gates);
+  // Paper: RZ elimination removes 20-45% of the runs.
+  const double saved = 1.0 - static_cast<double>(rb.analyzed_gates) /
+                                 static_cast<double>(ra.analyzed_gates);
+  EXPECT_GT(saved, 0.15);
+  EXPECT_LT(saved, 0.60);
+}
+
+TEST(Analyzer, SubsamplingCapsRunsButKeepsCoverage) {
+  cb::FakeBackend backend = uniform_backend(4);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  co::CharterOptions opts = exact_options();
+  opts.max_gates = 7;
+  const co::CharterAnalyzer analyzer(backend, opts);
+  const co::CharterReport report = analyzer.analyze(prog);
+  EXPECT_LE(report.analyzed_gates, 7u);
+  // Samples span the circuit: first and last eligible gates included.
+  const auto eligible = co::reversible_ops(prog.physical, true);
+  EXPECT_EQ(report.impacts.front().op_index, eligible.front());
+  EXPECT_EQ(report.impacts.back().op_index, eligible.back());
+}
+
+TEST(Analyzer, ValidationCorrelatesScoresWithIdeal) {
+  // With real noise, TVD(rev, orig) must track TVD(rev, ideal) — the
+  // paper's Table III argument that O_orig substitutes for O_ideal.
+  cb::FakeBackend backend = uniform_backend(4, 5e-4, 8e-3);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  co::CharterOptions opts = exact_options();
+  opts.compute_validation = true;
+  const co::CharterAnalyzer analyzer(backend, opts);
+  const co::CharterReport report = analyzer.analyze(prog);
+  const auto corr = report.validation_correlation();
+  EXPECT_GT(corr.r, 0.9);
+  EXPECT_LT(corr.p_value, 0.01);
+}
+
+TEST(Analyzer, InputImpactDiffersAcrossInputs) {
+  cb::FakeBackend backend = uniform_backend(4, 5e-4, 8e-3);
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  std::vector<double> impacts;
+  for (const std::uint64_t k : {0ULL, 7ULL}) {
+    const cb::CompiledProgram prog =
+        compile_trivial(backend, ca::qft(3, k));
+    impacts.push_back(analyzer.input_impact(prog));
+  }
+  EXPECT_GT(impacts[0], 0.0);
+  EXPECT_GT(impacts[1], 0.0);
+  EXPECT_NE(impacts[0], impacts[1]);
+}
+
+// ---- report analytics ----
+
+namespace {
+co::CharterReport synthetic_report() {
+  co::CharterReport report;
+  const auto add = [&](GateKind kind, int q0, int q1, int layer, double tvd) {
+    co::GateImpact g;
+    g.kind = kind;
+    g.qubits = {static_cast<std::int16_t>(q0), static_cast<std::int16_t>(q1),
+                -1};
+    g.num_qubits = q1 >= 0 ? 2 : 1;
+    g.layer = layer;
+    g.tvd = tvd;
+    report.impacts.push_back(g);
+  };
+  add(GateKind::SX, 0, -1, 0, 0.50);
+  add(GateKind::CX, 0, 1, 1, 0.40);
+  add(GateKind::X, 1, -1, 2, 0.30);
+  add(GateKind::CX, 1, 2, 3, 0.20);
+  add(GateKind::SX, 2, -1, 4, 0.10);
+  add(GateKind::X, 0, -1, 5, 0.05);
+  return report;
+}
+}  // namespace
+
+TEST(Report, LayerCorrelationSign) {
+  const co::CharterReport report = synthetic_report();
+  // Impacts strictly decrease with layer -> strong negative correlation.
+  const auto corr = report.layer_correlation();
+  EXPECT_LT(corr.r, -0.9);
+}
+
+TEST(Report, QubitCoverage) {
+  const co::CharterReport report = synthetic_report();
+  // Top 17% (1 gate): SX on qubit 0 -> 1/3 of qubits.
+  EXPECT_NEAR(report.qubit_coverage(1.0 / 6.0, 3), 1.0 / 3.0, 1e-12);
+  // Top 50% (3 gates): qubits {0, 1} -> 2/3.
+  EXPECT_NEAR(report.qubit_coverage(0.5, 3), 2.0 / 3.0, 1e-12);
+  // All gates -> all qubits.
+  EXPECT_NEAR(report.qubit_coverage(1.0, 3), 1.0, 1e-12);
+}
+
+TEST(Report, OneQubitAboveMinCx) {
+  const co::CharterReport report = synthetic_report();
+  // min CX impact = 0.20; one-qubit gates above it: 0.50, 0.30 -> 2 of 4.
+  const auto exceed = report.one_qubit_above_min_cx();
+  EXPECT_EQ(exceed.count, 2u);
+  EXPECT_EQ(exceed.one_qubit_total, 4u);
+  EXPECT_NEAR(exceed.fraction, 0.5, 1e-12);
+}
+
+TEST(Report, SortedByImpactDescending) {
+  const auto sorted = synthetic_report().sorted_by_impact();
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_GE(sorted[i - 1].tvd, sorted[i].tvd);
+}
+
+// ---- mitigation ----
+
+TEST(Mitigation, SerializeLayersAddsBarriersAndDepth) {
+  cc::Circuit c(3);
+  c.x(0).x(1).x(2);  // one parallel layer
+  const cc::Circuit serial = co::serialize_layers(c, {0});
+  EXPECT_GT(serial.count_kind(GateKind::BARRIER), 0u);
+  EXPECT_EQ(serial.depth(), 3);  // fully serialized
+}
+
+TEST(Mitigation, UntouchedLayersKeepParallelism) {
+  cc::Circuit c(3);
+  c.x(0).x(1).x(2);  // layer 0
+  c.sx(0).sx(1);     // layer 1
+  const cc::Circuit serial = co::serialize_layers(c, {1});
+  // Layer 0 stays parallel; layer 1 (2 gates) serializes.
+  EXPECT_EQ(serial.depth(), 1 + 2);
+}
+
+TEST(Mitigation, HighImpactLayersSelected) {
+  const co::CharterReport report = synthetic_report();
+  const auto layers = co::high_impact_layers(report, 1.0 / 3.0);
+  ASSERT_EQ(layers.size(), 2u);  // top 2 gates live in layers 0 and 1
+  EXPECT_EQ(layers[0], 0);
+  EXPECT_EQ(layers[1], 1);
+}
+
+TEST(Mitigation, SelectiveSerializationReducesCrosstalkError) {
+  // Craft a device with strong drive crosstalk and a circuit dominated by
+  // parallel one-qubit layers; charter must rank those layers on top and
+  // serializing them must reduce the output error versus ideal (the paper's
+  // Sec. V strategy, 0.19 -> 0.12 on hardware).
+  const ct::Topology topo = ct::line(3);
+  cn::NoiseModel model(3);
+  for (int q = 0; q < 3; ++q) {
+    model.qubit(q).t1_ns = 1e8;  // decoherence negligible vs crosstalk
+    model.qubit(q).t2_ns = 2e8;
+    model.qubit(q).prep_error = 0.0;
+    model.qubit(q).readout = {};
+    for (GateKind k : {GateKind::SX, GateKind::X}) {
+      model.gate_1q(k, q).depol = 1e-5;
+      model.gate_1q(k, q).overrot_frac = 0.0;
+    }
+  }
+  for (const auto& [a, b] : topo.edges()) {
+    cn::EdgeCal e;
+    e.cx_depol = 1e-4;
+    e.cx_zz_angle = 0.0;
+    e.static_zz_rate = 1e-7;
+    e.drive_zz_rate = 1e-2;  // dominant drive crosstalk
+    model.add_edge(a, b, e);
+  }
+  cb::FakeBackend backend(topo, model);
+
+  // |+++>, several parallel X layers (heavy drive overlap), rotate back.
+  cc::Circuit logical(3);
+  for (int q = 0; q < 3; ++q) logical.h(q);
+  for (int layer = 0; layer < 4; ++layer)
+    for (int q = 0; q < 3; ++q) logical.x(q);
+  for (int q = 0; q < 3; ++q) logical.h(q);
+
+  ct::TranspileOptions topts;
+  topts.noise_aware = false;
+  topts.optimization_level = 1;  // keep the X layers intact (no 1q fusion)
+  const cb::CompiledProgram prog = backend.compile(logical, topts);
+
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+
+  cb::CompiledProgram mitigated = prog;
+  mitigated.physical =
+      co::serialize_high_impact(prog.physical, report, 0.30);
+  EXPECT_GT(mitigated.physical.count_kind(GateKind::BARRIER),
+            prog.physical.count_kind(GateKind::BARRIER));
+
+  cb::RunOptions run;
+  run.shots = 0;
+  const auto ideal = backend.ideal(prog);
+  const double before = charter::stats::tvd(backend.run(prog, run), ideal);
+  const double after =
+      charter::stats::tvd(backend.run(mitigated, run), ideal);
+  EXPECT_GT(before, 0.01);  // crosstalk hurts the parallel version
+  EXPECT_LT(after, 0.8 * before);
+}
+
+TEST(Reversal, ResetIsNeverEligible) {
+  cc::Circuit c(2);
+  c.sx(0).reset(0).cx(0, 1);
+  const auto eligible = co::reversible_ops(c, true);
+  ASSERT_EQ(eligible.size(), 2u);
+  EXPECT_EQ(c.op(eligible[0]).kind, GateKind::SX);
+  EXPECT_EQ(c.op(eligible[1]).kind, GateKind::CX);
+}
+
+TEST(Analyzer, HandlesMidCircuitReset) {
+  // The paper notes charter works around intermediate resets: gates before
+  // and after a reset can still be reversed individually.
+  cb::FakeBackend backend = uniform_backend(3);
+  cc::Circuit logical(3);
+  logical.h(0).cx(0, 1).reset(0).h(0).cx(0, 2);
+  ct::TranspileOptions topts;
+  topts.noise_aware = false;
+  const cb::CompiledProgram prog = backend.compile(logical, topts);
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  EXPECT_GT(report.analyzed_gates, 4u);
+  for (const auto& g : report.impacts) {
+    EXPECT_NE(g.kind, GateKind::RESET);
+    EXPECT_GE(g.tvd, 0.0);
+  }
+}
+
+// ---- calibration baseline ----
+
+TEST(Baseline, ScoresReflectModelRates) {
+  cb::FakeBackend backend = uniform_backend(3, 1e-4, 5e-3);
+  cc::Circuit logical(3);
+  logical.h(0).cx(0, 1).cx(1, 2);
+  const cb::CompiledProgram prog = compile_trivial(backend, logical);
+  const auto ops = co::reversible_ops(prog.physical, true);
+  co::BaselineOptions bopts;
+  bopts.include_decoherence = false;
+  const auto scores =
+      co::calibration_scores(prog, backend.model(), ops, bopts);
+  ASSERT_EQ(scores.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& g = prog.physical.op(ops[i]);
+    if (g.kind == GateKind::CX)
+      EXPECT_DOUBLE_EQ(scores[i], 5e-3);
+    else
+      EXPECT_DOUBLE_EQ(scores[i], 1e-4);
+  }
+}
+
+TEST(Baseline, DecoherenceTermAddsDurationCost) {
+  cb::FakeBackend backend = uniform_backend(2, 1e-4, 5e-3);
+  backend.model().qubit(0).t1_ns = 10e3;
+  cc::Circuit logical(2);
+  logical.x(0);
+  const cb::CompiledProgram prog = compile_trivial(backend, logical);
+  const auto ops = co::reversible_ops(prog.physical, true);
+  const auto with = co::calibration_scores(prog, backend.model(), ops);
+  co::BaselineOptions without;
+  without.include_decoherence = false;
+  const auto bare =
+      co::calibration_scores(prog, backend.model(), ops, without);
+  EXPECT_GT(with[0], bare[0]);
+}
+
+TEST(Baseline, AgreesWhenCalibrationIsTheWholeStory) {
+  // One dominant hot edge, no position effects to speak of: the baseline
+  // and charter must broadly agree.
+  cb::FakeBackend backend = uniform_backend(4);
+  backend.model().edge(1, 2).cx_depol = 0.08;
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  const auto cmp = co::compare_with_baseline(prog, backend.model(), report);
+  EXPECT_GT(cmp.spearman.r, 0.4);
+  EXPECT_GT(cmp.top_quartile_overlap, 0.5);
+}
+
+TEST(Baseline, MissesStateDependentImpact) {
+  // Perfectly uniform calibration: the baseline sees identical CX scores
+  // everywhere and cannot explain charter's measured variation; the
+  // top-quartile overlap should be far from 1.
+  cb::FakeBackend backend = uniform_backend(4, 1e-4, 8e-3);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  const co::CharterAnalyzer analyzer(backend, exact_options());
+  const co::CharterReport report = analyzer.analyze(prog);
+  co::BaselineOptions bopts;
+  bopts.include_decoherence = false;  // leave only the flat gate rates
+  const auto cmp =
+      co::compare_with_baseline(prog, backend.model(), report, bopts);
+  EXPECT_LT(cmp.top_quartile_overlap, 1.0);
+  EXPECT_EQ(cmp.gates, report.impacts.size());
+}

@@ -1,0 +1,205 @@
+// Cross-module integration tests: every paper benchmark must flow through
+// the full pipeline (generate -> transpile -> execute -> analyze) with
+// coherent results; analyzer runs must be reproducible; and the charter
+// score must behave like a criticality measure end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algos/algorithms.hpp"
+#include "algos/registry.hpp"
+#include "backend/backend.hpp"
+#include "sim/statevector.hpp"
+#include "core/analyzer.hpp"
+#include "core/reversal.hpp"
+#include "stats/stats.hpp"
+#include "util/error.hpp"
+
+namespace ca = charter::algos;
+namespace cb = charter::backend;
+namespace cc = charter::circ;
+namespace co = charter::core;
+using cc::GateKind;
+
+namespace {
+
+cb::FakeBackend backend_for(const ca::AlgoSpec& spec) {
+  return spec.qubits <= 7 ? cb::FakeBackend::lagos()
+                          : cb::FakeBackend::guadalupe();
+}
+
+}  // namespace
+
+// Every paper config flows through compile + ideal + schedule coherently.
+class PaperBenchmarkPipeline
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperBenchmarkPipeline, CompilesAndPreservesIdealSemantics) {
+  const ca::AlgoSpec spec = ca::find_benchmark(GetParam());
+  const cb::FakeBackend backend = backend_for(spec);
+  const cc::Circuit logical = spec.build();
+  const cb::CompiledProgram prog = backend.compile(logical);
+
+  // Physical circuit is basis-only and respects the topology.
+  for (const cc::Gate& g : prog.physical.ops()) {
+    ASSERT_TRUE(cc::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER);
+    if (g.kind == GateKind::CX)
+      ASSERT_TRUE(backend.topology().connected(g.qubits[0], g.qubits[1]));
+  }
+
+  // Compiled ideal output == logical ideal output.
+  const auto want = charter::sim::ideal_probabilities(logical);
+  const auto got = backend.ideal(prog);
+  EXPECT_LT(charter::stats::tvd(want, got), 1e-9);
+
+  // The schedule is physical: positive makespan, gates inside it.
+  EXPECT_GT(backend.duration_ns(prog), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PaperBenchmarkPipeline,
+    ::testing::Values("hlf5", "qft3", "qft7", "adder4", "adder9", "mult5",
+                      "qaoa5", "vqe4", "heis4", "tfim4", "xy4"),
+    [](const auto& info) { return info.param; });
+
+// Wide configs (trajectory engine territory) at least compile and run a few
+// trajectories end to end.
+TEST(PaperBenchmarkPipelineWide, SixteenQubitTfimRuns) {
+  const ca::AlgoSpec spec = ca::find_benchmark("tfim16");
+  const cb::FakeBackend backend = backend_for(spec);
+  const cb::CompiledProgram prog = backend.compile(spec.build());
+  cb::RunOptions run;
+  run.shots = 1024;
+  run.trajectories = 2;
+  run.seed = 5;
+  const auto probs = backend.run(prog, run);
+  double total = 0.0;
+  for (const double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(probs.size(), std::size_t{1} << 16);
+}
+
+TEST(Integration, AnalyzerIsReproducible) {
+  const ca::AlgoSpec spec = ca::find_benchmark("qft3");
+  const cb::FakeBackend backend = backend_for(spec);
+  const cb::CompiledProgram prog = backend.compile(spec.build());
+  co::CharterOptions opts;
+  opts.run.shots = 2048;
+  opts.run.seed = 77;
+  opts.run.drift = 0.05;
+  const co::CharterAnalyzer analyzer(backend, opts);
+  const auto a = analyzer.analyze(prog);
+  const auto b = analyzer.analyze(prog);
+  ASSERT_EQ(a.impacts.size(), b.impacts.size());
+  for (std::size_t i = 0; i < a.impacts.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.impacts[i].tvd, b.impacts[i].tvd);
+}
+
+TEST(Integration, ImpactsRespondToCalibrationQuality) {
+  // The same program on the standard device and a much cleaner copy: mean
+  // impact must shrink on the cleaner device.  (The comparison runs toward
+  // the clean side because impact *saturates* on very bad devices — once
+  // the output sits near the noise fixed point, extra amplified error
+  // barely moves it.)
+  const ca::AlgoSpec spec = ca::find_benchmark("qft3");
+  cb::FakeBackend standard = cb::FakeBackend::lagos(7);
+  cb::FakeBackend clean = cb::FakeBackend::lagos(7);
+  for (const auto& [a, b] : clean.topology().edges()) {
+    auto& e = clean.model().edge(a, b);
+    e.cx_depol *= 0.1;
+    e.cx_zz_angle *= 0.1;
+    e.static_zz_rate *= 0.1;
+    e.drive_zz_rate *= 0.1;
+  }
+  for (int q = 0; q < 7; ++q) {
+    auto& c = clean.model().qubit(q);
+    c.t1_ns *= 10.0;
+    c.t2_ns *= 10.0;
+    for (GateKind k : {GateKind::SX, GateKind::X}) {
+      clean.model().gate_1q(k, q).depol *= 0.1;
+      clean.model().gate_1q(k, q).overrot_frac *= 0.1;
+    }
+  }
+
+  co::CharterOptions opts;
+  opts.run.shots = 0;
+  const cb::CompiledProgram prog_std = standard.compile(spec.build());
+  const cb::CompiledProgram prog_clean = clean.compile(spec.build());
+  const double mean_std = charter::stats::mean(
+      co::CharterAnalyzer(standard, opts).analyze(prog_std).scores());
+  const double mean_clean = charter::stats::mean(
+      co::CharterAnalyzer(clean, opts).analyze(prog_clean).scores());
+  EXPECT_GT(mean_std, 1.2 * mean_clean);
+}
+
+TEST(Integration, DeeperCircuitsAccumulateMoreError) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  cb::RunOptions run;
+  run.shots = 0;
+  double prev_err = -1.0;
+  for (const int steps : {1, 4, 10}) {
+    const cb::CompiledProgram prog =
+        backend.compile(ca::tfim(4, steps));
+    const double err = charter::stats::tvd(backend.run(prog, run),
+                                           backend.ideal(prog));
+    EXPECT_GT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Integration, ReversalOverheadScalesWithReversals) {
+  // The reversed circuit for a CX with r pairs is ~2r CX longer; its
+  // schedule must be correspondingly longer.
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 1));
+  std::size_t cx_index = 0;
+  for (std::size_t i = 0; i < prog.physical.size(); ++i)
+    if (prog.physical.op(i).kind == GateKind::CX) {
+      cx_index = i;
+      break;
+    }
+  const double base = backend.duration_ns(prog);
+  double prev = base;
+  for (const int r : {1, 3, 7}) {
+    cb::CompiledProgram rev = prog;
+    rev.physical = co::insert_reversed_pairs(prog.physical, cx_index, r);
+    const double dur = backend.duration_ns(rev);
+    EXPECT_GT(dur, prev);
+    prev = dur;
+  }
+  EXPECT_GT(prev, base + 13 * 250.0);  // 14 extra CX at >= 250 ns
+}
+
+TEST(Integration, RzShareMatchesPaperRange) {
+  // Across the small paper configs, RZ gates should be roughly 20-55% of
+  // ops after transpilation (Table IV's premise for run savings).
+  for (const char* key : {"hlf5", "qft3", "adder4", "qaoa5", "tfim4"}) {
+    const ca::AlgoSpec spec = ca::find_benchmark(key);
+    const cb::FakeBackend backend = backend_for(spec);
+    const cb::CompiledProgram prog = backend.compile(spec.build());
+    const double total = static_cast<double>(prog.physical.count_if(
+        [](const cc::Gate& g) { return g.kind != GateKind::BARRIER; }));
+    const double rz =
+        static_cast<double>(prog.physical.count_kind(GateKind::RZ));
+    EXPECT_GT(rz / total, 0.15) << key;
+    EXPECT_LT(rz / total, 0.60) << key;
+  }
+}
+
+TEST(Integration, InputReversalSemanticsSurviveCompilation) {
+  // Input-prep tags survive the full pipeline and the block reversal of the
+  // compiled circuit keeps the ideal output intact.
+  for (const char* key : {"qft3", "adder4", "xy4"}) {
+    const ca::AlgoSpec spec = ca::find_benchmark(key);
+    const cb::FakeBackend backend = backend_for(spec);
+    const cb::CompiledProgram prog = backend.compile(spec.build());
+    ASSERT_FALSE(prog.physical.ops_with_flag(cc::kFlagInputPrep).empty())
+        << key;
+    cb::CompiledProgram rev = prog;
+    rev.physical = co::insert_input_block_reversal(prog.physical, 5);
+    EXPECT_LT(charter::stats::tvd(backend.ideal(prog), backend.ideal(rev)),
+              1e-9)
+        << key;
+  }
+}

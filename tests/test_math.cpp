@@ -1,0 +1,176 @@
+// Unit tests for the math library: matrix algebra, unitarity and CPTP
+// checks, phase-invariant comparison, and the special functions backing the
+// paper's p-values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "math/matrix.hpp"
+#include "math/special.hpp"
+
+namespace cm = charter::math;
+using cm::cplx;
+using cm::Mat2;
+using cm::Mat4;
+
+namespace {
+
+Mat2 pauli_x() {
+  Mat2 m;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  return m;
+}
+
+Mat2 pauli_y() {
+  Mat2 m;
+  m(0, 1) = cplx(0.0, -1.0);
+  m(1, 0) = cplx(0.0, 1.0);
+  return m;
+}
+
+Mat2 pauli_z() {
+  Mat2 m;
+  m(0, 0) = 1.0;
+  m(1, 1) = -1.0;
+  return m;
+}
+
+Mat2 hadamard() {
+  Mat2 m;
+  m(0, 0) = m(0, 1) = m(1, 0) = M_SQRT1_2;
+  m(1, 1) = -M_SQRT1_2;
+  return m;
+}
+
+}  // namespace
+
+TEST(Mat2, IdentityIsNeutral) {
+  const Mat2 h = hadamard();
+  EXPECT_NEAR(cm::max_abs_diff(cm::mul(h, Mat2::identity()), h), 0.0, 1e-15);
+  EXPECT_NEAR(cm::max_abs_diff(cm::mul(Mat2::identity(), h), h), 0.0, 1e-15);
+}
+
+TEST(Mat2, PauliAlgebraHolds) {
+  // XY = iZ
+  const Mat2 xy = cm::mul(pauli_x(), pauli_y());
+  const Mat2 iz = cm::scale(pauli_z(), cplx(0.0, 1.0));
+  EXPECT_NEAR(cm::max_abs_diff(xy, iz), 0.0, 1e-15);
+  // X^2 = I
+  EXPECT_NEAR(cm::max_abs_diff(cm::mul(pauli_x(), pauli_x()),
+                               Mat2::identity()),
+              0.0, 1e-15);
+}
+
+TEST(Mat2, AdjointReversesProducts) {
+  const Mat2 a = hadamard();
+  const Mat2 b = pauli_y();
+  const Mat2 lhs = cm::adjoint(cm::mul(a, b));
+  const Mat2 rhs = cm::mul(cm::adjoint(b), cm::adjoint(a));
+  EXPECT_NEAR(cm::max_abs_diff(lhs, rhs), 0.0, 1e-15);
+}
+
+TEST(Mat2, UnitarityCheck) {
+  EXPECT_TRUE(cm::is_unitary(hadamard()));
+  EXPECT_TRUE(cm::is_unitary(pauli_y()));
+  Mat2 not_unitary = hadamard();
+  not_unitary(0, 0) *= 2.0;
+  EXPECT_FALSE(cm::is_unitary(not_unitary));
+}
+
+TEST(Mat2, EqualUpToPhase) {
+  const Mat2 h = hadamard();
+  const Mat2 hp = cm::scale(h, std::exp(cplx(0.0, 1.234)));
+  EXPECT_TRUE(cm::equal_up_to_phase(hp, h));
+  EXPECT_FALSE(cm::equal_up_to_phase(pauli_x(), pauli_z()));
+  // A non-unit scale is not a phase.
+  EXPECT_FALSE(cm::equal_up_to_phase(cm::scale(h, 2.0), h));
+}
+
+TEST(Mat4, KronMatchesManualEntries) {
+  const Mat4 zx = cm::kron(pauli_z(), pauli_x());
+  // (Z (x) X)[(i,k),(j,l)] = Z[i][j] X[k][l]; row = 2i+k.
+  EXPECT_NEAR(std::abs(zx(0, 1) - cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(zx(1, 0) - cplx(1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(zx(2, 3) - cplx(-1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(zx(3, 2) - cplx(-1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(zx(0, 0)), 0.0, 1e-15);
+}
+
+TEST(Mat4, KronOfUnitariesIsUnitary) {
+  EXPECT_TRUE(cm::is_unitary(cm::kron(hadamard(), pauli_y())));
+}
+
+TEST(Mat4, MulAndAdjointConsistent) {
+  const Mat4 a = cm::kron(hadamard(), pauli_x());
+  const Mat4 prod = cm::mul(a, cm::adjoint(a));
+  EXPECT_NEAR(cm::max_abs_diff(prod, Mat4::identity()), 0.0, 1e-12);
+}
+
+TEST(Mat4, EqualUpToPhase) {
+  const Mat4 a = cm::kron(hadamard(), hadamard());
+  const Mat4 b = cm::scale(a, std::exp(cplx(0.0, -0.77)));
+  EXPECT_TRUE(cm::equal_up_to_phase(b, a));
+}
+
+TEST(Cptp, AmplitudeDampingKrausComplete) {
+  const double gamma = 0.3;
+  Mat2 k0, k1;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  k1(0, 1) = std::sqrt(gamma);
+  EXPECT_TRUE(cm::is_cptp({&k0, &k1, nullptr, nullptr}, 2));
+}
+
+TEST(Cptp, IncompleteSetRejected) {
+  Mat2 k0;
+  k0(0, 0) = 0.9;
+  k0(1, 1) = 0.9;
+  EXPECT_FALSE(cm::is_cptp({&k0, nullptr, nullptr, nullptr}, 1));
+}
+
+// ---- special functions ----
+
+TEST(Special, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(cm::reg_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cm::reg_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Special, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  const double v1 = cm::reg_incomplete_beta(2.5, 1.5, 0.3);
+  const double v2 = 1.0 - cm::reg_incomplete_beta(1.5, 2.5, 0.7);
+  EXPECT_NEAR(v1, v2, 1e-12);
+}
+
+TEST(Special, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(cm::reg_incomplete_beta(1.0, 1.0, 0.42), 0.42, 1e-12);
+  // I_x(1,2) = 1-(1-x)^2.
+  EXPECT_NEAR(cm::reg_incomplete_beta(1.0, 2.0, 0.25),
+              1.0 - 0.75 * 0.75, 1e-12);
+  // I_x(2,2) = x^2 (3-2x).
+  EXPECT_NEAR(cm::reg_incomplete_beta(2.0, 2.0, 0.4),
+              0.4 * 0.4 * (3.0 - 0.8), 1e-12);
+}
+
+TEST(Special, StudentTKnownQuantiles) {
+  // For dof=10, t=2.228 is the 97.5% quantile -> two-sided p = 0.05.
+  EXPECT_NEAR(cm::student_t_two_sided_pvalue(2.228, 10.0), 0.05, 1e-3);
+  // t=0 -> p=1.
+  EXPECT_NEAR(cm::student_t_two_sided_pvalue(0.0, 7.0), 1.0, 1e-12);
+  // Symmetric in t.
+  EXPECT_NEAR(cm::student_t_two_sided_pvalue(-1.5, 20.0),
+              cm::student_t_two_sided_pvalue(1.5, 20.0), 1e-12);
+}
+
+TEST(Special, StudentTLargeDofApproachesNormal) {
+  // dof -> inf: p(|T|>1.96) ~ 0.05.
+  EXPECT_NEAR(cm::student_t_two_sided_pvalue(1.96, 100000.0), 0.05, 2e-3);
+}
+
+TEST(Special, StudentTDegenerateDof) {
+  EXPECT_DOUBLE_EQ(cm::student_t_two_sided_pvalue(5.0, 0.0), 1.0);
+}

@@ -1,0 +1,469 @@
+// Tests for the simulation engines: statevector correctness against known
+// states, kernel-vs-matrix cross-checks, exact density-matrix channel
+// behavior (fused forms vs generic Kraus), trajectory/density agreement, and
+// measurement/readout utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/measurement.hpp"
+#include "sim/statevector.hpp"
+#include "sim/trajectory.hpp"
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+
+namespace cc = charter::circ;
+namespace cm = charter::math;
+namespace cs = charter::sim;
+using cc::GateKind;
+using cm::cplx;
+using cm::Mat2;
+
+namespace {
+
+/// Random basis-gate circuit over n qubits (RZ/SX/SXDG/X/CX).
+cc::Circuit random_basis_circuit(int n, int num_gates,
+                                 charter::util::Rng& rng) {
+  cc::Circuit c(n);
+  for (int i = 0; i < num_gates; ++i) {
+    const int pick = static_cast<int>(rng.uniform_int(5));
+    const int q = static_cast<int>(rng.uniform_int(n));
+    switch (pick) {
+      case 0:
+        c.rz(q, rng.uniform(-M_PI, M_PI));
+        break;
+      case 1:
+        c.sx(q);
+        break;
+      case 2:
+        c.sxdg(q);
+        break;
+      case 3:
+        c.x(q);
+        break;
+      default: {
+        if (n < 2) {
+          c.sx(q);
+          break;
+        }
+        int q2 = static_cast<int>(rng.uniform_int(n));
+        while (q2 == q) q2 = static_cast<int>(rng.uniform_int(n));
+        c.cx(q, q2);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+double dist(const std::vector<double>& a, const std::vector<double>& b) {
+  return charter::stats::tvd(a, b);
+}
+
+}  // namespace
+
+// ---- statevector ----
+
+TEST(Statevector, InitialState) {
+  cs::Statevector sv(3);
+  const auto p = sv.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_DOUBLE_EQ(p[i], 0.0);
+}
+
+TEST(Statevector, XFlipsBit) {
+  cs::Statevector sv(2);
+  sv.apply(cc::make_gate(GateKind::X, {1}));
+  EXPECT_NEAR(sv.probabilities()[2], 1.0, 1e-12);
+}
+
+TEST(Statevector, BellState) {
+  cs::Statevector sv(2);
+  cc::Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply(c);
+  const auto p = sv.probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[3], 0.5, 1e-12);
+  EXPECT_NEAR(p[1] + p[2], 0.0, 1e-12);
+}
+
+TEST(Statevector, GhzState) {
+  cc::Circuit c(4);
+  c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+  const auto p = cs::ideal_probabilities(c);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[15], 0.5, 1e-12);
+}
+
+TEST(Statevector, SetBasisState) {
+  cs::Statevector sv(3);
+  sv.set_basis_state(5);
+  EXPECT_NEAR(sv.probabilities()[5], 1.0, 1e-12);
+  EXPECT_NEAR(sv.probability_one(0), 1.0, 1e-12);
+  EXPECT_NEAR(sv.probability_one(1), 0.0, 1e-12);
+  EXPECT_NEAR(sv.probability_one(2), 1.0, 1e-12);
+}
+
+TEST(Statevector, NormPreservedUnderRandomCircuits) {
+  charter::util::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const cc::Circuit c = random_basis_circuit(4, 60, rng);
+    cs::Statevector sv(4);
+    sv.apply(c);
+    EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-10);
+  }
+}
+
+TEST(Statevector, CircuitInverseRestoresState) {
+  charter::util::Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const cc::Circuit c = random_basis_circuit(4, 40, rng);
+    cs::Statevector sv(4);
+    sv.apply(c);
+    sv.apply(c.inverse());
+    EXPECT_NEAR(sv.probabilities()[0], 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, CcxBehavesAsToffoli) {
+  for (std::uint64_t in = 0; in < 8; ++in) {
+    cs::Statevector sv(3);
+    sv.set_basis_state(in);
+    sv.apply(cc::make_gate(GateKind::CCX, {0, 1, 2}));
+    const std::uint64_t want =
+        ((in & 1) && (in & 2)) ? (in ^ 4) : in;
+    EXPECT_NEAR(sv.probabilities()[want], 1.0, 1e-12) << "input " << in;
+  }
+}
+
+TEST(Statevector, SwapGateExchangesBits) {
+  cs::Statevector sv(2);
+  sv.set_basis_state(1);  // |q1=0, q0=1>
+  sv.apply(cc::make_gate(GateKind::SWAP, {0, 1}));
+  EXPECT_NEAR(sv.probabilities()[2], 1.0, 1e-12);
+}
+
+// Property: special-cased kernels match the generic matrix path.
+class TwoQubitKernelMatchesMatrix
+    : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(TwoQubitKernelMatchesMatrix, OnRandomStates) {
+  charter::util::Rng rng(11);
+  const GateKind kind = GetParam();
+  for (int trial = 0; trial < 4; ++trial) {
+    // Random-ish state via a scrambling circuit.
+    const cc::Circuit scramble = random_basis_circuit(3, 25, rng);
+    cs::Statevector a(3), b(3);
+    a.apply(scramble);
+    b.apply(scramble);
+
+    cc::Gate g = cc::gate_param_count(kind) == 1
+                     ? cc::make_gate(kind, {0, 2}, {rng.uniform(-2.0, 2.0)})
+                     : cc::make_gate(kind, {0, 2});
+    a.apply(g);
+    b.apply_unitary_2q(cc::gate_unitary_2q(g), 0, 2);
+    for (std::uint64_t i = 0; i < a.dim(); ++i)
+      EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwoQubitKinds, TwoQubitKernelMatchesMatrix,
+                         ::testing::Values(GateKind::CX, GateKind::CZ,
+                                           GateKind::CP, GateKind::CRZ,
+                                           GateKind::SWAP, GateKind::RZZ,
+                                           GateKind::RXX, GateKind::RYY),
+                         [](const auto& info) {
+                           return cc::gate_name(info.param);
+                         });
+
+// ---- density matrix ----
+
+TEST(DensityMatrix, PureEvolutionMatchesStatevector) {
+  charter::util::Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const cc::Circuit c = random_basis_circuit(3, 30, rng);
+    cs::Statevector sv(3);
+    sv.apply(c);
+
+    cs::DensityMatrixEngine dm(3);
+    for (const cc::Gate& g : c.ops()) {
+      switch (g.kind) {
+        case GateKind::CX:
+          dm.apply_cx(g.qubits[0], g.qubits[1]);
+          break;
+        case GateKind::RZ: {
+          const cplx i(0.0, 1.0);
+          dm.apply_diag_1q(std::exp(-i * (g.params[0] / 2.0)),
+                           std::exp(i * (g.params[0] / 2.0)), g.qubits[0]);
+          break;
+        }
+        default:
+          dm.apply_unitary_1q(cc::gate_unitary_1q(g), g.qubits[0]);
+      }
+    }
+    EXPECT_NEAR(dist(dm.probabilities(), sv.probabilities()), 0.0, 1e-10);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+  }
+}
+
+TEST(DensityMatrix, FullAmplitudeDampingReachesGround) {
+  cs::DensityMatrixEngine dm(2);
+  dm.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0})),
+                      0);
+  dm.apply_thermal_relaxation(0, /*gamma=*/1.0, /*pz=*/0.0);
+  const auto p = dm.probabilities();
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, PartialDampingMixesPopulations) {
+  cs::DensityMatrixEngine dm(1);
+  dm.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0})),
+                      0);
+  dm.apply_thermal_relaxation(0, 0.3, 0.0);
+  const auto p = dm.probabilities();
+  EXPECT_NEAR(p[0], 0.3, 1e-12);
+  EXPECT_NEAR(p[1], 0.7, 1e-12);
+}
+
+TEST(DensityMatrix, DephasingKillsCoherence) {
+  cs::DensityMatrixEngine dm(1);
+  dm.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})),
+                      0);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+  dm.apply_thermal_relaxation(0, 0.0, /*pz=*/0.5);  // complete dephasing
+  EXPECT_NEAR(dm.purity(), 0.5, 1e-12);
+  // Populations untouched.
+  const auto p = dm.probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingMatchesGenericKraus) {
+  const double p = 0.1;
+  charter::util::Rng rng(31);
+  const cc::Circuit scramble = random_basis_circuit(3, 25, rng);
+
+  cs::DensityMatrixEngine a(3), b(3);
+  for (const cc::Gate& g : scramble.ops()) {
+    if (g.kind == GateKind::CX) {
+      a.apply_cx(g.qubits[0], g.qubits[1]);
+      b.apply_cx(g.qubits[0], g.qubits[1]);
+    } else {
+      a.apply_unitary_1q(cc::gate_unitary_1q(g), g.qubits[0]);
+      b.apply_unitary_1q(cc::gate_unitary_1q(g), g.qubits[0]);
+    }
+  }
+  a.apply_depolarizing_1q(1, p);
+
+  Mat2 k0 = cm::scale(Mat2::identity(), std::sqrt(1.0 - p));
+  Mat2 kx, ky, kz;
+  kx(0, 1) = kx(1, 0) = std::sqrt(p / 3.0);
+  ky(0, 1) = cplx(0.0, -std::sqrt(p / 3.0));
+  ky(1, 0) = cplx(0.0, std::sqrt(p / 3.0));
+  kz(0, 0) = std::sqrt(p / 3.0);
+  kz(1, 1) = -std::sqrt(p / 3.0);
+  const std::vector<Mat2> kraus = {k0, kx, ky, kz};
+  b.apply_kraus_1q(kraus, 1);
+
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_NEAR(std::abs(a.raw()[i] - b.raw()[i]), 0.0, 1e-10);
+}
+
+TEST(DensityMatrix, ThermalRelaxationMatchesGenericKraus) {
+  const double gamma = 0.2;
+  cs::DensityMatrixEngine a(2), b(2);
+  // Prepare |+>|1> so both coherence and population are exercised.
+  a.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})), 0);
+  b.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})), 0);
+  a.apply_cx(0, 1);
+  b.apply_cx(0, 1);
+
+  a.apply_thermal_relaxation(0, gamma, 0.0);
+  Mat2 k0, k1;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  k1(0, 1) = std::sqrt(gamma);
+  const std::vector<Mat2> kraus = {k0, k1};
+  b.apply_kraus_1q(kraus, 0);
+
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_NEAR(std::abs(a.raw()[i] - b.raw()[i]), 0.0, 1e-10);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingFullyMixes) {
+  cs::DensityMatrixEngine dm(2);
+  dm.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})),
+                      0);
+  dm.apply_cx(0, 1);
+  // p = 15/16 makes the channel the complete twirl.
+  dm.apply_depolarizing_2q(0, 1, 15.0 / 16.0);
+  const auto p = dm.probabilities();
+  for (const double v : p) EXPECT_NEAR(v, 0.25, 1e-10);
+  EXPECT_NEAR(dm.purity(), 0.25, 1e-10);
+}
+
+TEST(DensityMatrix, BitflipIsExact) {
+  cs::DensityMatrixEngine dm(1);
+  dm.apply_bitflip(0, 0.25);
+  const auto p = dm.probabilities();
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+  EXPECT_NEAR(p[0], 0.75, 1e-12);
+}
+
+TEST(DensityMatrix, ChannelsPreserveTrace) {
+  charter::util::Rng rng(41);
+  cs::DensityMatrixEngine dm(3);
+  const cc::Circuit scramble = random_basis_circuit(3, 20, rng);
+  for (const cc::Gate& g : scramble.ops()) {
+    if (g.kind == GateKind::CX)
+      dm.apply_cx(g.qubits[0], g.qubits[1]);
+    else
+      dm.apply_unitary_1q(cc::gate_unitary_1q(g), g.qubits[0]);
+  }
+  dm.apply_depolarizing_1q(0, 0.05);
+  dm.apply_depolarizing_2q(1, 2, 0.1);
+  dm.apply_thermal_relaxation(2, 0.07, 0.02);
+  dm.apply_bitflip(1, 0.03);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+  const auto p = dm.probabilities();
+  for (const double v : p) EXPECT_GE(v, -1e-12);
+}
+
+// ---- trajectory engine ----
+
+TEST(Trajectory, NoiselessMatchesStatevector) {
+  charter::util::Rng rng(51);
+  const cc::Circuit c = random_basis_circuit(4, 40, rng);
+  cs::Statevector sv(4);
+  sv.apply(c);
+
+  const auto probs = cs::run_trajectories(
+      4, 3, 99, [&](cs::NoisyEngine& eng) {
+        for (const cc::Gate& g : c.ops()) {
+          if (g.kind == GateKind::CX) {
+            eng.apply_cx(g.qubits[0], g.qubits[1]);
+          } else if (g.kind == GateKind::RZ) {
+            const cplx i(0.0, 1.0);
+            eng.apply_diag_1q(std::exp(-i * (g.params[0] / 2.0)),
+                              std::exp(i * (g.params[0] / 2.0)), g.qubits[0]);
+          } else {
+            eng.apply_unitary_1q(cc::gate_unitary_1q(g), g.qubits[0]);
+          }
+        }
+      });
+  EXPECT_NEAR(dist(probs, sv.probabilities()), 0.0, 1e-10);
+}
+
+TEST(Trajectory, DeterministicInSeed) {
+  const auto program = [](cs::NoisyEngine& eng) {
+    eng.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})),
+                         0);
+    eng.apply_cx(0, 1);
+    eng.apply_depolarizing_1q(0, 0.2);
+    eng.apply_thermal_relaxation(1, 0.3, 0.1);
+  };
+  const auto p1 = cs::run_trajectories(2, 32, 7, program);
+  const auto p2 = cs::run_trajectories(2, 32, 7, program);
+  EXPECT_EQ(p1, p2);
+  const auto p3 = cs::run_trajectories(2, 32, 8, program);
+  EXPECT_NE(p1, p3);
+}
+
+TEST(Trajectory, ConvergesToDensityMatrix) {
+  // A noisy GHZ preparation: compare 4000 trajectories to the exact DM.
+  const auto program = [](cs::NoisyEngine& eng) {
+    eng.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})),
+                         0);
+    eng.apply_depolarizing_1q(0, 0.1);
+    eng.apply_cx(0, 1);
+    eng.apply_depolarizing_2q(0, 1, 0.15);
+    eng.apply_cx(1, 2);
+    eng.apply_thermal_relaxation(2, 0.2, 0.05);
+    eng.apply_bitflip(1, 0.05);
+  };
+  cs::DensityMatrixEngine dm(3);
+  program(dm);
+  const auto p_dm = dm.probabilities();
+  const auto p_mc = cs::run_trajectories(3, 4000, 13, program);
+  EXPECT_LT(dist(p_mc, p_dm), 0.02);
+}
+
+TEST(Trajectory, DampingJumpStatistics) {
+  // |1> under gamma=0.4: P(0) = 0.4 across trajectories.
+  const auto program = [](cs::NoisyEngine& eng) {
+    eng.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0})),
+                         0);
+    eng.apply_thermal_relaxation(0, 0.4, 0.0);
+  };
+  const auto p = cs::run_trajectories(1, 4000, 17, program);
+  EXPECT_NEAR(p[0], 0.4, 0.03);
+}
+
+TEST(Trajectory, GenericKrausSampling) {
+  // Amplitude damping via the generic interface matches the closed form.
+  const double gamma = 0.35;
+  Mat2 k0, k1;
+  k0(0, 0) = 1.0;
+  k0(1, 1) = std::sqrt(1.0 - gamma);
+  k1(0, 1) = std::sqrt(gamma);
+  const auto program = [&](cs::NoisyEngine& eng) {
+    eng.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0})),
+                         0);
+    const std::vector<Mat2> kraus = {k0, k1};
+    eng.apply_kraus_1q(kraus, 0);
+  };
+  const auto p = cs::run_trajectories(1, 4000, 19, program);
+  EXPECT_NEAR(p[0], gamma, 0.03);
+}
+
+// ---- measurement utilities ----
+
+TEST(Measurement, ReadoutConfusionSingleQubit) {
+  std::vector<double> probs = {1.0, 0.0};
+  cs::apply_readout_error(probs, {{0.1, 0.2}});
+  EXPECT_NEAR(probs[0], 0.9, 1e-12);
+  EXPECT_NEAR(probs[1], 0.1, 1e-12);
+
+  probs = {0.0, 1.0};
+  cs::apply_readout_error(probs, {{0.1, 0.2}});
+  EXPECT_NEAR(probs[0], 0.2, 1e-12);
+  EXPECT_NEAR(probs[1], 0.8, 1e-12);
+}
+
+TEST(Measurement, ReadoutPreservesTotalProbability) {
+  std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  cs::apply_readout_error(probs, {{0.02, 0.05}, {0.01, 0.08}});
+  double total = 0.0;
+  for (const double v : probs) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Measurement, SampleCountsMatchDistribution) {
+  charter::util::Rng rng(61);
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  const auto counts = cs::sample_counts(probs, 100000, rng);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 100000u);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 100000.0, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / 100000.0, 0.125, 0.01);
+}
+
+TEST(Measurement, CountsToDistributionNormalizes) {
+  const std::vector<std::uint64_t> counts = {10, 30, 40, 20};
+  const auto p = cs::counts_to_distribution(counts);
+  EXPECT_DOUBLE_EQ(p[1], 0.3);
+  EXPECT_DOUBLE_EQ(p[2], 0.4);
+}
+
+TEST(Measurement, BitstringRendering) {
+  EXPECT_EQ(cs::bitstring(5, 3), "101");
+  EXPECT_EQ(cs::bitstring(0, 4), "0000");
+  EXPECT_EQ(cs::bitstring(8, 4), "1000");
+}

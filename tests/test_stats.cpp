@@ -1,0 +1,153 @@
+// Tests for the statistics library: TVD properties, Pearson/Spearman
+// correlations against known values (SciPy semantics), and ranking helpers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace st = charter::stats;
+
+TEST(Tvd, IdenticalDistributionsAreZero) {
+  const std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(st::tvd(p, p), 0.0);
+}
+
+TEST(Tvd, DisjointDistributionsAreOne) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(st::tvd(p, q), 1.0);
+}
+
+TEST(Tvd, MatchesPaperFormulaExample) {
+  // Fig. 3a: sum of absolute differences over two.
+  const std::vector<double> p = {0.6, 0.2, 0.1, 0.1};
+  const std::vector<double> q = {0.3, 0.3, 0.2, 0.2};
+  EXPECT_NEAR(st::tvd(p, q), 0.5 * (0.3 + 0.1 + 0.1 + 0.1), 1e-12);
+}
+
+TEST(Tvd, SymmetricAndBounded) {
+  charter::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> p(8), q(8);
+    double sp = 0.0, sq = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      p[i] = rng.uniform();
+      q[i] = rng.uniform();
+      sp += p[i];
+      sq += q[i];
+    }
+    for (int i = 0; i < 8; ++i) {
+      p[i] /= sp;
+      q[i] /= sq;
+    }
+    const double d = st::tvd(p, q);
+    EXPECT_DOUBLE_EQ(d, st::tvd(q, p));
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Tvd, TriangleInequality) {
+  const std::vector<double> a = {0.7, 0.2, 0.1};
+  const std::vector<double> b = {0.2, 0.5, 0.3};
+  const std::vector<double> c = {0.1, 0.3, 0.6};
+  EXPECT_LE(st::tvd(a, c), st::tvd(a, b) + st::tvd(b, c) + 1e-12);
+}
+
+TEST(Tvd, SizeMismatchThrows) {
+  const std::vector<double> p = {1.0};
+  const std::vector<double> q = {0.5, 0.5};
+  EXPECT_THROW(st::tvd(p, q), charter::InvalidArgument);
+}
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const auto c = st::pearson(x, y);
+  EXPECT_NEAR(c.r, 1.0, 1e-12);
+  EXPECT_NEAR(c.p_value, 0.0, 1e-9);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(st::pearson(x, y).r, -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValueAgainstScipy) {
+  // scipy.stats.pearsonr([1,2,3,4,5],[1,3,2,5,4]) = (0.8, 0.1041...)
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 3, 2, 5, 4};
+  const auto c = st::pearson(x, y);
+  EXPECT_NEAR(c.r, 0.8, 1e-12);
+  EXPECT_NEAR(c.p_value, 0.104088, 1e-4);
+}
+
+TEST(Pearson, UncorrelatedDataHasHighPValue) {
+  charter::util::Rng rng(7);
+  std::vector<double> x(50), y(50);
+  for (int i = 0; i < 50; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const auto c = st::pearson(x, y);
+  EXPECT_LT(std::abs(c.r), 0.35);
+  EXPECT_GT(c.p_value, 0.01);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  const std::vector<double> flat = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  const auto c = st::pearson(flat, y);
+  EXPECT_DOUBLE_EQ(c.r, 0.0);
+  EXPECT_DOUBLE_EQ(c.p_value, 1.0);
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(st::pearson(tiny, tiny).r, 0.0);
+}
+
+TEST(Spearman, MonotonicNonlinearIsPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3
+  EXPECT_NEAR(st::spearman(x, y).r, 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 4};
+  const std::vector<double> y = {10, 20, 20, 40};
+  EXPECT_NEAR(st::spearman(x, y).r, 1.0, 1e-12);
+}
+
+TEST(Ranking, DescendingOrder) {
+  const std::vector<double> v = {0.1, 0.9, 0.5, 0.7};
+  const auto order = st::rank_descending(v);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(Ranking, TopFractionCeil) {
+  const std::vector<double> v = {0.1, 0.9, 0.5, 0.7, 0.3};
+  // 25% of 5 -> ceil(1.25) = 2 entries.
+  const auto top = st::top_fraction(v, 0.25);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(Ranking, TopFractionAtLeastOne) {
+  const std::vector<double> v = {0.4, 0.2};
+  EXPECT_EQ(st::top_fraction(v, 0.01).size(), 1u);
+  EXPECT_THROW(st::top_fraction(v, 0.0), charter::InvalidArgument);
+}
+
+TEST(Moments, MeanAndStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(st::mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(st::stddev(v), 2.0);
+}

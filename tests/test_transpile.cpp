@@ -1,0 +1,501 @@
+// Tests for the transpiler: topology graphs, basis decomposition identities
+// (every rewrite preserves semantics), Euler synthesis, optimization passes,
+// routing legality, and end-to-end semantic preservation through the full
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algos/algorithms.hpp"
+#include "circuit/circuit.hpp"
+#include "noise/calibration.hpp"
+#include "sim/statevector.hpp"
+#include "stats/stats.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/routing.hpp"
+#include "transpile/topology.hpp"
+#include "transpile/transpiler.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cc = charter::circ;
+namespace cm = charter::math;
+namespace cs = charter::sim;
+namespace ct = charter::transpile;
+using cc::GateKind;
+
+namespace {
+
+double dist(const std::vector<double>& a, const std::vector<double>& b) {
+  return charter::stats::tvd(a, b);
+}
+
+/// Random logical circuit drawing from the full gate set.
+cc::Circuit random_logical_circuit(int n, int gates, charter::util::Rng& rng) {
+  cc::Circuit c(n);
+  for (int i = 0; i < gates; ++i) {
+    const int q = static_cast<int>(rng.uniform_int(n));
+    int q2 = static_cast<int>(rng.uniform_int(n));
+    while (q2 == q) q2 = static_cast<int>(rng.uniform_int(n));
+    switch (rng.uniform_int(10)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.rx(q, rng.uniform(-M_PI, M_PI)); break;
+      case 3: c.ry(q, rng.uniform(-M_PI, M_PI)); break;
+      case 4: c.rz(q, rng.uniform(-M_PI, M_PI)); break;
+      case 5: c.cx(q, q2); break;
+      case 6: c.cp(q, q2, rng.uniform(-M_PI, M_PI)); break;
+      case 7: c.rzz(q, q2, rng.uniform(-M_PI, M_PI)); break;
+      case 8: c.swap(q, q2); break;
+      default: c.sx(q); break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+// ---- topology ----
+
+TEST(Topology, LagosMatchesPaperFig4) {
+  const ct::Topology topo = ct::ibm_lagos();
+  EXPECT_EQ(topo.num_qubits(), 7);
+  EXPECT_EQ(topo.edges().size(), 6u);
+  EXPECT_TRUE(topo.connected(0, 1));
+  EXPECT_TRUE(topo.connected(1, 3));
+  EXPECT_TRUE(topo.connected(3, 5));
+  EXPECT_FALSE(topo.connected(0, 2));
+  EXPECT_FALSE(topo.connected(2, 3));
+  // Qubits 0,1,2,3 form a T shape: 0-1, 1-2, 1-3 (used by the paper's
+  // multi-architecture VQE analysis).
+  EXPECT_TRUE(topo.connected(1, 2));
+  EXPECT_EQ(topo.distance(0, 6), 4);
+}
+
+TEST(Topology, GuadalupeMatchesPaperFig4) {
+  const ct::Topology topo = ct::ibmq_guadalupe();
+  EXPECT_EQ(topo.num_qubits(), 16);
+  EXPECT_EQ(topo.edges().size(), 16u);
+  // First four qubits form a line: 0-1, 1-2, 2-3.
+  EXPECT_TRUE(topo.connected(0, 1));
+  EXPECT_TRUE(topo.connected(1, 2));
+  EXPECT_TRUE(topo.connected(2, 3));
+  EXPECT_FALSE(topo.connected(0, 2));
+  // Graph is connected.
+  for (int q = 0; q < 16; ++q) EXPECT_GE(topo.distance(0, q), 0);
+}
+
+TEST(Topology, SyntheticShapes) {
+  EXPECT_EQ(ct::line(5).edges().size(), 4u);
+  EXPECT_EQ(ct::ring(5).edges().size(), 5u);
+  EXPECT_EQ(ct::grid(2, 3).edges().size(), 7u);
+  EXPECT_EQ(ct::full(4).edges().size(), 6u);
+  EXPECT_EQ(ct::line(4).distance(0, 3), 3);
+  EXPECT_EQ(ct::ring(6).distance(0, 5), 1);
+}
+
+// ---- Euler synthesis ----
+
+TEST(Euler, ZyzRoundTripsRandomUnitaries) {
+  charter::util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random unitary via composed rotations.
+    cc::Circuit c(1);
+    c.rz(0, rng.uniform(-M_PI, M_PI))
+        .ry(0, rng.uniform(-M_PI, M_PI))
+        .rz(0, rng.uniform(-M_PI, M_PI));
+    cm::Mat2 u = cm::Mat2::identity();
+    for (const cc::Gate& g : c.ops())
+      u = cm::mul(cc::gate_unitary_1q(g), u);
+
+    const ct::EulerAngles e = ct::zyz_decompose(u);
+    // Rebuild RZ(phi) RY(theta) RZ(lambda) and compare up to phase.
+    const cm::Mat2 rebuilt = cm::mul(
+        cc::gate_unitary_1q(cc::make_gate(GateKind::RZ, {0}, {e.phi})),
+        cm::mul(cc::gate_unitary_1q(cc::make_gate(GateKind::RY, {0},
+                                                  {e.theta})),
+                cc::gate_unitary_1q(
+                    cc::make_gate(GateKind::RZ, {0}, {e.lambda}))));
+    EXPECT_TRUE(cm::equal_up_to_phase(rebuilt, u, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(Euler, SynthesizedSequenceMatchesUnitary) {
+  charter::util::Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    cc::Circuit c(1);
+    c.rz(0, rng.uniform(-M_PI, M_PI))
+        .ry(0, rng.uniform(-M_PI, M_PI))
+        .rz(0, rng.uniform(-M_PI, M_PI));
+    cm::Mat2 u = cm::Mat2::identity();
+    for (const cc::Gate& g : c.ops())
+      u = cm::mul(cc::gate_unitary_1q(g), u);
+
+    cm::Mat2 syn = cm::Mat2::identity();
+    int sx_count = 0;
+    for (const cc::Gate& g : ct::synthesize_1q(u, 0)) {
+      EXPECT_TRUE(cc::is_basis_gate(g.kind));
+      if (g.kind == GateKind::SX) ++sx_count;
+      syn = cm::mul(cc::gate_unitary_1q(g), syn);
+    }
+    EXPECT_LE(sx_count, 2);
+    EXPECT_TRUE(cm::equal_up_to_phase(syn, u, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(Euler, DiagonalBecomesSingleRz) {
+  const auto gates = ct::synthesize_1q(
+      cc::gate_unitary_1q(cc::make_gate(GateKind::RZ, {0}, {0.7})), 0);
+  ASSERT_EQ(gates.size(), 1u);
+  EXPECT_EQ(gates[0].kind, GateKind::RZ);
+  EXPECT_NEAR(gates[0].params[0], 0.7, 1e-10);
+}
+
+TEST(Euler, IdentityBecomesNothing) {
+  EXPECT_TRUE(ct::synthesize_1q(cm::Mat2::identity(), 0).empty());
+}
+
+// ---- decomposition identities (property-tested per kind) ----
+
+namespace {
+
+/// Checks that decompose_to_basis preserves the action on 12 random states.
+void expect_same_action(const cc::Circuit& logical) {
+  const cc::Circuit basis = ct::decompose_to_basis(logical);
+  for (const cc::Gate& g : basis.ops())
+    ASSERT_TRUE(cc::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER)
+        << cc::gate_name(g.kind);
+  charter::util::Rng rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    cs::Statevector a(logical.num_qubits()), b(logical.num_qubits());
+    const std::uint64_t start = rng.uniform_int(a.dim());
+    a.set_basis_state(start);
+    b.set_basis_state(start);
+    // Scramble into superposition first so phases matter.
+    cc::Circuit pre(logical.num_qubits());
+    for (int q = 0; q < logical.num_qubits(); ++q)
+      pre.h(q).rz(q, rng.uniform(-M_PI, M_PI));
+    a.apply(pre);
+    b.apply(pre);
+    a.apply(logical);
+    b.apply(basis);
+    const cm::cplx overlap = a.inner_product(b);
+    EXPECT_NEAR(std::abs(overlap), 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+
+class DecomposeKind : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(DecomposeKind, PreservesSemantics) {
+  charter::util::Rng rng(9);
+  const GateKind kind = GetParam();
+  const int arity = cc::gate_arity(kind);
+  const int width = std::max(2, arity);
+  for (int trial = 0; trial < 4; ++trial) {
+    cc::Circuit c(width);
+    std::initializer_list<double> no_params = {};
+    const int np = cc::gate_param_count(kind);
+    if (arity == 1) {
+      if (np == 0)
+        c.append(cc::make_gate(kind, {0}, no_params));
+      else if (np == 1)
+        c.append(cc::make_gate(kind, {0}, {rng.uniform(-M_PI, M_PI)}));
+      else
+        c.append(cc::make_gate(kind, {0},
+                               {rng.uniform(-M_PI, M_PI),
+                                rng.uniform(-M_PI, M_PI),
+                                rng.uniform(-M_PI, M_PI)}));
+    } else if (arity == 2) {
+      if (np == 0)
+        c.append(cc::make_gate(kind, {1, 0}, no_params));
+      else
+        c.append(cc::make_gate(kind, {1, 0}, {rng.uniform(-M_PI, M_PI)}));
+    } else {
+      c.append(cc::make_gate(kind, {0, 2, 1}, no_params));
+    }
+    expect_same_action(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLogicalKinds, DecomposeKind,
+    ::testing::Values(GateKind::H, GateKind::S, GateKind::SDG, GateKind::T,
+                      GateKind::TDG, GateKind::RX, GateKind::RY, GateKind::U3,
+                      GateKind::CZ, GateKind::CP, GateKind::CRZ,
+                      GateKind::SWAP, GateKind::RZZ, GateKind::RXX,
+                      GateKind::RYY, GateKind::CCX),
+    [](const auto& info) { return cc::gate_name(info.param); });
+
+TEST(Decompose, RandomCircuitsPreserved) {
+  charter::util::Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial)
+    expect_same_action(random_logical_circuit(4, 25, rng));
+}
+
+TEST(Decompose, FlagsPropagate) {
+  cc::Circuit c(2);
+  c.h(0, cc::kFlagInputPrep);
+  c.rzz(0, 1, 0.5);
+  const cc::Circuit basis = ct::decompose_to_basis(c);
+  std::size_t prep_gates = 0;
+  for (const cc::Gate& g : basis.ops())
+    if (g.has_flag(cc::kFlagInputPrep)) ++prep_gates;
+  EXPECT_GE(prep_gates, 2u);  // H expands to >= 2 flagged basis gates
+  // And the RZZ expansion is unflagged.
+  EXPECT_LT(prep_gates, basis.size());
+}
+
+// ---- optimization passes ----
+
+TEST(Passes, MergeRzCombinesAndDropsZeros) {
+  cc::Circuit c(2);
+  c.rz(0, 0.3).rz(0, 0.4).sx(0).rz(1, 1.0).rz(1, -1.0).cx(0, 1);
+  const cc::Circuit opt = ct::merge_rz(c);
+  EXPECT_EQ(opt.count_kind(GateKind::RZ), 1u);
+  EXPECT_NEAR(opt.op(0).params[0], 0.7, 1e-12);
+}
+
+TEST(Passes, MergeRzRespectsBarriers) {
+  cc::Circuit c(1);
+  c.rz(0, 0.3).barrier().rz(0, 0.4);
+  const cc::Circuit opt = ct::merge_rz(c);
+  EXPECT_EQ(opt.count_kind(GateKind::RZ), 2u);
+}
+
+TEST(Passes, CancelInversePairs) {
+  cc::Circuit c(2);
+  c.x(0).x(0).sx(1).sxdg(1).cx(0, 1).cx(0, 1);
+  const cc::Circuit opt = ct::cancel_inverse_pairs(c);
+  EXPECT_EQ(opt.size(), 0u);
+}
+
+TEST(Passes, CancelRespectsInterveningGates) {
+  cc::Circuit c(2);
+  c.cx(0, 1).rz(1, 0.5).cx(0, 1);  // RZ on target blocks cancellation
+  const cc::Circuit opt = ct::cancel_inverse_pairs(c);
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 2u);
+}
+
+TEST(Passes, CancelCascades) {
+  cc::Circuit c(1);
+  c.sx(0).x(0).x(0).sxdg(0);  // inner pair cancels, then outer pair
+  const cc::Circuit opt = ct::cancel_inverse_pairs(c);
+  EXPECT_EQ(opt.size(), 0u);
+}
+
+TEST(Passes, Fuse1qShortensRuns) {
+  cc::Circuit c(1);
+  for (int i = 0; i < 10; ++i) c.sx(0);
+  c.rz(0, 0.2);
+  const cc::Circuit opt = ct::fuse_1q_runs(c);
+  EXPECT_LE(opt.size(), 5u);
+  // Semantics preserved.
+  cs::Statevector a(1), b(1);
+  a.apply(c);
+  b.apply(opt);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, 1e-9);
+}
+
+TEST(Passes, OptimizePreservesSemanticsOnRandomCircuits) {
+  charter::util::Rng rng(13);
+  for (int level : {1, 2, 3}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const cc::Circuit logical = random_logical_circuit(4, 30, rng);
+      const cc::Circuit basis = ct::decompose_to_basis(logical);
+      const cc::Circuit opt = ct::optimize(basis, level);
+      EXPECT_LE(opt.size(), basis.size());
+      cs::Statevector a(4), b(4);
+      cc::Circuit pre(4);
+      for (int q = 0; q < 4; ++q) pre.h(q).rz(q, rng.uniform(-1.0, 1.0));
+      a.apply(pre);
+      b.apply(pre);
+      a.apply(basis);
+      b.apply(opt);
+      EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, 1e-8)
+          << "level " << level << " trial " << trial;
+    }
+  }
+}
+
+// ---- routing ----
+
+TEST(Routing, AlreadyAdjacentNeedsNoSwaps) {
+  cc::Circuit c(3);
+  c.cx(0, 1).cx(1, 2);
+  const auto routed =
+      ct::route(c, ct::line(3), ct::trivial_layout(3, ct::line(3)));
+  EXPECT_EQ(routed.swaps_inserted, 0);
+  EXPECT_EQ(routed.physical.count_kind(GateKind::CX), 2u);
+}
+
+TEST(Routing, InsertsSwapsForDistantPairs) {
+  cc::Circuit c(4);
+  c.cx(0, 3);
+  const auto routed =
+      ct::route(c, ct::line(4), ct::trivial_layout(4, ct::line(4)));
+  EXPECT_GE(routed.swaps_inserted, 2);
+  // All CX legal.
+  const ct::Topology topo = ct::line(4);
+  const cc::Circuit basis = ct::decompose_to_basis(routed.physical);
+  for (const cc::Gate& g : basis.ops())
+    if (g.kind == GateKind::CX)
+      EXPECT_TRUE(topo.connected(g.qubits[0], g.qubits[1]));
+}
+
+TEST(Routing, RemapDistributionInvertsPermutation) {
+  // Physical distribution peaked at physical qubit 2 = logical 0.
+  std::vector<double> phys(8, 0.0);
+  phys[4] = 1.0;  // |q2=1, q1=0, q0=0>
+  const ct::Layout final_layout = {2, 0};  // logical0 -> phys2, logical1 -> phys0
+  const auto logical = ct::remap_distribution(phys, final_layout, 2);
+  ASSERT_EQ(logical.size(), 4u);
+  EXPECT_DOUBLE_EQ(logical[1], 1.0);  // logical0 = 1, logical1 = 0
+}
+
+TEST(Routing, SemanticsPreservedThroughRouting) {
+  charter::util::Rng rng(17);
+  const ct::Topology topo = ct::ibm_lagos();
+  for (int trial = 0; trial < 4; ++trial) {
+    const cc::Circuit logical = random_logical_circuit(5, 20, rng);
+    const cc::Circuit basis = ct::decompose_to_basis(logical);
+    const auto routed = ct::route(basis, topo, ct::trivial_layout(5, topo));
+    const cc::Circuit phys = ct::decompose_to_basis(routed.physical);
+
+    const auto want = cs::ideal_probabilities(logical);
+    const auto got_phys = cs::ideal_probabilities(phys);
+    const auto got = ct::remap_distribution(got_phys, routed.final, 5);
+    EXPECT_LT(dist(want, got), 1e-9) << "trial " << trial;
+  }
+}
+
+// ---- full pipeline ----
+
+TEST(Transpiler, EndToEndPreservesSemantics) {
+  charter::util::Rng rng(19);
+  const ct::Topology topo = ct::ibm_lagos();
+  const charter::noise::NoiseModel model =
+      charter::noise::generate_calibration(7, topo.edges(), 3);
+  for (int level : {0, 3}) {
+    const cc::Circuit logical = random_logical_circuit(4, 25, rng);
+    ct::TranspileOptions opts;
+    opts.optimization_level = level;
+    const ct::TranspileResult result =
+        ct::transpile(logical, topo, &model, opts);
+    const auto want = cs::ideal_probabilities(logical);
+    const auto got =
+        result.to_logical(cs::ideal_probabilities(result.physical), 4);
+    EXPECT_LT(dist(want, got), 1e-9) << "level " << level;
+  }
+}
+
+TEST(Transpiler, NoiseAwareLayoutAvoidsWorstQubits) {
+  const ct::Topology topo = ct::line(5);
+  charter::noise::NoiseModel model =
+      charter::noise::generate_calibration(5, topo.edges(), 3);
+  // Poison edge 3-4.
+  model.edge(3, 4).cx_depol = 0.4;
+  model.qubit(4).readout.p_meas0_given1 = 0.3;
+  cc::Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  const cc::Circuit basis = ct::decompose_to_basis(bell);
+  const ct::Layout layout = ct::noise_aware_layout(basis, topo, model);
+  for (const int p : layout) EXPECT_NE(p, 4);
+}
+
+TEST(Transpiler, QftOnLagosProducesReasonableGateMix) {
+  const ct::Topology topo = ct::ibm_lagos();
+  const charter::noise::NoiseModel model =
+      charter::noise::generate_calibration(7, topo.edges(), 3);
+  const cc::Circuit logical = charter::algos::qft(3, 0);
+  const ct::TranspileResult result = ct::transpile(logical, topo, &model);
+  const std::size_t rz = result.physical.count_kind(GateKind::RZ);
+  const std::size_t cx = result.physical.count_kind(GateKind::CX);
+  const std::size_t sx = result.physical.count_kind(GateKind::SX);
+  EXPECT_GE(cx, 6u);   // QFT(3) has 3 CPs (2 CX each) + possible swaps
+  EXPECT_GE(rz, 8u);
+  EXPECT_GE(sx, 4u);
+  // Everything is basis.
+  for (const cc::Gate& g : result.physical.ops())
+    EXPECT_TRUE(cc::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER);
+}
+
+TEST(Transpiler, RejectsOversizedCircuits) {
+  cc::Circuit c(8);
+  c.h(0);
+  const ct::Topology topo = ct::ibm_lagos();
+  EXPECT_THROW(ct::transpile(c, topo, nullptr), charter::InvalidArgument);
+}
+
+// ---- commutation pass ----
+
+TEST(Commute, RzHoistsOverCxControl) {
+  cc::Circuit c(2);
+  c.cx(0, 1).rz(0, 0.5).cx(0, 1);
+  const cc::Circuit opt = ct::optimize(c, 3);
+  // RZ commutes with the control, so the CX pair cancels.
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 0u);
+  EXPECT_EQ(opt.count_kind(GateKind::RZ), 1u);
+}
+
+TEST(Commute, XHoistsOverCxTarget) {
+  cc::Circuit c(2);
+  c.cx(0, 1).x(1).cx(0, 1);
+  const cc::Circuit opt = ct::optimize(c, 3);
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 0u);
+  EXPECT_EQ(opt.count_kind(GateKind::X), 1u);
+}
+
+TEST(Commute, RzOnTargetDoesNotHoist) {
+  cc::Circuit c(2);
+  c.cx(0, 1).rz(1, 0.5).cx(0, 1);  // RZZ core: must NOT cancel
+  const cc::Circuit opt = ct::optimize(c, 3);
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 2u);
+}
+
+TEST(Commute, XOnControlDoesNotHoist) {
+  cc::Circuit c(2);
+  c.cx(0, 1).x(0).cx(0, 1);
+  const cc::Circuit opt = ct::optimize(c, 3);
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 2u);
+}
+
+TEST(Commute, PreservesSemanticsOnRandomCircuits) {
+  charter::util::Rng rng(23);
+  for (int trial = 0; trial < 6; ++trial) {
+    const cc::Circuit logical = random_logical_circuit(4, 30, rng);
+    const cc::Circuit basis = ct::decompose_to_basis(logical);
+    const cc::Circuit pushed = ct::commute_push_left(basis);
+    EXPECT_EQ(pushed.size(), basis.size());  // reorder only
+    cs::Statevector a(4), b(4);
+    cc::Circuit pre(4);
+    for (int q = 0; q < 4; ++q) pre.h(q).rz(q, rng.uniform(-1.0, 1.0));
+    a.apply(pre);
+    b.apply(pre);
+    a.apply(basis);
+    b.apply(pushed);
+    EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, 1e-8) << trial;
+  }
+}
+
+TEST(Commute, DoesNotCrossBarriers) {
+  cc::Circuit c(2);
+  c.cx(0, 1).barrier().rz(0, 0.5).cx(0, 1);
+  const cc::Circuit opt = ct::optimize(c, 3);
+  EXPECT_EQ(opt.count_kind(GateKind::CX), 2u);
+}
+
+// ---- gate-kind parsing (cache round trip support) ----
+
+TEST(GateNames, RoundTripAllKinds) {
+  for (GateKind k :
+       {GateKind::RZ, GateKind::SX, GateKind::SXDG, GateKind::X, GateKind::CX,
+        GateKind::H, GateKind::CCX, GateKind::BARRIER, GateKind::RZZ}) {
+    EXPECT_EQ(cc::gate_kind_from_name(cc::gate_name(k)), k);
+  }
+  EXPECT_THROW(cc::gate_kind_from_name("bogus"), charter::NotFound);
+}

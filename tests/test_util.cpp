@@ -1,0 +1,229 @@
+// Unit tests for the util library: RNG determinism and distributions, the
+// parallel loop helpers, CLI parsing, table rendering, and the CSV cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace cu = charter::util;
+
+TEST(Rng, SameSeedSameStream) {
+  cu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  cu::Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  cu::Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  cu::Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  cu::Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  cu::Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependentAndDeterministic) {
+  cu::Rng parent(99);
+  cu::Rng c1 = parent.split(0);
+  cu::Rng c2 = parent.split(1);
+  cu::Rng c1_again = parent.split(0);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    seen.insert(c1.next_u64());
+    seen.insert(c2.next_u64());
+  }
+  EXPECT_GT(seen.size(), 60u);  // no collisions expected
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<int> hits(10000, 0);
+  cu::parallel_for(10000, [&](std::int64_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  const std::int64_t n = 100000;
+  const double got = cu::parallel_sum(n, [](std::int64_t i) {
+    return 1.0 / ((i + 1.0) * (i + 1.0));
+  });
+  double want = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) want += 1.0 / ((i + 1.0) * (i + 1.0));
+  EXPECT_NEAR(got, want, 1e-9);
+}
+
+TEST(Parallel, SmallLoopStaysCorrect) {
+  double total = cu::parallel_sum(3, [](std::int64_t i) { return i * 1.0; });
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  cu::Cli cli("test");
+  cli.add_flag("name", std::string("qft"), "algo name");
+  cli.add_flag("shots", std::int64_t{100}, "shot count");
+  cli.add_flag("scale", 1.5, "scale factor");
+  cli.add_flag("full", false, "full mode");
+  const char* argv[] = {"prog", "--name=adder", "--shots", "32000",
+                        "--scale=2.5", "--full"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_string("name"), "adder");
+  EXPECT_EQ(cli.get_int("shots"), 32000);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 2.5);
+  EXPECT_TRUE(cli.get_bool("full"));
+}
+
+TEST(Cli, DefaultsSurviveParse) {
+  cu::Cli cli("test");
+  cli.add_flag("shots", std::int64_t{4096}, "shot count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("shots"), 4096);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  cu::Cli cli("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), charter::InvalidArgument);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  cu::Cli cli("test");
+  cli.add_flag("shots", std::int64_t{1}, "shots");
+  const char* argv[] = {"prog", "--shots=abc"};
+  EXPECT_THROW(cli.parse(2, argv), charter::InvalidArgument);
+}
+
+TEST(Cli, BenchmarkFlagsPassThrough) {
+  cu::Cli cli("test");
+  const char* argv[] = {"prog", "--benchmark_filter=all"};
+  EXPECT_TRUE(cli.parse(2, argv));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  cu::Table t("Caption");
+  t.set_header({"Algorithm", "Corr."});
+  t.add_row({"QFT (3)", "0.99"});
+  t.add_row({"Adder (4)", "0.98"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Caption"), std::string::npos);
+  EXPECT_NE(out.find("Algorithm"), std::string::npos);
+  EXPECT_NE(out.find("QFT (3)   | 0.99"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  cu::Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), charter::InvalidArgument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(cu::Table::fmt(0.4567, 2), "0.46");
+  EXPECT_EQ(cu::Table::fmt_percent(0.42), "42%");
+  EXPECT_EQ(cu::Table::fmt_pvalue(0.26), "0.26");
+  const std::string p = cu::Table::fmt_pvalue(3.78e-24);
+  EXPECT_NE(p.find("e-24"), std::string::npos);
+}
+
+TEST(Csv, RoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "charter_csv_test.csv")
+          .string();
+  cu::write_csv(path, {"algo", "tvd"}, {{"qft", "0.25"}, {"adder", "0.5"}});
+  const cu::CsvDocument doc = cu::read_csv(path);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][doc.column("algo")], "adder");
+  EXPECT_EQ(doc.rows[0][doc.column("tvd")], "0.25");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileThrowsNotFound) {
+  EXPECT_THROW(cu::read_csv("/nonexistent/charter.csv"), charter::NotFound);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  cu::CsvDocument doc;
+  doc.header = {"a"};
+  EXPECT_THROW(doc.column("b"), charter::NotFound);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  cu::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i * 1.0);
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    charter::require(false, "broken precondition");
+    FAIL() << "expected throw";
+  } catch (const charter::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos);
+  }
+}
