@@ -1,6 +1,8 @@
 #include "backend/backend.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 #include "noise/executor.hpp"
 #include "sim/density_matrix.hpp"
@@ -8,6 +10,7 @@
 #include "sim/statevector.hpp"
 #include "sim/trajectory.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace charter::backend {
 
@@ -44,6 +47,13 @@ CompiledProgram FakeBackend::compile(
                          logical.num_qubits()};
 }
 
+EngineKind resolve_engine(const RunOptions& options, int local_width) {
+  if (options.engine != EngineKind::kAuto) return options.engine;
+  return local_width <= sim::DensityMatrixEngine::kMaxQubits
+             ? EngineKind::kDensityMatrix
+             : EngineKind::kTrajectory;
+}
+
 noise::NoiseModel restrict_model(const noise::NoiseModel& model,
                                  const std::vector<int>& kept) {
   noise::NoiseModel out(static_cast<int>(kept.size()));
@@ -65,10 +75,6 @@ noise::NoiseModel restrict_model(const noise::NoiseModel& model,
   return out;
 }
 
-namespace {
-
-/// Physical qubits a program touches (gates or measured logical qubits),
-/// sorted ascending.
 std::vector<int> used_qubits(const CompiledProgram& program) {
   std::vector<bool> used(
       static_cast<std::size_t>(program.physical.num_qubits()), false);
@@ -83,9 +89,7 @@ std::vector<int> used_qubits(const CompiledProgram& program) {
   return kept;
 }
 
-/// Relabels the physical circuit onto local indices 0..k-1.
-Circuit compact_circuit(const Circuit& physical,
-                        const std::vector<int>& kept) {
+Circuit compact_to(const Circuit& physical, const std::vector<int>& kept) {
   std::vector<std::int16_t> local_of(
       static_cast<std::size_t>(physical.num_qubits()), -1);
   for (std::size_t i = 0; i < kept.size(); ++i)
@@ -100,6 +104,8 @@ Circuit compact_circuit(const Circuit& physical,
   }
   return out;
 }
+
+namespace {
 
 /// Folds a local-qubit distribution down to the logical qubits.
 std::vector<double> to_logical(const std::vector<double>& local_probs,
@@ -123,57 +129,91 @@ std::vector<double> to_logical(const std::vector<double>& local_probs,
 
 }  // namespace
 
-std::vector<double> FakeBackend::run(const CompiledProgram& program,
-                                     const RunOptions& options) const {
+LoweredRun FakeBackend::lower(const CompiledProgram& program,
+                              const RunOptions& options) const {
   require(program.physical.num_qubits() == topology_.num_qubits(),
           "program compiled for a different device");
   require(static_cast<int>(program.final_layout.size()) ==
               program.num_logical,
           "bad program layout");
 
-  const std::vector<int> kept = used_qubits(program);
-  const Circuit local = compact_circuit(program.physical, kept);
+  std::vector<int> kept = used_qubits(program);
+  Circuit local = compact_to(program.physical, kept);
   noise::NoiseModel model = restrict_model(model_, kept);
   if (options.drift > 0.0)
     model = model.with_drift(options.seed ^ 0xd21f7ULL, options.drift);
+  return LoweredRun{std::move(local), std::move(model), std::move(kept)};
+}
 
-  const int width = local.num_qubits();
-  EngineKind engine = options.engine;
-  if (engine == EngineKind::kAuto) {
-    engine = width <= sim::DensityMatrixEngine::kMaxQubits
-                 ? EngineKind::kDensityMatrix
-                 : EngineKind::kTrajectory;
-  }
-  require(engine != EngineKind::kDensityMatrix ||
-              width <= sim::DensityMatrixEngine::kMaxQubits,
-          "program too wide for the density-matrix engine");
-
-  const noise::NoisyExecutor executor(model);
-  std::vector<double> probs;
-  if (engine == EngineKind::kDensityMatrix) {
-    sim::DensityMatrixEngine dm(width);
-    executor.run(local, dm);
-    probs = dm.probabilities();
-  } else {
-    probs = sim::run_trajectories(
-        width, options.trajectories, options.seed ^ 0x7ca3bULL,
-        [&](sim::NoisyEngine& engine_ref) { executor.run(local, engine_ref); });
-  }
-
-  sim::apply_readout_error(probs, model.readout_errors());
+std::vector<double> FakeBackend::finalize(std::vector<double> engine_probs,
+                                          const LoweredRun& lowered,
+                                          const CompiledProgram& program,
+                                          const RunOptions& options) const {
+  sim::apply_readout_error(engine_probs, lowered.model.readout_errors());
 
   if (options.shots > 0) {
     util::Rng rng(options.seed ^ 0x51a9eULL);
     const std::vector<std::uint64_t> counts = sim::sample_counts(
-        probs, static_cast<std::uint64_t>(options.shots), rng);
-    probs = sim::counts_to_distribution(counts);
+        engine_probs, static_cast<std::uint64_t>(options.shots), rng);
+    engine_probs = sim::counts_to_distribution(counts);
   }
-  return to_logical(probs, program, kept);
+  return to_logical(engine_probs, program, lowered.kept);
+}
+
+std::vector<double> FakeBackend::run(const CompiledProgram& program,
+                                     const RunOptions& options) const {
+  const LoweredRun lowered = lower(program, options);
+
+  const int width = lowered.local.num_qubits();
+  const EngineKind engine = resolve_engine(options, width);
+  require(engine != EngineKind::kDensityMatrix ||
+              width <= sim::DensityMatrixEngine::kMaxQubits,
+          "program too wide for the density-matrix engine");
+
+  const noise::NoisyExecutor executor(lowered.model);
+  std::vector<double> probs;
+  if (engine == EngineKind::kDensityMatrix) {
+    sim::DensityMatrixEngine dm(width);
+    executor.run(lowered.local, dm);
+    probs = dm.probabilities();
+  } else {
+    probs = sim::run_trajectories(
+        width, options.trajectories, options.seed ^ 0x7ca3bULL,
+        [&](sim::NoisyEngine& engine_ref) {
+          executor.run(lowered.local, engine_ref);
+        });
+  }
+  return finalize(std::move(probs), lowered, program, options);
+}
+
+std::vector<std::vector<double>> FakeBackend::run_batch(
+    const std::vector<BatchJob>& jobs) const {
+  std::vector<std::vector<double>> results(jobs.size());
+  for (const BatchJob& job : jobs)
+    require(job.program != nullptr, "batch job without a program");
+  // An exception cannot propagate out of the parallel region (OpenMP would
+  // terminate); capture the first one and rethrow afterwards so a bad job
+  // fails the same way a standalone run() would.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  util::parallel_for_dynamic(
+      static_cast<std::int64_t>(jobs.size()), [&](std::int64_t i) {
+        try {
+          const BatchJob& job = jobs[static_cast<std::size_t>(i)];
+          results[static_cast<std::size_t>(i)] =
+              run(*job.program, job.options);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
 }
 
 std::vector<double> FakeBackend::ideal(const CompiledProgram& program) const {
   const std::vector<int> kept = used_qubits(program);
-  const Circuit local = compact_circuit(program.physical, kept);
+  const Circuit local = compact_to(program.physical, kept);
   sim::Statevector sv(local.num_qubits());
   sv.apply(local);
   return to_logical(sv.probabilities(), program, kept);
@@ -181,7 +221,7 @@ std::vector<double> FakeBackend::ideal(const CompiledProgram& program) const {
 
 double FakeBackend::duration_ns(const CompiledProgram& program) const {
   const std::vector<int> kept = used_qubits(program);
-  const Circuit local = compact_circuit(program.physical, kept);
+  const Circuit local = compact_to(program.physical, kept);
   const noise::NoiseModel model = restrict_model(model_, kept);
   const noise::NoisyExecutor executor(model);
   return executor.make_schedule(local).total_time;

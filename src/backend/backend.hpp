@@ -53,6 +53,29 @@ struct CompiledProgram {
   int num_logical = 0;
 };
 
+/// Simulator-level view of one compiled program on this device: the circuit
+/// compacted to the qubits it touches, the matching restricted (and, when
+/// requested, drifted) noise model, and the kept physical qubits needed to
+/// fold engine output back onto the logical register.  Produced by
+/// FakeBackend::lower(); consumed by the exec layer, which drives simulation
+/// engines directly for prefix-state checkpointing.
+struct LoweredRun {
+  circ::Circuit local;
+  noise::NoiseModel model;
+  std::vector<int> kept;
+};
+
+/// One entry of a batch submission: a program plus its per-run options.
+struct BatchJob {
+  const CompiledProgram* program = nullptr;
+  RunOptions options;
+};
+
+/// The engine kind a run with \p options actually uses for a program whose
+/// compacted width is \p local_width (resolves kAuto).  Shared by
+/// FakeBackend::run and the exec layer so the two can never diverge.
+EngineKind resolve_engine(const RunOptions& options, int local_width);
+
 /// Noisy device simulator.
 class FakeBackend {
  public:
@@ -80,6 +103,28 @@ class FakeBackend {
   std::vector<double> run(const CompiledProgram& program,
                           const RunOptions& options = {}) const;
 
+  /// Runs every job and returns the distributions in job order.  Jobs run
+  /// across the worker pool (util::parallel_for_dynamic); each job is
+  /// bit-identical to a standalone run() with the same options.  This is the
+  /// plain batched entry point — exec::BatchRunner layers prefix-state
+  /// checkpointing and result caching on top of it.
+  std::vector<std::vector<double>> run_batch(
+      const std::vector<BatchJob>& jobs) const;
+
+  /// Lowers a program to its simulator-level form (compaction + model
+  /// restriction + drift).  run() is exactly lower + engine execution +
+  /// finalize.
+  LoweredRun lower(const CompiledProgram& program,
+                   const RunOptions& options) const;
+
+  /// Applies readout error, optional shot sampling (seeded by \p options),
+  /// and the fold back onto logical qubits to raw engine probabilities
+  /// produced under \p lowered.
+  std::vector<double> finalize(std::vector<double> engine_probs,
+                               const LoweredRun& lowered,
+                               const CompiledProgram& program,
+                               const RunOptions& options) const;
+
   /// Noiseless execution of the same compiled program (validation oracle).
   std::vector<double> ideal(const CompiledProgram& program) const;
 
@@ -95,5 +140,15 @@ class FakeBackend {
 /// to dropped qubits are omitted.  Exposed for tests.
 noise::NoiseModel restrict_model(const noise::NoiseModel& model,
                                  const std::vector<int>& kept);
+
+/// Physical qubits a program touches (gates or measured logical qubits),
+/// sorted ascending.  Exposed so the exec layer can prove two programs
+/// compact identically before sharing a lowered model between them.
+std::vector<int> used_qubits(const CompiledProgram& program);
+
+/// Relabels \p physical onto local indices 0..k-1 per \p kept (every op is
+/// preserved, so op indices survive compaction unchanged).
+circ::Circuit compact_to(const circ::Circuit& physical,
+                         const std::vector<int>& kept);
 
 }  // namespace charter::backend

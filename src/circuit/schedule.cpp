@@ -71,8 +71,14 @@ Schedule schedule_asap(const Circuit& c, const DurationFn& durations,
       if (sched.ops[i].t_end <= sched.ops[i].t_start) continue;
       items.push_back({i, sched.ops[i].t_start, sched.ops[i].t_end});
     }
-    std::sort(items.begin(), items.end(),
-              [](const Item& a, const Item& b) { return a.start < b.start; });
+    // Tie-break equal start times by op index so the overlap enumeration
+    // order is a pure function of the schedule (std::sort is not stable;
+    // without the tie-break, equal-start ops can enumerate in different
+    // orders for circuits sharing a prefix, which breaks the exactness
+    // verification in exec/checkpoint.hpp).
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      return a.start != b.start ? a.start < b.start : a.op < b.op;
+    });
     std::vector<Item> live;
     for (const Item& it : items) {
       live.erase(std::remove_if(live.begin(), live.end(),

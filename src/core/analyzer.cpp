@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace charter::core {
@@ -80,12 +81,12 @@ CharterAnalyzer::CharterAnalyzer(const backend::FakeBackend& backend,
   require(options_.reversals >= 1, "need at least one reversal");
 }
 
-namespace {
-
-/// Evenly subsamples \p indices down to \p limit entries (keeps ends).
-std::vector<std::size_t> subsample(const std::vector<std::size_t>& indices,
-                                   int limit) {
+std::vector<std::size_t> subsample_evenly(
+    const std::vector<std::size_t>& indices, int limit) {
   if (limit <= 0 || static_cast<int>(indices.size()) <= limit) return indices;
+  // A single pick cannot use the ends-preserving stride below (the stride
+  // divides by limit - 1); take the middle element as the representative.
+  if (limit == 1) return {indices[indices.size() / 2]};
   std::vector<std::size_t> out;
   out.reserve(static_cast<std::size_t>(limit));
   const double step = static_cast<double>(indices.size() - 1) /
@@ -100,6 +101,8 @@ std::vector<std::size_t> subsample(const std::vector<std::size_t>& indices,
   }
   return out;
 }
+
+namespace {
 
 /// Per-circuit seed derivation: mixes the base seed with a circuit tag so
 /// each run (original, every reversed circuit) gets an independent stream
@@ -119,50 +122,87 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
   const std::vector<std::size_t> eligible =
       reversible_ops(c, options_.skip_rz);
   const std::vector<std::size_t> chosen =
-      subsample(eligible, options_.max_gates);
+      subsample_evenly(eligible, options_.max_gates);
   report.total_gates = all_ops.size();
   report.eligible_gates = eligible.size();
   report.analyzed_gates = chosen.size();
 
   const circ::Layering layering = circ::assign_layers(c);
 
-  // Original run.
-  backend::RunOptions orig_run = options_.run;
-  orig_run.seed = derive_seed(options_.run.seed, 0);
-  report.original_distribution = backend_.run(program, orig_run);
   if (options_.compute_validation)
     report.ideal_distribution = backend_.ideal(program);
 
+  // Submit the original plus one reversed circuit per analyzed gate through
+  // the batch runner, which parallelizes across the worker pool and, when
+  // exact (density matrix, drift == 0), resumes each reversed circuit from a
+  // prefix-state checkpoint instead of re-simulating ops [0, i].  Reversed
+  // circuits are materialized in bounded chunks so peak memory stays
+  // O(chunk * circuit) rather than O(G^2) on large programs; each chunk
+  // shares the same base, so checkpoint sharing is preserved.
+  const exec::BatchRunner runner(backend_, options_.exec);
+  exec::BatchRunner::Stats total_stats;
   report.impacts.resize(chosen.size());
+  const std::size_t chunk_size = std::max<std::size_t>(
+      256, 8 * static_cast<std::size_t>(util::num_threads()));
 
-  // Each reversed circuit is an independent run; parallelize across them.
-  // Inner simulation kernels detect nesting and stay serial.
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::int64_t k = 0; k < static_cast<std::int64_t>(chosen.size());
-       ++k) {
-    const std::size_t op_index = chosen[static_cast<std::size_t>(k)];
-    const circ::Gate& g = c.op(op_index);
+  backend::RunOptions orig_run = options_.run;
+  orig_run.seed = derive_seed(options_.run.seed, 0);
 
-    CompiledProgram reversed = program;
-    reversed.physical = insert_reversed_pairs(c, op_index,
-                                              options_.reversals,
-                                              options_.isolate);
-    backend::RunOptions run = options_.run;
-    run.seed = derive_seed(options_.run.seed, op_index + 1);
-    const std::vector<double> rev_dist = backend_.run(reversed, run);
+  // At least one chunk always runs: the original-run job rides with it.
+  const std::size_t num_chunks =
+      chosen.empty() ? 1 : (chosen.size() + chunk_size - 1) / chunk_size;
+  for (std::size_t ci = 0; ci < num_chunks; ++ci) {
+    const std::size_t begin = ci * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, chosen.size());
+    std::vector<CompiledProgram> reversed;
+    reversed.reserve(end - begin);
+    std::vector<exec::AnalysisJob> jobs;
+    jobs.reserve(end - begin + 1);
+    // The original runs with the first chunk (served by the checkpoint
+    // sweep at no extra cost when sharing is exact).
+    if (begin == 0) jobs.push_back({&program, orig_run, c.size()});
 
-    GateImpact& impact = report.impacts[static_cast<std::size_t>(k)];
-    impact.op_index = op_index;
-    impact.kind = g.kind;
-    impact.qubits = g.qubits;
-    impact.num_qubits = g.num_qubits;
-    impact.layer = layering.layer[op_index];
-    impact.tvd = stats::tvd(report.original_distribution, rev_dist);
-    if (options_.compute_validation)
-      impact.tvd_vs_ideal = stats::tvd(report.ideal_distribution, rev_dist);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t op_index = chosen[k];
+      CompiledProgram rev = program;
+      rev.physical = insert_reversed_pairs(c, op_index, options_.reversals,
+                                           options_.isolate);
+      reversed.push_back(std::move(rev));
+      backend::RunOptions run = options_.run;
+      run.seed = derive_seed(options_.run.seed, op_index + 1);
+      // Reversed pairs are inserted after op_index: ops [0, op_index] shared.
+      jobs.push_back({&reversed.back(), run, op_index + 1});
+    }
+
+    const std::vector<std::vector<double>> dists = runner.run(jobs, &program);
+    const exec::BatchRunner::Stats s = runner.last_stats();
+    total_stats.jobs += s.jobs;
+    total_stats.cache_hits += s.cache_hits;
+    total_stats.checkpointed += s.checkpointed;
+    total_stats.full_runs += s.full_runs;
+    total_stats.checkpoint_fallbacks += s.checkpoint_fallbacks;
+
+    // Score this chunk immediately; the distributions are not retained, so
+    // peak memory stays proportional to the chunk, not the whole sweep.
+    std::size_t d = 0;
+    if (begin == 0) report.original_distribution = dists[d++];
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t op_index = chosen[k];
+      const circ::Gate& g = c.op(op_index);
+      const std::vector<double>& rev_dist = dists[d++];
+
+      GateImpact& impact = report.impacts[k];
+      impact.op_index = op_index;
+      impact.kind = g.kind;
+      impact.qubits = g.qubits;
+      impact.num_qubits = g.num_qubits;
+      impact.layer = layering.layer[op_index];
+      impact.tvd = stats::tvd(report.original_distribution, rev_dist);
+      if (options_.compute_validation)
+        impact.tvd_vs_ideal = stats::tvd(report.ideal_distribution, rev_dist);
+    }
   }
+  record_exec_stats(total_stats);
   return report;
 }
 
@@ -171,14 +211,24 @@ double CharterAnalyzer::input_impact(const CompiledProgram& program) const {
   reversed.physical = insert_input_block_reversal(
       program.physical, options_.reversals, options_.isolate);
 
+  // The block-reversed circuit is identical to the original up to the end of
+  // the input-preparation region, so it can resume from a prefix checkpoint.
+  const std::vector<std::size_t> prep =
+      program.physical.ops_with_flag(circ::kFlagInputPrep);
+  const std::size_t shared = prep.empty() ? 0 : prep.back() + 1;
+
   backend::RunOptions orig_run = options_.run;
   orig_run.seed = derive_seed(options_.run.seed, 0);
-  const std::vector<double> orig = backend_.run(program, orig_run);
-
   backend::RunOptions rev_run = options_.run;
   rev_run.seed = derive_seed(options_.run.seed, 0x11fa7ULL);
-  const std::vector<double> rev = backend_.run(reversed, rev_run);
-  return stats::tvd(orig, rev);
+
+  const exec::BatchRunner runner(backend_, options_.exec);
+  const std::vector<std::vector<double>> dists =
+      runner.run({{&program, orig_run, program.physical.size()},
+                  {&reversed, rev_run, shared}},
+                 &program);
+  record_exec_stats(runner.last_stats());
+  return stats::tvd(dists[0], dists[1]);
 }
 
 }  // namespace charter::core

@@ -12,10 +12,12 @@
 /// (paper Table III), clearly separated in the options.
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "backend/backend.hpp"
 #include "core/reversal.hpp"
+#include "exec/batch.hpp"
 #include "stats/stats.hpp"
 
 namespace charter::core {
@@ -37,6 +39,11 @@ struct CharterOptions {
   bool compute_validation = false;
   /// Execution options for every run (seed is re-derived per circuit).
   backend::RunOptions run;
+  /// Execution strategy: prefix-state checkpointing and run caching
+  /// (see exec/batch.hpp).  Checkpointing engages only when exact
+  /// (density-matrix engine, drift == 0); other configurations fall back to
+  /// independent full runs automatically.
+  exec::BatchOptions exec;
 };
 
 /// Impact record for one analyzed gate.
@@ -87,6 +94,12 @@ struct CharterReport {
   std::vector<GateImpact> sorted_by_impact() const;
 };
 
+/// Evenly subsamples \p indices down to at most \p limit entries, keeping
+/// both ends when limit >= 2 (a single pick takes the middle element).
+/// limit <= 0 means "no cap".  Exposed for tests.
+std::vector<std::size_t> subsample_evenly(
+    const std::vector<std::size_t>& indices, int limit);
+
 /// Orchestrates charter over a backend.
 class CharterAnalyzer {
  public:
@@ -102,9 +115,24 @@ class CharterAnalyzer {
 
   const CharterOptions& options() const { return options_; }
 
+  /// Execution diagnostics from the most recent analyze()/input_impact()
+  /// (cache hits, checkpointed vs full runs, fallbacks).  Thread-safe, but
+  /// with concurrent analyses the value reflects whichever finished last.
+  exec::BatchRunner::Stats last_exec_stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_exec_stats_;
+  }
+
  private:
+  void record_exec_stats(const exec::BatchRunner::Stats& stats) const {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    last_exec_stats_ = stats;
+  }
+
   const backend::FakeBackend& backend_;
   CharterOptions options_;
+  mutable std::mutex stats_mu_;
+  mutable exec::BatchRunner::Stats last_exec_stats_;
 };
 
 }  // namespace charter::core

@@ -1,0 +1,146 @@
+#include "exec/batch.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "exec/checkpoint.hpp"
+#include "noise/executor.hpp"
+#include "sim/density_matrix.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace charter::exec {
+
+using backend::CompiledProgram;
+using backend::EngineKind;
+
+BatchRunner::BatchRunner(const backend::FakeBackend& backend,
+                         BatchOptions options)
+    : backend_(backend), options_(options) {}
+
+std::vector<std::vector<double>> BatchRunner::run(
+    const std::vector<AnalysisJob>& jobs,
+    const CompiledProgram* base) const {
+  stats_ = Stats{};
+  stats_.jobs = jobs.size();
+  std::vector<std::vector<double>> results(jobs.size());
+  std::vector<bool> done(jobs.size(), false);
+  for (const AnalysisJob& job : jobs)
+    require(job.program != nullptr, "analysis job without a program");
+
+  // Serve repeated submissions from the process-wide cache.  The device
+  // fingerprint sweeps the full calibration table, so compute it once for
+  // the batch rather than once per job.
+  std::vector<Fingerprint> keys;
+  if (options_.caching) {
+    const Fingerprint device = fingerprint(backend_);
+    keys.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      keys[i] = run_key(*jobs[i].program, device, jobs[i].run);
+      if (auto hit = RunCache::global().lookup(keys[i])) {
+        results[i] = std::move(*hit);
+        done[i] = true;
+        ++stats_.cache_hits;
+      }
+    }
+  }
+
+  // Partition the remaining jobs: checkpoint-eligible prefix sharers vs.
+  // independent full runs.  Sharing must be *exact*: density-matrix engine
+  // (deterministic given the model) and zero calibration drift (the model
+  // itself is seed-independent).  Trajectory unravellings and drifted models
+  // re-randomize per run seed, so their prefixes are not shared state.
+  std::vector<std::size_t> shared_idx;
+  std::vector<std::size_t> plain_idx;
+  const bool base_usable = options_.checkpointing && base != nullptr;
+  std::vector<int> base_kept;
+  if (base_usable) base_kept = backend::used_qubits(*base);
+  const int base_width = static_cast<int>(base_kept.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
+    const AnalysisJob& job = jobs[i];
+    const bool eligible =
+        base_usable && job.shared_prefix > 0 && job.run.drift == 0.0 &&
+        job.program->physical.num_qubits() ==
+            base->physical.num_qubits() &&
+        backend::resolve_engine(job.run, base_width) ==
+            EngineKind::kDensityMatrix &&
+        base_width <= sim::DensityMatrixEngine::kMaxQubits &&
+        (job.program == base || backend::used_qubits(*job.program) == base_kept);
+    (eligible ? shared_idx : plain_idx).push_back(i);
+  }
+
+  if (!shared_idx.empty()) {
+    // Lower the base once; every sharer reuses the compaction, restricted
+    // model, and executor.  drift == 0 for all sharers, so the lowered model
+    // is seed-independent and shared safely.
+    backend::RunOptions lower_options;
+    lower_options.drift = 0.0;
+    const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
+    const noise::NoisyExecutor executor(lowered.model);
+
+    std::vector<std::size_t> prefix_lens;
+    for (const std::size_t i : shared_idx)
+      if (jobs[i].program != base) prefix_lens.push_back(jobs[i].shared_prefix);
+    const CheckpointPlan plan(executor, lowered.local, std::move(prefix_lens),
+                              options_.checkpoint_memory_bytes);
+
+    // One scratch engine per worker, allocated on first use.  Exceptions
+    // (e.g. a derived circuit failing executor validation) cannot cross the
+    // parallel region, so capture the first and rethrow after.
+    std::vector<std::unique_ptr<sim::DensityMatrixEngine>> engines(
+        static_cast<std::size_t>(util::num_threads()));
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    util::parallel_for_dynamic(
+        static_cast<std::int64_t>(shared_idx.size()), [&](std::int64_t k) {
+          try {
+            const std::size_t i = shared_idx[static_cast<std::size_t>(k)];
+            const AnalysisJob& job = jobs[i];
+            std::vector<double> probs;
+            if (job.program == base) {
+              probs = plan.base_probabilities();
+            } else {
+              auto& engine =
+                  engines[static_cast<std::size_t>(util::thread_index())];
+              if (!engine)
+                engine = std::make_unique<sim::DensityMatrixEngine>(
+                    lowered.local.num_qubits());
+              probs = plan.run_shared(
+                  backend::compact_to(job.program->physical, lowered.kept),
+                  job.shared_prefix, *engine);
+            }
+            results[i] =
+                backend_.finalize(std::move(probs), lowered, *job.program,
+                                  job.run);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+    if (first_error) std::rethrow_exception(first_error);
+    stats_.checkpoint_fallbacks = plan.stats().fallbacks;
+    stats_.checkpointed = shared_idx.size() - stats_.checkpoint_fallbacks;
+  }
+
+  if (!plain_idx.empty()) {
+    std::vector<backend::BatchJob> batch;
+    batch.reserve(plain_idx.size());
+    for (const std::size_t i : plain_idx)
+      batch.push_back({jobs[i].program, jobs[i].run});
+    std::vector<std::vector<double>> plain = backend_.run_batch(batch);
+    for (std::size_t k = 0; k < plain_idx.size(); ++k)
+      results[plain_idx[k]] = std::move(plain[k]);
+    stats_.full_runs = plain_idx.size();
+  }
+
+  if (options_.caching) {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (!done[i]) RunCache::global().store(keys[i], results[i]);
+  }
+  return results;
+}
+
+}  // namespace charter::exec

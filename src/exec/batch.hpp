@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file batch.hpp
+/// Batched execution: the layer between the analysis pipeline and the
+/// backend.
+///
+/// CHARTER-style protocols submit many near-identical circuits per analysis
+/// (one reversed circuit per gate).  BatchRunner accepts the whole family as
+/// AnalysisJobs and schedules them across the worker pool
+/// (util::parallel_for_dynamic), applying two accelerations the per-run
+/// backend API cannot:
+///
+///  - prefix-state checkpointing (checkpoint.hpp): when jobs declare a
+///    shared prefix against a base program and the run is exactly
+///    reproducible (density-matrix engine, drift == 0), the base is
+///    simulated once and every job resumes mid-circuit, simulating only its
+///    inserted gates plus the suffix — O(G * avg-suffix) instead of O(G^2)
+///    simulated gate-applications;
+///  - run caching (cache.hpp): results are memoized process-wide on
+///    (program, device, options), so repeated submissions — bench sweeps,
+///    the mitigation workflow's re-analysis — skip the simulator entirely.
+///
+/// Jobs that cannot share exactly (trajectory engine, drifted calibration,
+/// differing qubit footprints) fall back to independent full runs through
+/// FakeBackend::run_batch; every result is bit-identical to a standalone
+/// FakeBackend::run with the same options.
+
+#include <cstddef>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "exec/cache.hpp"
+
+namespace charter::exec {
+
+/// One analysis execution: a compiled program plus its run options.
+struct AnalysisJob {
+  const backend::CompiledProgram* program = nullptr;
+  backend::RunOptions run;
+  /// Number of leading ops of program->physical that are byte-identical to
+  /// the batch's base program (0 = unrelated; insertion-at-i reversed
+  /// circuits share i + 1 ops).  Enables checkpoint resumption; sharing is
+  /// re-verified at run time, so an over-claim degrades to a full run
+  /// rather than a wrong answer.
+  std::size_t shared_prefix = 0;
+};
+
+/// Execution-strategy knobs.
+struct BatchOptions {
+  /// Resume jobs from prefix-state snapshots when exact (density matrix,
+  /// drift == 0).  Off: every job is an independent full run.
+  bool checkpointing = true;
+  /// Serve and populate the process-wide RunCache.
+  bool caching = true;
+  /// Total snapshot memory per batch; when the insertion points outnumber
+  /// the budget, an evenly spaced subset is kept and the gaps are replayed.
+  std::size_t checkpoint_memory_bytes = 512ull << 20;
+};
+
+/// Schedules a family of jobs over one backend.
+class BatchRunner {
+ public:
+  explicit BatchRunner(const backend::FakeBackend& backend,
+                       BatchOptions options = {});
+
+  /// Runs every job and returns the logical distributions in job order.
+  /// \p base is the program the jobs' shared_prefix fields refer to
+  /// (nullptr disables prefix sharing).  A job whose program *is* \p base
+  /// is served from the checkpoint sweep itself.
+  std::vector<std::vector<double>> run(
+      const std::vector<AnalysisJob>& jobs,
+      const backend::CompiledProgram* base = nullptr) const;
+
+  /// Diagnostics from the most recent run() (not cumulative).
+  struct Stats {
+    std::size_t jobs = 0;
+    std::size_t cache_hits = 0;
+    std::size_t checkpointed = 0;  ///< jobs served via the checkpoint plan
+    std::size_t full_runs = 0;     ///< independent full simulations
+    /// Checkpoint-eligible jobs whose prefix could not be proven exact at
+    /// run time and were re-simulated cold (still correct, just slower).
+    std::size_t checkpoint_fallbacks = 0;
+  };
+  Stats last_stats() const { return stats_; }
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  const backend::FakeBackend& backend_;
+  BatchOptions options_;
+  mutable Stats stats_;  // written only by the coordinating thread
+};
+
+}  // namespace charter::exec

@@ -1,0 +1,208 @@
+#include "exec/cache.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace charter::exec {
+
+FingerprintBuilder::FingerprintBuilder() {
+  fp_.lo = 0x243f6a8885a308d3ULL;  // pi digits: arbitrary distinct seeds
+  fp_.hi = 0x13198a2e03707344ULL;
+}
+
+void FingerprintBuilder::mix(std::uint64_t v) {
+  std::uint64_t s = fp_.lo ^ (v + 0x9e3779b97f4a7c15ULL + (fp_.lo << 6));
+  fp_.lo = util::splitmix64(s);
+  s = fp_.hi ^ (v * 0xc2b2ae3d27d4eb4fULL + (fp_.hi >> 3) + 1);
+  fp_.hi = util::splitmix64(s);
+}
+
+void FingerprintBuilder::mix_double(double v) {
+  mix(std::bit_cast<std::uint64_t>(v));
+}
+
+void FingerprintBuilder::mix_string(const std::string& s) {
+  mix(s.size());
+  std::uint64_t word = 0;
+  int n = 0;
+  for (const char c : s) {
+    word = (word << 8) | static_cast<unsigned char>(c);
+    if (++n == 8) {
+      mix(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) mix(word);
+}
+
+namespace {
+
+void mix_circuit(FingerprintBuilder& b, const circ::Circuit& c) {
+  b.mix(static_cast<std::uint64_t>(c.num_qubits()));
+  b.mix(c.size());
+  for (const circ::Gate& g : c.ops()) {
+    b.mix((static_cast<std::uint64_t>(g.kind) << 24) |
+          (static_cast<std::uint64_t>(g.num_qubits) << 16) |
+          (static_cast<std::uint64_t>(g.num_params) << 8) |
+          static_cast<std::uint64_t>(g.flags));
+    for (std::uint8_t i = 0; i < g.num_qubits; ++i)
+      b.mix(static_cast<std::uint64_t>(
+          static_cast<std::uint16_t>(g.qubits[i])));
+    for (std::uint8_t i = 0; i < g.num_params; ++i)
+      b.mix_double(g.params[i]);
+  }
+}
+
+}  // namespace
+
+Fingerprint fingerprint(const circ::Circuit& c) {
+  FingerprintBuilder b;
+  mix_circuit(b, c);
+  return b.result();
+}
+
+Fingerprint fingerprint(const backend::CompiledProgram& program) {
+  FingerprintBuilder b;
+  mix_circuit(b, program.physical);
+  b.mix(program.final_layout.size());
+  for (const int p : program.final_layout)
+    b.mix(static_cast<std::uint64_t>(p));
+  b.mix(static_cast<std::uint64_t>(program.num_logical));
+  return b.result();
+}
+
+Fingerprint fingerprint(const backend::RunOptions& options) {
+  FingerprintBuilder b;
+  b.mix(static_cast<std::uint64_t>(options.shots));
+  b.mix(static_cast<std::uint64_t>(options.engine));
+  b.mix(static_cast<std::uint64_t>(options.trajectories));
+  b.mix(options.seed);
+  b.mix_double(options.drift);
+  return b.result();
+}
+
+Fingerprint fingerprint(const backend::FakeBackend& backend) {
+  FingerprintBuilder b;
+  b.mix_string(backend.name());
+  const noise::NoiseModel& m = backend.model();
+  b.mix(static_cast<std::uint64_t>(m.num_qubits()));
+  const noise::NoiseToggles& t = m.toggles();
+  b.mix((static_cast<std::uint64_t>(t.decoherence) << 6) |
+        (static_cast<std::uint64_t>(t.depolarizing) << 5) |
+        (static_cast<std::uint64_t>(t.coherent) << 4) |
+        (static_cast<std::uint64_t>(t.static_zz) << 3) |
+        (static_cast<std::uint64_t>(t.drive_zz) << 2) |
+        (static_cast<std::uint64_t>(t.readout) << 1) |
+        static_cast<std::uint64_t>(t.prep));
+  b.mix_double(m.reset_duration_ns);
+  for (int q = 0; q < m.num_qubits(); ++q) {
+    const noise::QubitCal& cal = m.qubit(q);
+    b.mix_double(cal.t1_ns);
+    b.mix_double(cal.t2_ns);
+    b.mix_double(cal.prep_error);
+    b.mix_double(cal.readout.p_meas1_given0);
+    b.mix_double(cal.readout.p_meas0_given1);
+    for (const circ::GateKind kind : {circ::GateKind::SX, circ::GateKind::X}) {
+      const noise::OneQubitGateCal& g = m.gate_1q(kind, q);
+      b.mix_double(g.depol);
+      b.mix_double(g.overrot_frac);
+      b.mix_double(g.duration_ns);
+    }
+  }
+  for (const auto& [a, bq] : m.edges()) {
+    b.mix((static_cast<std::uint64_t>(a) << 32) |
+          static_cast<std::uint64_t>(bq));
+    const noise::EdgeCal& e = m.edge(a, bq);
+    b.mix_double(e.cx_depol);
+    b.mix_double(e.cx_zz_angle);
+    b.mix_double(e.cx_duration_ns);
+    b.mix_double(e.static_zz_rate);
+    b.mix_double(e.drive_zz_rate);
+  }
+  return b.result();
+}
+
+Fingerprint run_key(const backend::CompiledProgram& program,
+                    const backend::FakeBackend& backend,
+                    const backend::RunOptions& options) {
+  return run_key(program, fingerprint(backend), options);
+}
+
+Fingerprint run_key(const backend::CompiledProgram& program,
+                    const Fingerprint& device,
+                    const backend::RunOptions& options) {
+  const Fingerprint p = fingerprint(program);
+  const Fingerprint o = fingerprint(options);
+  FingerprintBuilder b;
+  b.mix(p.lo);
+  b.mix(p.hi);
+  b.mix(device.lo);
+  b.mix(device.hi);
+  b.mix(o.lo);
+  b.mix(o.hi);
+  return b.result();
+}
+
+RunCache::RunCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+RunCache& RunCache::global() {
+  static RunCache cache;
+  return cache;
+}
+
+std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void RunCache::store(const Fingerprint& key, std::vector<double> distribution) {
+  const std::size_t bytes = distribution.size() * sizeof(double);
+  if (bytes > max_bytes_) return;  // never admit an entry that can't fit
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.contains(key)) return;
+  while (stored_bytes_ + bytes > max_bytes_ &&
+         next_evict_ < insertion_order_.size()) {
+    const auto it = entries_.find(insertion_order_[next_evict_++]);
+    if (it == entries_.end()) continue;
+    stored_bytes_ -= it->second.size() * sizeof(double);
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  stored_bytes_ += bytes;
+  entries_.emplace(key, std::move(distribution));
+  insertion_order_.push_back(key);
+  // Compact the FIFO queue once the evicted prefix dominates it.
+  if (next_evict_ > insertion_order_.size() / 2) {
+    insertion_order_.erase(insertion_order_.begin(),
+                           insertion_order_.begin() +
+                               static_cast<std::ptrdiff_t>(next_evict_));
+    next_evict_ = 0;
+  }
+  stats_.entries = entries_.size();
+}
+
+void RunCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+  next_evict_ = 0;
+  stored_bytes_ = 0;
+  stats_ = Stats{};
+}
+
+RunCache::Stats RunCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace charter::exec

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file cache.hpp
+/// Process-wide memoization of backend runs.
+///
+/// Every FakeBackend execution is deterministic in (program, backend,
+/// RunOptions), so identical submissions — repeated CLI invocations inside
+/// one process, the bench sweeps that share configs, and the mitigation
+/// workflow's re-analysis of an unchanged program — can be served from
+/// memory instead of the simulator.  Entries are keyed on a 128-bit
+/// structural fingerprint covering the compiled circuit, the device (its
+/// topology name *and* full calibration data, so two devices that merely
+/// share a name never collide), and the run options.
+///
+/// The cache is thread-safe and bounded: when the entry cap is reached the
+/// store evicts in insertion order (FIFO).  exec::BatchRunner consults it
+/// before scheduling work; nothing below the exec layer knows it exists.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.hpp"
+
+namespace charter::exec {
+
+/// 128-bit fingerprint: two independently mixed 64-bit streams, so a
+/// collision requires defeating both.  Used as a cache key.
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+/// Incremental fingerprint builder (splitmix64-based, deterministic across
+/// platforms).
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder();
+
+  void mix(std::uint64_t v);
+  void mix_double(double v);
+  void mix_string(const std::string& s);
+
+  Fingerprint result() const { return fp_; }
+
+ private:
+  Fingerprint fp_;
+};
+
+/// Structural fingerprint of a circuit: width plus every op's kind,
+/// operands, parameters, and flags.
+Fingerprint fingerprint(const circ::Circuit& c);
+
+/// Fingerprint of a compiled program (circuit + layout + logical width).
+Fingerprint fingerprint(const backend::CompiledProgram& program);
+
+/// Fingerprint of the execution-relevant options (engine, shots,
+/// trajectories, seed, drift).
+Fingerprint fingerprint(const backend::RunOptions& options);
+
+/// Fingerprint of a device: name, coupling graph, and the full calibration
+/// (per-qubit decoherence/SPAM, gate and edge calibrations, toggles).
+Fingerprint fingerprint(const backend::FakeBackend& backend);
+
+/// Combined cache key for one run.
+Fingerprint run_key(const backend::CompiledProgram& program,
+                    const backend::FakeBackend& backend,
+                    const backend::RunOptions& options);
+
+/// Same, with the device fingerprint precomputed (batch submissions hash
+/// the calibration table once, not once per job).
+Fingerprint run_key(const backend::CompiledProgram& program,
+                    const Fingerprint& device,
+                    const backend::RunOptions& options);
+
+/// Bounded, thread-safe memoization of run results (logical distributions).
+class RunCache {
+ public:
+  /// \p max_bytes bounds the memory held by stored distributions (a
+  /// 16-logical-qubit result is 512 KiB, a 7-qubit one under 1 KiB, so the
+  /// bound is on payload bytes rather than entry count).
+  explicit RunCache(std::size_t max_bytes = 256ull << 20);
+
+  /// The process-wide instance BatchRunner uses by default.
+  static RunCache& global();
+
+  /// Returns the cached distribution for \p key, or nullopt on a miss.
+  std::optional<std::vector<double>> lookup(const Fingerprint& key);
+
+  /// Stores a result; evicts the oldest entry when full.  Storing an
+  /// existing key refreshes nothing (first result wins; results for a given
+  /// key are identical by construction).
+  void store(const Fingerprint& key, std::vector<double> distribution);
+
+  void clear();
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t entries = 0;
+    std::size_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Fingerprint& f) const {
+      return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_bytes_;
+  std::size_t stored_bytes_ = 0;
+  std::unordered_map<Fingerprint, std::vector<double>, KeyHash> entries_;
+  std::vector<Fingerprint> insertion_order_;  ///< FIFO eviction queue
+  std::size_t next_evict_ = 0;
+  Stats stats_;
+};
+
+}  // namespace charter::exec

@@ -1,0 +1,140 @@
+#include "exec/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charter::exec {
+
+using noise::NoisyExecutor;
+
+namespace {
+
+/// Evenly spaced subset of \p lens (sorted) with at most \p cap entries,
+/// biased toward the deepest prefixes (they save the most replay work and
+/// shallow gaps are cheap to replay from earlier snapshots or from scratch).
+std::vector<std::size_t> select_within_budget(std::vector<std::size_t> lens,
+                                              std::size_t cap) {
+  if (cap == 0) return {};
+  if (lens.size() <= cap) return lens;
+  std::vector<std::size_t> picked;
+  picked.reserve(cap);
+  const double step =
+      static_cast<double>(lens.size() - 1) / static_cast<double>(cap);
+  // Walk from the deep end so the last prefix is always kept.
+  for (std::size_t k = 0; k < cap; ++k) {
+    const double pos = static_cast<double>(lens.size() - 1) -
+                       static_cast<double>(k) * step;
+    picked.push_back(lens[static_cast<std::size_t>(pos)]);
+  }
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
+                               circ::Circuit base,
+                               std::vector<std::size_t> prefix_lens,
+                               std::size_t memory_budget_bytes)
+    : executor_(executor), base_(std::move(base)) {
+  std::sort(prefix_lens.begin(), prefix_lens.end());
+  prefix_lens.erase(std::unique(prefix_lens.begin(), prefix_lens.end()),
+                    prefix_lens.end());
+  // A zero-length prefix shares nothing; a snapshot there is just reset().
+  while (!prefix_lens.empty() && prefix_lens.front() == 0)
+    prefix_lens.erase(prefix_lens.begin());
+  for (const std::size_t len : prefix_lens)
+    require(len <= base_.size(), "checkpoint prefix longer than the base");
+
+  sim::DensityMatrixEngine engine(base_.num_qubits());
+  const std::size_t per_snapshot = engine.state_bytes();
+  const std::size_t cap =
+      per_snapshot == 0 ? prefix_lens.size()
+                        : memory_budget_bytes / per_snapshot;
+  const std::vector<std::size_t> keep =
+      select_within_budget(std::move(prefix_lens), cap);
+  checkpoints_.reserve(keep.size());
+
+  base_stream_ = executor_.make_stream(base_);
+  executor_.start(base_, base_stream_, engine);
+  auto next_keep = keep.begin();
+  while (base_stream_.next_op < base_.size()) {
+    executor_.step(base_, base_stream_, engine);
+    if (next_keep != keep.end() && base_stream_.next_op == *next_keep) {
+      Checkpoint cp;
+      cp.prefix_len = base_stream_.next_op;
+      engine.save_state(cp.rho);
+      cp.qubit_clock = base_stream_.qubit_clock;
+      cp.zz_clock = base_stream_.zz_clock;
+      checkpoints_.push_back(std::move(cp));
+      ++next_keep;
+    }
+  }
+  executor_.finish(base_, base_stream_, engine);
+  base_probs_ = engine.probabilities();
+}
+
+namespace {
+
+bool same_gate(const circ::Gate& a, const circ::Gate& b) {
+  return a.kind == b.kind && a.num_qubits == b.num_qubits &&
+         a.num_params == b.num_params && a.flags == b.flags &&
+         a.qubits == b.qubits && a.params == b.params;
+}
+
+}  // namespace
+
+bool CheckpointPlan::prefix_is_exact(const circ::Circuit& c,
+                                     const NoisyExecutor::Stream& stream,
+                                     std::size_t prefix_len) const {
+  if (prefix_len > base_.size() || prefix_len > c.size()) return false;
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    // The ops themselves must match — an over-claimed shared_prefix must
+    // degrade to a full run, never to a resumed wrong answer.
+    if (!same_gate(base_.op(i), c.op(i))) return false;
+    const circ::ScheduledOp& a = base_stream_.sched.ops[i];
+    const circ::ScheduledOp& b = stream.sched.ops[i];
+    if (a.t_start != b.t_start || a.t_end != b.t_end) return false;
+    if (base_stream_.drive_terms[i] != stream.drive_terms[i]) return false;
+  }
+  return true;
+}
+
+std::vector<double> CheckpointPlan::run_shared(
+    const circ::Circuit& c, std::size_t prefix_len,
+    sim::DensityMatrixEngine& engine) const {
+  require(c.num_qubits() == base_.num_qubits(),
+          "derived circuit width differs from the base");
+
+  NoisyExecutor::Stream stream = executor_.make_stream(c);
+
+  // Deepest snapshot at or before the fork point.
+  const Checkpoint* snapshot = nullptr;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.prefix_len > std::min(prefix_len, c.size())) break;
+    snapshot = &cp;
+  }
+
+  if (snapshot == nullptr || !prefix_is_exact(c, stream, prefix_len)) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    executor_.start(c, stream, engine);
+    while (stream.next_op < c.size()) executor_.step(c, stream, engine);
+    executor_.finish(c, stream, engine);
+    return engine.probabilities();
+  }
+
+  engine.load_state(snapshot->rho);
+  stream.qubit_clock = snapshot->qubit_clock;
+  stream.zz_clock = snapshot->zz_clock;
+  stream.next_op = snapshot->prefix_len;
+  replayed_ops_.fetch_add(prefix_len - snapshot->prefix_len,
+                          std::memory_order_relaxed);
+  resumed_.fetch_add(1, std::memory_order_relaxed);
+  while (stream.next_op < c.size()) executor_.step(c, stream, engine);
+  executor_.finish(c, stream, engine);
+  return engine.probabilities();
+}
+
+}  // namespace charter::exec

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Prefix-state checkpointing for families of near-identical circuits.
+///
+/// CHARTER's reversed circuits are byte-identical to the original up to the
+/// insertion point (paper Fig. 5): the circuit for gate i is
+/// `ops[0..i] ++ reversed-pairs ++ ops[i+1..]`.  Re-simulating the shared
+/// prefix for every gate is what makes the naive analyzer O(G^2).  This
+/// module simulates the *base* circuit once on the density-matrix engine,
+/// snapshots vec(rho) plus the executor's lazy decoherence/ZZ clocks after
+/// each requested prefix length, and resumes every derived circuit from the
+/// deepest snapshot at or before its fork point — simulating only the
+/// inserted pairs and the suffix.
+///
+/// Exactness.  Resumption is bit-identical to a cold run because
+///  (a) ASAP scheduling assigns ops [0, L) the same start/end times in the
+///      base and derived circuits (a gate's time depends only on earlier
+///      gates), and
+///  (b) the drive-crosstalk terms attached to prefix ops match.
+/// Both properties are *verified at runtime* per derived circuit (they can
+/// fail, e.g. when an un-isolated insertion overlaps a late-starting prefix
+/// op on another qubit); on any mismatch the circuit silently falls back to
+/// a full cold run, so checkpointing is always safe and never approximate.
+/// Stochastic engines (trajectory) and drifted models re-randomize per run
+/// and must not share prefixes at all — BatchRunner routes those to plain
+/// full runs.
+///
+/// Memory.  Each snapshot costs 16 bytes * 4^n for an n-qubit local circuit.
+/// When the requested snapshots exceed the budget, an evenly spaced subset
+/// is kept; resumption replays the gap [snapshot, fork point) from the
+/// shared prefix, trading time back for memory without losing exactness.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "noise/executor.hpp"
+#include "sim/density_matrix.hpp"
+
+namespace charter::exec {
+
+/// Checkpointed execution plan over one base circuit (density-matrix only).
+/// Built once (a single streaming sweep of the base), then shared read-only
+/// across worker threads.
+class CheckpointPlan {
+ public:
+  /// Sweeps \p base once under \p executor, snapshotting after each prefix
+  /// length in \p prefix_lens (deduped; capped by \p memory_budget_bytes).
+  /// The executor reference must outlive the plan.
+  CheckpointPlan(const noise::NoisyExecutor& executor, circ::Circuit base,
+                 std::vector<std::size_t> prefix_lens,
+                 std::size_t memory_budget_bytes);
+
+  const circ::Circuit& base_circuit() const { return base_; }
+
+  /// Engine-level probabilities of the base circuit itself (the sweep runs
+  /// it to completion, so the original run comes for free).
+  const std::vector<double>& base_probabilities() const { return base_probs_; }
+
+  /// Runs \p c — which shares ops [0, prefix_len) with the base circuit —
+  /// on \p engine, resuming from the deepest usable snapshot.  Falls back to
+  /// a full cold run when the prefix is not provably exact or no snapshot
+  /// applies.  Returns the engine probabilities (pre-readout).  Thread-safe;
+  /// \p engine is caller-owned scratch (one per worker).
+  std::vector<double> run_shared(const circ::Circuit& c,
+                                 std::size_t prefix_len,
+                                 sim::DensityMatrixEngine& engine) const;
+
+  std::size_t num_checkpoints() const { return checkpoints_.size(); }
+
+  /// Jobs served from a snapshot vs. full cold-run fallbacks (diagnostics).
+  struct Stats {
+    std::size_t resumed = 0;
+    std::size_t replayed_ops = 0;  ///< gap ops re-simulated due to budget
+    std::size_t fallbacks = 0;
+  };
+  Stats stats() const {
+    return {resumed_.load(), replayed_ops_.load(), fallbacks_.load()};
+  }
+
+ private:
+  struct Checkpoint {
+    std::size_t prefix_len = 0;  ///< ops applied before the snapshot
+    std::vector<math::cplx> rho;
+    std::vector<double> qubit_clock;
+    std::map<std::pair<int, int>, double> zz_clock;
+  };
+
+  /// True when ops [0, prefix_len) of \p c provably replay the base prefix
+  /// bit-identically (ops, schedule times, and drive terms all match).
+  bool prefix_is_exact(const circ::Circuit& c,
+                       const noise::NoisyExecutor::Stream& stream,
+                       std::size_t prefix_len) const;
+
+  const noise::NoisyExecutor& executor_;
+  circ::Circuit base_;
+  noise::NoisyExecutor::Stream base_stream_;  ///< schedule + drive terms
+  std::vector<Checkpoint> checkpoints_;       ///< ascending prefix_len
+  std::vector<double> base_probs_;
+  mutable std::atomic<std::size_t> resumed_{0};
+  mutable std::atomic<std::size_t> replayed_ops_{0};
+  mutable std::atomic<std::size_t> fallbacks_{0};
+};
+
+}  // namespace charter::exec

@@ -28,6 +28,11 @@
 ///
 /// The executor only accepts basis-gate circuits (transpile first).
 
+#include <array>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "circuit/circuit.hpp"
 #include "circuit/schedule.hpp"
 #include "noise/noise_model.hpp"
@@ -36,20 +41,65 @@
 namespace charter::noise {
 
 /// Executes circuits against engines under a fixed noise model.
+///
+/// Besides the one-shot run(), execution is exposed as a *stream*: the
+/// schedule and crosstalk terms are computed up front, then ops are applied
+/// one at a time while the lazy decoherence/ZZ clocks advance.  A Stream can
+/// be paused after any op, its clocks saved alongside an engine snapshot, and
+/// later resumed on a different circuit that shares the same op prefix —
+/// the mechanism behind exec/checkpoint.hpp's prefix-state checkpointing.
+/// run(c, e) is exactly { s = make_stream(c); start(c,s,e); step...; finish }.
 class NoisyExecutor {
  public:
   explicit NoisyExecutor(const NoiseModel& model);
+
+  /// Everything one in-flight execution carries: the ASAP schedule, the
+  /// precomputed drive-crosstalk terms attached to each op, and the lazy
+  /// per-qubit decoherence / per-edge ZZ clocks.
+  struct Stream {
+    circ::Schedule sched;
+    /// drive_terms[i] lists {qubit_u, qubit_v, angle} RZZ contributions
+    /// applied when op i completes (temporal-overlap crosstalk).
+    std::vector<std::vector<std::array<double, 3>>> drive_terms;
+    std::vector<double> qubit_clock;                 ///< per-qubit time
+    std::map<std::pair<int, int>, double> zz_clock;  ///< per-edge flush time
+    std::size_t next_op = 0;                         ///< next op to apply
+  };
 
   /// Runs \p c (basis gates only) on \p engine from |0...0>.
   /// The engine is reset first.  Throws InvalidArgument when the circuit
   /// contains a non-basis gate or a CX on an uncoupled pair.
   void run(const circ::Circuit& c, sim::NoisyEngine& engine) const;
 
+  /// Validates \p c and builds its Stream (schedule + crosstalk terms,
+  /// clocks at zero).  Does not touch any engine.
+  Stream make_stream(const circ::Circuit& c) const;
+
+  /// Starts an execution: resets \p engine and applies the t = 0
+  /// state-preparation errors.  Call once before the first step().
+  void start(const circ::Circuit& c, Stream& stream,
+             sim::NoisyEngine& engine) const;
+
+  /// Applies op stream.next_op (advancing clocks lazily) and increments
+  /// next_op.  Requires next_op < c.size().
+  void step(const circ::Circuit& c, Stream& stream,
+            sim::NoisyEngine& engine) const;
+
+  /// Closes out the timeline after the last op: every qubit decoheres and
+  /// every pair accumulates ZZ until the makespan.
+  void finish(const circ::Circuit& c, Stream& stream,
+              sim::NoisyEngine& engine) const;
+
   /// The schedule the executor will use for \p c (exposed for tests and for
   /// the benches that report circuit durations).
   circ::Schedule make_schedule(const circ::Circuit& c) const;
 
  private:
+  void flush_zz(Stream& stream, sim::NoisyEngine& engine, int q,
+                double t) const;
+  void advance(Stream& stream, sim::NoisyEngine& engine, int q,
+               double t) const;
+
   const NoiseModel& model_;
 };
 

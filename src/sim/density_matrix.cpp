@@ -39,6 +39,15 @@ void DensityMatrixEngine::reset() {
   rho_[0] = 1.0;
 }
 
+std::unique_ptr<NoisyEngine> DensityMatrixEngine::clone() const {
+  return std::make_unique<DensityMatrixEngine>(*this);
+}
+
+void DensityMatrixEngine::load_state(const std::vector<cplx>& in) {
+  require(in.size() == dim2(), "snapshot width does not match engine");
+  rho_ = in;
+}
+
 void DensityMatrixEngine::apply_unitary_1q(const Mat2& u, int q) {
   kernels::apply_1q(rho_.data(), dim2(), q, u);
   kernels::apply_1q(rho_.data(), dim2(), q + num_qubits_, conj2(u));

@@ -46,6 +46,20 @@ class DensityMatrixEngine final : public NoisyEngine {
 
   std::vector<double> probabilities() const override;
 
+  std::unique_ptr<NoisyEngine> clone() const override;
+
+  /// Copies vec(rho) into \p out (cheap snapshot for checkpointing; the
+  /// scratch buffers are transient and excluded).
+  void save_state(std::vector<math::cplx>& out) const { out = rho_; }
+
+  /// Restores a state saved by save_state(); width must match.
+  void load_state(const std::vector<math::cplx>& in);
+
+  /// Bytes one saved snapshot occupies (16 bytes * 4^n).
+  std::size_t state_bytes() const {
+    return dim2() * sizeof(math::cplx);
+  }
+
   /// Trace of rho (should remain 1 under CPTP evolution).
   double trace() const;
 

@@ -1,5 +1,6 @@
 #include "sim/trajectory.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -131,43 +132,41 @@ std::vector<double> TrajectoryEngine::probabilities() const {
   return state_.probabilities();
 }
 
+std::unique_ptr<NoisyEngine> TrajectoryEngine::clone() const {
+  return std::make_unique<TrajectoryEngine>(*this);
+}
+
 std::vector<double> run_trajectories(
     int num_qubits, int num_trajectories, std::uint64_t seed,
     const std::function<void(NoisyEngine&)>& program) {
   require(num_trajectories >= 1, "need at least one trajectory");
   const std::uint64_t dim = std::uint64_t{1} << num_qubits;
-  std::vector<double> total(dim, 0.0);
-  util::Rng seeder(seed);
+  const util::Rng seeder(seed);
 
-#ifdef _OPENMP
-  // Static scheduling plus a thread-ordered merge keeps the floating-point
-  // accumulation order fixed, so results are bit-identical across runs for
-  // a given OMP thread count.
-  const int nthreads = omp_get_max_threads();
-  std::vector<std::vector<double>> locals(
-      static_cast<std::size_t>(nthreads), std::vector<double>(dim, 0.0));
-#pragma omp parallel num_threads(nthreads)
-  {
-    std::vector<double>& local =
-        locals[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(static)
-    for (int t = 0; t < num_trajectories; ++t) {
+  // Trajectories are folded in fixed-size groups and the groups merged in
+  // index order, so the floating-point accumulation order — and therefore
+  // the result, bit for bit — is independent of the thread count and of
+  // whether this call runs nested inside an outer parallel region (as it
+  // does under backend batching).
+  constexpr int kGroupSize = 8;
+  const int num_groups = (num_trajectories + kGroupSize - 1) / kGroupSize;
+  std::vector<std::vector<double>> partial(
+      static_cast<std::size_t>(num_groups));
+  util::parallel_for_dynamic(num_groups, [&](std::int64_t g) {
+    std::vector<double>& local = partial[static_cast<std::size_t>(g)];
+    local.assign(dim, 0.0);
+    const int begin = static_cast<int>(g) * kGroupSize;
+    const int end = std::min(begin + kGroupSize, num_trajectories);
+    for (int t = begin; t < end; ++t) {
       TrajectoryEngine engine(num_qubits, seeder.split(t).next_u64());
       program(engine);
       const std::vector<double> p = engine.probabilities();
       for (std::uint64_t i = 0; i < dim; ++i) local[i] += p[i];
     }
-  }
-  for (const auto& local : locals)
+  });
+  std::vector<double> total(dim, 0.0);
+  for (const auto& local : partial)
     for (std::uint64_t i = 0; i < dim; ++i) total[i] += local[i];
-#else
-  for (int t = 0; t < num_trajectories; ++t) {
-    TrajectoryEngine engine(num_qubits, seeder.split(t).next_u64());
-    program(engine);
-    const std::vector<double> p = engine.probabilities();
-    for (std::uint64_t i = 0; i < dim; ++i) total[i] += p[i];
-  }
-#endif
   const double inv = 1.0 / num_trajectories;
   for (double& v : total) v *= inv;
   return total;

@@ -44,6 +44,10 @@ class TrajectoryEngine final : public NoisyEngine {
 
   std::vector<double> probabilities() const override;
 
+  /// Clones state *and* RNG stream: the copy replays the exact stochastic
+  /// branches the original would take.
+  std::unique_ptr<NoisyEngine> clone() const override;
+
   /// Underlying pure state (tests).
   const Statevector& state() const { return state_; }
 

@@ -42,6 +42,39 @@ void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
   for (std::int64_t i = 0; i < n; ++i) fn(i);
 }
 
+/// Index of the calling thread inside a parallel_for/parallel_for_dynamic
+/// region ([0, num_threads())); 0 outside any parallel region.  Lets callers
+/// keep per-thread scratch (e.g. one simulation engine per worker) without
+/// locking.
+inline int thread_index() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Dynamic-schedule variant of parallel_for for loops whose iterations have
+/// irregular cost (whole-circuit simulation jobs, per-gate analysis runs).
+/// Same policy guards as parallel_for: serial when OpenMP is absent, when the
+/// loop is too small to amortize scheduling (< \p min_parallel iterations),
+/// or when already inside a parallel region (inner kernels detect nesting and
+/// stay serial).  fn must be safe to invoke concurrently for distinct i.
+template <typename Fn>
+void parallel_for_dynamic(std::int64_t n, Fn&& fn,
+                          std::int64_t min_parallel = 2) {
+#ifdef _OPENMP
+  if (n >= min_parallel && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#else
+  (void)min_parallel;
+#endif
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
 /// Parallel sum-reduction of fn(i) over i in [0, n).
 template <typename Fn>
 double parallel_sum(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {

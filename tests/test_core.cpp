@@ -527,3 +527,38 @@ TEST(Baseline, MissesStateDependentImpact) {
   EXPECT_LT(cmp.top_quartile_overlap, 1.0);
   EXPECT_EQ(cmp.gates, report.impacts.size());
 }
+
+TEST(Subsample, SinglePickDoesNotDivideByZero) {
+  // Regression: limit == 1 used to compute step = (n-1)/(limit-1) = inf and
+  // cast NaN/inf to size_t (UB).  A single pick takes the middle element.
+  const std::vector<std::size_t> indices{2, 4, 6, 8, 10};
+  const std::vector<std::size_t> one = co::subsample_evenly(indices, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.front(), 6u);
+}
+
+TEST(Subsample, KeepsEndsAndRespectsCap) {
+  const std::vector<std::size_t> indices{1, 3, 5, 7, 9, 11, 13};
+  EXPECT_EQ(co::subsample_evenly(indices, 0), indices);     // 0 = no cap
+  EXPECT_EQ(co::subsample_evenly(indices, 99), indices);    // cap above size
+  const std::vector<std::size_t> two = co::subsample_evenly(indices, 2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.front(), 1u);
+  EXPECT_EQ(two.back(), 13u);
+  const std::vector<std::size_t> three = co::subsample_evenly(indices, 3);
+  ASSERT_EQ(three.size(), 3u);
+  EXPECT_EQ(three[1], 7u);
+  EXPECT_TRUE(co::subsample_evenly({}, 1).empty());
+}
+
+TEST(Subsample, AnalyzerWithMaxGatesOneAnalyzesOneGate) {
+  cb::FakeBackend backend = uniform_backend(3);
+  const cb::CompiledProgram prog = compile_trivial(backend, ca::qft(3, 1));
+  co::CharterOptions options = exact_options();
+  options.max_gates = 1;
+  const co::CharterReport report =
+      co::CharterAnalyzer(backend, options).analyze(prog);
+  EXPECT_EQ(report.analyzed_gates, 1u);
+  ASSERT_EQ(report.impacts.size(), 1u);
+  EXPECT_TRUE(std::isfinite(report.impacts.front().tvd));
+}

@@ -1,0 +1,387 @@
+// Tests for the batched execution subsystem: prefix-state checkpointing is
+// bit-identical to naive per-gate runs, the run cache returns identical
+// results on hits, non-exact configurations (trajectory engine, drift) fall
+// back to independent full runs, engine clone/save/load round-trips, and the
+// checkpoint memory budget degrades to replay instead of wrong answers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "core/analyzer.hpp"
+#include "core/reversal.hpp"
+#include "exec/batch.hpp"
+#include "exec/cache.hpp"
+#include "exec/checkpoint.hpp"
+#include "noise/executor.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/trajectory.hpp"
+
+namespace cb = charter::backend;
+namespace cc = charter::circ;
+namespace cn = charter::noise;
+namespace co = charter::core;
+namespace cs = charter::sim;
+namespace ex = charter::exec;
+using cc::GateKind;
+
+namespace {
+
+/// A 5-qubit logical program with an input-prep region and enough depth to
+/// compile to a few dozen basis gates.
+cc::Circuit deep_logical(int rounds = 3) {
+  cc::Circuit c(5);
+  for (int q = 0; q < 5; ++q) c.h(q, cc::kFlagInputPrep);
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < 4; ++q) c.cx(q, q + 1);
+    for (int q = 0; q < 5; ++q) c.t(q);
+    c.cx(4, 3);
+    for (int q = 0; q < 5; ++q) c.rx(q, 0.3 + 0.1 * q);
+  }
+  return c;
+}
+
+cb::CompiledProgram compiled_program(const cb::FakeBackend& backend,
+                                     int rounds = 3) {
+  return backend.compile(deep_logical(rounds));
+}
+
+/// Per-gate jobs mirroring what the analyzer submits (without going through
+/// it), so BatchRunner behavior can be asserted directly.
+struct JobSet {
+  std::vector<cb::CompiledProgram> reversed;
+  std::vector<ex::AnalysisJob> jobs;
+};
+
+JobSet make_jobs(const cb::CompiledProgram& program,
+                 const std::vector<std::size_t>& gates,
+                 const cb::RunOptions& run, int reversals = 2) {
+  JobSet set;
+  set.reversed.reserve(gates.size());
+  for (const std::size_t g : gates) {
+    cb::CompiledProgram rev = program;
+    rev.physical =
+        co::insert_reversed_pairs(program.physical, g, reversals, true);
+    set.reversed.push_back(std::move(rev));
+    cb::RunOptions opts = run;
+    opts.seed = run.seed + g;
+    set.jobs.push_back({&set.reversed.back(), opts, g + 1});
+  }
+  return set;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine checkpoint primitives
+// ---------------------------------------------------------------------------
+
+TEST(EngineCheckpoint, DensityMatrixSaveLoadRoundTrips) {
+  cs::DensityMatrixEngine engine(3);
+  engine.apply_unitary_1q(cc::gate_unitary_1q(cc::make_gate(GateKind::H, {0})),
+                          0);
+  engine.apply_cx(0, 1);
+  engine.apply_depolarizing_2q(0, 1, 0.05);
+  std::vector<charter::math::cplx> snap;
+  engine.save_state(snap);
+  const std::vector<double> before = engine.probabilities();
+
+  engine.apply_thermal_relaxation(2, 0.3, 0.1);
+  engine.apply_cx(1, 2);
+  engine.load_state(snap);
+  const std::vector<double> after = engine.probabilities();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(EngineCheckpoint, CloneEvolvesBitIdentically) {
+  cs::TrajectoryEngine original(4, 0xfeedULL);
+  // Burn some stochastic branches so the RNG stream is mid-flight.
+  original.apply_bitflip(0, 0.4);
+  original.apply_unitary_1q(
+      cc::gate_unitary_1q(cc::make_gate(GateKind::SX, {1})), 1);
+  original.apply_depolarizing_1q(1, 0.3);
+
+  const std::unique_ptr<cs::NoisyEngine> copy = original.clone();
+  for (cs::NoisyEngine* e :
+       {static_cast<cs::NoisyEngine*>(&original), copy.get()}) {
+    e->apply_depolarizing_2q(1, 2, 0.5);
+    e->apply_thermal_relaxation(2, 0.2, 0.3);
+    e->apply_cx(2, 3);
+  }
+  const std::vector<double> a = original.probabilities();
+  const std::vector<double> b = copy->probabilities();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint plan exactness
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointPlan, ResumedRunsMatchColdRunsBitExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend);
+  cb::RunOptions opts;
+  opts.drift = 0.0;
+  const cb::LoweredRun lowered = backend.lower(program, opts);
+  const cn::NoisyExecutor executor(lowered.model);
+
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(lowered.local, true);
+  ASSERT_GE(eligible.size(), 20u);
+
+  std::vector<std::size_t> lens;
+  for (const std::size_t g : eligible) lens.push_back(g + 1);
+  const ex::CheckpointPlan plan(executor, lowered.local, lens,
+                                512ull << 20);
+  EXPECT_EQ(plan.num_checkpoints(), lens.size());
+
+  cs::DensityMatrixEngine engine(lowered.local.num_qubits());
+  for (const std::size_t g : {eligible.front(), eligible[eligible.size() / 2],
+                              eligible.back()}) {
+    const cc::Circuit derived =
+        co::insert_reversed_pairs(lowered.local, g, 3, true);
+    const std::vector<double> resumed = plan.run_shared(derived, g + 1, engine);
+
+    cs::DensityMatrixEngine cold_engine(lowered.local.num_qubits());
+    executor.run(derived, cold_engine);
+    const std::vector<double> cold = cold_engine.probabilities();
+
+    ASSERT_EQ(resumed.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+      EXPECT_EQ(resumed[i], cold[i]) << "outcome " << i << " gate " << g;
+  }
+  EXPECT_EQ(plan.stats().fallbacks, 0u);
+  EXPECT_EQ(plan.stats().resumed, 3u);
+}
+
+TEST(CheckpointPlan, TinyMemoryBudgetReplaysGapsExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend);
+  const cb::LoweredRun lowered = backend.lower(program, cb::RunOptions{});
+  const cn::NoisyExecutor executor(lowered.model);
+
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(lowered.local, true);
+  std::vector<std::size_t> lens;
+  for (const std::size_t g : eligible) lens.push_back(g + 1);
+
+  // Budget for exactly two snapshots: everything else must replay.
+  cs::DensityMatrixEngine probe(lowered.local.num_qubits());
+  const ex::CheckpointPlan plan(executor, lowered.local, lens,
+                                2 * probe.state_bytes());
+  EXPECT_LE(plan.num_checkpoints(), 2u);
+  EXPECT_GE(plan.num_checkpoints(), 1u);
+
+  cs::DensityMatrixEngine engine(lowered.local.num_qubits());
+  const std::size_t g = eligible[eligible.size() / 3];
+  const cc::Circuit derived =
+      co::insert_reversed_pairs(lowered.local, g, 2, true);
+  const std::vector<double> resumed = plan.run_shared(derived, g + 1, engine);
+
+  cs::DensityMatrixEngine cold_engine(lowered.local.num_qubits());
+  executor.run(derived, cold_engine);
+  const std::vector<double> cold = cold_engine.probabilities();
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(resumed[i], cold[i]);
+}
+
+// ---------------------------------------------------------------------------
+// BatchRunner
+// ---------------------------------------------------------------------------
+
+TEST(BatchRunner, CheckpointedJobsMatchStandaloneRunsBitExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend);
+  cb::RunOptions run;
+  run.shots = 4096;
+  run.drift = 0.0;
+  run.seed = 77;
+
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(program.physical, true);
+  std::vector<std::size_t> gates(eligible.begin(),
+                                 eligible.begin() + 8);
+  JobSet set = make_jobs(program, gates, run);
+
+  const ex::BatchRunner runner(backend, {true, false, 512ull << 20});
+  const std::vector<std::vector<double>> dists = runner.run(set.jobs, &program);
+  EXPECT_EQ(runner.last_stats().checkpointed, set.jobs.size());
+  EXPECT_EQ(runner.last_stats().full_runs, 0u);
+
+  for (std::size_t k = 0; k < set.jobs.size(); ++k) {
+    const std::vector<double> standalone =
+        backend.run(*set.jobs[k].program, set.jobs[k].run);
+    ASSERT_EQ(dists[k].size(), standalone.size());
+    for (std::size_t i = 0; i < standalone.size(); ++i)
+      EXPECT_EQ(dists[k][i], standalone[i])
+          << "job " << k << " outcome " << i;
+  }
+}
+
+TEST(BatchRunner, TrajectoryAndDriftFallBackToFullRuns) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(program.physical, true);
+  const std::vector<std::size_t> gates(eligible.begin(), eligible.begin() + 3);
+
+  for (const bool use_drift : {false, true}) {
+    cb::RunOptions run;
+    run.shots = 1024;
+    run.seed = 5;
+    if (use_drift) {
+      run.drift = 0.05;  // drifted model is seed-specific: no sharing
+    } else {
+      run.engine = cb::EngineKind::kTrajectory;  // stochastic: no sharing
+      run.trajectories = 8;
+    }
+    JobSet set = make_jobs(program, gates, run);
+    const ex::BatchRunner runner(backend, {true, false, 512ull << 20});
+    const std::vector<std::vector<double>> dists =
+        runner.run(set.jobs, &program);
+    EXPECT_EQ(runner.last_stats().checkpointed, 0u);
+    EXPECT_EQ(runner.last_stats().full_runs, set.jobs.size());
+    for (std::size_t k = 0; k < set.jobs.size(); ++k) {
+      const std::vector<double> standalone =
+          backend.run(*set.jobs[k].program, set.jobs[k].run);
+      for (std::size_t i = 0; i < standalone.size(); ++i)
+        EXPECT_EQ(dists[k][i], standalone[i]);
+    }
+  }
+}
+
+TEST(BatchRunner, CacheHitsReturnIdenticalResults) {
+  ex::RunCache::global().clear();
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(program.physical, true);
+  const std::vector<std::size_t> gates(eligible.begin(), eligible.begin() + 4);
+  cb::RunOptions run;
+  run.shots = 2048;
+  run.seed = 13;
+  JobSet set = make_jobs(program, gates, run);
+
+  const ex::BatchRunner runner(backend, {true, true, 512ull << 20});
+  const std::vector<std::vector<double>> cold = runner.run(set.jobs, &program);
+  EXPECT_EQ(runner.last_stats().cache_hits, 0u);
+
+  const std::vector<std::vector<double>> warm = runner.run(set.jobs, &program);
+  EXPECT_EQ(runner.last_stats().cache_hits, set.jobs.size());
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t k = 0; k < cold.size(); ++k) {
+    ASSERT_EQ(cold[k].size(), warm[k].size());
+    for (std::size_t i = 0; i < cold[k].size(); ++i)
+      EXPECT_EQ(cold[k][i], warm[k][i]);
+  }
+
+  // A different seed is a different key: no stale hit.
+  set.jobs[0].run.seed ^= 0xabcdULL;
+  const std::vector<std::vector<double>> reseeded =
+      runner.run(set.jobs, &program);
+  EXPECT_EQ(runner.last_stats().cache_hits, set.jobs.size() - 1);
+  ex::RunCache::global().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer-level equivalence (the tentpole guarantee)
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerEquivalence, CheckpointedAnalysisMatchesNaiveBitExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend);
+
+  co::CharterOptions options;
+  options.reversals = 3;
+  options.run.shots = 4096;
+  options.run.seed = 2022;
+  options.run.drift = 0.0;  // exact-sharing regime
+  options.exec.caching = false;
+
+  options.exec.checkpointing = true;
+  const co::CharterReport fast =
+      co::CharterAnalyzer(backend, options).analyze(program);
+
+  options.exec.checkpointing = false;
+  const co::CharterReport naive =
+      co::CharterAnalyzer(backend, options).analyze(program);
+
+  ASSERT_GE(fast.analyzed_gates, 30u);
+  ASSERT_EQ(fast.impacts.size(), naive.impacts.size());
+  ASSERT_EQ(fast.original_distribution.size(),
+            naive.original_distribution.size());
+  for (std::size_t i = 0; i < fast.original_distribution.size(); ++i)
+    EXPECT_EQ(fast.original_distribution[i], naive.original_distribution[i]);
+  for (std::size_t k = 0; k < fast.impacts.size(); ++k) {
+    EXPECT_EQ(fast.impacts[k].op_index, naive.impacts[k].op_index);
+    EXPECT_EQ(fast.impacts[k].tvd, naive.impacts[k].tvd) << "gate " << k;
+  }
+}
+
+TEST(AnalyzerEquivalence, InputImpactMatchesNaive) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+
+  co::CharterOptions options;
+  options.reversals = 2;
+  options.run.shots = 2048;
+  options.run.seed = 99;
+  options.exec.caching = false;
+
+  options.exec.checkpointing = true;
+  const double fast =
+      co::CharterAnalyzer(backend, options).input_impact(program);
+  options.exec.checkpointing = false;
+  const double naive =
+      co::CharterAnalyzer(backend, options).input_impact(program);
+  EXPECT_EQ(fast, naive);
+}
+
+TEST(AnalyzerEquivalence, TrajectoryAnalysisUnchangedByBatching) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 1);
+
+  co::CharterOptions options;
+  options.reversals = 2;
+  options.max_gates = 4;
+  options.run.shots = 512;
+  options.run.engine = cb::EngineKind::kTrajectory;
+  options.run.trajectories = 6;
+  options.run.seed = 3;
+  options.exec.caching = false;
+
+  options.exec.checkpointing = true;
+  const co::CharterReport a =
+      co::CharterAnalyzer(backend, options).analyze(program);
+  options.exec.checkpointing = false;
+  const co::CharterReport b =
+      co::CharterAnalyzer(backend, options).analyze(program);
+  ASSERT_EQ(a.impacts.size(), b.impacts.size());
+  for (std::size_t k = 0; k < a.impacts.size(); ++k)
+    EXPECT_EQ(a.impacts[k].tvd, b.impacts[k].tvd);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprints, DistinguishProgramsOptionsAndDevices) {
+  const cb::FakeBackend lagos_a = cb::FakeBackend::lagos(7);
+  const cb::FakeBackend lagos_b = cb::FakeBackend::lagos(8);  // same name!
+  const cb::CompiledProgram p1 = compiled_program(lagos_a, 1);
+  cb::CompiledProgram p2 = p1;
+  p2.physical.mutable_op(0).params[0] += 1e-9;
+
+  EXPECT_FALSE(ex::fingerprint(p1) == ex::fingerprint(p2));
+  EXPECT_FALSE(ex::fingerprint(lagos_a) == ex::fingerprint(lagos_b));
+
+  cb::RunOptions r1, r2;
+  r2.seed = r1.seed + 1;
+  EXPECT_FALSE(ex::fingerprint(r1) == ex::fingerprint(r2));
+  EXPECT_TRUE(ex::fingerprint(r1) == ex::fingerprint(cb::RunOptions{}));
+}
