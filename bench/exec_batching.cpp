@@ -89,6 +89,16 @@ bool reports_identical(const co::CharterReport& a, const co::CharterReport& b) {
   return true;
 }
 
+/// True when both reports rank the gates identically by impact.
+bool rankings_match(const co::CharterReport& a, const co::CharterReport& b) {
+  const auto ra = a.sorted_by_impact();
+  const auto rb = b.sorted_by_impact();
+  if (ra.size() != rb.size()) return false;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (ra[i].op_index != rb[i].op_index) return false;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,6 +140,15 @@ int main(int argc, char** argv) {
   const double fast_s =
       analyze_seconds(backend, program, options, reps, &fast_report);
 
+  // Fused tape mode: checkpointing plus the noise-program optimizer
+  // (gate/diagonal/relaxation fusion).  Scores agree with exact to the
+  // fusion tolerance; the gate ranking must be unchanged.
+  options.run.opt = charter::noise::OptLevel::kFused;
+  co::CharterReport fused_report;
+  const double fused_s =
+      analyze_seconds(backend, program, options, reps, &fused_report);
+  options.run.opt = charter::noise::OptLevel::kExact;
+
   // Warm-cache replay (the mitigation workflow's re-analysis pattern).
   options.exec.caching = true;
   ex::RunCache::global().clear();
@@ -138,10 +157,14 @@ int main(int argc, char** argv) {
   ex::RunCache::global().clear();
 
   const bool identical = reports_identical(naive_report, fast_report);
+  const bool fused_ranks = rankings_match(naive_report, fused_report);
   // Cold speedup: one from-scratch analysis, checkpointing vs naive.  For a
   // uniform per-gate sweep the theoretical bound is 2x (every job still
   // simulates its reversed pairs plus on average half the circuit).
   const double cold_speedup = fast_s > 0.0 ? naive_s / fast_s : 0.0;
+  // Fused speedup: checkpointing + tape fusion vs the exact naive sweep —
+  // the end-to-end analyzer acceleration of the lowering pipeline.
+  const double fused_speedup = fused_s > 0.0 ? naive_s / fused_s : 0.0;
   // Session speedup: an analysis session that sweeps the program twice (the
   // Table V/VI pattern and the mitigation workflow's re-analysis) — the
   // second sweep is served by the run cache.
@@ -149,7 +172,7 @@ int main(int argc, char** argv) {
       (fast_s + warm_s) > 0.0 ? 2.0 * naive_s / (fast_s + warm_s) : 0.0;
   const double warm_speedup = warm_s > 0.0 ? naive_s / warm_s : 0.0;
 
-  char json[1024];
+  char json[1536];
   std::snprintf(
       json, sizeof(json),
       "{\n"
@@ -162,16 +185,20 @@ int main(int argc, char** argv) {
       "  \"drift\": 0.0,\n"
       "  \"naive_ms\": %.3f,\n"
       "  \"checkpointed_ms\": %.3f,\n"
+      "  \"fused_checkpointed_ms\": %.3f,\n"
       "  \"warm_cache_ms\": %.3f,\n"
       "  \"cold_speedup\": %.3f,\n"
+      "  \"fused_speedup\": %.3f,\n"
       "  \"session_speedup\": %.3f,\n"
       "  \"reanalysis_speedup\": %.1f,\n"
-      "  \"bit_identical\": %s\n"
+      "  \"bit_identical\": %s,\n"
+      "  \"fused_rankings_match\": %s\n"
       "}\n",
       naive_report.analyzed_gates, options.reversals,
       static_cast<int>(options.run.shots), naive_s * 1e3, fast_s * 1e3,
-      warm_s * 1e3, cold_speedup, session_speedup, warm_speedup,
-      identical ? "true" : "false");
+      fused_s * 1e3, warm_s * 1e3, cold_speedup, fused_speedup,
+      session_speedup, warm_speedup, identical ? "true" : "false",
+      fused_ranks ? "true" : "false");
   std::fputs(json, stdout);
 
   const std::string out_path = cli.get_string("out");
@@ -185,6 +212,10 @@ int main(int argc, char** argv) {
   }
   if (!identical) {
     std::fprintf(stderr, "FAIL: checkpointed != naive\n");
+    return 1;
+  }
+  if (!fused_ranks) {
+    std::fprintf(stderr, "FAIL: fused analysis changed the gate ranking\n");
     return 1;
   }
   return 0;

@@ -1,103 +1,167 @@
-// google-benchmark microbenchmarks of the hot simulation kernels: gate
-// application on state vectors of increasing width and the fused channel
-// kernels of the density-matrix engine.  These bound the cost of every
-// charter run and justify the fused single-pass channel forms.
+// Benchmark of the hot simulation kernels and the NoiseProgram tape
+// pipeline: the fused pair kernels vs. the sequential two-pass forms they
+// replace, and fused-tape vs. exact-tape end-to-end execution on the
+// density-matrix engine.  Emits JSON (like bench_exec_batching) so the perf
+// trajectory can be tracked across commits; --smoke shrinks everything for
+// the CI gate, which also asserts the fused/exact agreement bound.
+//
+// Usage: bench_sim_kernels [--qubits N] [--rounds N] [--reps N] [--smoke]
+//                          [--out PATH]
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <cmath>
+#include <complex>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "circuit/circuit.hpp"
 #include "circuit/gate.hpp"
+#include "noise/calibration.hpp"
+#include "noise/program.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/kernels.hpp"
-#include "sim/statevector.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace cc = charter::circ;
+namespace cn = charter::noise;
+namespace cs = charter::sim;
+using charter::math::cplx;
+using charter::math::Mat2;
 
 namespace {
 
-using charter::circ::GateKind;
-using charter::circ::make_gate;
-namespace cs = charter::sim;
-
-void BM_Statevector1QGate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::Statevector sv(n);
-  const auto u =
-      charter::circ::gate_unitary_1q(make_gate(GateKind::SX, {0}));
-  for (auto _ : state) {
-    sv.apply_unitary_1q(u, n / 2);
-    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+/// Transpiled-shape workload: u3-style RZ-SX-RZ-SX-RZ runs interleaved with
+/// CX ladders — the gate mix the analyzer's reversed circuits execute.
+cc::Circuit workload(int qubits, int rounds) {
+  cc::Circuit c(qubits);
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < qubits; ++q) {
+      c.rz(q, 0.3 + 0.01 * q).sx(q).rz(q, 1.1 - 0.02 * r).sx(q).rz(q, -0.7);
+    }
+    for (int q = 0; q + 1 < qubits; ++q) c.cx(q, q + 1);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(sv.dim()));
+  return c;
 }
-BENCHMARK(BM_Statevector1QGate)->Arg(10)->Arg(16)->Arg(20);
 
-void BM_StatevectorCx(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::Statevector sv(n);
-  for (auto _ : state) {
-    cs::kernels::apply_cx(sv.mutable_amplitudes().data(), sv.dim(), 0,
-                          n - 1);
-    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(sv.dim()));
+cn::NoiseModel line_model(int qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < qubits; ++q) edges.emplace_back(q, q + 1);
+  return cn::generate_calibration(qubits, edges, /*seed=*/2022);
 }
-BENCHMARK(BM_StatevectorCx)->Arg(10)->Arg(16)->Arg(20);
 
-void BM_StatevectorDiag2Q(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::Statevector sv(n);
-  const std::array<charter::math::cplx, 4> d = {
-      std::exp(charter::math::cplx(0.0, -0.01)),
-      std::exp(charter::math::cplx(0.0, 0.01)),
-      std::exp(charter::math::cplx(0.0, 0.01)),
-      std::exp(charter::math::cplx(0.0, -0.01))};
-  for (auto _ : state) {
-    cs::kernels::apply_diag_2q(sv.mutable_amplitudes().data(), sv.dim(), 0,
-                               1, d);
-    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+/// Best-of-\p reps wall-clock of \p fn in seconds.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    charter::util::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(sv.dim()));
+  return best;
 }
-BENCHMARK(BM_StatevectorDiag2Q)->Arg(10)->Arg(16)->Arg(20);
 
-void BM_DensityMatrix1QGate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::DensityMatrixEngine dm(n);
-  const auto u =
-      charter::circ::gate_unitary_1q(make_gate(GateKind::SX, {0}));
-  for (auto _ : state) {
-    dm.apply_unitary_1q(u, n / 2);
-    benchmark::DoNotOptimize(&dm);
-  }
-  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
+double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
 }
-BENCHMARK(BM_DensityMatrix1QGate)->Arg(6)->Arg(8)->Arg(10);
-
-void BM_DensityMatrixThermalRelaxation(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::DensityMatrixEngine dm(n);
-  for (auto _ : state) {
-    dm.apply_thermal_relaxation(n / 2, 1e-4, 5e-5);
-    benchmark::DoNotOptimize(&dm);
-  }
-  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
-}
-BENCHMARK(BM_DensityMatrixThermalRelaxation)->Arg(6)->Arg(8)->Arg(10);
-
-void BM_DensityMatrixDepolarizing2Q(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  cs::DensityMatrixEngine dm(n);
-  for (auto _ : state) {
-    dm.apply_depolarizing_2q(0, 1, 1e-2);
-    benchmark::DoNotOptimize(&dm);
-  }
-  state.SetItemsProcessed(state.iterations() * (1LL << (2 * n)));
-}
-BENCHMARK(BM_DensityMatrixDepolarizing2Q)->Arg(6)->Arg(8)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  charter::util::Cli cli(
+      "bench_sim_kernels: pair kernels and fused-vs-exact tape execution");
+  cli.add_flag("qubits", std::int64_t{8}, "density-matrix width");
+  cli.add_flag("rounds", std::int64_t{12}, "workload rounds (depth scale)");
+  cli.add_flag("reps", std::int64_t{5}, "timed repetitions (best-of)");
+  cli.add_flag("smoke", false, "tiny sizes for CI; asserts agreement bound");
+  cli.add_flag("out", std::string("bench_results/sim_kernels.json"),
+               "JSON output path ('' = stdout only)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_bool("smoke");
+  const int qubits = smoke ? 5 : static_cast<int>(cli.get_int("qubits"));
+  const int rounds = smoke ? 4 : static_cast<int>(cli.get_int("rounds"));
+  const int reps = smoke ? 2 : static_cast<int>(cli.get_int("reps"));
+
+  // ---- raw kernel micro-benchmark: one fused pass vs. two passes --------
+  const int pseudo_qubits = 2 * qubits;  // vec(rho) width
+  const std::uint64_t dim = 1ULL << pseudo_qubits;
+  std::vector<cplx> state(dim, cplx(0.0));
+  state[0] = 1.0;
+  const Mat2 u =
+      cc::gate_unitary_1q(cc::make_gate(cc::GateKind::SX, {0}));
+  Mat2 v;
+  for (std::size_t k = 0; k < 4; ++k) v.m[k] = std::conj(u.m[k]);
+  const int qa = qubits / 2;
+  const int qb = qubits / 2 + qubits;
+
+  const double two_pass_s = best_seconds(reps, [&] {
+    cs::kernels::apply_1q(state.data(), dim, qa, u);
+    cs::kernels::apply_1q(state.data(), dim, qb, v);
+  });
+  const double pair_s = best_seconds(reps, [&] {
+    cs::kernels::apply_1q_pair(state.data(), dim, qa, u, qb, v);
+  });
+
+  // ---- tape pipeline: exact vs fused end-to-end -------------------------
+  const cn::NoiseModel model = line_model(qubits);
+  const cc::Circuit circuit = workload(qubits, rounds);
+  const cn::NoiseProgram exact = cn::lower(model, circuit);
+  const cn::NoiseProgram fused = cn::fused(exact);
+
+  cs::DensityMatrixEngine engine(qubits);
+  const double exact_s = best_seconds(reps, [&] { exact.execute(engine); });
+  const std::vector<cplx> exact_state = engine.raw();
+  const double fused_s = best_seconds(reps, [&] { fused.execute(engine); });
+  const double agreement = max_abs_diff(exact_state, engine.raw());
+
+  const double pair_speedup = pair_s > 0.0 ? two_pass_s / pair_s : 0.0;
+  const double tape_speedup = fused_s > 0.0 ? exact_s / fused_s : 0.0;
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"sim_kernels\",\n"
+                "  \"qubits\": %d,\n"
+                "  \"circuit_ops\": %zu,\n"
+                "  \"tape_ops_exact\": %zu,\n"
+                "  \"tape_ops_fused\": %zu,\n"
+                "  \"kernel_two_pass_ms\": %.4f,\n"
+                "  \"kernel_pair_ms\": %.4f,\n"
+                "  \"kernel_pair_speedup\": %.3f,\n"
+                "  \"tape_exact_ms\": %.3f,\n"
+                "  \"tape_fused_ms\": %.3f,\n"
+                "  \"tape_fused_speedup\": %.3f,\n"
+                "  \"fused_max_abs_diff\": %.3e\n"
+                "}\n",
+                qubits, circuit.size(), exact.size(), fused.size(),
+                two_pass_s * 1e3, pair_s * 1e3, pair_speedup, exact_s * 1e3,
+                fused_s * 1e3, tape_speedup, agreement);
+  std::fputs(json, stdout);
+
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "note: could not write %s\n", out_path.c_str());
+    }
+  }
+
+  if (fused.size() >= exact.size()) {
+    std::fprintf(stderr, "FAIL: fusion did not shrink the tape\n");
+    return 1;
+  }
+  if (!(agreement <= 1e-12)) {
+    std::fprintf(stderr, "FAIL: fused tape diverged (%.3e > 1e-12)\n",
+                 agreement);
+    return 1;
+  }
+  return 0;
+}

@@ -170,18 +170,26 @@ std::vector<double> FakeBackend::run(const CompiledProgram& program,
               width <= sim::DensityMatrixEngine::kMaxQubits,
           "program too wide for the density-matrix engine");
 
-  const noise::NoisyExecutor executor(lowered.model);
+  // Lower once; the tape is reusable across executions, so trajectory
+  // averaging interprets the same tape per unravelling instead of
+  // re-deriving the schedule and clock walk each time.  Trajectories always
+  // run the exact tape: fusion merges/reorders stochastic channels, which
+  // would resample every unravelling (sampling-noise-sized changes, not the
+  // documented ~1e-12) for no kernel-pass savings at statevector cost.
+  const noise::OptLevel opt = engine == EngineKind::kDensityMatrix
+                                  ? options.opt
+                                  : noise::OptLevel::kExact;
+  const noise::NoisyExecutor executor(lowered.model, opt);
+  const noise::NoiseProgram tape = executor.lower(lowered.local);
   std::vector<double> probs;
   if (engine == EngineKind::kDensityMatrix) {
     sim::DensityMatrixEngine dm(width);
-    executor.run(lowered.local, dm);
+    tape.execute(dm);
     probs = dm.probabilities();
   } else {
     probs = sim::run_trajectories(
         width, options.trajectories, options.seed ^ 0x7ca3bULL,
-        [&](sim::NoisyEngine& engine_ref) {
-          executor.run(lowered.local, engine_ref);
-        });
+        [&](sim::NoisyEngine& engine_ref) { tape.execute(engine_ref); });
   }
   return finalize(std::move(probs), lowered, program, options);
 }

@@ -20,6 +20,7 @@
 #include "circuit/circuit.hpp"
 #include "noise/calibration.hpp"
 #include "noise/noise_model.hpp"
+#include "noise/program.hpp"
 #include "transpile/topology.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -44,6 +45,15 @@ struct RunOptions {
   /// Calibration drift magnitude for this run (0 disables; the paper-scale
   /// experiments use ~0.05 to model run-to-run device drift).
   double drift = 0.0;
+  /// Tape optimization level for the lowered NoiseProgram.  kExact (the
+  /// default) is bit-identical to the interpretive executor walk; kFused
+  /// merges gates, diagonal chains, and relaxation windows for speed, with
+  /// results agreeing to ~1e-12 on the exact density-matrix engine.
+  /// Trajectory runs ignore kFused and always execute the exact tape —
+  /// fusing would reorder the stochastic branch draws and resample every
+  /// unravelling.  Part of the exec::RunCache key: exact and fused runs of
+  /// the same circuit never collide.
+  noise::OptLevel opt = noise::OptLevel::kExact;
 };
 
 /// A transpiled program plus everything needed to interpret its output.

@@ -134,8 +134,10 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
 
   // Submit the original plus one reversed circuit per analyzed gate through
   // the batch runner, which parallelizes across the worker pool and, when
-  // exact (density matrix, drift == 0), resumes each reversed circuit from a
-  // prefix-state checkpoint instead of re-simulating ops [0, i].  Reversed
+  // sharing applies (density matrix, drift == 0), lowers the base circuit
+  // to a NoiseProgram tape once, splices each reversed circuit's G-G†
+  // insertion into it, and resumes from a prefix-state checkpoint instead
+  // of re-simulating (or re-lowering) ops [0, i].  Reversed
   // circuits are materialized in bounded chunks so peak memory stays
   // O(chunk * circuit) rather than O(G^2) on large programs; each chunk
   // shares the same base, so checkpoint sharing is preserved.

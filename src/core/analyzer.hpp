@@ -38,11 +38,16 @@ struct CharterOptions {
   /// (validation only — not part of the technique).
   bool compute_validation = false;
   /// Execution options for every run (seed is re-derived per circuit).
+  /// run.opt selects the NoiseProgram tape level: kExact (default) is
+  /// bit-reproducible; kFused merges gates/diagonals/relaxation windows for
+  /// speed with ~1e-12 agreement — gate rankings are unaffected in practice.
   backend::RunOptions run;
   /// Execution strategy: prefix-state checkpointing and run caching
-  /// (see exec/batch.hpp).  Checkpointing engages only when exact
-  /// (density-matrix engine, drift == 0); other configurations fall back to
-  /// independent full runs automatically.
+  /// (see exec/batch.hpp).  Checkpointing engages only when exact-sharing
+  /// applies (density-matrix engine, drift == 0); the base circuit is
+  /// lowered to a tape once and every reversed circuit's tape is spliced
+  /// from it.  Other configurations fall back to independent full runs
+  /// automatically.
   exec::BatchOptions exec;
 };
 

@@ -3,6 +3,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "exec/checkpoint.hpp"
@@ -51,17 +52,21 @@ std::vector<std::vector<double>> BatchRunner::run(
   // independent full runs.  Sharing must be *exact*: density-matrix engine
   // (deterministic given the model) and zero calibration drift (the model
   // itself is seed-independent).  Trajectory unravellings and drifted models
-  // re-randomize per run seed, so their prefixes are not shared state.
+  // re-randomize per run seed, so their prefixes are not shared state.  All
+  // sharers must also agree on the tape optimization level — the plan's
+  // executor fuses (or not) every resumed suffix uniformly — so a job whose
+  // level differs from the first sharer's runs independently instead.
   std::vector<std::size_t> shared_idx;
   std::vector<std::size_t> plain_idx;
   const bool base_usable = options_.checkpointing && base != nullptr;
   std::vector<int> base_kept;
   if (base_usable) base_kept = backend::used_qubits(*base);
   const int base_width = static_cast<int>(base_kept.size());
+  std::optional<noise::OptLevel> shared_opt;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (done[i]) continue;
     const AnalysisJob& job = jobs[i];
-    const bool eligible =
+    bool eligible =
         base_usable && job.shared_prefix > 0 && job.run.drift == 0.0 &&
         job.program->physical.num_qubits() ==
             base->physical.num_qubits() &&
@@ -69,6 +74,10 @@ std::vector<std::vector<double>> BatchRunner::run(
             EngineKind::kDensityMatrix &&
         base_width <= sim::DensityMatrixEngine::kMaxQubits &&
         (job.program == base || backend::used_qubits(*job.program) == base_kept);
+    if (eligible) {
+      if (!shared_opt.has_value()) shared_opt = job.run.opt;
+      eligible = job.run.opt == *shared_opt;
+    }
     (eligible ? shared_idx : plain_idx).push_back(i);
   }
 
@@ -79,7 +88,8 @@ std::vector<std::vector<double>> BatchRunner::run(
     backend::RunOptions lower_options;
     lower_options.drift = 0.0;
     const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
-    const noise::NoisyExecutor executor(lowered.model);
+    const noise::OptLevel opt = shared_opt.value_or(noise::OptLevel::kExact);
+    const noise::NoisyExecutor executor(lowered.model, opt);
 
     std::vector<std::size_t> prefix_lens;
     for (const std::size_t i : shared_idx)
@@ -100,7 +110,8 @@ std::vector<std::vector<double>> BatchRunner::run(
             const std::size_t i = shared_idx[static_cast<std::size_t>(k)];
             const AnalysisJob& job = jobs[i];
             std::vector<double> probs;
-            if (job.program == base) {
+            if (job.program == base && opt == noise::OptLevel::kExact) {
+              // The exact sweep already ran the base to completion.
               probs = plan.base_probabilities();
             } else {
               auto& engine =
@@ -108,9 +119,17 @@ std::vector<std::vector<double>> BatchRunner::run(
               if (!engine)
                 engine = std::make_unique<sim::DensityMatrixEngine>(
                     lowered.local.num_qubits());
-              probs = plan.run_shared(
-                  backend::compact_to(job.program->physical, lowered.kept),
-                  job.shared_prefix, *engine);
+              if (job.program == base) {
+                // Fused mode: run the base as one full fused execution so
+                // its distribution matches a standalone fused run exactly
+                // (the checkpoint sweep is exact by design).
+                executor.run(lowered.local, *engine);
+                probs = engine->probabilities();
+              } else {
+                probs = plan.run_shared(
+                    backend::compact_to(job.program->physical, lowered.kept),
+                    job.shared_prefix, *engine);
+              }
             }
             results[i] =
                 backend_.finalize(std::move(probs), lowered, *job.program,

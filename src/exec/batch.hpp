@@ -21,9 +21,14 @@
 ///    the mitigation workflow's re-analysis — skip the simulator entirely.
 ///
 /// Jobs that cannot share exactly (trajectory engine, drifted calibration,
-/// differing qubit footprints) fall back to independent full runs through
-/// FakeBackend::run_batch; every result is bit-identical to a standalone
-/// FakeBackend::run with the same options.
+/// differing qubit footprints, or a tape optimization level differing from
+/// the batch's sharers) fall back to independent full runs through
+/// FakeBackend::run_batch; every exact-mode result is bit-identical to a
+/// standalone FakeBackend::run with the same options.  Fused-mode
+/// (RunOptions::opt == OptLevel::kFused) checkpointed results agree with
+/// standalone fused runs to the fusion tolerance (~1e-12): resumed suffixes
+/// fuse from the snapshot position while a standalone run fuses the whole
+/// tape.
 
 #include <cstddef>
 #include <vector>

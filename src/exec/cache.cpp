@@ -1,7 +1,9 @@
 #include "exec/cache.hpp"
 
+#include <array>
 #include <bit>
 
+#include "noise/program.hpp"
 #include "util/rng.hpp"
 
 namespace charter::exec {
@@ -80,6 +82,9 @@ Fingerprint fingerprint(const backend::RunOptions& options) {
   b.mix(static_cast<std::uint64_t>(options.trajectories));
   b.mix(options.seed);
   b.mix_double(options.drift);
+  // The tape optimization level changes results (within the fusion
+  // tolerance), so exact and fused runs must never share a cache entry.
+  b.mix(static_cast<std::uint64_t>(options.opt));
   return b.result();
 }
 
@@ -135,6 +140,13 @@ Fingerprint run_key(const backend::CompiledProgram& program,
                     const backend::RunOptions& options) {
   const Fingerprint p = fingerprint(program);
   const Fingerprint o = fingerprint(options);
+  // The NoiseProgram a run executes is a pure function of (program circuit,
+  // device model, optimization level), all covered above; mixing the tape
+  // *schema* fingerprint on top ties every key to the lowering pipeline's
+  // semantics, so entries cached before a tape format change can never be
+  // served after it.
+  const std::array<std::uint64_t, 2> schema =
+      noise::tape_schema_fingerprint();
   FingerprintBuilder b;
   b.mix(p.lo);
   b.mix(p.hi);
@@ -142,6 +154,8 @@ Fingerprint run_key(const backend::CompiledProgram& program,
   b.mix(device.hi);
   b.mix(o.lo);
   b.mix(o.hi);
+  b.mix(schema[0]);
+  b.mix(schema[1]);
   return b.result();
 }
 

@@ -1,6 +1,7 @@
 #include "exec/checkpoint.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -38,7 +39,9 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
                                circ::Circuit base,
                                std::vector<std::size_t> prefix_lens,
                                std::size_t memory_budget_bytes)
-    : executor_(executor), base_(std::move(base)) {
+    : executor_(executor),
+      base_(std::move(base)),
+      base_stream_(executor.make_stream(base_)) {
   std::sort(prefix_lens.begin(), prefix_lens.end());
   prefix_lens.erase(std::unique(prefix_lens.begin(), prefix_lens.end()),
                     prefix_lens.end());
@@ -57,7 +60,6 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
       select_within_budget(std::move(prefix_lens), cap);
   checkpoints_.reserve(keep.size());
 
-  base_stream_ = executor_.make_stream(base_);
   executor_.start(base_, base_stream_, engine);
   auto next_keep = keep.begin();
   while (base_stream_.next_op < base_.size()) {
@@ -66,8 +68,6 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
       Checkpoint cp;
       cp.prefix_len = base_stream_.next_op;
       engine.save_state(cp.rho);
-      cp.qubit_clock = base_stream_.qubit_clock;
-      cp.zz_clock = base_stream_.zz_clock;
       checkpoints_.push_back(std::move(cp));
       ++next_keep;
     }
@@ -76,39 +76,11 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
   base_probs_ = engine.probabilities();
 }
 
-namespace {
-
-bool same_gate(const circ::Gate& a, const circ::Gate& b) {
-  return a.kind == b.kind && a.num_qubits == b.num_qubits &&
-         a.num_params == b.num_params && a.flags == b.flags &&
-         a.qubits == b.qubits && a.params == b.params;
-}
-
-}  // namespace
-
-bool CheckpointPlan::prefix_is_exact(const circ::Circuit& c,
-                                     const NoisyExecutor::Stream& stream,
-                                     std::size_t prefix_len) const {
-  if (prefix_len > base_.size() || prefix_len > c.size()) return false;
-  for (std::size_t i = 0; i < prefix_len; ++i) {
-    // The ops themselves must match — an over-claimed shared_prefix must
-    // degrade to a full run, never to a resumed wrong answer.
-    if (!same_gate(base_.op(i), c.op(i))) return false;
-    const circ::ScheduledOp& a = base_stream_.sched.ops[i];
-    const circ::ScheduledOp& b = stream.sched.ops[i];
-    if (a.t_start != b.t_start || a.t_end != b.t_end) return false;
-    if (base_stream_.drive_terms[i] != stream.drive_terms[i]) return false;
-  }
-  return true;
-}
-
 std::vector<double> CheckpointPlan::run_shared(
     const circ::Circuit& c, std::size_t prefix_len,
     sim::DensityMatrixEngine& engine) const {
   require(c.num_qubits() == base_.num_qubits(),
           "derived circuit width differs from the base");
-
-  NoisyExecutor::Stream stream = executor_.make_stream(c);
 
   // Deepest snapshot at or before the fork point.
   const Checkpoint* snapshot = nullptr;
@@ -117,23 +89,33 @@ std::vector<double> CheckpointPlan::run_shared(
     snapshot = &cp;
   }
 
-  if (snapshot == nullptr || !prefix_is_exact(c, stream, prefix_len)) {
+  // Splice the derived tape from the base tape: the shared prefix is copied
+  // (and proven exact), only the suffix is lowered.
+  std::optional<noise::NoiseProgram> spliced =
+      snapshot == nullptr
+          ? std::nullopt
+          : noise::lower_spliced(executor_.model(), base_,
+                                 base_stream_.program, c, prefix_len);
+
+  if (!spliced.has_value()) {
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    executor_.start(c, stream, engine);
-    while (stream.next_op < c.size()) executor_.step(c, stream, engine);
-    executor_.finish(c, stream, engine);
+    executor_.run(c, engine);
     return engine.probabilities();
   }
 
+  // Resume at the tape position of the snapshot; in fused mode, optimize
+  // everything past it (the verbatim region before the resume point is
+  // never touched by fusion, so the snapshot stays a valid entry state).
+  const std::size_t resume_pos = spliced->op_end(snapshot->prefix_len - 1);
+  noise::NoiseProgram tape = std::move(*spliced);
+  if (executor_.level() == noise::OptLevel::kFused)
+    tape = noise::fused(tape, resume_pos);
+
   engine.load_state(snapshot->rho);
-  stream.qubit_clock = snapshot->qubit_clock;
-  stream.zz_clock = snapshot->zz_clock;
-  stream.next_op = snapshot->prefix_len;
   replayed_ops_.fetch_add(prefix_len - snapshot->prefix_len,
                           std::memory_order_relaxed);
   resumed_.fetch_add(1, std::memory_order_relaxed);
-  while (stream.next_op < c.size()) executor_.step(c, stream, engine);
-  executor_.finish(c, stream, engine);
+  tape.run(engine, resume_pos, tape.size());
   return engine.probabilities();
 }
 

@@ -7,24 +7,36 @@
 /// insertion point (paper Fig. 5): the circuit for gate i is
 /// `ops[0..i] ++ reversed-pairs ++ ops[i+1..]`.  Re-simulating the shared
 /// prefix for every gate is what makes the naive analyzer O(G^2).  This
-/// module simulates the *base* circuit once on the density-matrix engine,
-/// snapshots vec(rho) plus the executor's lazy decoherence/ZZ clocks after
-/// each requested prefix length, and resumes every derived circuit from the
-/// deepest snapshot at or before its fork point — simulating only the
-/// inserted pairs and the suffix.
+/// module simulates the *base* circuit once on the density-matrix engine —
+/// as a NoiseProgram tape stream — snapshots vec(rho) at the tape position
+/// after each requested prefix length, and resumes every derived circuit
+/// from the deepest snapshot at or before its fork point, interpreting only
+/// the tape ops for the inserted pairs and the suffix.
 ///
-/// Exactness.  Resumption is bit-identical to a cold run because
-///  (a) ASAP scheduling assigns ops [0, L) the same start/end times in the
-///      base and derived circuits (a gate's time depends only on earlier
-///      gates), and
-///  (b) the drive-crosstalk terms attached to prefix ops match.
-/// Both properties are *verified at runtime* per derived circuit (they can
-/// fail, e.g. when an un-isolated insertion overlaps a late-starting prefix
-/// op on another qubit); on any mismatch the circuit silently falls back to
-/// a full cold run, so checkpointing is always safe and never approximate.
+/// Lowering is shared, not repeated: each derived circuit's tape is
+/// *spliced* from the base tape (noise::lower_spliced), which copies the
+/// shared prefix verbatim, resumes the lazy decoherence/ZZ clock walk from
+/// the recorded per-op state, and lowers only the suffix — so the analyzer's
+/// G reversed circuits never re-derive their common prefix.
+///
+/// Exactness.  Resumption is bit-identical to a cold run because the splice
+/// *verifies* per derived circuit that the prefix would lower identically
+/// (same gates, same ASAP times, same drive-crosstalk terms — ASAP assigns
+/// ops [0, L) the same windows in base and derived circuits because a
+/// gate's time depends only on earlier gates).  The verification can fail,
+/// e.g. when an un-isolated insertion overlaps a late-starting prefix op on
+/// another qubit; on any mismatch the circuit silently falls back to a full
+/// cold run, so checkpointing is always safe and never approximate.
 /// Stochastic engines (trajectory) and drifted models re-randomize per run
 /// and must not share prefixes at all — BatchRunner routes those to plain
 /// full runs.
+///
+/// Fused mode.  When the executor carries OptLevel::kFused, the *suffix* of
+/// each resumed run (everything past its snapshot) is fused before
+/// interpretation; the base sweep and all snapshots stay exact, so every
+/// resume point remains bit-reproducible.  Fused results agree with exact
+/// to the fusion tolerance (~1e-12) rather than bit-for-bit — the exec
+/// RunCache keys therefore carry the optimization level.
 ///
 /// Memory.  Each snapshot costs 16 bytes * 4^n for an n-qubit local circuit.
 /// When the requested snapshots exceed the budget, an evenly spaced subset
@@ -54,6 +66,10 @@ class CheckpointPlan {
 
   const circ::Circuit& base_circuit() const { return base_; }
 
+  /// The base circuit's exact tape (the splice source; exposed for tests
+  /// and for cache keys that want the tape fingerprint).
+  const noise::NoiseProgram& base_program() const { return base_stream_.program; }
+
   /// Engine-level probabilities of the base circuit itself (the sweep runs
   /// it to completion, so the original run comes for free).
   const std::vector<double>& base_probabilities() const { return base_probs_; }
@@ -81,21 +97,13 @@ class CheckpointPlan {
 
  private:
   struct Checkpoint {
-    std::size_t prefix_len = 0;  ///< ops applied before the snapshot
+    std::size_t prefix_len = 0;  ///< circuit ops applied before the snapshot
     std::vector<math::cplx> rho;
-    std::vector<double> qubit_clock;
-    std::map<std::pair<int, int>, double> zz_clock;
   };
-
-  /// True when ops [0, prefix_len) of \p c provably replay the base prefix
-  /// bit-identically (ops, schedule times, and drive terms all match).
-  bool prefix_is_exact(const circ::Circuit& c,
-                       const noise::NoisyExecutor::Stream& stream,
-                       std::size_t prefix_len) const;
 
   const noise::NoisyExecutor& executor_;
   circ::Circuit base_;
-  noise::NoisyExecutor::Stream base_stream_;  ///< schedule + drive terms
+  noise::NoisyExecutor::Stream base_stream_;  ///< exact tape + resume records
   std::vector<Checkpoint> checkpoints_;       ///< ascending prefix_len
   std::vector<double> base_probs_;
   mutable std::atomic<std::size_t> resumed_{0};

@@ -1,220 +1,59 @@
 #include "noise/executor.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace charter::noise {
 
-using circ::Gate;
-using circ::GateKind;
-using math::cplx;
-
-NoisyExecutor::NoisyExecutor(const NoiseModel& model) : model_(model) {}
+NoisyExecutor::NoisyExecutor(const NoiseModel& model, OptLevel level)
+    : model_(model), level_(level) {}
 
 circ::Schedule NoisyExecutor::make_schedule(const circ::Circuit& c) const {
   return circ::schedule_asap(
-      c, [this](const Gate& g) { return model_.duration(g); },
+      c, [this](const circ::Gate& g) { return model_.duration(g); },
       /*with_overlaps=*/true);
 }
 
-namespace {
-
-/// RZZ(theta) diagonal phases, index = bit(qa) + 2*bit(qb).
-std::array<cplx, 4> rzz_phases(double theta) {
-  const cplx i(0.0, 1.0);
-  const cplx em = std::exp(-i * (theta / 2.0));
-  const cplx ep = std::exp(i * (theta / 2.0));
-  return {em, ep, ep, em};
+NoiseProgram NoisyExecutor::lower(const circ::Circuit& c) const {
+  NoiseProgram program = noise::lower(model_, c);
+  if (level_ == OptLevel::kFused) program = fused(std::move(program));
+  return program;
 }
 
-/// RX(theta) unitary (imperfect SX/X realization, global-phase free).
-math::Mat2 rx_matrix(double theta) {
-  math::Mat2 u;
-  const cplx i(0.0, 1.0);
-  u(0, 0) = std::cos(theta / 2.0);
-  u(0, 1) = -i * std::sin(theta / 2.0);
-  u(1, 0) = -i * std::sin(theta / 2.0);
-  u(1, 1) = std::cos(theta / 2.0);
-  return u;
+void NoisyExecutor::run(const circ::Circuit& c,
+                        sim::NoisyEngine& engine) const {
+  lower(c).execute(engine);
 }
 
-}  // namespace
-
-NoisyExecutor::Stream NoisyExecutor::make_stream(const circ::Circuit& c) const {
-  require(c.num_qubits() <= model_.num_qubits(),
-          "circuit wider than the device");
-  for (const Gate& g : c.ops())
-    require(circ::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER ||
-                g.kind == GateKind::ID || g.kind == GateKind::RESET,
-            "noisy execution requires basis gates; found " +
-                circ::gate_name(g.kind));
-
-  Stream stream;
-  stream.sched = make_schedule(c);
-
-  // Drive-crosstalk contributions: for each temporal overlap between ops on
-  // coupled qubits, attach an RZZ to the later-starting op.
-  stream.drive_terms.resize(c.size());
-  if (model_.toggles().drive_zz) {
-    for (const auto& ov : stream.sched.overlaps) {
-      const Gate& ga = c.op(ov.op_a);
-      const Gate& gb = c.op(ov.op_b);
-      for (std::uint8_t i = 0; i < ga.num_qubits; ++i)
-        for (std::uint8_t j = 0; j < gb.num_qubits; ++j) {
-          const int u = ga.qubits[i];
-          const int v = gb.qubits[j];
-          if (u == v || !model_.has_edge(u, v)) continue;
-          const double angle = model_.edge(u, v).drive_zz_rate * ov.duration;
-          if (angle != 0.0)
-            stream.drive_terms[ov.op_b].push_back(
-                {static_cast<double>(u), static_cast<double>(v), angle});
-        }
-    }
-  }
-
-  stream.qubit_clock.assign(static_cast<std::size_t>(c.num_qubits()), 0.0);
-  for (const auto& [a, b] : model_.edges()) {
-    if (a < c.num_qubits() && b < c.num_qubits())
-      stream.zz_clock[{a, b}] = 0.0;
-  }
-  return stream;
+NoisyExecutor::Stream NoisyExecutor::make_stream(
+    const circ::Circuit& c) const {
+  return Stream{noise::lower(model_, c, /*record_resume_info=*/true), 0};
 }
 
 void NoisyExecutor::start(const circ::Circuit& c, Stream& stream,
                           sim::NoisyEngine& engine) const {
   require(c.num_qubits() == engine.num_qubits(),
           "circuit width does not match engine");
-  // Rewind the stream so a Stream can be reused for repeated executions.
+  // Rewind so a Stream can be reused for repeated executions.
   stream.next_op = 0;
-  std::fill(stream.qubit_clock.begin(), stream.qubit_clock.end(), 0.0);
-  for (auto& [edge, last] : stream.zz_clock) last = 0.0;
   engine.reset();
-  // State-preparation errors at t = 0.
-  if (model_.toggles().prep) {
-    for (int q = 0; q < c.num_qubits(); ++q)
-      engine.apply_bitflip(q, model_.qubit(q).prep_error);
-  }
-}
-
-// Flushes accumulated static ZZ phase on every edge touching q up to time t.
-void NoisyExecutor::flush_zz(Stream& stream, sim::NoisyEngine& engine, int q,
-                             double t) const {
-  if (!model_.toggles().static_zz) return;
-  for (auto& [edge, last] : stream.zz_clock) {
-    if (edge.first != q && edge.second != q) continue;
-    const double dt = t - last;
-    if (dt <= 0.0) continue;
-    const double angle =
-        model_.edge(edge.first, edge.second).static_zz_rate * dt;
-    engine.apply_diag_2q(rzz_phases(angle), edge.first, edge.second);
-    last = t;
-  }
-}
-
-// Advances qubit q's clock to time t, applying T1/T2 for the window.
-void NoisyExecutor::advance(Stream& stream, sim::NoisyEngine& engine, int q,
-                            double t) const {
-  double& clock = stream.qubit_clock[static_cast<std::size_t>(q)];
-  const double dt = t - clock;
-  if (dt > 0.0 && model_.toggles().decoherence) {
-    engine.apply_thermal_relaxation(q, model_.gamma_for(q, dt),
-                                    model_.pz_for(q, dt));
-  }
-  clock = std::max(clock, t);
+  stream.program.run(engine, 0, stream.program.prologue_end());
 }
 
 void NoisyExecutor::step(const circ::Circuit& c, Stream& stream,
                          sim::NoisyEngine& engine) const {
   CHARTER_ASSERT(stream.next_op < c.size(), "stepping past the last op");
   const std::size_t i = stream.next_op++;
-  const Gate& g = c.op(i);
-  const NoiseToggles& tog = model_.toggles();
-  const double t_start = stream.sched.ops[i].t_start;
-  const double t_end = stream.sched.ops[i].t_end;
-  const cplx imag(0.0, 1.0);
-  switch (g.kind) {
-    case GateKind::BARRIER:
-    case GateKind::ID:
-      break;
-    case GateKind::RZ:
-      // Virtual, instantaneous, commutes with every noise channel here:
-      // no flush, no advance, no noise.
-      engine.apply_diag_1q(std::exp(-imag * (g.params[0] / 2.0)),
-                           std::exp(imag * (g.params[0] / 2.0)),
-                           g.qubits[0]);
-      break;
-    case GateKind::SX:
-    case GateKind::SXDG:
-    case GateKind::X: {
-      const int q = g.qubits[0];
-      flush_zz(stream, engine, q, t_start);
-      advance(stream, engine, q, t_start);
-      const OneQubitGateCal& cal = model_.gate_1q(g.kind, q);
-      const double over = tog.coherent ? cal.overrot_frac : 0.0;
-      double angle = 0.0;
-      if (g.kind == GateKind::SX) angle = M_PI_2 * (1.0 + over);
-      if (g.kind == GateKind::SXDG) angle = -M_PI_2 * (1.0 + over);
-      if (g.kind == GateKind::X) angle = M_PI * (1.0 + over);
-      engine.apply_unitary_1q(rx_matrix(angle), q);
-      if (tog.depolarizing) engine.apply_depolarizing_1q(q, cal.depol);
-      advance(stream, engine, q, t_end);
-      break;
-    }
-    case GateKind::RESET: {
-      // Active reset: collapse to |0> (exact amplitude-damping channel
-      // with gamma = 1); decoherence bookkeeping as for any physical op.
-      const int q = g.qubits[0];
-      flush_zz(stream, engine, q, t_start);
-      advance(stream, engine, q, t_start);
-      engine.apply_thermal_relaxation(q, 1.0, 0.0);
-      advance(stream, engine, q, t_end);
-      break;
-    }
-    case GateKind::CX: {
-      const int qc = g.qubits[0];
-      const int qt = g.qubits[1];
-      require(model_.has_edge(qc, qt),
-              "CX on uncoupled qubits " + std::to_string(qc) + "," +
-                  std::to_string(qt) + " (route the circuit first)");
-      flush_zz(stream, engine, qc, t_start);
-      flush_zz(stream, engine, qt, t_start);
-      advance(stream, engine, qc, t_start);
-      advance(stream, engine, qt, t_start);
-      engine.apply_cx(qc, qt);
-      const EdgeCal& cal = model_.edge(qc, qt);
-      if (tog.coherent && cal.cx_zz_angle != 0.0)
-        engine.apply_diag_2q(rzz_phases(cal.cx_zz_angle), qc, qt);
-      if (tog.depolarizing) engine.apply_depolarizing_2q(qc, qt, cal.cx_depol);
-      advance(stream, engine, qc, t_end);
-      advance(stream, engine, qt, t_end);
-      break;
-    }
-    default:
-      CHARTER_ASSERT(false, "unreachable: non-basis gate after validation");
-  }
-  // Drive-crosstalk phases attached to this op (diagonal; no flush needed).
-  for (const auto& term : stream.drive_terms[i]) {
-    engine.apply_diag_2q(rzz_phases(term[2]), static_cast<int>(term[0]),
-                         static_cast<int>(term[1]));
-  }
+  stream.program.run(engine, stream.program.op_begin(i),
+                     stream.program.op_end(i));
 }
 
 void NoisyExecutor::finish(const circ::Circuit& c, Stream& stream,
                            sim::NoisyEngine& engine) const {
   CHARTER_ASSERT(stream.next_op == c.size(), "finishing with ops pending");
-  const double t_final = stream.sched.total_time;
-  for (int q = 0; q < c.num_qubits(); ++q) flush_zz(stream, engine, q, t_final);
-  for (int q = 0; q < c.num_qubits(); ++q) advance(stream, engine, q, t_final);
-}
-
-void NoisyExecutor::run(const circ::Circuit& c,
-                        sim::NoisyEngine& engine) const {
-  Stream stream = make_stream(c);
-  start(c, stream, engine);
-  while (stream.next_op < c.size()) step(c, stream, engine);
-  finish(c, stream, engine);
+  stream.program.run(engine, stream.program.epilogue_begin(),
+                     stream.program.size());
 }
 
 }  // namespace charter::noise

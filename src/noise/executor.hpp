@@ -1,25 +1,26 @@
 #pragma once
 
 /// \file executor.hpp
-/// The noisy executor: drives a NoisyEngine through a scheduled circuit.
+/// The noisy executor: a thin runner over lowered NoiseProgram tapes.
 ///
-/// Walking the ASAP schedule it interleaves, in physical order:
+/// Historically this class *walked* the ASAP schedule per execution,
+/// re-deriving lazy decoherence windows and ZZ flushes and making one
+/// virtual engine call per op.  That walk now happens once, at lowering
+/// time (noise/program.hpp): run() lowers the circuit to a tape — fusing it
+/// first when the executor was constructed with OptLevel::kFused — and the
+/// inner loop is the tape interpreter, which on the density-matrix engine
+/// dispatches devirtualized single-pass pair kernels.
+///
+/// The physical model is unchanged (see program.hpp's lowering rules):
 ///  1. state-preparation bit flips at t = 0;
-///  2. lazy per-qubit thermal relaxation — each qubit's clock advances to an
-///     op's start time just before the op touches it, applying the
-///     accumulated T1/T2 channel for the elapsed window;
-///  3. lazy static-ZZ flushing — each coupled pair accumulates phase
-///     continuously; the accumulated RZZ is applied just before a
-///     non-diagonal op touches either endpoint (diagonal RZ commutes with ZZ
-///     and triggers no flush);
-///  4. the gate itself with its coherent miscalibration (imperfect rotation
-///     angle for SX/SXDG/X — note SXDG uses the *same* fractional error as
-///     SX, mirroring hardware synthesis from the same pulse — and a residual
-///     ZZ rotation after CX);
-///  5. the gate's stochastic depolarizing channel;
-///  6. drive-crosstalk: for every pair of temporally overlapping ops acting
-///     on coupled qubits, an extra ZZ phase proportional to the overlap,
-///     applied when the later op completes.
+///  2. lazy per-qubit thermal relaxation over scheduled busy+idle windows;
+///  3. lazy static-ZZ flushing per coupled pair;
+///  4. gates with coherent miscalibration (imperfect rotation angle for
+///     SX/SXDG/X — SXDG uses the *same* fractional error as SX, mirroring
+///     hardware synthesis from the same pulse — and a residual ZZ rotation
+///     after CX);
+///  5. per-gate stochastic depolarizing;
+///  6. drive-crosstalk ZZ phases for temporally overlapping ops.
 ///
 /// Convention: a gate's unitary is applied at the start of its scheduled
 /// window and the qubit then decoheres across the window — so a qubit is
@@ -28,42 +29,37 @@
 ///
 /// The executor only accepts basis-gate circuits (transpile first).
 
-#include <array>
-#include <map>
-#include <utility>
-#include <vector>
-
 #include "circuit/circuit.hpp"
 #include "circuit/schedule.hpp"
 #include "noise/noise_model.hpp"
+#include "noise/program.hpp"
 #include "sim/engine.hpp"
 
 namespace charter::noise {
 
 /// Executes circuits against engines under a fixed noise model.
 ///
-/// Besides the one-shot run(), execution is exposed as a *stream*: the
-/// schedule and crosstalk terms are computed up front, then ops are applied
-/// one at a time while the lazy decoherence/ZZ clocks advance.  A Stream can
-/// be paused after any op, its clocks saved alongside an engine snapshot, and
-/// later resumed on a different circuit that shares the same op prefix —
-/// the mechanism behind exec/checkpoint.hpp's prefix-state checkpointing.
-/// run(c, e) is exactly { s = make_stream(c); start(c,s,e); step...; finish }.
+/// Besides the one-shot run(), execution is exposed as a *stream* over tape
+/// positions: make_stream() lowers the circuit once (always to the exact
+/// tape, with resume records), then start()/step()/finish() interpret the
+/// prologue, one circuit op's tape segment at a time, and the epilogue.  A
+/// stream can be paused after any op, the engine snapshotted, and a derived
+/// circuit sharing the same op prefix resumed from that tape position — the
+/// mechanism behind exec/checkpoint.hpp's prefix-state checkpointing, which
+/// splices derived tapes from the stream's base tape via lower_spliced().
+/// run(c, e) with OptLevel::kExact is exactly
+/// { s = make_stream(c); start(c,s,e); step...; finish }.
 class NoisyExecutor {
  public:
-  explicit NoisyExecutor(const NoiseModel& model);
+  explicit NoisyExecutor(const NoiseModel& model,
+                         OptLevel level = OptLevel::kExact);
 
-  /// Everything one in-flight execution carries: the ASAP schedule, the
-  /// precomputed drive-crosstalk terms attached to each op, and the lazy
-  /// per-qubit decoherence / per-edge ZZ clocks.
+  /// Everything one in-flight execution carries: the exact tape (schedule,
+  /// crosstalk, and clock bookkeeping all resolved into it) and the next
+  /// circuit op to interpret.
   struct Stream {
-    circ::Schedule sched;
-    /// drive_terms[i] lists {qubit_u, qubit_v, angle} RZZ contributions
-    /// applied when op i completes (temporal-overlap crosstalk).
-    std::vector<std::vector<std::array<double, 3>>> drive_terms;
-    std::vector<double> qubit_clock;                 ///< per-qubit time
-    std::map<std::pair<int, int>, double> zz_clock;  ///< per-edge flush time
-    std::size_t next_op = 0;                         ///< next op to apply
+    NoiseProgram program;
+    std::size_t next_op = 0;  ///< next circuit op to apply
   };
 
   /// Runs \p c (basis gates only) on \p engine from |0...0>.
@@ -71,22 +67,28 @@ class NoisyExecutor {
   /// contains a non-basis gate or a CX on an uncoupled pair.
   void run(const circ::Circuit& c, sim::NoisyEngine& engine) const;
 
-  /// Validates \p c and builds its Stream (schedule + crosstalk terms,
-  /// clocks at zero).  Does not touch any engine.
+  /// Lowers \p c under this executor's model and optimization level.  The
+  /// returned tape can be executed many times (e.g. once per trajectory)
+  /// without re-deriving the schedule or clocks.
+  NoiseProgram lower(const circ::Circuit& c) const;
+
+  /// Validates \p c and lowers its exact tape with resume records (streams
+  /// are always exact so snapshots stay bit-reproducible).  Does not touch
+  /// any engine.
   Stream make_stream(const circ::Circuit& c) const;
 
   /// Starts an execution: resets \p engine and applies the t = 0
-  /// state-preparation errors.  Call once before the first step().
+  /// state-preparation prologue.  Call once before the first step().
   void start(const circ::Circuit& c, Stream& stream,
              sim::NoisyEngine& engine) const;
 
-  /// Applies op stream.next_op (advancing clocks lazily) and increments
+  /// Applies circuit op stream.next_op's tape segment and increments
   /// next_op.  Requires next_op < c.size().
   void step(const circ::Circuit& c, Stream& stream,
             sim::NoisyEngine& engine) const;
 
   /// Closes out the timeline after the last op: every qubit decoheres and
-  /// every pair accumulates ZZ until the makespan.
+  /// every pair accumulates ZZ until the makespan (the tape epilogue).
   void finish(const circ::Circuit& c, Stream& stream,
               sim::NoisyEngine& engine) const;
 
@@ -94,13 +96,12 @@ class NoisyExecutor {
   /// the benches that report circuit durations).
   circ::Schedule make_schedule(const circ::Circuit& c) const;
 
- private:
-  void flush_zz(Stream& stream, sim::NoisyEngine& engine, int q,
-                double t) const;
-  void advance(Stream& stream, sim::NoisyEngine& engine, int q,
-               double t) const;
+  const NoiseModel& model() const { return model_; }
+  OptLevel level() const { return level_; }
 
+ private:
   const NoiseModel& model_;
+  OptLevel level_;
 };
 
 }  // namespace charter::noise

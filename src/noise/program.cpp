@@ -1,0 +1,881 @@
+#include "noise/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::noise {
+
+using circ::Gate;
+using circ::GateKind;
+using math::cplx;
+using math::Mat2;
+
+// ---------------------------------------------------------------------------
+// Append API
+// ---------------------------------------------------------------------------
+
+void NoiseProgram::append_unitary_1q(const Mat2& u, int q) {
+  TapeOp op;
+  op.kind = TapeOpKind::kUnitary1q;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.payload = static_cast<std::uint32_t>(mats_.size());
+  mats_.push_back(u);
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_diag_1q(cplx d0, cplx d1, int q) {
+  TapeOp op;
+  op.kind = TapeOpKind::kDiag1q;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.payload = static_cast<std::uint32_t>(diags_.size());
+  diags_.push_back({d0, d1, cplx(0.0), cplx(0.0)});
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_cx(int c, int t) {
+  TapeOp op;
+  op.kind = TapeOpKind::kCx;
+  op.q0 = static_cast<std::int16_t>(c);
+  op.q1 = static_cast<std::int16_t>(t);
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_diag_2q(const std::array<cplx, 4>& d, int qa,
+                                  int qb) {
+  TapeOp op;
+  op.kind = TapeOpKind::kDiag2q;
+  op.q0 = static_cast<std::int16_t>(qa);
+  op.q1 = static_cast<std::int16_t>(qb);
+  op.payload = static_cast<std::uint32_t>(diags_.size());
+  diags_.push_back(d);
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_thermal(int q, double gamma, double pz) {
+  TapeOp op;
+  op.kind = TapeOpKind::kThermal;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.a = gamma;
+  op.b = pz;
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_depol_1q(int q, double p) {
+  TapeOp op;
+  op.kind = TapeOpKind::kDepol1q;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.a = p;
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_depol_2q(int qa, int qb, double p) {
+  TapeOp op;
+  op.kind = TapeOpKind::kDepol2q;
+  op.q0 = static_cast<std::int16_t>(qa);
+  op.q1 = static_cast<std::int16_t>(qb);
+  op.a = p;
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_bitflip(int q, double p) {
+  TapeOp op;
+  op.kind = TapeOpKind::kBitflip;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.a = p;
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_kraus_1q(std::span<const Mat2> kraus, int q) {
+  require(!kraus.empty(), "empty Kraus set");
+  TapeOp op;
+  op.kind = TapeOpKind::kKraus1q;
+  op.q0 = static_cast<std::int16_t>(q);
+  op.payload = static_cast<std::uint32_t>(kraus_sets_.size());
+  kraus_sets_.push_back({static_cast<std::uint32_t>(mats_.size()),
+                         static_cast<std::uint32_t>(kraus.size())});
+  mats_.insert(mats_.end(), kraus.begin(), kraus.end());
+  ops_.push_back(op);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared interpreter body.  Instantiated for the abstract interface
+/// (virtual dispatch, any engine) and for the concrete final density-matrix
+/// engine, where every apply_* call devirtualizes into a single pair-kernel
+/// pass over vec(rho).
+template <typename Engine>
+void run_impl(const NoiseProgram& p, Engine& engine, std::size_t begin,
+              std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const TapeOp& op = p.op(i);
+    switch (op.kind) {
+      case TapeOpKind::kUnitary1q:
+        engine.apply_unitary_1q(p.mat(op.payload), op.q0);
+        break;
+      case TapeOpKind::kDiag1q: {
+        const std::array<cplx, 4>& d = p.diag(op.payload);
+        engine.apply_diag_1q(d[0], d[1], op.q0);
+        break;
+      }
+      case TapeOpKind::kCx:
+        engine.apply_cx(op.q0, op.q1);
+        break;
+      case TapeOpKind::kDiag2q:
+        engine.apply_diag_2q(p.diag(op.payload), op.q0, op.q1);
+        break;
+      case TapeOpKind::kThermal:
+        engine.apply_thermal_relaxation(op.q0, op.a, op.b);
+        break;
+      case TapeOpKind::kDepol1q:
+        engine.apply_depolarizing_1q(op.q0, op.a);
+        break;
+      case TapeOpKind::kDepol2q:
+        engine.apply_depolarizing_2q(op.q0, op.q1, op.a);
+        break;
+      case TapeOpKind::kBitflip:
+        engine.apply_bitflip(op.q0, op.a);
+        break;
+      case TapeOpKind::kKraus1q:
+        engine.apply_kraus_1q(p.kraus(op.payload), op.q0);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void NoiseProgram::run(sim::NoisyEngine& engine, std::size_t begin,
+                       std::size_t end) const {
+  // A density-matrix engine handed in through the interface still deserves
+  // the devirtualized path; the cast costs one check per region, not per op.
+  if (auto* dm = dynamic_cast<sim::DensityMatrixEngine*>(&engine)) {
+    run_impl(*this, *dm, begin, end);
+    return;
+  }
+  run_impl<sim::NoisyEngine>(*this, engine, begin, end);
+}
+
+void NoiseProgram::run(sim::DensityMatrixEngine& engine, std::size_t begin,
+                       std::size_t end) const {
+  run_impl(*this, engine, begin, end);
+}
+
+void NoiseProgram::execute(sim::NoisyEngine& engine) const {
+  require(engine.num_qubits() == num_qubits_,
+          "program width does not match engine");
+  engine.reset();
+  run(engine, 0, ops_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints / comparison
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Hash128 {
+  std::uint64_t lo = 0x243f6a8885a308d3ULL;
+  std::uint64_t hi = 0x13198a2e03707344ULL;
+
+  void mix(std::uint64_t v) {
+    std::uint64_t s = lo ^ (v + 0x9e3779b97f4a7c15ULL + (lo << 6));
+    lo = util::splitmix64(s);
+    s = hi ^ (v * 0xc2b2ae3d27d4eb4fULL + (hi >> 3) + 1);
+    hi = util::splitmix64(s);
+  }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix_cplx(cplx v) {
+    mix_double(v.real());
+    mix_double(v.imag());
+  }
+};
+
+}  // namespace
+
+std::array<std::uint64_t, 2> NoiseProgram::fingerprint() const {
+  Hash128 h;
+  h.mix(static_cast<std::uint64_t>(num_qubits_));
+  h.mix(static_cast<std::uint64_t>(level_));
+  h.mix(ops_.size());
+  for (const TapeOp& op : ops_) {
+    h.mix((static_cast<std::uint64_t>(op.kind) << 32) |
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q0))
+           << 16) |
+          static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q1)));
+    h.mix_double(op.a);
+    h.mix_double(op.b);
+    switch (op.kind) {
+      case TapeOpKind::kUnitary1q:
+        for (const cplx& v : mats_[op.payload].m) h.mix_cplx(v);
+        break;
+      case TapeOpKind::kDiag1q:
+      case TapeOpKind::kDiag2q:
+        for (const cplx& v : diags_[op.payload]) h.mix_cplx(v);
+        break;
+      case TapeOpKind::kKraus1q: {
+        const KrausSet& set = kraus_sets_[op.payload];
+        h.mix(set.count);
+        for (std::uint32_t k = 0; k < set.count; ++k)
+          for (const cplx& v : mats_[set.offset + k].m) h.mix_cplx(v);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return {h.lo, h.hi};
+}
+
+std::array<std::uint64_t, 2> tape_schema_fingerprint() {
+  // Version tag of the lowering pipeline semantics; bump when the tape op
+  // set, emission rules, or interpreter behavior change incompatibly.
+  constexpr std::uint64_t kTapeSchemaVersion = 1;
+  Hash128 h;
+  h.mix(0x7a9e5cafe7001ULL);
+  h.mix(kTapeSchemaVersion);
+  return {h.lo, h.hi};
+}
+
+bool NoiseProgram::region_equal(const NoiseProgram& other, std::size_t begin,
+                                std::size_t end) const {
+  if (end > ops_.size() || end > other.ops_.size()) return false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const TapeOp& a = ops_[i];
+    const TapeOp& b = other.ops_[i];
+    if (a.kind != b.kind || a.q0 != b.q0 || a.q1 != b.q1 || a.a != b.a ||
+        a.b != b.b)
+      return false;
+    switch (a.kind) {
+      case TapeOpKind::kUnitary1q:
+        if (mats_[a.payload].m != other.mats_[b.payload].m) return false;
+        break;
+      case TapeOpKind::kDiag1q:
+      case TapeOpKind::kDiag2q:
+        if (diags_[a.payload] != other.diags_[b.payload]) return false;
+        break;
+      case TapeOpKind::kKraus1q: {
+        const KrausSet& sa = kraus_sets_[a.payload];
+        const KrausSet& sb = other.kraus_sets_[b.payload];
+        if (sa.count != sb.count) return false;
+        for (std::uint32_t k = 0; k < sa.count; ++k)
+          if (mats_[sa.offset + k].m != other.mats_[sb.offset + k].m)
+            return false;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// RZZ(theta) diagonal phases, index = bit(qa) + 2*bit(qb).
+std::array<cplx, 4> rzz_phases(double theta) {
+  const cplx i(0.0, 1.0);
+  const cplx em = std::exp(-i * (theta / 2.0));
+  const cplx ep = std::exp(i * (theta / 2.0));
+  return {em, ep, ep, em};
+}
+
+/// RX(theta) unitary (imperfect SX/X realization, global-phase free).
+Mat2 rx_matrix(double theta) {
+  Mat2 u;
+  const cplx i(0.0, 1.0);
+  u(0, 0) = std::cos(theta / 2.0);
+  u(0, 1) = -i * std::sin(theta / 2.0);
+  u(1, 0) = -i * std::sin(theta / 2.0);
+  u(1, 1) = std::cos(theta / 2.0);
+  return u;
+}
+
+bool same_gate(const Gate& a, const Gate& b) {
+  return a.kind == b.kind && a.num_qubits == b.num_qubits &&
+         a.num_params == b.num_params && a.flags == b.flags &&
+         a.qubits == b.qubits && a.params == b.params;
+}
+
+void validate(const NoiseModel& model, const circ::Circuit& c) {
+  require(c.num_qubits() <= model.num_qubits(),
+          "circuit wider than the device");
+  for (const Gate& g : c.ops())
+    require(circ::is_basis_gate(g.kind) || g.kind == GateKind::BARRIER ||
+                g.kind == GateKind::ID || g.kind == GateKind::RESET,
+            "noisy execution requires basis gates; found " +
+                circ::gate_name(g.kind));
+}
+
+}  // namespace
+
+/// Ports the NoisyExecutor walk op by op, emitting tape ops instead of
+/// engine calls.  Emission skips channels that every engine treats as an
+/// exact no-op (zero-probability flips/depolarizing, zero relaxation, and
+/// zero-angle ZZ phases, which multiply by exactly 1), so the exact tape
+/// stays bit-identical to the interpretive walk — including the stochastic
+/// branch order of trajectory engines — while never carrying dead ops.
+class Lowerer {
+ public:
+  Lowerer(const NoiseModel& model, const circ::Circuit& c, bool record)
+      : model_(model), c_(c), record_(record), out_(c.num_qubits()) {
+    validate(model, c);
+    sched_ = circ::schedule_asap(
+        c, [&model](const Gate& g) { return model.duration(g); },
+        /*with_overlaps=*/model.toggles().drive_zz);
+
+    // Drive-crosstalk contributions: for each temporal overlap between ops
+    // on coupled qubits, attach an RZZ to the later-starting op.
+    drive_terms_.resize(c.size());
+    if (model_.toggles().drive_zz) {
+      for (const auto& ov : sched_.overlaps) {
+        const Gate& ga = c.op(ov.op_a);
+        const Gate& gb = c.op(ov.op_b);
+        for (std::uint8_t i = 0; i < ga.num_qubits; ++i)
+          for (std::uint8_t j = 0; j < gb.num_qubits; ++j) {
+            const int u = ga.qubits[i];
+            const int v = gb.qubits[j];
+            if (u == v || !model_.has_edge(u, v)) continue;
+            const double angle = model_.edge(u, v).drive_zz_rate * ov.duration;
+            if (angle != 0.0)
+              drive_terms_[ov.op_b].push_back(
+                  {static_cast<double>(u), static_cast<double>(v), angle});
+          }
+      }
+    }
+
+    qubit_clock_.assign(static_cast<std::size_t>(c.num_qubits()), 0.0);
+    for (const auto& [a, b] : model_.edges()) {
+      if (a < c.num_qubits() && b < c.num_qubits()) {
+        edges_.emplace_back(a, b);
+        zz_clock_.push_back(0.0);
+      }
+    }
+  }
+
+  /// Splice path: verifies that ops [0, shared_ops) of this walk's circuit
+  /// would lower bit-identically to \p base's prefix (same gates, schedule
+  /// times, and drive-crosstalk terms), then seeds the walk from the base
+  /// tape and recorded clock state and lowers only the suffix.  Returns
+  /// nullopt when the prefix is not provably exact.
+  std::optional<NoiseProgram> splice_from(const circ::Circuit& base_circuit,
+                                          const NoiseProgram& base,
+                                          std::size_t shared_ops) {
+    const circ::Schedule& base_sched = base.resume_->sched;
+    for (std::size_t i = 0; i < shared_ops; ++i) {
+      // An over-claimed shared prefix must degrade to a cold run, never to
+      // a resumed wrong answer.
+      if (!same_gate(base_circuit.op(i), c_.op(i))) return std::nullopt;
+      const circ::ScheduledOp& a = base_sched.ops[i];
+      const circ::ScheduledOp& b = sched_.ops[i];
+      if (a.t_start != b.t_start || a.t_end != b.t_end) return std::nullopt;
+      if (base.resume_->drive_terms[i] != drive_terms_[i])
+        return std::nullopt;
+    }
+    if (base.resume_->edges != edges_) return std::nullopt;
+    resume_from(base, shared_ops);
+    return take();
+  }
+
+  /// Seeds the walk from a shared prefix: tape ops, boundaries, payloads,
+  /// and clock state are taken from \p base as of \p shared_ops.
+  void resume_from(const NoiseProgram& base, std::size_t shared_ops) {
+    const std::size_t prefix = base.op_end(shared_ops - 1);
+    out_.ops_.assign(base.ops_.begin(),
+                     base.ops_.begin() +
+                         static_cast<std::ptrdiff_t>(prefix));
+    // Payloads are appended in tape order, so the prefix references only a
+    // leading slice of each array; copying past it would duplicate the
+    // base's entire suffix payload per spliced circuit (O(G^2) across an
+    // analysis).
+    std::size_t mats = 0, diags = 0, kraus = 0;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      const TapeOp& op = base.ops_[i];
+      switch (op.kind) {
+        case TapeOpKind::kUnitary1q:
+          mats = std::max<std::size_t>(mats, op.payload + 1);
+          break;
+        case TapeOpKind::kDiag1q:
+        case TapeOpKind::kDiag2q:
+          diags = std::max<std::size_t>(diags, op.payload + 1);
+          break;
+        case TapeOpKind::kKraus1q: {
+          kraus = std::max<std::size_t>(kraus, op.payload + 1);
+          const NoiseProgram::KrausSet& set = base.kraus_sets_[op.payload];
+          mats = std::max<std::size_t>(mats, set.offset + set.count);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    out_.mats_.assign(base.mats_.begin(),
+                      base.mats_.begin() + static_cast<std::ptrdiff_t>(mats));
+    out_.diags_.assign(
+        base.diags_.begin(),
+        base.diags_.begin() + static_cast<std::ptrdiff_t>(diags));
+    out_.kraus_sets_.assign(
+        base.kraus_sets_.begin(),
+        base.kraus_sets_.begin() + static_cast<std::ptrdiff_t>(kraus));
+    out_.prologue_end_ = base.prologue_end_;
+    out_.op_end_.assign(base.op_end_.begin(),
+                        base.op_end_.begin() +
+                            static_cast<std::ptrdiff_t>(shared_ops));
+    qubit_clock_ = base.resume_->after_op[shared_ops - 1].qubit_clock;
+    zz_clock_ = base.resume_->after_op[shared_ops - 1].zz_clock;
+    next_op_ = shared_ops;
+  }
+
+  NoiseProgram take() {
+    emit_prologue_if_first();
+    while (next_op_ < c_.size()) emit_op(next_op_++);
+    emit_epilogue();
+    if (record_) {
+      NoiseProgram::ResumeInfo info;
+      info.sched = sched_;
+      info.drive_terms = drive_terms_;
+      info.edges = edges_;
+      info.after_op = std::move(after_op_);
+      out_.resume_ = std::move(info);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit_prologue_if_first() {
+    if (next_op_ != 0) return;  // spliced: prologue came with the prefix
+    if (model_.toggles().prep) {
+      for (int q = 0; q < c_.num_qubits(); ++q) {
+        const double p = model_.qubit(q).prep_error;
+        if (p > 0.0) out_.append_bitflip(q, p);
+      }
+    }
+    out_.prologue_end_ = out_.ops_.size();
+  }
+
+  // Flushes accumulated static ZZ phase on every edge touching q up to t.
+  void flush_zz(int q, double t) {
+    if (!model_.toggles().static_zz) return;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].first != q && edges_[e].second != q) continue;
+      const double dt = t - zz_clock_[e];
+      if (dt <= 0.0) continue;
+      const double angle =
+          model_.edge(edges_[e].first, edges_[e].second).static_zz_rate * dt;
+      if (angle != 0.0)
+        out_.append_diag_2q(rzz_phases(angle), edges_[e].first,
+                            edges_[e].second);
+      zz_clock_[e] = t;
+    }
+  }
+
+  // Advances qubit q's clock to time t, emitting T1/T2 for the window.
+  void advance(int q, double t) {
+    double& clock = qubit_clock_[static_cast<std::size_t>(q)];
+    const double dt = t - clock;
+    if (dt > 0.0 && model_.toggles().decoherence) {
+      const double gamma = model_.gamma_for(q, dt);
+      const double pz = model_.pz_for(q, dt);
+      if (gamma > 0.0 || pz > 0.0) out_.append_thermal(q, gamma, pz);
+    }
+    clock = std::max(clock, t);
+  }
+
+  void emit_op(std::size_t i) {
+    const Gate& g = c_.op(i);
+    const NoiseToggles& tog = model_.toggles();
+    const double t_start = sched_.ops[i].t_start;
+    const double t_end = sched_.ops[i].t_end;
+    const cplx imag(0.0, 1.0);
+    switch (g.kind) {
+      case GateKind::BARRIER:
+      case GateKind::ID:
+        break;
+      case GateKind::RZ:
+        // Virtual, instantaneous, commutes with every noise channel here:
+        // no flush, no advance, no noise.
+        out_.append_diag_1q(std::exp(-imag * (g.params[0] / 2.0)),
+                            std::exp(imag * (g.params[0] / 2.0)),
+                            g.qubits[0]);
+        break;
+      case GateKind::SX:
+      case GateKind::SXDG:
+      case GateKind::X: {
+        const int q = g.qubits[0];
+        flush_zz(q, t_start);
+        advance(q, t_start);
+        const OneQubitGateCal& cal = model_.gate_1q(g.kind, q);
+        const double over = tog.coherent ? cal.overrot_frac : 0.0;
+        double angle = 0.0;
+        if (g.kind == GateKind::SX) angle = M_PI_2 * (1.0 + over);
+        if (g.kind == GateKind::SXDG) angle = -M_PI_2 * (1.0 + over);
+        if (g.kind == GateKind::X) angle = M_PI * (1.0 + over);
+        out_.append_unitary_1q(rx_matrix(angle), q);
+        if (tog.depolarizing && cal.depol > 0.0)
+          out_.append_depol_1q(q, cal.depol);
+        advance(q, t_end);
+        break;
+      }
+      case GateKind::RESET: {
+        // Active reset: collapse to |0> (exact amplitude-damping channel
+        // with gamma = 1); decoherence bookkeeping as for any physical op.
+        const int q = g.qubits[0];
+        flush_zz(q, t_start);
+        advance(q, t_start);
+        out_.append_thermal(q, 1.0, 0.0);
+        advance(q, t_end);
+        break;
+      }
+      case GateKind::CX: {
+        const int qc = g.qubits[0];
+        const int qt = g.qubits[1];
+        require(model_.has_edge(qc, qt),
+                "CX on uncoupled qubits " + std::to_string(qc) + "," +
+                    std::to_string(qt) + " (route the circuit first)");
+        flush_zz(qc, t_start);
+        flush_zz(qt, t_start);
+        advance(qc, t_start);
+        advance(qt, t_start);
+        out_.append_cx(qc, qt);
+        const EdgeCal& cal = model_.edge(qc, qt);
+        if (tog.coherent && cal.cx_zz_angle != 0.0)
+          out_.append_diag_2q(rzz_phases(cal.cx_zz_angle), qc, qt);
+        if (tog.depolarizing && cal.cx_depol > 0.0)
+          out_.append_depol_2q(qc, qt, cal.cx_depol);
+        advance(qc, t_end);
+        advance(qt, t_end);
+        break;
+      }
+      default:
+        CHARTER_ASSERT(false, "unreachable: non-basis gate after validation");
+    }
+    // Drive-crosstalk phases attached to this op (diagonal; no flush
+    // needed).
+    for (const auto& term : drive_terms_[i])
+      out_.append_diag_2q(rzz_phases(term[2]), static_cast<int>(term[0]),
+                          static_cast<int>(term[1]));
+    out_.op_end_.push_back(out_.ops_.size());
+    if (record_) after_op_.push_back({qubit_clock_, zz_clock_});
+  }
+
+  void emit_epilogue() {
+    const double t_final = sched_.total_time;
+    for (int q = 0; q < c_.num_qubits(); ++q) flush_zz(q, t_final);
+    for (int q = 0; q < c_.num_qubits(); ++q) advance(q, t_final);
+  }
+
+  const NoiseModel& model_;
+  const circ::Circuit& c_;
+  bool record_;
+  NoiseProgram out_;
+  circ::Schedule sched_;
+  std::vector<std::vector<std::array<double, 3>>> drive_terms_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<double> qubit_clock_;
+  std::vector<double> zz_clock_;
+  std::vector<NoiseProgram::ClockState> after_op_;
+  std::size_t next_op_ = 0;
+};
+
+NoiseProgram lower(const NoiseModel& model, const circ::Circuit& c,
+                   bool record_resume_info) {
+  Lowerer lowerer(model, c, record_resume_info);
+  return lowerer.take();
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 2x2 matrix of a coherent one-qubit tape op (unitary or diagonal).
+Mat2 coherent_mat(const NoiseProgram& p, const TapeOp& op,
+                  const std::vector<Mat2>& mats,
+                  const std::vector<std::array<cplx, 4>>& diags) {
+  (void)p;
+  if (op.kind == TapeOpKind::kUnitary1q) return mats[op.payload];
+  Mat2 m;
+  m(0, 0) = diags[op.payload][0];
+  m(1, 1) = diags[op.payload][1];
+  return m;
+}
+
+}  // namespace
+
+NoiseProgram fused(const NoiseProgram& p, std::size_t from_pos) {
+  require(from_pos <= p.size(), "fusion start past the end of the tape");
+  NoiseProgram out(p.num_qubits());
+  out.level_ = OptLevel::kFused;
+  out.mats_ = p.mats_;
+  out.diags_ = p.diags_;
+  out.kraus_sets_ = p.kraus_sets_;
+  out.ops_.assign(p.ops_.begin(),
+                  p.ops_.begin() + static_cast<std::ptrdiff_t>(from_pos));
+  out.prologue_end_ = std::min(p.prologue_end_, from_pos);
+  for (const std::size_t e : p.op_end_) {
+    if (e > from_pos) break;
+    out.op_end_.push_back(e);
+  }
+
+  // Peephole state per circuit qubit.  An op can merge with an earlier op
+  // only by commuting past everything between them that touches its
+  // qubits, so each tracker encodes one commutation class:
+  //  - diag1_target[q]: latest coherent op absorbing a *one-qubit*
+  //    diagonal.  Valid while only ops commuting with diag(d0, d1) on q
+  //    touch q: thermal relaxation and one-qubit depolarizing on q (their
+  //    Kraus sets change by a global phase only), two-qubit depolarizing
+  //    containing q (the twirl mixes elements with equal diagonal-phase
+  //    factors), and CX with q as *control* (both diagonal in q).
+  //  - diag2_target[q]: latest diag-2q absorbing another diagonal on the
+  //    same pair.  Far stricter: a two-qubit phase does NOT commute with
+  //    relaxation or one-qubit depolarizing on either qubit (amplitude
+  //    damping maps |1,b> -> |0,b> across *different* RZZ phases), so only
+  //    one-qubit diagonals, same-pair depolarizing, and CX with a pair
+  //    qubit as control (and target outside the pair) may intervene.
+  //  - thermal_target[q]: latest relaxation on q.  Relaxation commutes
+  //    with one-qubit diagonals on q and nothing else, so only kDiag1q may
+  //    intervene; windows compose in closed form.
+  //  - last_touch[q]: latest op touching q of any kind — the only legal
+  //    merge partner for a general unitary, which commutes with nothing.
+  // Targets never point before from_pos (they start invalid), so the
+  // verbatim prefix is never mutated and a snapshot at from_pos stays a
+  // valid resume point.
+  constexpr int kNone = -1;
+  const std::size_t nq = static_cast<std::size_t>(p.num_qubits());
+  std::vector<int> last_touch(nq, kNone);
+  std::vector<int> diag1_target(nq, kNone);
+  std::vector<int> diag2_target(nq, kNone);
+  std::vector<int> thermal_target(nq, kNone);
+  std::vector<bool> dead(out.ops_.size(), false);
+
+  const auto append = [&](const TapeOp& op) -> int {
+    out.ops_.push_back(op);
+    dead.push_back(false);
+    return static_cast<int>(out.ops_.size() - 1);
+  };
+
+  for (std::size_t i = from_pos; i < p.size(); ++i) {
+    const TapeOp op = p.op(i);
+    const std::size_t q = static_cast<std::size_t>(op.q0);
+    switch (op.kind) {
+      case TapeOpKind::kUnitary1q: {
+        Mat2 m = out.mats_[op.payload];
+        const int t = diag1_target[q];
+        if (t != kNone) {
+          TapeOp& tgt = out.ops_[static_cast<std::size_t>(t)];
+          if (tgt.kind == TapeOpKind::kUnitary1q && tgt.q0 == op.q0 &&
+              t == last_touch[q]) {
+            // Adjacent unitaries on the same qubit: one matrix product.
+            out.mats_[tgt.payload] = math::mul(m, out.mats_[tgt.payload]);
+            thermal_target[q] = kNone;
+            continue;
+          }
+          if (tgt.kind == TapeOpKind::kDiag1q && tgt.q0 == op.q0) {
+            // Hoist the pure diagonal forward through the commuting
+            // channels between it and this gate, then absorb it.
+            m = math::mul(m, coherent_mat(p, tgt, out.mats_, out.diags_));
+            dead[static_cast<std::size_t>(t)] = true;
+          }
+        }
+        TapeOp merged = op;
+        merged.kind = TapeOpKind::kUnitary1q;
+        merged.payload = static_cast<std::uint32_t>(out.mats_.size());
+        out.mats_.push_back(m);
+        const int idx = append(merged);
+        diag1_target[q] = idx;
+        diag2_target[q] = kNone;
+        thermal_target[q] = kNone;
+        last_touch[q] = idx;
+        break;
+      }
+      case TapeOpKind::kDiag1q: {
+        const std::array<cplx, 4>& d = out.diags_[op.payload];
+        const int t = diag1_target[q];
+        if (t != kNone) {
+          TapeOp& tgt = out.ops_[static_cast<std::size_t>(t)];
+          if (tgt.kind == TapeOpKind::kDiag1q && tgt.q0 == op.q0) {
+            auto& td = out.diags_[tgt.payload];
+            td[0] *= d[0];
+            td[1] *= d[1];
+            continue;
+          }
+          if (tgt.kind == TapeOpKind::kUnitary1q && tgt.q0 == op.q0) {
+            Mat2& tm = out.mats_[tgt.payload];
+            tm(0, 0) *= d[0];
+            tm(0, 1) *= d[0];
+            tm(1, 0) *= d[1];
+            tm(1, 1) *= d[1];
+            continue;
+          }
+          if (tgt.kind == TapeOpKind::kDiag2q &&
+              (tgt.q0 == op.q0 || tgt.q1 == op.q0)) {
+            auto& td = out.diags_[tgt.payload];
+            if (tgt.q0 == op.q0) {
+              td[0] *= d[0];
+              td[2] *= d[0];
+              td[1] *= d[1];
+              td[3] *= d[1];
+            } else {
+              td[0] *= d[0];
+              td[1] *= d[0];
+              td[2] *= d[1];
+              td[3] *= d[1];
+            }
+            continue;
+          }
+        }
+        const int idx = append(op);
+        diag1_target[q] = idx;
+        // A one-qubit diagonal is transparent to diag-2q and relaxation
+        // merges on q, so those targets survive.
+        last_touch[q] = idx;
+        break;
+      }
+      case TapeOpKind::kDiag2q: {
+        const std::size_t qa = q;
+        const std::size_t qb = static_cast<std::size_t>(op.q1);
+        const int t = diag2_target[qa];
+        if (t != kNone && diag2_target[qb] == t) {
+          TapeOp& tgt = out.ops_[static_cast<std::size_t>(t)];
+          CHARTER_ASSERT(tgt.kind == TapeOpKind::kDiag2q,
+                         "diag2 target must be a diag-2q op");
+          const std::array<cplx, 4>& d = out.diags_[op.payload];
+          auto& td = out.diags_[tgt.payload];
+          if (tgt.q0 == op.q0 && tgt.q1 == op.q1) {
+            for (std::size_t k = 0; k < 4; ++k) td[k] *= d[k];
+            continue;
+          }
+          if (tgt.q0 == op.q1 && tgt.q1 == op.q0) {
+            // Same pair, swapped index convention: permute bits 0 <-> 1.
+            td[0] *= d[0];
+            td[1] *= d[2];
+            td[2] *= d[1];
+            td[3] *= d[3];
+            continue;
+          }
+        }
+        const int idx = append(op);
+        diag1_target[qa] = idx;
+        diag1_target[qb] = idx;
+        diag2_target[qa] = idx;
+        diag2_target[qb] = idx;
+        // Relaxation cannot cross a two-qubit phase (see class comment).
+        thermal_target[qa] = kNone;
+        thermal_target[qb] = kNone;
+        last_touch[qa] = idx;
+        last_touch[qb] = idx;
+        break;
+      }
+      case TapeOpKind::kThermal: {
+        const int t = thermal_target[q];
+        if (t != kNone) {
+          // Closed-form window composition: survival amplitudes and
+          // phase-keep factors both multiply.
+          TapeOp& tgt = out.ops_[static_cast<std::size_t>(t)];
+          tgt.a = 1.0 - (1.0 - tgt.a) * (1.0 - op.a);
+          const double keep = (1.0 - 2.0 * tgt.b) * (1.0 - 2.0 * op.b);
+          tgt.b = 0.5 * (1.0 - keep);
+          continue;
+        }
+        const int idx = append(op);
+        thermal_target[q] = idx;
+        diag2_target[q] = kNone;
+        last_touch[q] = idx;
+        break;
+      }
+      case TapeOpKind::kDepol1q: {
+        const int idx = append(op);
+        thermal_target[q] = kNone;
+        diag2_target[q] = kNone;
+        last_touch[q] = idx;
+        break;
+      }
+      case TapeOpKind::kDepol2q: {
+        const int idx = append(op);
+        for (const std::size_t qq : {q, static_cast<std::size_t>(op.q1)}) {
+          thermal_target[qq] = kNone;
+          // diag-2q merges survive only across depolarizing on the *same*
+          // pair.
+          const int t = diag2_target[qq];
+          if (t != kNone) {
+            const TapeOp& tgt = out.ops_[static_cast<std::size_t>(t)];
+            const bool same_pair =
+                (tgt.q0 == op.q0 && tgt.q1 == op.q1) ||
+                (tgt.q0 == op.q1 && tgt.q1 == op.q0);
+            if (!same_pair) diag2_target[qq] = kNone;
+          }
+          last_touch[qq] = idx;
+        }
+        break;
+      }
+      case TapeOpKind::kCx: {
+        const int idx = append(op);
+        const std::size_t qc = q;
+        const std::size_t qt = static_cast<std::size_t>(op.q1);
+        // Diagonals commute with CX on its *control*; the target leg
+        // blocks them, and relaxation commutes with neither leg.
+        diag1_target[qt] = kNone;
+        diag2_target[qt] = kNone;
+        if (diag2_target[qc] != kNone) {
+          // A pair phase crosses the control leg only when the CX target
+          // lies outside the pair.
+          const TapeOp& tgt =
+              out.ops_[static_cast<std::size_t>(diag2_target[qc])];
+          if (tgt.q0 == op.q1 || tgt.q1 == op.q1) diag2_target[qc] = kNone;
+        }
+        thermal_target[qc] = kNone;
+        thermal_target[qt] = kNone;
+        last_touch[qc] = idx;
+        last_touch[qt] = idx;
+        break;
+      }
+      case TapeOpKind::kBitflip:
+      case TapeOpKind::kKraus1q: {
+        const int idx = append(op);
+        diag1_target[q] = kNone;
+        diag2_target[q] = kNone;
+        thermal_target[q] = kNone;
+        last_touch[q] = idx;
+        break;
+      }
+    }
+  }
+
+  if (std::find(dead.begin(), dead.end(), true) != dead.end()) {
+    std::vector<TapeOp> compact;
+    compact.reserve(out.ops_.size());
+    for (std::size_t i = 0; i < out.ops_.size(); ++i)
+      if (!dead[i]) compact.push_back(out.ops_[i]);
+    out.ops_ = std::move(compact);
+  }
+  return out;
+}
+
+std::optional<NoiseProgram> lower_spliced(const NoiseModel& model,
+                                          const circ::Circuit& base_circuit,
+                                          const NoiseProgram& base,
+                                          const circ::Circuit& c,
+                                          std::size_t shared_ops) {
+  if (!base.has_resume_info()) return std::nullopt;
+  if (shared_ops == 0 || shared_ops > base_circuit.size() ||
+      shared_ops > c.size())
+    return std::nullopt;
+  if (c.num_qubits() != base_circuit.num_qubits()) return std::nullopt;
+
+  Lowerer lowerer(model, c, /*record=*/false);
+  return lowerer.splice_from(base_circuit, base, shared_ops);
+}
+
+}  // namespace charter::noise

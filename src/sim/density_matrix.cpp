@@ -49,26 +49,24 @@ void DensityMatrixEngine::load_state(const std::vector<cplx>& in) {
 }
 
 void DensityMatrixEngine::apply_unitary_1q(const Mat2& u, int q) {
-  kernels::apply_1q(rho_.data(), dim2(), q, u);
-  kernels::apply_1q(rho_.data(), dim2(), q + num_qubits_, conj2(u));
+  kernels::apply_1q_pair(rho_.data(), dim2(), q, u, q + num_qubits_,
+                         conj2(u));
 }
 
 void DensityMatrixEngine::apply_diag_1q(cplx d0, cplx d1, int q) {
-  kernels::apply_diag_1q(rho_.data(), dim2(), q, d0, d1);
-  kernels::apply_diag_1q(rho_.data(), dim2(), q + num_qubits_, std::conj(d0),
-                         std::conj(d1));
+  kernels::apply_diag_1q_pair(rho_.data(), dim2(), q, d0, d1,
+                              q + num_qubits_, std::conj(d0), std::conj(d1));
 }
 
 void DensityMatrixEngine::apply_cx(int c, int t) {
-  kernels::apply_cx(rho_.data(), dim2(), c, t);
-  kernels::apply_cx(rho_.data(), dim2(), c + num_qubits_, t + num_qubits_);
+  kernels::apply_cx_pair(rho_.data(), dim2(), c, t, c + num_qubits_,
+                         t + num_qubits_);
 }
 
 void DensityMatrixEngine::apply_diag_2q(const std::array<cplx, 4>& d, int qa,
                                         int qb) {
-  kernels::apply_diag_2q(rho_.data(), dim2(), qa, qb, d);
-  kernels::apply_diag_2q(
-      rho_.data(), dim2(), qa + num_qubits_, qb + num_qubits_,
+  kernels::apply_diag_2q_pair(
+      rho_.data(), dim2(), qa, qb, d, qa + num_qubits_, qb + num_qubits_,
       {std::conj(d[0]), std::conj(d[1]), std::conj(d[2]), std::conj(d[3])});
 }
 
@@ -176,12 +174,21 @@ void DensityMatrixEngine::apply_bitflip(int q, double p) {
 
 void DensityMatrixEngine::apply_kraus_1q(std::span<const Mat2> kraus, int q) {
   require(!kraus.empty(), "empty Kraus set");
-  accum_.assign(dim2(), cplx(0.0));
+  // The first term's K rho K^dag seeds the accumulator directly (swap, no
+  // zero-fill pass); later terms are computed in scratch and added.  One
+  // O(4^n) pass saved per call versus zeroing the accumulator up front.
   scratch_.resize(dim2());
+  accum_.resize(dim2());
+  bool first = true;
   for (const Mat2& k : kraus) {
     std::copy(rho_.begin(), rho_.end(), scratch_.begin());
-    kernels::apply_1q(scratch_.data(), dim2(), q, k);
-    kernels::apply_1q(scratch_.data(), dim2(), q + num_qubits_, conj2(k));
+    kernels::apply_1q_pair(scratch_.data(), dim2(), q, k, q + num_qubits_,
+                           conj2(k));
+    if (first) {
+      accum_.swap(scratch_);
+      first = false;
+      continue;
+    }
     cplx* acc = accum_.data();
     const cplx* src = scratch_.data();
     util::parallel_for(static_cast<std::int64_t>(dim2()),

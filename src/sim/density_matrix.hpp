@@ -5,12 +5,17 @@
 ///
 /// Stores vec(rho) column-major as a 2n-qubit pseudo-state: index
 /// r + 2^n * c holds rho_{rc}.  A unitary U on qubit q becomes
-/// U on pseudo-qubit q and conj(U) on pseudo-qubit q+n, so the state-vector
-/// kernels are reused unchanged.  Noise channels use fused single-pass
+/// U on pseudo-qubit q and conj(U) on pseudo-qubit q+n; the row and column
+/// updates are fused into a single pass by the pair kernels
+/// (kernels::apply_*_pair), bit-identical to the sequential two-pass forms
+/// but with half the memory traffic.  Noise channels use fused single-pass
 /// closed forms (see DESIGN.md):
 ///  - thermal relaxation mixes the 2x2 qubit blocks directly,
 ///  - depolarizing mixes diagonal entries toward the block average and
 ///    scales coherences.
+///
+/// The class is final so that the NoiseProgram tape interpreter's concrete
+/// overload (noise/program.hpp) dispatches every op without a virtual call.
 ///
 /// Memory is 16 bytes * 4^n: n=10 -> 16 MiB, n=11 -> 64 MiB; the backend
 /// switches to the trajectory engine above kMaxQubits.

@@ -411,6 +411,50 @@ TEST(Qasm, RoundTripsEmittedPrograms) {
   }
 }
 
+TEST(Qasm, ParsePrintParseRoundTripsAllBasisGates) {
+  // Fixed-point check over the full physical basis set {RZ, SX, SXDG, X, CX}
+  // plus the structural ops the executor accepts: parsing an external
+  // program, printing it, and re-parsing must reproduce the same circuit
+  // and the same text.
+  const char* src = R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[3];
+    creg m[3];
+    rz(0.25) q[0];
+    sx q[0];
+    sxdg q[1];
+    x q[2];
+    cx q[0], q[1];
+    cx q[2], q[1];
+    barrier q;
+    reset q[2];
+    id q[1];
+    measure q -> m;
+  )";
+  const cc::Circuit once = cc::parse_qasm(src);
+  const std::string printed = cc::to_qasm(once);
+  const cc::Circuit twice = cc::parse_qasm(printed);
+
+  ASSERT_EQ(once.num_qubits(), twice.num_qubits());
+  ASSERT_EQ(once.size(), twice.size());
+  const GateKind expected[] = {GateKind::RZ,      GateKind::SX,
+                               GateKind::SXDG,    GateKind::X,
+                               GateKind::CX,      GateKind::CX,
+                               GateKind::BARRIER, GateKind::RESET,
+                               GateKind::ID};
+  ASSERT_EQ(once.size(), std::size(expected));
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once.op(i).kind, expected[i]) << i;
+    EXPECT_EQ(twice.op(i).kind, once.op(i).kind) << i;
+    EXPECT_EQ(twice.op(i).qubits, once.op(i).qubits) << i;
+    for (int k = 0; k < once.op(i).num_params; ++k)
+      EXPECT_DOUBLE_EQ(twice.op(i).params[k], once.op(i).params[k]) << i;
+  }
+  // Printing is a fixed point after one round: text out == text back in.
+  EXPECT_EQ(cc::to_qasm(twice), printed);
+}
+
 TEST(Qasm, ParsesExpressionsAndAliases) {
   const char* src = R"(
     OPENQASM 2.0;

@@ -367,8 +367,79 @@ TEST(AnalyzerEquivalence, TrajectoryAnalysisUnchangedByBatching) {
 }
 
 // ---------------------------------------------------------------------------
+// Fused-mode analysis (tape optimizer end to end)
+// ---------------------------------------------------------------------------
+
+TEST(FusedAnalysis, RankingsMatchExactAnalysis) {
+  // Acceptance: with fusion on, analyzer gate rankings are unchanged while
+  // every TVD agrees with the exact run to well below ranking resolution.
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend);
+
+  co::CharterOptions options;
+  options.reversals = 3;
+  options.run.shots = 0;  // exact engine distributions: deterministic TVDs
+  options.run.seed = 2022;
+  options.exec.caching = false;
+  options.exec.checkpointing = true;
+
+  options.run.opt = charter::noise::OptLevel::kExact;
+  const co::CharterReport exact =
+      co::CharterAnalyzer(backend, options).analyze(program);
+  options.run.opt = charter::noise::OptLevel::kFused;
+  const co::CharterReport fused =
+      co::CharterAnalyzer(backend, options).analyze(program);
+
+  ASSERT_GE(exact.analyzed_gates, 30u);
+  ASSERT_EQ(exact.impacts.size(), fused.impacts.size());
+  for (std::size_t k = 0; k < exact.impacts.size(); ++k)
+    EXPECT_NEAR(exact.impacts[k].tvd, fused.impacts[k].tvd, 1e-10)
+        << "gate " << k;
+
+  const auto exact_ranked = exact.sorted_by_impact();
+  const auto fused_ranked = fused.sorted_by_impact();
+  for (std::size_t k = 0; k < exact_ranked.size(); ++k)
+    EXPECT_EQ(exact_ranked[k].op_index, fused_ranked[k].op_index)
+        << "rank " << k;
+}
+
+TEST(FusedAnalysis, CheckpointedMatchesNaiveWithinTolerance) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+
+  co::CharterOptions options;
+  options.reversals = 2;
+  options.run.shots = 0;
+  options.run.seed = 5;
+  options.run.opt = charter::noise::OptLevel::kFused;
+  options.exec.caching = false;
+
+  options.exec.checkpointing = true;
+  const co::CharterReport fast =
+      co::CharterAnalyzer(backend, options).analyze(program);
+  options.exec.checkpointing = false;
+  const co::CharterReport naive =
+      co::CharterAnalyzer(backend, options).analyze(program);
+
+  ASSERT_EQ(fast.impacts.size(), naive.impacts.size());
+  for (std::size_t k = 0; k < fast.impacts.size(); ++k)
+    EXPECT_NEAR(fast.impacts[k].tvd, naive.impacts[k].tvd, 1e-10);
+}
+
+// ---------------------------------------------------------------------------
 // Fingerprints
 // ---------------------------------------------------------------------------
+
+TEST(Fingerprints, OptimizationLevelChangesRunKeys) {
+  cb::RunOptions exact, fused;
+  fused.opt = charter::noise::OptLevel::kFused;
+  EXPECT_FALSE(ex::fingerprint(exact) == ex::fingerprint(fused));
+
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram p = compiled_program(backend, 1);
+  EXPECT_FALSE(ex::run_key(p, backend, exact) ==
+               ex::run_key(p, backend, fused));
+}
 
 TEST(Fingerprints, DistinguishProgramsOptionsAndDevices) {
   const cb::FakeBackend lagos_a = cb::FakeBackend::lagos(7);

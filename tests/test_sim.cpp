@@ -9,6 +9,7 @@
 
 #include "circuit/circuit.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/kernels.hpp"
 #include "sim/measurement.hpp"
 #include "sim/statevector.hpp"
 #include "sim/trajectory.hpp"
@@ -64,6 +65,83 @@ double dist(const std::vector<double>& a, const std::vector<double>& b) {
 }
 
 }  // namespace
+
+// ---- pair kernels ----
+
+namespace {
+
+/// Random normalized pseudo-state of the given dimension.
+std::vector<cplx> random_state(std::uint64_t dim, charter::util::Rng& rng) {
+  std::vector<cplx> a(dim);
+  double norm = 0.0;
+  for (cplx& v : a) {
+    v = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    norm += std::norm(v);
+  }
+  const double inv = 1.0 / std::sqrt(norm);
+  for (cplx& v : a) v *= inv;
+  return a;
+}
+
+}  // namespace
+
+TEST(PairKernels, Fused1qPairIsBitIdenticalToTwoPasses) {
+  charter::util::Rng rng(2024);
+  const std::uint64_t dim = 1ULL << 6;
+  const Mat2 u = cc::gate_unitary_1q(cc::make_gate(GateKind::SX, {0}));
+  Mat2 v = cc::gate_unitary_1q(cc::make_gate(GateKind::X, {0}));
+  v(0, 1) *= cplx(0.0, 1.0);  // any 2x2, unitarity not required
+  for (const auto [qa, qb] : {std::pair{0, 3}, {3, 0}, {2, 5}, {4, 1}}) {
+    std::vector<cplx> fused = random_state(dim, rng);
+    std::vector<cplx> twopass = fused;
+    cs::kernels::apply_1q_pair(fused.data(), dim, qa, u, qb, v);
+    cs::kernels::apply_1q(twopass.data(), dim, qa, u);
+    cs::kernels::apply_1q(twopass.data(), dim, qb, v);
+    for (std::uint64_t i = 0; i < dim; ++i)
+      ASSERT_EQ(fused[i], twopass[i]) << "qubits " << qa << "," << qb;
+  }
+}
+
+TEST(PairKernels, FusedDiagPairsAreBitIdenticalToTwoPasses) {
+  charter::util::Rng rng(7);
+  const std::uint64_t dim = 1ULL << 6;
+  const cplx d0 = std::exp(cplx(0.0, 0.3));
+  const cplx d1 = std::exp(cplx(0.0, -0.3));
+  const std::array<cplx, 4> zz = {std::exp(cplx(0.0, -0.01)),
+                                  std::exp(cplx(0.0, 0.01)),
+                                  std::exp(cplx(0.0, 0.01)),
+                                  std::exp(cplx(0.0, -0.01))};
+  std::vector<cplx> fused = random_state(dim, rng);
+  std::vector<cplx> twopass = fused;
+  cs::kernels::apply_diag_1q_pair(fused.data(), dim, 1, d0, d1, 4,
+                                  std::conj(d0), std::conj(d1));
+  cs::kernels::apply_diag_1q(twopass.data(), dim, 1, d0, d1);
+  cs::kernels::apply_diag_1q(twopass.data(), dim, 4, std::conj(d0),
+                             std::conj(d1));
+  for (std::uint64_t i = 0; i < dim; ++i) ASSERT_EQ(fused[i], twopass[i]);
+
+  fused = random_state(dim, rng);
+  twopass = fused;
+  cs::kernels::apply_diag_2q_pair(fused.data(), dim, 0, 2, zz, 3, 5, zz);
+  cs::kernels::apply_diag_2q(twopass.data(), dim, 0, 2, zz);
+  cs::kernels::apply_diag_2q(twopass.data(), dim, 3, 5, zz);
+  for (std::uint64_t i = 0; i < dim; ++i) ASSERT_EQ(fused[i], twopass[i]);
+}
+
+TEST(PairKernels, FusedCxPairIsBitIdenticalToTwoPasses) {
+  charter::util::Rng rng(99);
+  const std::uint64_t dim = 1ULL << 6;
+  for (const auto [c1, t1, c2, t2] :
+       {std::array{0, 1, 3, 4}, {2, 0, 5, 3}, {1, 5, 4, 2}}) {
+    std::vector<cplx> fused = random_state(dim, rng);
+    std::vector<cplx> twopass = fused;
+    cs::kernels::apply_cx_pair(fused.data(), dim, c1, t1, c2, t2);
+    cs::kernels::apply_cx(twopass.data(), dim, c1, t1);
+    cs::kernels::apply_cx(twopass.data(), dim, c2, t2);
+    for (std::uint64_t i = 0; i < dim; ++i)
+      ASSERT_EQ(fused[i], twopass[i]) << c1 << t1 << c2 << t2;
+  }
+}
 
 // ---- statevector ----
 

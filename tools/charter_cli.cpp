@@ -44,6 +44,8 @@ void add_common_flags(Cli& cli) {
   cli.add_flag("top", std::int64_t{15}, "rows to print in rankings");
   cli.add_flag("max-gates", std::int64_t{0},
                "cap analyzed gates (0 = all eligible)");
+  cli.add_flag("fused", false,
+               "fuse the lowered noise tape (faster; ~1e-12 tolerance)");
 }
 
 cb::FakeBackend make_backend(const Cli& cli,
@@ -63,6 +65,8 @@ co::CharterOptions make_options(const Cli& cli) {
   opts.max_gates = static_cast<int>(cli.get_int("max-gates"));
   opts.run.shots = cli.get_int("shots");
   opts.run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opts.run.opt = cli.get_bool("fused") ? charter::noise::OptLevel::kFused
+                                       : charter::noise::OptLevel::kExact;
   return opts;
 }
 
