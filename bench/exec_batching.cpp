@@ -1,9 +1,9 @@
 // Micro-benchmark of the exec subsystem: naive per-gate analysis (every
 // reversed circuit simulated from scratch) vs. prefix-state checkpointed
-// analysis on the same program, plus the warm-cache replay served to
-// repeated sweeps (the Table V/VI pattern and the mitigation workflow's
-// re-analysis).  Emits JSON so the perf trajectory can be tracked across
-// commits.
+// analysis on the same program, the warm-cache replay served to repeated
+// sweeps (the Table V/VI pattern and the mitigation workflow's re-analysis),
+// and the worker-pool scaling curve of the sharded parallel driver.  Emits
+// JSON so the perf trajectory can be tracked across commits.
 //
 // Reported metrics (all on a 5-qubit, >= 30-eligible-gate program, density
 // matrix, drift 0, verified bit-identical between paths):
@@ -13,14 +13,21 @@
 //   session_speedup    two-sweep session (analysis + cached re-analysis)
 //                      vs two naive sweeps
 //   reanalysis_speedup a cached re-analysis alone vs a naive sweep
+//   threads[]          checkpointed analysis wall-clock per worker-pool
+//                      width (1, 2, 4, ... up to --max-threads), each row's
+//                      speedup vs the 1-worker run, with the report asserted
+//                      *bit-identical* to the single-threaded one — the
+//                      driver's determinism contract, enforced on every
+//                      bench run
 //
 // Usage: bench_exec_batching [--rounds N] [--reps N] [--reversals N]
-//                            [--shots N] [--out PATH]
+//                            [--shots N] [--max-threads N] [--smoke]
+//                            [--out PATH]
 //
 // The default program is a 5-qubit, >= 30-eligible-gate circuit analyzed on
 // the density-matrix engine with drift 0 — the regime where checkpointing is
 // exact.  The two paths are verified bit-identical before timings are
-// reported.
+// reported.  --smoke shrinks the workload for CI.
 
 #include <cstdio>
 #include <string>
@@ -99,11 +106,20 @@ bool rankings_match(const co::CharterReport& a, const co::CharterReport& b) {
   return true;
 }
 
+void append_double(std::string& out, const char* key, double v,
+                   bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  \"%s\": %.3f%s\n", key, v,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   charter::util::Cli cli(
-      "bench_exec_batching: naive vs checkpointed analyzer wall-clock");
+      "bench_exec_batching: naive vs checkpointed analyzer wall-clock and "
+      "worker-pool scaling");
   cli.add_flag("rounds", std::int64_t{8}, "workload rounds (depth scale)");
   cli.add_flag("resets", std::int64_t{1},
                "active-reset initialization cycles before the program");
@@ -111,15 +127,23 @@ int main(int argc, char** argv) {
   cli.add_flag("reversals", std::int64_t{5}, "reversed pairs per gate");
   cli.add_flag("shots", std::int64_t{0},
                "shots per run (0 = exact engine distributions)");
+  cli.add_flag("max-threads", std::int64_t{8},
+               "sweep pool widths 1, 2, 4, ... up to this many workers");
+  cli.add_flag("smoke", false, "CI preset: tiny workload, 2-wide sweep");
   cli.add_flag("out", std::string("bench_results/exec_batching.json"),
                "JSON output path ('' = stdout only)");
   if (!cli.parse(argc, argv)) return 1;
 
+  const bool smoke = cli.get_bool("smoke");
+  const int rounds = smoke ? 2 : static_cast<int>(cli.get_int("rounds"));
+  const int reps = smoke ? 1 : static_cast<int>(cli.get_int("reps"));
+  const int max_threads =
+      smoke ? 2 : static_cast<int>(cli.get_int("max-threads"));
+
   const cb::FakeBackend backend =
       cb::FakeBackend::from_topology(ct::line(5), /*cal_seed=*/2022);
   const cb::CompiledProgram program = backend.compile(
-      workload(static_cast<int>(cli.get_int("rounds")),
-               static_cast<int>(cli.get_int("resets"))));
+      workload(rounds, static_cast<int>(cli.get_int("resets"))));
 
   co::CharterOptions options;
   options.reversals = static_cast<int>(cli.get_int("reversals"));
@@ -127,8 +151,6 @@ int main(int argc, char** argv) {
   options.run.seed = 2022;
   options.run.drift = 0.0;
   options.exec.caching = false;
-
-  const int reps = static_cast<int>(cli.get_int("reps"));
 
   options.exec.checkpointing = false;
   co::CharterReport naive_report;
@@ -148,6 +170,28 @@ int main(int argc, char** argv) {
   const double fused_s =
       analyze_seconds(backend, program, options, reps, &fused_report);
   options.run.opt = charter::noise::OptLevel::kExact;
+
+  // Worker-pool scaling sweep: the same checkpointed analysis at explicit
+  // pool widths.  Every width must reproduce the 1-worker report bit for
+  // bit — the sharded driver's determinism contract.
+  struct ThreadRow {
+    int threads = 0;
+    double seconds = 0.0;
+    bool identical = false;
+  };
+  std::vector<ThreadRow> thread_rows;
+  co::CharterReport one_worker_report;
+  bool all_identical = true;
+  for (int t = 1; t <= max_threads; t *= 2) {
+    options.exec.threads = t;
+    co::CharterReport report;
+    const double s = analyze_seconds(backend, program, options, reps, &report);
+    if (t == 1) one_worker_report = report;
+    const bool identical = reports_identical(one_worker_report, report);
+    all_identical = all_identical && identical;
+    thread_rows.push_back({t, s, identical});
+  }
+  options.exec.threads = 0;
 
   // Warm-cache replay (the mitigation workflow's re-analysis pattern).
   options.exec.caching = true;
@@ -172,39 +216,50 @@ int main(int argc, char** argv) {
       (fast_s + warm_s) > 0.0 ? 2.0 * naive_s / (fast_s + warm_s) : 0.0;
   const double warm_speedup = warm_s > 0.0 ? naive_s / warm_s : 0.0;
 
-  char json[1536];
-  std::snprintf(
-      json, sizeof(json),
-      "{\n"
-      "  \"bench\": \"exec_batching\",\n"
-      "  \"qubits\": 5,\n"
-      "  \"analyzed_gates\": %zu,\n"
-      "  \"reversals\": %d,\n"
-      "  \"shots\": %d,\n"
-      "  \"engine\": \"density_matrix\",\n"
-      "  \"drift\": 0.0,\n"
-      "  \"naive_ms\": %.3f,\n"
-      "  \"checkpointed_ms\": %.3f,\n"
-      "  \"fused_checkpointed_ms\": %.3f,\n"
-      "  \"warm_cache_ms\": %.3f,\n"
-      "  \"cold_speedup\": %.3f,\n"
-      "  \"fused_speedup\": %.3f,\n"
-      "  \"session_speedup\": %.3f,\n"
-      "  \"reanalysis_speedup\": %.1f,\n"
-      "  \"bit_identical\": %s,\n"
-      "  \"fused_rankings_match\": %s\n"
-      "}\n",
-      naive_report.analyzed_gates, options.reversals,
-      static_cast<int>(options.run.shots), naive_s * 1e3, fast_s * 1e3,
-      fused_s * 1e3, warm_s * 1e3, cold_speedup, fused_speedup,
-      session_speedup, warm_speedup, identical ? "true" : "false",
-      fused_ranks ? "true" : "false");
-  std::fputs(json, stdout);
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"exec_batching\",\n";
+  json += "  \"qubits\": 5,\n";
+  json += "  \"analyzed_gates\": " +
+          std::to_string(naive_report.analyzed_gates) + ",\n";
+  json += "  \"reversals\": " + std::to_string(options.reversals) + ",\n";
+  json += "  \"shots\": " + std::to_string(options.run.shots) + ",\n";
+  json += "  \"engine\": \"density_matrix\",\n";
+  json += "  \"drift\": 0.0,\n";
+  append_double(json, "naive_ms", naive_s * 1e3);
+  append_double(json, "checkpointed_ms", fast_s * 1e3);
+  append_double(json, "fused_checkpointed_ms", fused_s * 1e3);
+  append_double(json, "warm_cache_ms", warm_s * 1e3);
+  append_double(json, "cold_speedup", cold_speedup);
+  append_double(json, "fused_speedup", fused_speedup);
+  append_double(json, "session_speedup", session_speedup);
+  append_double(json, "reanalysis_speedup", warm_speedup);
+  json += "  \"threads\": [\n";
+  const double one_worker_s = thread_rows.empty() ? 0.0 : thread_rows[0].seconds;
+  for (std::size_t k = 0; k < thread_rows.size(); ++k) {
+    const ThreadRow& row = thread_rows[k];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"ms\": %.3f, \"speedup\": %.3f, "
+                  "\"bit_identical_to_1_thread\": %s}%s\n",
+                  row.threads, row.seconds * 1e3,
+                  row.seconds > 0.0 ? one_worker_s / row.seconds : 0.0,
+                  row.identical ? "true" : "false",
+                  k + 1 < thread_rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += std::string("  \"bit_identical\": ") +
+          (identical ? "true" : "false") + ",\n";
+  json += std::string("  \"fused_rankings_match\": ") +
+          (fused_ranks ? "true" : "false") + "\n";
+  json += "}\n";
+  std::fputs(json.c_str(), stdout);
 
   const std::string out_path = cli.get_string("out");
   if (!out_path.empty()) {
     if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-      std::fputs(json, f);
+      std::fputs(json.c_str(), f);
       std::fclose(f);
     } else {
       std::fprintf(stderr, "note: could not write %s\n", out_path.c_str());
@@ -216,6 +271,11 @@ int main(int argc, char** argv) {
   }
   if (!fused_ranks) {
     std::fprintf(stderr, "FAIL: fused analysis changed the gate ranking\n");
+    return 1;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: report changed with the worker-pool width\n");
     return 1;
   }
   return 0;

@@ -1,8 +1,6 @@
 #include "backend/backend.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 
 #include "noise/executor.hpp"
 #include "sim/density_matrix.hpp"
@@ -10,7 +8,6 @@
 #include "sim/statevector.hpp"
 #include "sim/trajectory.hpp"
 #include "util/error.hpp"
-#include "util/parallel.hpp"
 
 namespace charter::backend {
 
@@ -141,7 +138,7 @@ LoweredRun FakeBackend::lower(const CompiledProgram& program,
   Circuit local = compact_to(program.physical, kept);
   noise::NoiseModel model = restrict_model(model_, kept);
   if (options.drift > 0.0)
-    model = model.with_drift(options.seed ^ 0xd21f7ULL, options.drift);
+    model = model.with_drift(options.seed ^ kDriftSeedSalt, options.drift);
   return LoweredRun{std::move(local), std::move(model), std::move(kept)};
 }
 
@@ -152,7 +149,7 @@ std::vector<double> FakeBackend::finalize(std::vector<double> engine_probs,
   sim::apply_readout_error(engine_probs, lowered.model.readout_errors());
 
   if (options.shots > 0) {
-    util::Rng rng(options.seed ^ 0x51a9eULL);
+    util::Rng rng(options.seed ^ kShotSeedSalt);
     const std::vector<std::uint64_t> counts = sim::sample_counts(
         engine_probs, static_cast<std::uint64_t>(options.shots), rng);
     engine_probs = sim::counts_to_distribution(counts);
@@ -188,35 +185,10 @@ std::vector<double> FakeBackend::run(const CompiledProgram& program,
     probs = dm.probabilities();
   } else {
     probs = sim::run_trajectories(
-        width, options.trajectories, options.seed ^ 0x7ca3bULL,
+        width, options.trajectories, options.seed ^ kTrajectorySeedSalt,
         [&](sim::NoisyEngine& engine_ref) { tape.execute(engine_ref); });
   }
   return finalize(std::move(probs), lowered, program, options);
-}
-
-std::vector<std::vector<double>> FakeBackend::run_batch(
-    const std::vector<BatchJob>& jobs) const {
-  std::vector<std::vector<double>> results(jobs.size());
-  for (const BatchJob& job : jobs)
-    require(job.program != nullptr, "batch job without a program");
-  // An exception cannot propagate out of the parallel region (OpenMP would
-  // terminate); capture the first one and rethrow afterwards so a bad job
-  // fails the same way a standalone run() would.
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  util::parallel_for_dynamic(
-      static_cast<std::int64_t>(jobs.size()), [&](std::int64_t i) {
-        try {
-          const BatchJob& job = jobs[static_cast<std::size_t>(i)];
-          results[static_cast<std::size_t>(i)] =
-              run(*job.program, job.options);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-  if (first_error) std::rethrow_exception(first_error);
-  return results;
 }
 
 std::vector<double> FakeBackend::ideal(const CompiledProgram& program) const {

@@ -75,16 +75,17 @@ struct LoweredRun {
   std::vector<int> kept;
 };
 
-/// One entry of a batch submission: a program plus its per-run options.
-struct BatchJob {
-  const CompiledProgram* program = nullptr;
-  RunOptions options;
-};
-
 /// The engine kind a run with \p options actually uses for a program whose
 /// compacted width is \p local_width (resolves kAuto).  Shared by
 /// FakeBackend::run and the exec layer so the two can never diverge.
 EngineKind resolve_engine(const RunOptions& options, int local_width);
+
+/// Seed salts separating the independent random streams one RunOptions::seed
+/// drives.  Shared with the exec layer, whose pooled trajectory fan-out and
+/// trajectory checkpoint plan must reproduce FakeBackend::run bit for bit.
+inline constexpr std::uint64_t kTrajectorySeedSalt = 0x7ca3bULL;
+inline constexpr std::uint64_t kShotSeedSalt = 0x51a9eULL;
+inline constexpr std::uint64_t kDriftSeedSalt = 0xd21f7ULL;
 
 /// Noisy device simulator.
 class FakeBackend {
@@ -112,14 +113,6 @@ class FakeBackend {
   /// *logical* qubits (readout error and optional shot noise included).
   std::vector<double> run(const CompiledProgram& program,
                           const RunOptions& options = {}) const;
-
-  /// Runs every job and returns the distributions in job order.  Jobs run
-  /// across the worker pool (util::parallel_for_dynamic); each job is
-  /// bit-identical to a standalone run() with the same options.  This is the
-  /// plain batched entry point — exec::BatchRunner layers prefix-state
-  /// checkpointing and result caching on top of it.
-  std::vector<std::vector<double>> run_batch(
-      const std::vector<BatchJob>& jobs) const;
 
   /// Lowers a program to its simulator-level form (compaction + model
   /// restriction + drift).  run() is exactly lower + engine execution +

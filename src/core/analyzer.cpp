@@ -106,7 +106,8 @@ namespace {
 
 /// Per-circuit seed derivation: mixes the base seed with a circuit tag so
 /// each run (original, every reversed circuit) gets an independent stream
-/// for drift/trajectories/shots.
+/// for drift/trajectories/shots.  Under common random numbers every circuit
+/// uses tag 0 — the original run's stream.
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) {
   std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (tag + 1));
   return util::splitmix64(s);
@@ -171,7 +172,9 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
                                            options_.isolate);
       reversed.push_back(std::move(rev));
       backend::RunOptions run = options_.run;
-      run.seed = derive_seed(options_.run.seed, op_index + 1);
+      run.seed = options_.common_random_numbers
+                     ? orig_run.seed
+                     : derive_seed(options_.run.seed, op_index + 1);
       // Reversed pairs are inserted after op_index: ops [0, op_index] shared.
       jobs.push_back({&reversed.back(), run, op_index + 1});
     }
@@ -181,6 +184,7 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
     total_stats.jobs += s.jobs;
     total_stats.cache_hits += s.cache_hits;
     total_stats.checkpointed += s.checkpointed;
+    total_stats.trajectory_checkpointed += s.trajectory_checkpointed;
     total_stats.full_runs += s.full_runs;
     total_stats.checkpoint_fallbacks += s.checkpoint_fallbacks;
 
@@ -222,7 +226,9 @@ double CharterAnalyzer::input_impact(const CompiledProgram& program) const {
   backend::RunOptions orig_run = options_.run;
   orig_run.seed = derive_seed(options_.run.seed, 0);
   backend::RunOptions rev_run = options_.run;
-  rev_run.seed = derive_seed(options_.run.seed, 0x11fa7ULL);
+  rev_run.seed = options_.common_random_numbers
+                     ? orig_run.seed
+                     : derive_seed(options_.run.seed, 0x11fa7ULL);
 
   const exec::BatchRunner runner(backend_, options_.exec);
   const std::vector<std::vector<double>> dists =

@@ -37,17 +37,29 @@ struct CharterOptions {
   /// Also compute the ideal distribution and per-gate TVD vs ideal
   /// (validation only — not part of the technique).
   bool compute_validation = false;
+  /// Run the original and every reversed circuit under one shared seed
+  /// instead of per-circuit derived seeds.  Classic common-random-numbers
+  /// variance reduction: each per-gate TVD then compares distributions that
+  /// share their sampling noise (drift draw, trajectory unravellings, shot
+  /// sampling), so score differences reflect the inserted pairs rather than
+  /// seed-to-seed fluctuation.  It is also what makes trajectory-engine
+  /// checkpoint sharing possible — the exec layer resumes unravellings from
+  /// engine clones only when every run agrees on the seed.  Off by default:
+  /// the paper's protocol treats every run as an independent experiment.
+  bool common_random_numbers = false;
   /// Execution options for every run (seed is re-derived per circuit).
   /// run.opt selects the NoiseProgram tape level: kExact (default) is
   /// bit-reproducible; kFused merges gates/diagonals/relaxation windows for
   /// speed with ~1e-12 agreement — gate rankings are unaffected in practice.
   backend::RunOptions run;
-  /// Execution strategy: prefix-state checkpointing and run caching
-  /// (see exec/batch.hpp).  Checkpointing engages only when exact-sharing
-  /// applies (density-matrix engine, drift == 0); the base circuit is
-  /// lowered to a tape once and every reversed circuit's tape is spliced
-  /// from it.  Other configurations fall back to independent full runs
-  /// automatically.
+  /// Execution strategy: prefix-state checkpointing, run caching, and the
+  /// worker-pool width (see exec/batch.hpp; exec.threads is the knob the
+  /// CLI's --threads flag sets).  Checkpointing engages when exact-sharing
+  /// applies — density-matrix engine with drift == 0, or trajectory engine
+  /// with common_random_numbers — by lowering the base circuit to a tape
+  /// once and splicing every reversed circuit's tape from it.  Other
+  /// configurations fall back to independent full runs automatically.
+  /// Reports are bit-identical at every exec.threads value.
   exec::BatchOptions exec;
 };
 

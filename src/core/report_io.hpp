@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file report_io.hpp
+/// CharterReport <-> JSON round-tripping.
+///
+/// The golden-file regression suite (tests/test_regression.cpp) pins the
+/// analyzer's full output — every score, both distributions, and the exec
+/// layer's cache/checkpoint counters — for seeded circuits, so a future
+/// change that silently shifts gate rankings fails a test instead of
+/// shipping.  Doubles are printed with %.17g (exact round-trip) and the
+/// schema carries a version so a deliberate format change invalidates old
+/// fixtures loudly rather than mis-parsing them.
+///
+/// The parser accepts exactly the subset the writer emits (objects, arrays,
+/// numbers, strings) — it is a fixture loader, not a general JSON library.
+
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "exec/batch.hpp"
+
+namespace charter::core {
+
+/// A pinned analysis: the report plus the execution diagnostics that
+/// produced it (checkpoint/cache behavior is part of the regression
+/// surface — a plan that silently stops engaging is a perf bug).
+struct GoldenReport {
+  CharterReport report;
+  exec::BatchRunner::Stats exec;
+};
+
+/// Serializes with full double precision; stable key order.
+std::string report_to_json(const CharterReport& report,
+                           const exec::BatchRunner::Stats& exec_stats);
+
+/// Parses a document produced by report_to_json.  Throws InvalidArgument on
+/// malformed input or a schema version mismatch.
+GoldenReport report_from_json(const std::string& json);
+
+}  // namespace charter::core

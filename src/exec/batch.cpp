@@ -1,16 +1,19 @@
 #include "exec/batch.hpp"
 
-#include <exception>
+#include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "exec/checkpoint.hpp"
+#include "exec/sharding.hpp"
+#include "exec/trajectory_plan.hpp"
 #include "noise/executor.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/trajectory.hpp"
 #include "util/error.hpp"
-#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace charter::exec {
 
@@ -20,6 +23,27 @@ using backend::EngineKind;
 BatchRunner::BatchRunner(const backend::FakeBackend& backend,
                          BatchOptions options)
     : backend_(backend), options_(options) {}
+
+namespace {
+
+/// Lazily constructed per-worker density-matrix scratch engines.  Workers
+/// have stable indices, so each engine is touched by exactly one thread.
+class WorkerEngines {
+ public:
+  explicit WorkerEngines(int num_workers)
+      : engines_(static_cast<std::size_t>(num_workers)) {}
+
+  sim::DensityMatrixEngine& get(int worker, int width) {
+    auto& slot = engines_[static_cast<std::size_t>(worker)];
+    if (!slot) slot = std::make_unique<sim::DensityMatrixEngine>(width);
+    return *slot;
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::DensityMatrixEngine>> engines_;
+};
+
+}  // namespace
 
 std::vector<std::vector<double>> BatchRunner::run(
     const std::vector<AnalysisJob>& jobs,
@@ -48,40 +72,91 @@ std::vector<std::vector<double>> BatchRunner::run(
     }
   }
 
-  // Partition the remaining jobs: checkpoint-eligible prefix sharers vs.
-  // independent full runs.  Sharing must be *exact*: density-matrix engine
-  // (deterministic given the model) and zero calibration drift (the model
-  // itself is seed-independent).  Trajectory unravellings and drifted models
-  // re-randomize per run seed, so their prefixes are not shared state.  All
-  // sharers must also agree on the tape optimization level — the plan's
-  // executor fuses (or not) every resumed suffix uniformly — so a job whose
-  // level differs from the first sharer's runs independently instead.
-  std::vector<std::size_t> shared_idx;
+  // Partition the remaining jobs into three routes.
+  //
+  //  - Density-matrix checkpoint sharers: deterministic given the model, so
+  //    drift == 0 and a verified prefix suffice for exactness.  All sharers
+  //    must agree on the tape optimization level (the plan's executor fuses
+  //    every resumed suffix uniformly).
+  //  - Trajectory checkpoint sharers: unravellings re-randomize per run
+  //    seed, so sharing additionally requires every job to carry the *same*
+  //    (seed, trajectory count) as the base sweep — then each trajectory's
+  //    prefix consumes identical random draws and an engine clone (state +
+  //    RNG stream) resumes it exactly.
+  //  - Everything else (drifted models, mismatched footprints or seeds):
+  //    independent full runs, still scheduled on the pool.
+  std::vector<std::size_t> dm_idx;
+  std::vector<std::size_t> traj_idx;
   std::vector<std::size_t> plain_idx;
   const bool base_usable = options_.checkpointing && base != nullptr;
   std::vector<int> base_kept;
   if (base_usable) base_kept = backend::used_qubits(*base);
   const int base_width = static_cast<int>(base_kept.size());
   std::optional<noise::OptLevel> shared_opt;
+  std::vector<std::size_t> traj_candidates;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (done[i]) continue;
     const AnalysisJob& job = jobs[i];
-    bool eligible =
+    const bool prefix_ok =
         base_usable && job.shared_prefix > 0 && job.run.drift == 0.0 &&
         job.program->physical.num_qubits() ==
             base->physical.num_qubits() &&
-        backend::resolve_engine(job.run, base_width) ==
-            EngineKind::kDensityMatrix &&
-        base_width <= sim::DensityMatrixEngine::kMaxQubits &&
         (job.program == base || backend::used_qubits(*job.program) == base_kept);
-    if (eligible) {
+    const EngineKind engine =
+        prefix_ok ? backend::resolve_engine(job.run, base_width)
+                  : EngineKind::kAuto;
+    bool eligible = false;
+    if (prefix_ok && engine == EngineKind::kDensityMatrix &&
+        base_width <= sim::DensityMatrixEngine::kMaxQubits) {
       if (!shared_opt.has_value()) shared_opt = job.run.opt;
       eligible = job.run.opt == *shared_opt;
+      (eligible ? dm_idx : plain_idx).push_back(i);
+    } else if (prefix_ok && engine == EngineKind::kTrajectory) {
+      traj_candidates.push_back(i);
+    } else {
+      plain_idx.push_back(i);
     }
-    (eligible ? shared_idx : plain_idx).push_back(i);
   }
 
-  if (!shared_idx.empty()) {
+  // Trajectory sharing only pays when at least two candidates agree on
+  // (seed, trajectory count) — the base sweep costs a full run's worth of
+  // simulation, so a lone job is cheaper cold.  Pick the plurality config;
+  // candidates outside it run plain.
+  bool have_traj_group = false;
+  std::uint64_t group_seed = 0;
+  int group_trajectories = 0;
+  if (traj_candidates.size() >= 2) {
+    std::size_t best_count = 0;
+    for (const std::size_t i : traj_candidates) {
+      std::size_t count = 0;
+      for (const std::size_t j : traj_candidates)
+        count += (jobs[j].run.seed == jobs[i].run.seed &&
+                  jobs[j].run.trajectories == jobs[i].run.trajectories);
+      if (count > best_count) {
+        best_count = count;
+        group_seed = jobs[i].run.seed;
+        group_trajectories = jobs[i].run.trajectories;
+      }
+    }
+    have_traj_group = best_count >= 2;
+  }
+  for (const std::size_t i : traj_candidates) {
+    const bool in_group = have_traj_group &&
+                          jobs[i].run.seed == group_seed &&
+                          jobs[i].run.trajectories == group_trajectories;
+    (in_group ? traj_idx : plain_idx).push_back(i);
+  }
+
+  // The pool spawns lazily: a fully cache-served batch (the warm re-analysis
+  // path) never pays worker creation.
+  std::optional<util::ThreadPool> pool_storage;
+  const auto pool = [&]() -> util::ThreadPool& {
+    if (!pool_storage)
+      pool_storage.emplace(util::resolve_threads(options_.threads));
+    return *pool_storage;
+  };
+
+  if (!dm_idx.empty()) {
     // Lower the base once; every sharer reuses the compaction, restricted
     // model, and executor.  drift == 0 for all sharers, so the lowered model
     // is seed-independent and shared safely.
@@ -92,66 +167,174 @@ std::vector<std::vector<double>> BatchRunner::run(
     const noise::NoisyExecutor executor(lowered.model, opt);
 
     std::vector<std::size_t> prefix_lens;
-    for (const std::size_t i : shared_idx)
+    for (const std::size_t i : dm_idx)
       if (jobs[i].program != base) prefix_lens.push_back(jobs[i].shared_prefix);
     const CheckpointPlan plan(executor, lowered.local, std::move(prefix_lens),
                               options_.checkpoint_memory_bytes);
 
-    // One scratch engine per worker, allocated on first use.  Exceptions
-    // (e.g. a derived circuit failing executor validation) cannot cross the
-    // parallel region, so capture the first and rethrow after.
-    std::vector<std::unique_ptr<sim::DensityMatrixEngine>> engines(
-        static_cast<std::size_t>(util::num_threads()));
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    util::parallel_for_dynamic(
-        static_cast<std::int64_t>(shared_idx.size()), [&](std::int64_t k) {
-          try {
-            const std::size_t i = shared_idx[static_cast<std::size_t>(k)];
-            const AnalysisJob& job = jobs[i];
-            std::vector<double> probs;
-            if (job.program == base && opt == noise::OptLevel::kExact) {
-              // The exact sweep already ran the base to completion.
-              probs = plan.base_probabilities();
-            } else {
-              auto& engine =
-                  engines[static_cast<std::size_t>(util::thread_index())];
-              if (!engine)
-                engine = std::make_unique<sim::DensityMatrixEngine>(
-                    lowered.local.num_qubits());
-              if (job.program == base) {
-                // Fused mode: run the base as one full fused execution so
-                // its distribution matches a standalone fused run exactly
-                // (the checkpoint sweep is exact by design).
-                executor.run(lowered.local, *engine);
-                probs = engine->probabilities();
-              } else {
-                probs = plan.run_shared(
-                    backend::compact_to(job.program->physical, lowered.kept),
-                    job.shared_prefix, *engine);
-              }
-            }
-            results[i] =
-                backend_.finalize(std::move(probs), lowered, *job.program,
-                                  job.run);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
-          }
-        });
-    if (first_error) std::rethrow_exception(first_error);
-    stats_.checkpoint_fallbacks = plan.stats().fallbacks;
-    stats_.checkpointed = shared_idx.size() - stats_.checkpoint_fallbacks;
+    // Shard by checkpoint segment: jobs resuming from the same snapshot run
+    // on the same worker and reload a cache-warm rho.  Results land by
+    // submission index, so shard shapes never reach the numbers.
+    std::vector<std::size_t> segments(dm_idx.size());
+    for (std::size_t k = 0; k < dm_idx.size(); ++k) {
+      const AnalysisJob& job = jobs[dm_idx[k]];
+      segments[k] = plan.segment_of(
+          std::min(job.shared_prefix, lowered.local.size()));
+    }
+    const std::vector<Shard> shards = make_shards(
+        dm_idx, segments,
+        default_max_shard_jobs(dm_idx.size(), pool().num_workers()));
+
+    WorkerEngines engines(pool().num_workers());
+    pool().run(static_cast<std::int64_t>(shards.size()),
+             [&](std::int64_t s, int worker) {
+               for (const std::size_t i :
+                    shards[static_cast<std::size_t>(s)].jobs) {
+                 const AnalysisJob& job = jobs[i];
+                 std::vector<double> probs;
+                 if (job.program == base &&
+                     opt == noise::OptLevel::kExact) {
+                   // The exact sweep already ran the base to completion.
+                   probs = plan.base_probabilities();
+                 } else {
+                   sim::DensityMatrixEngine& engine =
+                       engines.get(worker, lowered.local.num_qubits());
+                   if (job.program == base) {
+                     // Fused mode: run the base as one full fused execution
+                     // so its distribution matches a standalone fused run
+                     // exactly (the checkpoint sweep is exact by design).
+                     executor.run(lowered.local, engine);
+                     probs = engine.probabilities();
+                   } else {
+                     probs = plan.run_shared(
+                         backend::compact_to(job.program->physical,
+                                             lowered.kept),
+                         job.shared_prefix, engine);
+                   }
+                 }
+                 results[i] = backend_.finalize(std::move(probs), lowered,
+                                                *job.program, job.run);
+               }
+             });
+    stats_.checkpoint_fallbacks += plan.stats().fallbacks;
+    stats_.checkpointed = dm_idx.size() - plan.stats().fallbacks;
+  }
+
+  if (!traj_idx.empty()) {
+    backend::RunOptions lower_options;
+    lower_options.drift = 0.0;
+    const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
+    // Trajectory tapes are never fused (fusing reorders stochastic draws).
+    const noise::NoisyExecutor executor(lowered.model,
+                                        noise::OptLevel::kExact);
+    std::vector<std::size_t> prefix_lens;
+    for (const std::size_t i : traj_idx)
+      if (jobs[i].program != base) prefix_lens.push_back(jobs[i].shared_prefix);
+    const TrajectoryCheckpointPlan plan(
+        executor, lowered.local, std::move(prefix_lens), group_trajectories,
+        group_seed, options_.checkpoint_memory_bytes, pool());
+
+    pool().run(static_cast<std::int64_t>(traj_idx.size()),
+             [&](std::int64_t k, int /*worker*/) {
+               const std::size_t i = traj_idx[static_cast<std::size_t>(k)];
+               const AnalysisJob& job = jobs[i];
+               std::vector<double> probs =
+                   job.program == base
+                       ? plan.base_probabilities()
+                       : plan.run_shared(
+                             backend::compact_to(job.program->physical,
+                                                 lowered.kept),
+                             job.shared_prefix);
+               results[i] = backend_.finalize(std::move(probs), lowered,
+                                              *job.program, job.run);
+             });
+    stats_.checkpoint_fallbacks += plan.stats().fallbacks;
+    stats_.trajectory_checkpointed = traj_idx.size() - plan.stats().fallbacks;
   }
 
   if (!plain_idx.empty()) {
-    std::vector<backend::BatchJob> batch;
-    batch.reserve(plain_idx.size());
-    for (const std::size_t i : plain_idx)
-      batch.push_back({jobs[i].program, jobs[i].run});
-    std::vector<std::vector<double>> plain = backend_.run_batch(batch);
-    for (std::size_t k = 0; k < plain_idx.size(); ++k)
-      results[plain_idx[k]] = std::move(plain[k]);
+    // Independent full runs.  Trajectory jobs fan their unravelling groups
+    // out as individual pool tasks — a two-job batch with 48 trajectories
+    // each still saturates the pool — and fold in group order, which is the
+    // exact reduction run_trajectories performs; everything else runs one
+    // job per task.
+    std::vector<std::size_t> traj_plain;
+    std::vector<std::size_t> other_plain;
+    for (const std::size_t i : plain_idx) {
+      // Classify on the *job's own* compacted width (plain jobs may differ
+      // from the base footprint).
+      const int width = static_cast<int>(
+          backend::used_qubits(*jobs[i].program).size());
+      (backend::resolve_engine(jobs[i].run, width) == EngineKind::kTrajectory
+           ? traj_plain
+           : other_plain)
+          .push_back(i);
+    }
+
+    pool().run(static_cast<std::int64_t>(other_plain.size()),
+             [&](std::int64_t k, int /*worker*/) {
+               const std::size_t i =
+                   other_plain[static_cast<std::size_t>(k)];
+               results[i] = backend_.run(*jobs[i].program, jobs[i].run);
+             });
+
+    if (!traj_plain.empty()) {
+      struct TrajRun {
+        std::optional<backend::LoweredRun> lowered;
+        noise::NoiseProgram tape{0};
+        std::vector<std::vector<double>> partial;
+      };
+      std::vector<TrajRun> runs(traj_plain.size());
+      // Phase 1: lower every job's tape (one task per job).
+      pool().run(static_cast<std::int64_t>(traj_plain.size()),
+               [&](std::int64_t k, int /*worker*/) {
+                 const std::size_t i =
+                     traj_plain[static_cast<std::size_t>(k)];
+                 TrajRun& r = runs[static_cast<std::size_t>(k)];
+                 r.lowered = backend_.lower(*jobs[i].program, jobs[i].run);
+                 const noise::NoisyExecutor executor(
+                     r.lowered->model, noise::OptLevel::kExact);
+                 r.tape = executor.lower(r.lowered->local);
+                 r.partial.resize(static_cast<std::size_t>(
+                     sim::num_trajectory_groups(jobs[i].run.trajectories)));
+               });
+      // Phase 2: every (job, trajectory-group) pair is one task.
+      std::vector<std::pair<std::size_t, int>> units;
+      for (std::size_t k = 0; k < traj_plain.size(); ++k)
+        for (std::size_t g = 0; g < runs[k].partial.size(); ++g)
+          units.emplace_back(k, static_cast<int>(g));
+      pool().run(static_cast<std::int64_t>(units.size()),
+               [&](std::int64_t u, int /*worker*/) {
+                 const auto [k, g] = units[static_cast<std::size_t>(u)];
+                 const std::size_t i = traj_plain[k];
+                 TrajRun& r = runs[k];
+                 const int total = jobs[i].run.trajectories;
+                 const int begin = g * sim::kTrajectoryGroupSize;
+                 const int end =
+                     std::min(begin + sim::kTrajectoryGroupSize, total);
+                 const util::Rng seeder(jobs[i].run.seed ^
+                                        backend::kTrajectorySeedSalt);
+                 r.partial[static_cast<std::size_t>(g)] =
+                     sim::run_trajectory_group(
+                         r.lowered->local.num_qubits(), begin, end, seeder,
+                         [&](sim::NoisyEngine& engine) {
+                           r.tape.execute(engine);
+                         });
+               });
+      // Phase 3: fold in group order and finalize (one task per job).
+      pool().run(static_cast<std::int64_t>(traj_plain.size()),
+               [&](std::int64_t k, int /*worker*/) {
+                 const std::size_t i =
+                     traj_plain[static_cast<std::size_t>(k)];
+                 TrajRun& r = runs[static_cast<std::size_t>(k)];
+                 const std::uint64_t dim = std::uint64_t{1}
+                                           << r.lowered->local.num_qubits();
+                 results[i] = backend_.finalize(
+                     sim::fold_trajectory_groups(r.partial, dim,
+                                                 jobs[i].run.trajectories),
+                     *r.lowered, *jobs[i].program, jobs[i].run);
+               });
+    }
     stats_.full_runs = plain_idx.size();
   }
 

@@ -6,9 +6,14 @@
 ///
 /// CHARTER-style protocols submit many near-identical circuits per analysis
 /// (one reversed circuit per gate).  BatchRunner accepts the whole family as
-/// AnalysisJobs and schedules them across the worker pool
-/// (util::parallel_for_dynamic), applying two accelerations the per-run
-/// backend API cannot:
+/// AnalysisJobs and schedules them across a util::ThreadPool sized by
+/// BatchOptions::threads — partitioned into checkpoint-segment shards
+/// (sharding.hpp), one cloned scratch engine per worker, with every result
+/// written by submission index so the reduction order never depends on
+/// completion order.  The numbers are bit-identical at every thread count:
+/// task bodies run with nested util::parallel_* forced serial, and
+/// trajectory averages fold in fixed index-ordered groups.  On top of the
+/// scheduling, two accelerations the per-run backend API cannot give:
 ///
 ///  - prefix-state checkpointing (checkpoint.hpp): when jobs declare a
 ///    shared prefix against a base program and the run is exactly
@@ -20,11 +25,18 @@
 ///    (program, device, options), so repeated submissions — bench sweeps,
 ///    the mitigation workflow's re-analysis — skip the simulator entirely.
 ///
-/// Jobs that cannot share exactly (trajectory engine, drifted calibration,
-/// differing qubit footprints, or a tape optimization level differing from
-/// the batch's sharers) fall back to independent full runs through
-/// FakeBackend::run_batch; every exact-mode result is bit-identical to a
-/// standalone FakeBackend::run with the same options.  Fused-mode
+/// Checkpoint sharing covers both engines.  Density-matrix jobs resume from
+/// vec(rho) snapshots (checkpoint.hpp).  Trajectory jobs resume from
+/// per-unravelling engine clones that carry the RNG stream
+/// (trajectory_plan.hpp) — exact only when every sharer also agrees on
+/// (seed, trajectory count) with the base sweep, which the analyzer opts
+/// into via common random numbers.  Jobs that cannot share exactly (drifted
+/// calibration, differing qubit footprints, mismatched trajectory seeds, or
+/// a tape optimization level differing from the batch's sharers) fall back
+/// to independent full runs on the same pool — trajectory full runs fan
+/// their unravelling groups out as individual tasks; every exact-mode
+/// result is bit-identical to a standalone FakeBackend::run with the same
+/// options.  Fused-mode
 /// (RunOptions::opt == OptLevel::kFused) checkpointed results agree with
 /// standalone fused runs to the fusion tolerance (~1e-12): resumed suffixes
 /// fuse from the snapshot position while a standalone run fuses the whole
@@ -52,14 +64,19 @@ struct AnalysisJob {
 
 /// Execution-strategy knobs.
 struct BatchOptions {
-  /// Resume jobs from prefix-state snapshots when exact (density matrix,
-  /// drift == 0).  Off: every job is an independent full run.
+  /// Resume jobs from prefix-state snapshots when exact (density matrix or
+  /// seed-aligned trajectories, drift == 0).  Off: every job is an
+  /// independent full run.
   bool checkpointing = true;
   /// Serve and populate the process-wide RunCache.
   bool caching = true;
   /// Total snapshot memory per batch; when the insertion points outnumber
   /// the budget, an evenly spaced subset is kept and the gaps are replayed.
   std::size_t checkpoint_memory_bytes = 512ull << 20;
+  /// Worker-pool width for the sweep: 0 = one worker per hardware thread,
+  /// >= 1 = exactly that many workers.  Results are bit-identical at every
+  /// value; only wall-clock changes.
+  int threads = 0;
 };
 
 /// Schedules a family of jobs over one backend.
@@ -80,7 +97,9 @@ class BatchRunner {
   struct Stats {
     std::size_t jobs = 0;
     std::size_t cache_hits = 0;
-    std::size_t checkpointed = 0;  ///< jobs served via the checkpoint plan
+    std::size_t checkpointed = 0;  ///< jobs served via the DM checkpoint plan
+    /// Jobs served via the trajectory checkpoint plan (clone resumption).
+    std::size_t trajectory_checkpointed = 0;
     std::size_t full_runs = 0;     ///< independent full simulations
     /// Checkpoint-eligible jobs whose prefix could not be proven exact at
     /// run time and were re-simulated cold (still correct, just slower).

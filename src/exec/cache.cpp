@@ -159,7 +159,8 @@ Fingerprint run_key(const backend::CompiledProgram& program,
   return b.result();
 }
 
-RunCache::RunCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+RunCache::RunCache(std::size_t max_bytes)
+    : max_bytes_(max_bytes), shard_budget_(max_bytes / kNumShards) {}
 
 RunCache& RunCache::global() {
   static RunCache cache;
@@ -167,56 +168,72 @@ RunCache& RunCache::global() {
 }
 
 std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = shards_[shard_index(key)];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  ++stats_.hits;
+  ++shard.stats.hits;
   return it->second;
 }
 
 void RunCache::store(const Fingerprint& key, std::vector<double> distribution) {
   const std::size_t bytes = distribution.size() * sizeof(double);
+  // Admission is against the *total* budget (the constructor's contract),
+  // not the per-shard split: an entry bigger than a shard's even share
+  // still gets cached — the eviction loop below drains its shard and it
+  // occupies the stripe alone.  The eviction target keeps each shard at its
+  // share otherwise, so total memory stays within max_bytes plus at most
+  // one oversized entry per stripe.
   if (bytes > max_bytes_) return;  // never admit an entry that can't fit
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.contains(key)) return;
-  while (stored_bytes_ + bytes > max_bytes_ &&
-         next_evict_ < insertion_order_.size()) {
-    const auto it = entries_.find(insertion_order_[next_evict_++]);
-    if (it == entries_.end()) continue;
-    stored_bytes_ -= it->second.size() * sizeof(double);
-    entries_.erase(it);
-    ++stats_.evictions;
+  Shard& shard = shards_[shard_index(key)];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.contains(key)) return;
+  while (shard.stored_bytes + bytes > shard_budget_ &&
+         shard.next_evict < shard.insertion_order.size()) {
+    const auto it = shard.entries.find(shard.insertion_order[shard.next_evict++]);
+    if (it == shard.entries.end()) continue;
+    shard.stored_bytes -= it->second.size() * sizeof(double);
+    shard.entries.erase(it);
+    ++shard.stats.evictions;
   }
-  stored_bytes_ += bytes;
-  entries_.emplace(key, std::move(distribution));
-  insertion_order_.push_back(key);
+  shard.stored_bytes += bytes;
+  shard.entries.emplace(key, std::move(distribution));
+  shard.insertion_order.push_back(key);
   // Compact the FIFO queue once the evicted prefix dominates it.
-  if (next_evict_ > insertion_order_.size() / 2) {
-    insertion_order_.erase(insertion_order_.begin(),
-                           insertion_order_.begin() +
-                               static_cast<std::ptrdiff_t>(next_evict_));
-    next_evict_ = 0;
+  if (shard.next_evict > shard.insertion_order.size() / 2) {
+    shard.insertion_order.erase(
+        shard.insertion_order.begin(),
+        shard.insertion_order.begin() +
+            static_cast<std::ptrdiff_t>(shard.next_evict));
+    shard.next_evict = 0;
   }
-  stats_.entries = entries_.size();
+  shard.stats.entries = shard.entries.size();
 }
 
 void RunCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  insertion_order_.clear();
-  next_evict_ = 0;
-  stored_bytes_ = 0;
-  stats_ = Stats{};
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.insertion_order.clear();
+    shard.next_evict = 0;
+    shard.stored_bytes = 0;
+    shard.stats = Stats{};
+  }
 }
 
 RunCache::Stats RunCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  Stats s = stats_;
-  s.entries = entries_.size();
-  return s;
+  Stats total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.entries += shard.entries.size();
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
 }
 
 }  // namespace charter::exec

@@ -20,10 +20,16 @@
 /// rather than bit-for-bit, so a fused cache entry is canonical only to
 /// that tolerance.  Exact-mode entries remain bit-reproducible.
 ///
-/// The cache is thread-safe and bounded: when the entry cap is reached the
-/// store evicts in insertion order (FIFO).  exec::BatchRunner consults it
-/// before scheduling work; nothing below the exec layer knows it exists.
+/// The cache is thread-safe and bounded.  Since the sharded analysis driver
+/// hits it from every pool worker at once, the store is *striped*: entries
+/// hash onto kNumShards independent shards, each with its own mutex, map,
+/// byte budget, and FIFO eviction queue, so concurrent lookups and stores
+/// on distinct keys almost never contend on a lock.  The 128-bit key spreads
+/// uniformly, so the per-shard budget (total / kNumShards) fills evenly.
+/// exec::BatchRunner consults the cache before scheduling work; nothing
+/// below the exec layer knows it exists.
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -86,23 +92,32 @@ Fingerprint run_key(const backend::CompiledProgram& program,
                     const Fingerprint& device,
                     const backend::RunOptions& options);
 
-/// Bounded, thread-safe memoization of run results (logical distributions).
+/// Bounded, thread-safe, lock-striped memoization of run results (logical
+/// distributions).
 class RunCache {
  public:
+  /// Independent lock stripes; a power of two so shard selection is a mask.
+  static constexpr std::size_t kNumShards = 16;
+
   /// \p max_bytes bounds the memory held by stored distributions (a
   /// 16-logical-qubit result is 512 KiB, a 7-qubit one under 1 KiB, so the
-  /// bound is on payload bytes rather than entry count).
+  /// bound is on payload bytes rather than entry count).  The budget is
+  /// split evenly across the shards for eviction purposes; admission is
+  /// against the full budget, so an entry larger than one shard's share is
+  /// still cacheable (it then holds its stripe alone).
   explicit RunCache(std::size_t max_bytes = 256ull << 20);
 
   /// The process-wide instance BatchRunner uses by default.
   static RunCache& global();
 
   /// Returns the cached distribution for \p key, or nullopt on a miss.
+  /// Locks only \p key's shard.
   std::optional<std::vector<double>> lookup(const Fingerprint& key);
 
-  /// Stores a result; evicts the oldest entry when full.  Storing an
-  /// existing key refreshes nothing (first result wins; results for a given
-  /// key are identical by construction).
+  /// Stores a result; evicts the shard's oldest entries when its budget is
+  /// exceeded.  Storing an existing key refreshes nothing (first result
+  /// wins; results for a given key are identical by construction).  Locks
+  /// only \p key's shard.
   void store(const Fingerprint& key, std::vector<double> distribution);
 
   void clear();
@@ -113,7 +128,17 @@ class RunCache {
     std::size_t entries = 0;
     std::size_t evictions = 0;
   };
+  /// Aggregated over all shards; a consistent per-shard snapshot, not a
+  /// global atomic one (concurrent writers may land between shard reads).
   Stats stats() const;
+
+  /// Shard index \p key maps to (exposed for the striping tests).
+  static std::size_t shard_index(const Fingerprint& key) {
+    // Deliberately different bit mix than KeyHash, so the stripe choice and
+    // the in-shard bucket choice stay independent.
+    return static_cast<std::size_t>(
+        (key.hi ^ (key.lo >> 17) ^ (key.lo << 9)) & (kNumShards - 1));
+  }
 
  private:
   struct KeyHash {
@@ -122,13 +147,19 @@ class RunCache {
     }
   };
 
-  mutable std::mutex mu_;
-  std::size_t max_bytes_;
-  std::size_t stored_bytes_ = 0;
-  std::unordered_map<Fingerprint, std::vector<double>, KeyHash> entries_;
-  std::vector<Fingerprint> insertion_order_;  ///< FIFO eviction queue
-  std::size_t next_evict_ = 0;
-  Stats stats_;
+  /// One lock stripe: a self-contained FIFO-evicting map.
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t stored_bytes = 0;
+    std::unordered_map<Fingerprint, std::vector<double>, KeyHash> entries;
+    std::vector<Fingerprint> insertion_order;  ///< FIFO eviction queue
+    std::size_t next_evict = 0;
+    Stats stats;
+  };
+
+  std::size_t max_bytes_;     ///< admission limit (constructor contract)
+  std::size_t shard_budget_;  ///< max_bytes / kNumShards (eviction target)
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace charter::exec

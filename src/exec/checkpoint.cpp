@@ -9,13 +9,8 @@ namespace charter::exec {
 
 using noise::NoisyExecutor;
 
-namespace {
-
-/// Evenly spaced subset of \p lens (sorted) with at most \p cap entries,
-/// biased toward the deepest prefixes (they save the most replay work and
-/// shallow gaps are cheap to replay from earlier snapshots or from scratch).
-std::vector<std::size_t> select_within_budget(std::vector<std::size_t> lens,
-                                              std::size_t cap) {
+std::vector<std::size_t> select_checkpoints_within_budget(
+    std::vector<std::size_t> lens, std::size_t cap) {
   if (cap == 0) return {};
   if (lens.size() <= cap) return lens;
   std::vector<std::size_t> picked;
@@ -32,8 +27,6 @@ std::vector<std::size_t> select_within_budget(std::vector<std::size_t> lens,
   picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
   return picked;
 }
-
-}  // namespace
 
 CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
                                circ::Circuit base,
@@ -57,7 +50,7 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
       per_snapshot == 0 ? prefix_lens.size()
                         : memory_budget_bytes / per_snapshot;
   const std::vector<std::size_t> keep =
-      select_within_budget(std::move(prefix_lens), cap);
+      select_checkpoints_within_budget(std::move(prefix_lens), cap);
   checkpoints_.reserve(keep.size());
 
   executor_.start(base_, base_stream_, engine);
@@ -74,6 +67,15 @@ CheckpointPlan::CheckpointPlan(const NoisyExecutor& executor,
   }
   executor_.finish(base_, base_stream_, engine);
   base_probs_ = engine.probabilities();
+}
+
+std::size_t CheckpointPlan::segment_of(std::size_t prefix_len) const {
+  std::size_t segment = 0;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.prefix_len > prefix_len) break;
+    ++segment;
+  }
+  return segment;
 }
 
 std::vector<double> CheckpointPlan::run_shared(

@@ -52,6 +52,14 @@
 
 namespace charter::exec {
 
+/// Evenly spaced subset of \p lens (sorted ascending, deduped) with at most
+/// \p cap entries, biased toward the deepest prefixes (they save the most
+/// replay work; shallow gaps are cheap to replay from earlier snapshots or
+/// from scratch).  The deepest prefix is always kept.  Shared by the
+/// density-matrix and trajectory checkpoint plans.
+std::vector<std::size_t> select_checkpoints_within_budget(
+    std::vector<std::size_t> lens, std::size_t cap);
+
 /// Checkpointed execution plan over one base circuit (density-matrix only).
 /// Built once (a single streaming sweep of the base), then shared read-only
 /// across worker threads.
@@ -84,6 +92,16 @@ class CheckpointPlan {
                                  sim::DensityMatrixEngine& engine) const;
 
   std::size_t num_checkpoints() const { return checkpoints_.size(); }
+
+  /// Checkpoint *segment* a job with \p prefix_len falls in: 0 when no
+  /// snapshot is at or before the fork point (cold segment), k when snapshot
+  /// k-1 (0-based, ascending) is the deepest usable one.  The sharded driver
+  /// partitions jobs by this id so every job resuming from the same snapshot
+  /// lands on the same worker and reloads a cache-warm rho.
+  std::size_t segment_of(std::size_t prefix_len) const;
+
+  /// Total segments (num_checkpoints() + 1; segment 0 is the cold segment).
+  std::size_t num_segments() const { return checkpoints_.size() + 1; }
 
   /// Jobs served from a snapshot vs. full cold-run fallbacks (diagnostics).
   struct Stats {

@@ -1,0 +1,36 @@
+#include "exec/sharding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace charter::exec {
+
+std::vector<Shard> make_shards(const std::vector<std::size_t>& job_indices,
+                               const std::vector<std::size_t>& segments,
+                               std::size_t max_shard_jobs) {
+  if (max_shard_jobs == 0) max_shard_jobs = 1;
+  std::vector<std::size_t> order(job_indices.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return segments[a] < segments[b];
+                   });
+
+  std::vector<Shard> shards;
+  for (const std::size_t k : order) {
+    if (shards.empty() || shards.back().segment != segments[k] ||
+        shards.back().jobs.size() >= max_shard_jobs) {
+      shards.push_back(Shard{segments[k], {}});
+    }
+    shards.back().jobs.push_back(job_indices[k]);
+  }
+  return shards;
+}
+
+std::size_t default_max_shard_jobs(std::size_t num_jobs, int num_workers) {
+  const std::size_t claims =
+      4 * static_cast<std::size_t>(num_workers < 1 ? 1 : num_workers);
+  return std::max<std::size_t>(1, (num_jobs + claims - 1) / claims);
+}
+
+}  // namespace charter::exec

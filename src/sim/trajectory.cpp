@@ -136,6 +136,31 @@ std::unique_ptr<NoisyEngine> TrajectoryEngine::clone() const {
   return std::make_unique<TrajectoryEngine>(*this);
 }
 
+std::vector<double> run_trajectory_group(
+    int num_qubits, int begin, int end, const util::Rng& seeder,
+    const std::function<void(NoisyEngine&)>& program) {
+  const std::uint64_t dim = std::uint64_t{1} << num_qubits;
+  std::vector<double> local(dim, 0.0);
+  for (int t = begin; t < end; ++t) {
+    TrajectoryEngine engine(num_qubits, trajectory_engine_seed(seeder, t));
+    program(engine);
+    const std::vector<double> p = engine.probabilities();
+    for (std::uint64_t i = 0; i < dim; ++i) local[i] += p[i];
+  }
+  return local;
+}
+
+std::vector<double> fold_trajectory_groups(
+    const std::vector<std::vector<double>>& partials, std::uint64_t dim,
+    int num_trajectories) {
+  std::vector<double> total(dim, 0.0);
+  for (const auto& local : partials)
+    for (std::uint64_t i = 0; i < dim; ++i) total[i] += local[i];
+  const double inv = 1.0 / num_trajectories;
+  for (double& v : total) v *= inv;
+  return total;
+}
+
 std::vector<double> run_trajectories(
     int num_qubits, int num_trajectories, std::uint64_t seed,
     const std::function<void(NoisyEngine&)>& program) {
@@ -143,33 +168,17 @@ std::vector<double> run_trajectories(
   const std::uint64_t dim = std::uint64_t{1} << num_qubits;
   const util::Rng seeder(seed);
 
-  // Trajectories are folded in fixed-size groups and the groups merged in
-  // index order, so the floating-point accumulation order — and therefore
-  // the result, bit for bit — is independent of the thread count and of
-  // whether this call runs nested inside an outer parallel region (as it
-  // does under backend batching).
-  constexpr int kGroupSize = 8;
-  const int num_groups = (num_trajectories + kGroupSize - 1) / kGroupSize;
+  const int num_groups = num_trajectory_groups(num_trajectories);
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(num_groups));
   util::parallel_for_dynamic(num_groups, [&](std::int64_t g) {
-    std::vector<double>& local = partial[static_cast<std::size_t>(g)];
-    local.assign(dim, 0.0);
-    const int begin = static_cast<int>(g) * kGroupSize;
-    const int end = std::min(begin + kGroupSize, num_trajectories);
-    for (int t = begin; t < end; ++t) {
-      TrajectoryEngine engine(num_qubits, seeder.split(t).next_u64());
-      program(engine);
-      const std::vector<double> p = engine.probabilities();
-      for (std::uint64_t i = 0; i < dim; ++i) local[i] += p[i];
-    }
+    const int begin = static_cast<int>(g) * kTrajectoryGroupSize;
+    const int end =
+        std::min(begin + kTrajectoryGroupSize, num_trajectories);
+    partial[static_cast<std::size_t>(g)] =
+        run_trajectory_group(num_qubits, begin, end, seeder, program);
   });
-  std::vector<double> total(dim, 0.0);
-  for (const auto& local : partial)
-    for (std::uint64_t i = 0; i < dim; ++i) total[i] += local[i];
-  const double inv = 1.0 / num_trajectories;
-  for (double& v : total) v *= inv;
-  return total;
+  return fold_trajectory_groups(partial, dim, num_trajectories);
 }
 
 }  // namespace charter::sim

@@ -12,6 +12,7 @@
 /// trajectories reproduce a density-matrix run closely (validated in
 /// tests/test_sim.cpp and bench/ablation_engines).
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,41 @@ class TrajectoryEngine final : public NoisyEngine {
   Statevector state_;
   util::Rng rng_;
 };
+
+/// Trajectories are folded in fixed-size groups merged in index order, so
+/// the floating-point accumulation order — and therefore the averaged
+/// distribution, bit for bit — never depends on which thread produced which
+/// group.  The group size is part of the numeric contract: every code path
+/// that averages unravellings (run_trajectories, the exec layer's pooled
+/// fan-out, and the trajectory checkpoint plan) must fold with this size or
+/// its results drift from a standalone run by reassociation.
+inline constexpr int kTrajectoryGroupSize = 8;
+
+/// Number of fold groups covering \p num_trajectories.
+inline int num_trajectory_groups(int num_trajectories) {
+  return (num_trajectories + kTrajectoryGroupSize - 1) / kTrajectoryGroupSize;
+}
+
+/// Engine seed for unravelling \p t of the family rooted at \p seeder
+/// (stream-splitting keeps trajectories uncorrelated and platform-stable).
+inline std::uint64_t trajectory_engine_seed(const util::Rng& seeder,
+                                            int t) {
+  return seeder.split(static_cast<std::uint64_t>(t)).next_u64();
+}
+
+/// Runs unravellings [begin, end) of the family rooted at \p seeder and
+/// returns their probability *sum* (one fold group's partial).  begin/end
+/// must lie within a single group for the deterministic-fold contract.
+std::vector<double> run_trajectory_group(
+    int num_qubits, int begin, int end, const util::Rng& seeder,
+    const std::function<void(NoisyEngine&)>& program);
+
+/// Merges group partials in index order and normalizes by num_trajectories.
+/// This is *the* reduction: bit-identical no matter which worker produced
+/// which partial.
+std::vector<double> fold_trajectory_groups(
+    const std::vector<std::vector<double>>& partials, std::uint64_t dim,
+    int num_trajectories);
 
 /// Averages probabilities over \p num_trajectories independent unravellings
 /// of the noisy program \p program (a callback that drives one engine).

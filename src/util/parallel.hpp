@@ -17,6 +17,18 @@
 
 namespace charter::util {
 
+namespace detail {
+/// Set for the lifetime of every util::ThreadPool worker thread
+/// (thread_pool.cpp).  The helpers below treat pool workers exactly like
+/// nested OpenMP regions and stay serial there — at *every* pool width, so
+/// order-dependent reductions (parallel_sum) can never reassociate
+/// differently when the exec layer's `threads` knob changes.
+extern thread_local bool t_pool_worker;
+}  // namespace detail
+
+/// True on threads owned by a util::ThreadPool.
+inline bool in_pool_worker() { return detail::t_pool_worker; }
+
 /// Number of hardware threads the parallel helpers will use.
 inline int num_threads() {
 #ifdef _OPENMP
@@ -31,7 +43,8 @@ inline int num_threads() {
 template <typename Fn>
 void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
 #ifdef _OPENMP
-  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel() &&
+      !in_pool_worker()) {
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
@@ -40,18 +53,6 @@ void parallel_for(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
   (void)grain;
 #endif
   for (std::int64_t i = 0; i < n; ++i) fn(i);
-}
-
-/// Index of the calling thread inside a parallel_for/parallel_for_dynamic
-/// region ([0, num_threads())); 0 outside any parallel region.  Lets callers
-/// keep per-thread scratch (e.g. one simulation engine per worker) without
-/// locking.
-inline int thread_index() {
-#ifdef _OPENMP
-  return omp_get_thread_num();
-#else
-  return 0;
-#endif
 }
 
 /// Dynamic-schedule variant of parallel_for for loops whose iterations have
@@ -64,7 +65,8 @@ template <typename Fn>
 void parallel_for_dynamic(std::int64_t n, Fn&& fn,
                           std::int64_t min_parallel = 2) {
 #ifdef _OPENMP
-  if (n >= min_parallel && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+  if (n >= min_parallel && omp_get_max_threads() > 1 && !omp_in_parallel() &&
+      !in_pool_worker()) {
 #pragma omp parallel for schedule(dynamic)
     for (std::int64_t i = 0; i < n; ++i) fn(i);
     return;
@@ -80,7 +82,8 @@ template <typename Fn>
 double parallel_sum(std::int64_t n, Fn&& fn, std::int64_t grain = 1024) {
   double total = 0.0;
 #ifdef _OPENMP
-  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel()) {
+  if (n >= 2 * grain && omp_get_max_threads() > 1 && !omp_in_parallel() &&
+      !in_pool_worker()) {
 #pragma omp parallel for schedule(static) reduction(+ : total)
     for (std::int64_t i = 0; i < n; ++i) total += fn(i);
     return total;

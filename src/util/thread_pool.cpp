@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include "util/parallel.hpp"
+
+namespace charter::util {
+
+namespace detail {
+thread_local bool t_pool_worker = false;
+}  // namespace detail
+
+int resolve_threads(int threads) {
+  if (threads >= 1) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  threads_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main(int worker) {
+  detail::t_pool_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = fn_;
+    const std::int64_t total = total_;
+    while (next_ < total) {
+      const std::int64_t task = next_++;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn)(task, worker);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+    }
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::int64_t n,
+                     const std::function<void(std::int64_t, int)>& fn) {
+  if (n <= 0) return;
+  if (in_pool_worker()) {
+    // Nested use from a task body: the pool is busy running *this* batch, so
+    // parking on done_cv_ would deadlock.  Degrade to an inline serial walk.
+    for (std::int64_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  total_ = n;
+  next_ = 0;
+  first_error_ = nullptr;
+  active_ = num_workers();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace charter::util

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// The exec layer's worker pool.
+///
+/// util::parallel_for and friends lean on OpenMP and are the right tool for
+/// data-parallel kernels *inside* one simulation.  The sharded analysis
+/// driver (exec/sharding.hpp) needs something those helpers cannot give:
+///
+///  - an explicit, per-batch thread count (the `threads` knob that flows
+///    from CharterOptions down to the CLI and benches), independent of
+///    OMP_NUM_THREADS;
+///  - stable worker identities, so each worker can own long-lived scratch
+///    (a cloned simulation engine) across many tasks;
+///  - a guarantee that *nothing numeric* changes with the worker count:
+///    every task body runs with the nested util::parallel_* helpers forced
+///    serial, so order-dependent reductions (parallel_sum feeding trajectory
+///    renormalization) cannot reassociate differently at different widths.
+///
+/// The pool spawns its workers up front and keeps them parked on a condition
+/// variable between run() calls.  run() is a dynamic self-scheduling loop:
+/// workers claim task indices from a shared atomic counter, so irregular
+/// task costs (deep vs. shallow resumed suffixes) balance automatically.
+/// Determinism is the caller's contract: tasks write results keyed by task
+/// index and never reduce across tasks inside the pool — the coordinating
+/// thread folds in index order afterwards.
+///
+/// Threads marked by the pool are visible through util::in_pool_worker();
+/// parallel_for / parallel_for_dynamic / parallel_sum check it and stay
+/// serial on workers at *every* pool width, including 1.  A run() issued
+/// from inside a worker (accidental nesting) executes inline on the caller.
+
+#include <cstdint>
+#include <functional>
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace charter::util {
+
+/// Resolves a thread-count knob: values >= 1 are taken literally; 0 (the
+/// "auto" convention used by exec::BatchOptions::threads) means one worker
+/// per hardware thread.
+int resolve_threads(int threads);
+
+/// Fixed-width pool of parked worker threads with dynamic task claiming.
+class ThreadPool {
+ public:
+  /// Spawns \p num_workers threads (clamped to >= 1).  Workers idle on a
+  /// condition variable until run() publishes work.
+  explicit ThreadPool(int num_workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(task, worker) for every task in [0, n), dynamically scheduled
+  /// across the workers, and blocks until all complete.  \p worker is the
+  /// executing worker's stable index in [0, num_workers()) — the handle for
+  /// per-worker scratch.  fn must be safe to invoke concurrently for
+  /// distinct tasks.  Exceptions thrown by fn are captured; the first one
+  /// (in completion order) is rethrown here after the loop drains.  Called
+  /// from inside a pool worker, the loop degrades to an inline serial walk
+  /// (worker index 0) rather than deadlocking on the parked pool.
+  void run(std::int64_t n, const std::function<void(std::int64_t, int)>& fn);
+
+ private:
+  void worker_main(int worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait here between runs
+  std::condition_variable done_cv_;   ///< run() waits here for the drain
+  const std::function<void(std::int64_t, int)>* fn_ = nullptr;
+  std::int64_t total_ = 0;
+  std::int64_t next_ = 0;             ///< next unclaimed task (under mu_)
+  std::uint64_t generation_ = 0;      ///< bumped per run(); wakes workers
+  int active_ = 0;                    ///< workers still draining this run
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace charter::util

@@ -14,8 +14,10 @@
 #include "core/mitigation.hpp"
 #include "core/baseline.hpp"
 #include "core/reversal.hpp"
+#include "sim/statevector.hpp"
 #include "stats/stats.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace ca = charter::algos;
 namespace cb = charter::backend;
@@ -561,4 +563,89 @@ TEST(Subsample, AnalyzerWithMaxGatesOneAnalyzesOneGate) {
   EXPECT_EQ(report.analyzed_gates, 1u);
   ASSERT_EQ(report.impacts.size(), 1u);
   EXPECT_TRUE(std::isfinite(report.impacts.front().tvd));
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic property: reversed-pair insertion is an ideal-circuit identity
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Noiseless output distribution of a circuit.
+std::vector<double> ideal_distribution(const cc::Circuit& c) {
+  charter::sim::Statevector sv(c.num_qubits());
+  sv.apply(c);
+  return sv.probabilities();
+}
+
+/// Seeded random circuit over a mixed (not just basis) gate pool.
+cc::Circuit random_circuit(int n, int gates, charter::util::Rng& rng) {
+  cc::Circuit c(n);
+  const auto qubit = [&] { return static_cast<int>(rng.uniform_int(n)); };
+  for (int k = 0; k < gates; ++k) {
+    switch (rng.uniform_int(9)) {
+      case 0: c.rz(qubit(), rng.uniform(-3.0, 3.0)); break;
+      case 1: c.sx(qubit()); break;
+      case 2: c.x(qubit()); break;
+      case 3: c.h(qubit()); break;
+      case 4: c.t(qubit()); break;
+      case 5: c.rx(qubit(), rng.uniform(-3.0, 3.0)); break;
+      case 6: c.ry(qubit(), rng.uniform(-3.0, 3.0)); break;
+      case 7: c.s(qubit()); break;
+      default: {
+        const int a = qubit();
+        int b = qubit();
+        while (b == a) b = qubit();
+        c.cx(a, b);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST(ReversalMetamorphic, InsertionPreservesIdealDistributionAtEveryGate) {
+  // The defining property of core::reversal, checked independently of the
+  // analyzer: inserting r reversed pairs (U^dagger, U) after *any* eligible
+  // gate of *any* circuit is an identity on the ideal (noiseless) output.
+  // Random circuits over a mixed gate pool make this a metamorphic sweep
+  // rather than a hand-picked example.
+  charter::util::Rng rng(0xc4a27eULL);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 3 + trial;  // 3, 4, 5 qubits
+    const cc::Circuit c = random_circuit(n, 24, rng);
+    const std::vector<double> ideal = ideal_distribution(c);
+
+    const std::vector<std::size_t> eligible = co::reversible_ops(c, false);
+    ASSERT_GE(eligible.size(), 20u);
+    for (const std::size_t g : eligible) {
+      const int reversals = 1 + static_cast<int>(g % 3);
+      for (const bool isolate : {true, false}) {
+        const cc::Circuit reversed =
+            co::insert_reversed_pairs(c, g, reversals, isolate);
+        ASSERT_GT(reversed.size(), c.size());
+        const std::vector<double> out = ideal_distribution(reversed);
+        ASSERT_EQ(out.size(), ideal.size());
+        for (std::size_t i = 0; i < ideal.size(); ++i)
+          ASSERT_NEAR(out[i], ideal[i], 1e-12)
+              << "trial " << trial << " gate " << g << " reversals "
+              << reversals << " isolate " << isolate << " outcome " << i;
+      }
+    }
+  }
+}
+
+TEST(ReversalMetamorphic, BlockReversalPreservesIdealDistribution) {
+  charter::util::Rng rng(0xb10cULL);
+  const cc::Circuit c = random_circuit(4, 20, rng);
+  const std::vector<double> ideal = ideal_distribution(c);
+  for (const int reversals : {1, 2}) {
+    const cc::Circuit reversed =
+        co::insert_block_reversal(c, 0, c.size() / 2, reversals, true);
+    const std::vector<double> out = ideal_distribution(reversed);
+    for (std::size_t i = 0; i < ideal.size(); ++i)
+      ASSERT_NEAR(out[i], ideal[i], 1e-12) << "outcome " << i;
+  }
 }

@@ -1,12 +1,17 @@
 // Tests for the batched execution subsystem: prefix-state checkpointing is
 // bit-identical to naive per-gate runs, the run cache returns identical
-// results on hits, non-exact configurations (trajectory engine, drift) fall
-// back to independent full runs, engine clone/save/load round-trips, and the
-// checkpoint memory budget degrades to replay instead of wrong answers.
+// results on hits, non-exact configurations fall back to independent full
+// runs, engine clone/save/load round-trips, the checkpoint memory budget
+// degrades to replay instead of wrong answers, trajectory jobs resume from
+// RNG-carrying engine clones, shards partition by checkpoint segment, the
+// striped cache survives concurrent hammering, and — the parallel driver's
+// headline contract — full CharterReports are bit-identical at every worker
+// pool width.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <vector>
 
 #include "backend/backend.hpp"
@@ -15,15 +20,19 @@
 #include "exec/batch.hpp"
 #include "exec/cache.hpp"
 #include "exec/checkpoint.hpp"
+#include "exec/sharding.hpp"
+#include "exec/trajectory_plan.hpp"
 #include "noise/executor.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/trajectory.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cb = charter::backend;
 namespace cc = charter::circ;
 namespace cn = charter::noise;
 namespace co = charter::core;
 namespace cs = charter::sim;
+namespace cu = charter::util;
 namespace ex = charter::exec;
 using cc::GateKind;
 
@@ -57,7 +66,8 @@ struct JobSet {
 
 JobSet make_jobs(const cb::CompiledProgram& program,
                  const std::vector<std::size_t>& gates,
-                 const cb::RunOptions& run, int reversals = 2) {
+                 const cb::RunOptions& run, int reversals = 2,
+                 bool common_seed = false) {
   JobSet set;
   set.reversed.reserve(gates.size());
   for (const std::size_t g : gates) {
@@ -66,7 +76,7 @@ JobSet make_jobs(const cb::CompiledProgram& program,
         co::insert_reversed_pairs(program.physical, g, reversals, true);
     set.reversed.push_back(std::move(rev));
     cb::RunOptions opts = run;
-    opts.seed = run.seed + g;
+    if (!common_seed) opts.seed = run.seed + g;
     set.jobs.push_back({&set.reversed.back(), opts, g + 1});
   }
   return set;
@@ -455,4 +465,414 @@ TEST(Fingerprints, DistinguishProgramsOptionsAndDevices) {
   r2.seed = r1.seed + 1;
   EXPECT_FALSE(ex::fingerprint(r1) == ex::fingerprint(r2));
   EXPECT_TRUE(ex::fingerprint(r1) == ex::fingerprint(cb::RunOptions{}));
+}
+
+// ---------------------------------------------------------------------------
+// Shard construction
+// ---------------------------------------------------------------------------
+
+TEST(Sharding, GroupsBySegmentPreservingSubmissionOrder) {
+  const std::vector<std::size_t> jobs = {10, 11, 12, 13, 14, 15};
+  const std::vector<std::size_t> segments = {2, 0, 2, 2, 1, 0};
+  const std::vector<ex::Shard> shards = ex::make_shards(jobs, segments, 100);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].segment, 0u);
+  EXPECT_EQ(shards[0].jobs, (std::vector<std::size_t>{11, 15}));
+  EXPECT_EQ(shards[1].segment, 1u);
+  EXPECT_EQ(shards[1].jobs, (std::vector<std::size_t>{14}));
+  EXPECT_EQ(shards[2].segment, 2u);
+  EXPECT_EQ(shards[2].jobs, (std::vector<std::size_t>{10, 12, 13}));
+}
+
+TEST(Sharding, SplitsOversizedSegments) {
+  const std::vector<std::size_t> jobs = {0, 1, 2, 3, 4};
+  const std::vector<std::size_t> segments = {7, 7, 7, 7, 7};
+  const std::vector<ex::Shard> shards = ex::make_shards(jobs, segments, 2);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].jobs, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(shards[1].jobs, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(shards[2].jobs, (std::vector<std::size_t>{4}));
+  for (const ex::Shard& s : shards) EXPECT_EQ(s.segment, 7u);
+}
+
+TEST(Sharding, DefaultMaxShardJobsKeepsPoolBalanced) {
+  // ~4 claims per worker, never below one job per shard.
+  EXPECT_EQ(ex::default_max_shard_jobs(0, 4), 1u);
+  EXPECT_EQ(ex::default_max_shard_jobs(15, 4), 1u);
+  EXPECT_EQ(ex::default_max_shard_jobs(160, 4), 10u);
+  EXPECT_EQ(ex::default_max_shard_jobs(160, 1), 40u);
+}
+
+TEST(CheckpointPlan, SegmentOfIsMonotoneAndCoversAllSnapshots) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  const cb::LoweredRun lowered = backend.lower(program, cb::RunOptions{});
+  const cn::NoisyExecutor executor(lowered.model);
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(lowered.local, true);
+  std::vector<std::size_t> lens;
+  for (const std::size_t g : eligible) lens.push_back(g + 1);
+  const ex::CheckpointPlan plan(executor, lowered.local, lens, 512ull << 20);
+
+  EXPECT_EQ(plan.segment_of(0), 0u);
+  EXPECT_EQ(plan.num_segments(), plan.num_checkpoints() + 1);
+  std::size_t last = 0;
+  std::set<std::size_t> seen;
+  for (std::size_t len = 0; len <= lowered.local.size(); ++len) {
+    const std::size_t seg = plan.segment_of(len);
+    EXPECT_GE(seg, last);  // deeper prefixes never map to earlier segments
+    last = seg;
+    seen.insert(seg);
+  }
+  EXPECT_EQ(seen.size(), plan.num_segments());
+  EXPECT_EQ(plan.segment_of(lowered.local.size()), plan.num_checkpoints());
+}
+
+// ---------------------------------------------------------------------------
+// Striped run cache
+// ---------------------------------------------------------------------------
+
+TEST(RunCacheStriping, KeysSpreadAcrossShards) {
+  std::set<std::size_t> used;
+  for (int i = 0; i < 256; ++i) {
+    ex::FingerprintBuilder b;
+    b.mix(static_cast<std::uint64_t>(i));
+    used.insert(ex::RunCache::shard_index(b.result()));
+  }
+  // 256 well-mixed keys over 16 stripes should touch every stripe.
+  EXPECT_EQ(used.size(), ex::RunCache::kNumShards);
+}
+
+TEST(RunCacheStriping, ConcurrentStoresAndLookupsStayConsistent) {
+  ex::RunCache cache(64ull << 20);
+  constexpr int kKeys = 512;
+  const auto key_of = [](int i) {
+    ex::FingerprintBuilder b;
+    b.mix(static_cast<std::uint64_t>(i) * 0x9e37ULL + 11);
+    return b.result();
+  };
+  cu::ThreadPool pool(8);
+  // Hammer every stripe from all workers: store, then immediately read back.
+  pool.run(kKeys, [&](std::int64_t i, int) {
+    const ex::Fingerprint key = key_of(static_cast<int>(i));
+    cache.store(key, {static_cast<double>(i), 1.0});
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_EQ((*hit)[0], static_cast<double>(i));
+  });
+  EXPECT_EQ(cache.stats().entries, static_cast<std::size_t>(kKeys));
+  EXPECT_GE(cache.stats().hits, static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    const auto hit = cache.lookup(key_of(i));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ((*hit)[0], static_cast<double>(i));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(RunCacheStriping, EntryLargerThanShardShareIsStillAdmitted) {
+  // Admission is against the total budget: an entry bigger than one
+  // stripe's even split (but within the budget) drains its stripe and is
+  // cached alone, instead of being silently uncacheable.
+  ex::RunCache cache(ex::RunCache::kNumShards * 4 * sizeof(double));
+  ex::FingerprintBuilder b;
+  b.mix(42);
+  const std::vector<double> big(8, 1.5);  // 2x the per-shard share
+  cache.store(b.result(), big);
+  const auto hit = cache.lookup(b.result());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), big.size());
+  // Beyond the total budget is still rejected.
+  ex::FingerprintBuilder b2;
+  b2.mix(43);
+  cache.store(b2.result(), std::vector<double>(1000, 0.0));
+  EXPECT_FALSE(cache.lookup(b2.result()).has_value());
+}
+
+TEST(RunCacheStriping, PerShardBudgetEvictsOldestWithinStripe) {
+  // Budget for ~2 entries per stripe; flooding one stripe must evict its own
+  // oldest entries and leave other stripes untouched.
+  ex::RunCache cache(ex::RunCache::kNumShards * 4 * sizeof(double));
+  std::vector<ex::Fingerprint> same_stripe;
+  for (int i = 0; same_stripe.size() < 5; ++i) {
+    ex::FingerprintBuilder b;
+    b.mix(static_cast<std::uint64_t>(i) + 1000);
+    if (ex::RunCache::shard_index(b.result()) == 0)
+      same_stripe.push_back(b.result());
+  }
+  for (std::size_t k = 0; k < same_stripe.size(); ++k)
+    cache.store(same_stripe[k], {static_cast<double>(k), 0.0});
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The newest entry survived; the oldest was evicted.
+  EXPECT_TRUE(cache.lookup(same_stripe.back()).has_value());
+  EXPECT_FALSE(cache.lookup(same_stripe.front()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory checkpoint plan
+// ---------------------------------------------------------------------------
+
+TEST(TrajectoryCheckpointPlan, ResumedUnravellingsMatchColdRunsBitExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  cb::RunOptions opts;
+  opts.drift = 0.0;
+  const cb::LoweredRun lowered = backend.lower(program, opts);
+  const cn::NoisyExecutor executor(lowered.model);
+  const int width = lowered.local.num_qubits();
+  constexpr int kTrajectories = 6;
+  constexpr std::uint64_t kSeed = 123;
+
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(lowered.local, true);
+  ASSERT_GE(eligible.size(), 10u);
+  std::vector<std::size_t> lens;
+  for (const std::size_t g : eligible) lens.push_back(g + 1);
+
+  cu::ThreadPool pool(2);
+  const ex::TrajectoryCheckpointPlan plan(executor, lowered.local, lens,
+                                          kTrajectories, kSeed,
+                                          512ull << 20, pool);
+  EXPECT_EQ(plan.num_checkpoints(), lens.size());
+
+  // The base sweep reproduces a standalone trajectory run of the base.
+  {
+    const cn::NoiseProgram tape = executor.lower(lowered.local);
+    const std::vector<double> cold = cs::run_trajectories(
+        width, kTrajectories, kSeed ^ cb::kTrajectorySeedSalt,
+        [&](cs::NoisyEngine& e) { tape.execute(e); });
+    ASSERT_EQ(plan.base_probabilities().size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+      EXPECT_EQ(plan.base_probabilities()[i], cold[i]) << "outcome " << i;
+  }
+
+  for (const std::size_t g : {eligible.front(), eligible[eligible.size() / 2],
+                              eligible.back()}) {
+    const cc::Circuit derived =
+        co::insert_reversed_pairs(lowered.local, g, 2, true);
+    const std::vector<double> resumed = plan.run_shared(derived, g + 1);
+
+    const cn::NoiseProgram tape = executor.lower(derived);
+    const std::vector<double> cold = cs::run_trajectories(
+        width, kTrajectories, kSeed ^ cb::kTrajectorySeedSalt,
+        [&](cs::NoisyEngine& e) { tape.execute(e); });
+
+    ASSERT_EQ(resumed.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+      EXPECT_EQ(resumed[i], cold[i]) << "outcome " << i << " gate " << g;
+  }
+  EXPECT_EQ(plan.stats().fallbacks, 0u);
+  EXPECT_EQ(plan.stats().resumed, 3u);
+}
+
+TEST(TrajectoryCheckpointPlan, TinyBudgetReplaysGapsExactly) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  const cb::LoweredRun lowered = backend.lower(program, cb::RunOptions{});
+  const cn::NoisyExecutor executor(lowered.model);
+  const int width = lowered.local.num_qubits();
+  constexpr int kTrajectories = 5;
+  constexpr std::uint64_t kSeed = 9;
+
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(lowered.local, true);
+  std::vector<std::size_t> lens;
+  for (const std::size_t g : eligible) lens.push_back(g + 1);
+
+  // Budget for roughly two clone sets: everything else must replay.
+  const std::size_t per_snapshot =
+      ((std::size_t{16} << width) + 64) * kTrajectories;
+  cu::ThreadPool pool(1);
+  const ex::TrajectoryCheckpointPlan plan(executor, lowered.local, lens,
+                                          kTrajectories, kSeed,
+                                          2 * per_snapshot, pool);
+  EXPECT_LE(plan.num_checkpoints(), 2u);
+  EXPECT_GE(plan.num_checkpoints(), 1u);
+
+  const std::size_t g = eligible[eligible.size() / 3];
+  const cc::Circuit derived =
+      co::insert_reversed_pairs(lowered.local, g, 2, true);
+  const std::vector<double> resumed = plan.run_shared(derived, g + 1);
+
+  const cn::NoiseProgram tape = executor.lower(derived);
+  const std::vector<double> cold = cs::run_trajectories(
+      width, kTrajectories, kSeed ^ cb::kTrajectorySeedSalt,
+      [&](cs::NoisyEngine& e) { tape.execute(e); });
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_EQ(resumed[i], cold[i]);
+}
+
+TEST(BatchRunner, SeedAlignedTrajectoryJobsShareCheckpoints) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+  const std::vector<std::size_t> eligible =
+      co::reversible_ops(program.physical, true);
+  const std::vector<std::size_t> gates(eligible.begin(), eligible.begin() + 4);
+
+  cb::RunOptions run;
+  run.shots = 1024;
+  run.seed = 5;
+  run.engine = cb::EngineKind::kTrajectory;
+  run.trajectories = 8;
+  // All jobs share the seed, so the prefix draws are identical per
+  // unravelling and clone resumption is exact.
+  JobSet set = make_jobs(program, gates, run, 2, /*common_seed=*/true);
+
+  const ex::BatchRunner runner(backend, {true, false, 512ull << 20});
+  const std::vector<std::vector<double>> dists = runner.run(set.jobs, &program);
+  EXPECT_EQ(runner.last_stats().trajectory_checkpointed, set.jobs.size());
+  EXPECT_EQ(runner.last_stats().full_runs, 0u);
+  EXPECT_EQ(runner.last_stats().checkpointed, 0u);
+
+  for (std::size_t k = 0; k < set.jobs.size(); ++k) {
+    const std::vector<double> standalone =
+        backend.run(*set.jobs[k].program, set.jobs[k].run);
+    ASSERT_EQ(dists[k].size(), standalone.size());
+    for (std::size_t i = 0; i < standalone.size(); ++i)
+      EXPECT_EQ(dists[k][i], standalone[i]) << "job " << k << " outcome " << i;
+  }
+}
+
+TEST(AnalyzerEquivalence, CommonRandomNumbersTrajectorySharingMatchesNaive) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 1);
+
+  co::CharterOptions options;
+  options.reversals = 2;
+  options.max_gates = 5;
+  options.run.shots = 512;
+  options.run.engine = cb::EngineKind::kTrajectory;
+  options.run.trajectories = 6;
+  options.run.seed = 3;
+  options.common_random_numbers = true;
+  options.exec.caching = false;
+
+  options.exec.checkpointing = true;
+  const co::CharterAnalyzer fast_analyzer(backend, options);
+  const co::CharterReport fast = fast_analyzer.analyze(program);
+  EXPECT_GT(fast_analyzer.last_exec_stats().trajectory_checkpointed, 0u);
+
+  options.exec.checkpointing = false;
+  const co::CharterReport naive =
+      co::CharterAnalyzer(backend, options).analyze(program);
+
+  ASSERT_EQ(fast.impacts.size(), naive.impacts.size());
+  for (std::size_t k = 0; k < fast.impacts.size(); ++k)
+    EXPECT_EQ(fast.impacts[k].tvd, naive.impacts[k].tvd) << "gate " << k;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism matrix: the parallel driver's headline contract.  The full
+// CharterReport — every score, the output distribution, and the exec layer's
+// cache/checkpoint counters — is bit-identical at every worker-pool width,
+// for the density-matrix engine (exact and fused tapes) and the trajectory
+// engine (independent seeds and common random numbers).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MatrixRun {
+  co::CharterReport cold_report;
+  co::CharterReport warm_report;
+  ex::BatchRunner::Stats cold_stats;
+  ex::BatchRunner::Stats warm_stats;
+};
+
+MatrixRun analyze_at_width(const cb::FakeBackend& backend,
+                           const cb::CompiledProgram& program,
+                           co::CharterOptions options, int threads) {
+  options.exec.threads = threads;
+  options.exec.caching = true;
+  ex::RunCache::global().clear();
+  const co::CharterAnalyzer analyzer(backend, options);
+  MatrixRun out;
+  out.cold_report = analyzer.analyze(program);
+  out.cold_stats = analyzer.last_exec_stats();
+  out.warm_report = analyzer.analyze(program);  // all jobs served from cache
+  out.warm_stats = analyzer.last_exec_stats();
+  ex::RunCache::global().clear();
+  return out;
+}
+
+void expect_reports_identical(const co::CharterReport& a,
+                              const co::CharterReport& b,
+                              const std::string& label) {
+  ASSERT_EQ(a.impacts.size(), b.impacts.size()) << label;
+  ASSERT_EQ(a.original_distribution.size(), b.original_distribution.size())
+      << label;
+  for (std::size_t i = 0; i < a.original_distribution.size(); ++i)
+    EXPECT_EQ(a.original_distribution[i], b.original_distribution[i])
+        << label << " outcome " << i;
+  for (std::size_t k = 0; k < a.impacts.size(); ++k) {
+    EXPECT_EQ(a.impacts[k].op_index, b.impacts[k].op_index) << label;
+    EXPECT_EQ(a.impacts[k].tvd, b.impacts[k].tvd)
+        << label << " gate " << k;
+  }
+}
+
+void expect_stats_identical(const ex::BatchRunner::Stats& a,
+                            const ex::BatchRunner::Stats& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.jobs, b.jobs) << label;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << label;
+  EXPECT_EQ(a.checkpointed, b.checkpointed) << label;
+  EXPECT_EQ(a.trajectory_checkpointed, b.trajectory_checkpointed) << label;
+  EXPECT_EQ(a.full_runs, b.full_runs) << label;
+  EXPECT_EQ(a.checkpoint_fallbacks, b.checkpoint_fallbacks) << label;
+}
+
+}  // namespace
+
+TEST(DeterminismMatrix, ReportsBitIdenticalAcrossThreadCounts) {
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = compiled_program(backend, 2);
+
+  struct Config {
+    const char* name;
+    co::CharterOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    co::CharterOptions dm;
+    dm.reversals = 2;
+    dm.run.shots = 4096;
+    dm.run.seed = 2022;
+    configs.push_back({"dm_exact", dm});
+    dm.run.opt = cn::OptLevel::kFused;
+    configs.push_back({"dm_fused", dm});
+
+    co::CharterOptions traj;
+    traj.reversals = 2;
+    traj.max_gates = 4;
+    traj.run.shots = 512;
+    traj.run.engine = cb::EngineKind::kTrajectory;
+    traj.run.trajectories = 6;
+    traj.run.seed = 3;
+    configs.push_back({"trajectory_independent_seeds", traj});
+    traj.common_random_numbers = true;
+    configs.push_back({"trajectory_common_random_numbers", traj});
+  }
+
+  for (const Config& config : configs) {
+    const MatrixRun base =
+        analyze_at_width(backend, program, config.options, 1);
+    EXPECT_EQ(base.cold_stats.cache_hits, 0u) << config.name;
+    EXPECT_EQ(base.warm_stats.cache_hits, base.warm_stats.jobs)
+        << config.name;
+    for (const int threads : {2, 8}) {
+      const MatrixRun wide =
+          analyze_at_width(backend, program, config.options, threads);
+      const std::string label =
+          std::string(config.name) + " @" + std::to_string(threads);
+      expect_reports_identical(base.cold_report, wide.cold_report,
+                               label + " cold");
+      expect_reports_identical(base.warm_report, wide.warm_report,
+                               label + " warm");
+      expect_stats_identical(base.cold_stats, wide.cold_stats,
+                             label + " cold stats");
+      expect_stats_identical(base.warm_stats, wide.warm_stats,
+                             label + " warm stats");
+    }
+  }
 }

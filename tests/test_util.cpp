@@ -1,12 +1,16 @@
 // Unit tests for the util library: RNG determinism and distributions, the
-// parallel loop helpers, CLI parsing, table rendering, and the CSV cache.
+// parallel loop helpers, the exec worker pool, CLI parsing, table rendering,
+// and the CSV cache.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -15,6 +19,7 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cu = charter::util;
@@ -226,4 +231,81 @@ TEST(Error, RequireThrowsWithMessage) {
   } catch (const charter::InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const int workers : {1, 2, 8}) {
+    cu::ThreadPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    pool.run(257, [&](std::int64_t i, int worker) {
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, workers);
+      ++hits[static_cast<std::size_t>(i)];
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  cu::ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.run(round, [&](std::int64_t i, int) { sum += i; });
+    EXPECT_EQ(sum.load(), round * (round - 1) / 2);
+  }
+}
+
+TEST(ThreadPool, MarksWorkersAndForcesNestedHelpersSerial) {
+  EXPECT_FALSE(cu::in_pool_worker());
+  cu::ThreadPool pool(3);
+  std::atomic<int> on_worker{0};
+  pool.run(8, [&](std::int64_t, int) {
+    if (cu::in_pool_worker()) ++on_worker;
+  });
+  EXPECT_EQ(on_worker.load(), 8);
+  EXPECT_FALSE(cu::in_pool_worker());  // only the workers are marked
+}
+
+TEST(ThreadPool, NestedRunFallsBackToInlineSerial) {
+  cu::ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.run(3, [&](std::int64_t, int) {
+    // From a task body the pool is busy; a nested run() must not deadlock.
+    pool.run(5, [&](std::int64_t, int worker) {
+      EXPECT_EQ(worker, 0);
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 15);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDrain) {
+  cu::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.run(64, [&](std::int64_t i, int) {
+      if (i == 13) throw std::runtime_error("task 13 failed");
+      ++completed;
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("task 13"), std::string::npos);
+  }
+  EXPECT_EQ(completed.load(), 63);  // the batch drains; one task threw
+  // The pool survives a failed batch.
+  std::atomic<int> after{0};
+  pool.run(4, [&](std::int64_t, int) { ++after; });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPool, ResolveThreadsHonorsExplicitAndAuto) {
+  EXPECT_EQ(cu::resolve_threads(1), 1);
+  EXPECT_EQ(cu::resolve_threads(7), 7);
+  EXPECT_GE(cu::resolve_threads(0), 1);  // auto: at least one worker
 }

@@ -46,6 +46,9 @@ void add_common_flags(Cli& cli) {
                "cap analyzed gates (0 = all eligible)");
   cli.add_flag("fused", false,
                "fuse the lowered noise tape (faster; ~1e-12 tolerance)");
+  cli.add_flag("threads", std::int64_t{0},
+               "analysis worker-pool width (0 = all hardware threads; "
+               "results are identical at every value)");
 }
 
 cb::FakeBackend make_backend(const Cli& cli,
@@ -67,6 +70,7 @@ co::CharterOptions make_options(const Cli& cli) {
   opts.run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opts.run.opt = cli.get_bool("fused") ? charter::noise::OptLevel::kFused
                                        : charter::noise::OptLevel::kExact;
+  opts.exec.threads = static_cast<int>(cli.get_int("threads"));
   return opts;
 }
 
