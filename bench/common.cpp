@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -147,6 +149,29 @@ core::CharterReport load_report(const std::string& path) {
   }
   report.analyzed_gates = report.impacts.size();
   return report;
+}
+
+bool write_output_file(const std::string& path, const std::string& contents) {
+  if (path.empty()) return false;  // stdout-only mode, nothing to write
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "note: could not write %s\n", path.c_str());
+    return false;
+  }
+  // A truncated artifact (disk full) must not report success: the trend
+  // gate would see "malformed JSON" with no hint of the real cause.
+  const bool ok = std::fputs(contents.c_str(), f) >= 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "note: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 core::CharterReport BenchContext::sweep(const algos::AlgoSpec& spec,

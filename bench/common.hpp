@@ -35,7 +35,10 @@ class BenchContext {
   std::uint64_t seed() const { return seed_; }
   int reversals() const { return reversals_; }
   const std::string& cache_dir() const { return cache_dir_; }
-  bool cache_enabled() const { return !no_cache_; }
+  /// Caching is off under --no-cache and for an empty cache dir
+  /// (--cache-dir "" or CHARTER_BENCH_CACHE=""), mirroring the --out ""
+  /// convention: an empty path never creates files.
+  bool cache_enabled() const { return !no_cache_ && !cache_dir_.empty(); }
 
   /// The backend the paper would run this config on (cached per device).
   const backend::FakeBackend& backend_for(const algos::AlgoSpec& spec) const;
@@ -78,5 +81,13 @@ void save_report(const std::string& path, const core::CharterReport& report);
 
 /// Loads a cached report; throws NotFound when absent.
 core::CharterReport load_report(const std::string& path);
+
+/// The one place bench binaries write their --out artifact through.  An
+/// empty \p path means stdout-only mode (the CI smoke invocations pass
+/// --out "" so no stray files appear in the build tree): nothing is
+/// touched and false is returned.  Otherwise the parent directory is
+/// created if missing and \p contents is written; I/O failure notes on
+/// stderr and returns false rather than failing the bench.
+bool write_output_file(const std::string& path, const std::string& contents);
 
 }  // namespace charter::bench

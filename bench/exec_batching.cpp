@@ -34,8 +34,10 @@
 #include <vector>
 
 #include "backend/backend.hpp"
+#include "bench/common.hpp"
 #include "core/analyzer.hpp"
 #include "exec/cache.hpp"
+#include "math/simd_dispatch.hpp"
 #include "transpile/topology.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -225,6 +227,9 @@ int main(int argc, char** argv) {
   json += "  \"reversals\": " + std::to_string(options.reversals) + ",\n";
   json += "  \"shots\": " + std::to_string(options.run.shots) + ",\n";
   json += "  \"engine\": \"density_matrix\",\n";
+  json += std::string("  \"simd_active\": \"") +
+          charter::math::simd::path_name(charter::math::simd::active_path()) +
+          "\",\n";
   json += "  \"drift\": 0.0,\n";
   append_double(json, "naive_ms", naive_s * 1e3);
   append_double(json, "checkpointed_ms", fast_s * 1e3);
@@ -256,15 +261,7 @@ int main(int argc, char** argv) {
   json += "}\n";
   std::fputs(json.c_str(), stdout);
 
-  const std::string out_path = cli.get_string("out");
-  if (!out_path.empty()) {
-    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "note: could not write %s\n", out_path.c_str());
-    }
-  }
+  charter::bench::write_output_file(cli.get_string("out"), json);
   if (!identical) {
     std::fprintf(stderr, "FAIL: checkpointed != naive\n");
     return 1;

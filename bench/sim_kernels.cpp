@@ -1,9 +1,22 @@
 // Benchmark of the hot simulation kernels and the NoiseProgram tape
-// pipeline: the fused pair kernels vs. the sequential two-pass forms they
-// replace, and fused-tape vs. exact-tape end-to-end execution on the
-// density-matrix engine.  Emits JSON (like bench_exec_batching) so the perf
-// trajectory can be tracked across commits; --smoke shrinks everything for
-// the CI gate, which also asserts the fused/exact agreement bound.
+// pipeline, now with per-ISA rows for the SIMD dispatch layer:
+//
+//  1. simd[]: for each of the dense kernels (1q unitary, fused 1q pair,
+//     CX pair, diagonal pair) the scalar path is timed against the
+//     process-active path (best available by default; a CHARTER_SIMD pin
+//     is honored so CI's per-path legs record honest rows) on the same
+//     vec(rho)-sized state, the speedup is reported, and scalar/SIMD
+//     agreement <= 1e-12 is *asserted* — every bench run doubles as an
+//     equivalence check on real workload shapes.
+//  2. The fused pair kernels vs. the sequential two-pass forms they
+//     replaced (on the active path).
+//  3. Fused-tape vs. exact-tape end-to-end execution on the density-matrix
+//     engine.
+//
+// Emits JSON (like bench_exec_batching) so the perf trajectory can be
+// tracked across commits; CI uploads the --smoke output as the
+// BENCH_kernels.json artifact and tools/check_bench_trend.py validates the
+// metric keys.
 //
 // Usage: bench_sim_kernels [--qubits N] [--rounds N] [--reps N] [--smoke]
 //                          [--out PATH]
@@ -15,18 +28,22 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/gate.hpp"
+#include "math/simd_dispatch.hpp"
 #include "noise/calibration.hpp"
 #include "noise/program.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/kernels.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace cc = charter::circ;
 namespace cn = charter::noise;
 namespace cs = charter::sim;
+namespace simd = charter::math::simd;
 using charter::math::cplx;
 using charter::math::Mat2;
 
@@ -70,11 +87,82 @@ double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
   return worst;
 }
 
+std::vector<cplx> random_state(std::uint64_t dim, std::uint64_t seed) {
+  charter::util::Rng rng(seed);
+  std::vector<cplx> a(dim);
+  double norm = 0.0;
+  for (cplx& v : a) {
+    v = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    norm += std::norm(v);
+  }
+  const double inv = 1.0 / std::sqrt(norm);
+  for (cplx& v : a) v *= inv;
+  return a;
+}
+
+/// One scalar-vs-best row: times `rounds` applications of \p kernel per rep
+/// on each path, asserts <= 1e-12 single-application agreement, and appends
+/// the JSON row.  Returns the speedup (or exits on divergence).
+struct RowResult {
+  double scalar_ms = 0.0;
+  double best_ms = 0.0;
+  double speedup = 0.0;
+  double diff = 0.0;
+};
+
+template <typename Kernel>
+RowResult bench_kernel_row(std::string& json, bool& first_row,
+                           simd::SimdPath best, const char* name,
+                           const std::vector<cplx>& input, int rounds,
+                           int reps, Kernel&& kernel) {
+  RowResult row;
+
+  // Agreement: one application per path from the identical input.
+  std::vector<cplx> scalar_out = input;
+  simd::set_path(simd::SimdPath::kScalar);
+  kernel(scalar_out.data());
+  std::vector<cplx> best_out = input;
+  simd::set_path(best);
+  kernel(best_out.data());
+  row.diff = max_abs_diff(scalar_out, best_out);
+
+  // Timings: `rounds` applications per rep, best-of-`reps`.
+  std::vector<cplx> state = input;
+  simd::set_path(simd::SimdPath::kScalar);
+  row.scalar_ms = 1e3 * best_seconds(reps, [&] {
+                    for (int r = 0; r < rounds; ++r) kernel(state.data());
+                  });
+  state = input;
+  simd::set_path(best);
+  row.best_ms = 1e3 * best_seconds(reps, [&] {
+                  for (int r = 0; r < rounds; ++r) kernel(state.data());
+                });
+  row.speedup = row.best_ms > 0.0 ? row.scalar_ms / row.best_ms : 0.0;
+
+  if (!first_row) json += ",\n";
+  first_row = false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"kernel\": \"%s\", \"scalar_ms\": %.4f, "
+                "\"best_ms\": %.4f, \"speedup\": %.3f, "
+                "\"max_abs_diff\": %.3e}",
+                name, row.scalar_ms, row.best_ms, row.speedup, row.diff);
+  json += buf;
+
+  if (!(row.diff <= 1e-12)) {
+    std::fprintf(stderr, "FAIL: %s scalar/%s diverged (%.3e > 1e-12)\n",
+                 name, simd::path_name(best), row.diff);
+    std::exit(1);
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   charter::util::Cli cli(
-      "bench_sim_kernels: pair kernels and fused-vs-exact tape execution");
+      "bench_sim_kernels: per-ISA kernel rows, pair kernels, and "
+      "fused-vs-exact tape execution");
   cli.add_flag("qubits", std::int64_t{8}, "density-matrix width");
   cli.add_flag("rounds", std::int64_t{12}, "workload rounds (depth scale)");
   cli.add_flag("reps", std::int64_t{5}, "timed repetitions (best-of)");
@@ -88,18 +176,62 @@ int main(int argc, char** argv) {
   const int rounds = smoke ? 4 : static_cast<int>(cli.get_int("rounds"));
   const int reps = smoke ? 2 : static_cast<int>(cli.get_int("reps"));
 
-  // ---- raw kernel micro-benchmark: one fused pass vs. two passes --------
-  const int pseudo_qubits = 2 * qubits;  // vec(rho) width
+  // Compare scalar against the *process-active* path, not the widest one:
+  // a CHARTER_SIMD-pinned CI leg must benchmark (and record) the path it
+  // was pinned to, so every dispatch path gets honest trend rows.
+  const simd::SimdPath original_path = simd::active_path();
+  const simd::SimdPath best = original_path;
+
+  // ---- per-ISA kernel rows: scalar vs best-available ---------------------
+  // All rows run on a vec(rho)-sized state (2*qubits pseudo-qubits) at the
+  // qubit positions the density-matrix pair kernels actually use.
+  const int pseudo_qubits = 2 * qubits;
   const std::uint64_t dim = 1ULL << pseudo_qubits;
-  std::vector<cplx> state(dim, cplx(0.0));
-  state[0] = 1.0;
-  const Mat2 u =
-      cc::gate_unitary_1q(cc::make_gate(cc::GateKind::SX, {0}));
-  Mat2 v;
-  for (std::size_t k = 0; k < 4; ++k) v.m[k] = std::conj(u.m[k]);
+  const std::vector<cplx> input = random_state(dim, /*seed=*/2022);
   const int qa = qubits / 2;
   const int qb = qubits / 2 + qubits;
+  const Mat2 u = cc::gate_unitary_1q(cc::make_gate(cc::GateKind::SX, {0}));
+  Mat2 v;
+  for (std::size_t k = 0; k < 4; ++k) v.m[k] = std::conj(u.m[k]);
+  const cplx ph0 = std::exp(cplx(0.0, -0.4));
+  const cplx ph1 = std::exp(cplx(0.0, 0.4));
+  const int kernel_rounds = smoke ? 4 : 16;
 
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"sim_kernels\",\n";
+  json += "  \"qubits\": " + std::to_string(qubits) + ",\n";
+  json += std::string("  \"simd_active\": \"") + simd::path_name(best) +
+          "\",\n";
+  json += "  \"simd_available\": \"" + simd::available_paths() + "\",\n";
+  json += "  \"simd\": [\n";
+
+  bool first_row = true;
+  const RowResult r_1q = bench_kernel_row(
+      json, first_row, best, "unitary_1q", input, kernel_rounds, reps,
+      [&](cplx* a) { cs::kernels::apply_1q(a, dim, qa, u); });
+  const RowResult r_pair = bench_kernel_row(
+      json, first_row, best, "unitary_1q_pair", input, kernel_rounds, reps,
+      [&](cplx* a) { cs::kernels::apply_1q_pair(a, dim, qa, u, qb, v); });
+  const RowResult r_cx = bench_kernel_row(
+      json, first_row, best, "cx_pair", input, kernel_rounds, reps, [&](cplx* a) {
+        cs::kernels::apply_cx_pair(a, dim, qa, qa + 1, qb, qb + 1);
+      });
+  const RowResult r_diag = bench_kernel_row(
+      json, first_row, best, "diag_1q_pair", input, kernel_rounds, reps,
+      [&](cplx* a) {
+        cs::kernels::apply_diag_1q_pair(a, dim, qa, ph0, ph1, qb,
+                                        std::conj(ph0), std::conj(ph1));
+      });
+  json += "\n  ],\n";
+  (void)r_1q;
+  (void)r_diag;
+
+  // ---- raw kernel micro-benchmark: one fused pass vs. two passes --------
+  // (on the best-available path, which stays active from here on)
+  simd::set_path(best);
+  std::vector<cplx> state(dim, cplx(0.0));
+  state[0] = 1.0;
   const double two_pass_s = best_seconds(reps, [&] {
     cs::kernels::apply_1q(state.data(), dim, qa, u);
     cs::kernels::apply_1q(state.data(), dim, qb, v);
@@ -123,11 +255,8 @@ int main(int argc, char** argv) {
   const double pair_speedup = pair_s > 0.0 ? two_pass_s / pair_s : 0.0;
   const double tape_speedup = fused_s > 0.0 ? exact_s / fused_s : 0.0;
 
-  char json[1024];
-  std::snprintf(json, sizeof(json),
-                "{\n"
-                "  \"bench\": \"sim_kernels\",\n"
-                "  \"qubits\": %d,\n"
+  char tail[1024];
+  std::snprintf(tail, sizeof(tail),
                 "  \"circuit_ops\": %zu,\n"
                 "  \"tape_ops_exact\": %zu,\n"
                 "  \"tape_ops_fused\": %zu,\n"
@@ -139,20 +268,19 @@ int main(int argc, char** argv) {
                 "  \"tape_fused_speedup\": %.3f,\n"
                 "  \"fused_max_abs_diff\": %.3e\n"
                 "}\n",
-                qubits, circuit.size(), exact.size(), fused.size(),
-                two_pass_s * 1e3, pair_s * 1e3, pair_speedup, exact_s * 1e3,
-                fused_s * 1e3, tape_speedup, agreement);
-  std::fputs(json, stdout);
+                circuit.size(), exact.size(), fused.size(), two_pass_s * 1e3,
+                pair_s * 1e3, pair_speedup, exact_s * 1e3, fused_s * 1e3,
+                tape_speedup, agreement);
+  json += tail;
+  std::fputs(json.c_str(), stdout);
 
-  const std::string out_path = cli.get_string("out");
-  if (!out_path.empty()) {
-    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-      std::fputs(json, f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "note: could not write %s\n", out_path.c_str());
-    }
-  }
+  charter::bench::write_output_file(cli.get_string("out"), json);
+  simd::set_path(original_path);
+
+  std::fprintf(stderr,
+               "note: best-vs-scalar speedups — unitary_1q_pair %.2fx, "
+               "cx_pair %.2fx (path %s)\n",
+               r_pair.speedup, r_cx.speedup, simd::path_name(best));
 
   if (fused.size() >= exact.size()) {
     std::fprintf(stderr, "FAIL: fusion did not shrink the tape\n");

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "math/simd_dispatch.hpp"
 #include "noise/executor.hpp"
+#include "util/parallel.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/measurement.hpp"
 #include "sim/statevector.hpp"
@@ -49,6 +51,17 @@ EngineKind resolve_engine(const RunOptions& options, int local_width) {
   return local_width <= sim::DensityMatrixEngine::kMaxQubits
              ? EngineKind::kDensityMatrix
              : EngineKind::kTrajectory;
+}
+
+std::string run_environment_summary() {
+  namespace simd = math::simd;
+  std::string out = "simd=";
+  out += simd::path_name(simd::active_path());
+  out += " (available: " + simd::available_paths() + ")";
+  out += ", threads=" + std::to_string(util::num_threads());
+  out += ", dm_max_qubits=" +
+         std::to_string(sim::DensityMatrixEngine::kMaxQubits);
+  return out;
 }
 
 noise::NoiseModel restrict_model(const noise::NoiseModel& model,

@@ -34,6 +34,10 @@ enum class EngineKind {
 };
 
 /// Per-run execution options.
+///
+/// The SIMD kernel path is deliberately *not* a per-run option: it is
+/// process-wide runtime dispatch (CHARTER_SIMD / math::simd::set_path) and
+/// is reported alongside run results via run_environment_summary().
 struct RunOptions {
   /// Shots to sample; 0 returns the exact (engine-level) distribution.
   std::int64_t shots = 4096;
@@ -79,6 +83,13 @@ struct LoweredRun {
 /// compacted width is \p local_width (resolves kAuto).  Shared by
 /// FakeBackend::run and the exec layer so the two can never diverge.
 EngineKind resolve_engine(const RunOptions& options, int local_width);
+
+/// One-line description of the execution environment every RunOptions is
+/// interpreted under: the active SIMD kernel path and the paths available
+/// in this build/CPU (math/simd_dispatch.hpp), the parallel worker width,
+/// and the density-matrix cutoff.  Surfaced by `charter version` and the
+/// bench JSON emitters so recorded results carry the dispatch they ran on.
+std::string run_environment_summary();
 
 /// Seed salts separating the independent random streams one RunOptions::seed
 /// drives.  Shared with the exec layer, whose pooled trajectory fan-out and

@@ -1,0 +1,128 @@
+#include "math/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace charter::math::simd {
+
+namespace {
+
+/// True when the running CPU can execute the AVX2+FMA kernels.  The AVX2
+/// translation unit is compiled with -mavx2 -mfma regardless of the host,
+/// so this runtime gate is what keeps baseline machines off that path.
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(SimdPath path) {
+  switch (path) {
+    case SimdPath::kScalar:
+      return table_scalar();
+    case SimdPath::kWidth2:
+      return table_width2();
+    case SimdPath::kAvx2:
+      return cpu_has_avx2_fma() ? table_avx2() : nullptr;
+  }
+  return nullptr;
+}
+
+SimdPath compute_best() {
+  if (table_for(SimdPath::kAvx2) != nullptr) return SimdPath::kAvx2;
+  if (table_for(SimdPath::kWidth2) != nullptr) return SimdPath::kWidth2;
+  return SimdPath::kScalar;
+}
+
+/// Parses CHARTER_SIMD; returns best_path() when unset, warns and falls
+/// back when the request is unknown or unavailable.
+SimdPath initial_path() {
+  const char* env = std::getenv("CHARTER_SIMD");
+  if (env == nullptr || env[0] == '\0') return compute_best();
+  SimdPath want = SimdPath::kScalar;
+  if (std::strcmp(env, "scalar") == 0) {
+    want = SimdPath::kScalar;
+  } else if (std::strcmp(env, "sse2") == 0 || std::strcmp(env, "neon") == 0) {
+    want = SimdPath::kWidth2;
+    // A pin naming the other architecture's width-2 ISA still resolves,
+    // but never silently: the recorded rows would otherwise claim
+    // coverage the job label does not have.
+    const KernelTable* w2 = table_width2();
+    if (w2 != nullptr && std::strcmp(env, w2->name) != 0)
+      std::fprintf(stderr,
+                   "charter: CHARTER_SIMD=%s: this build's width-2 path "
+                   "is %s; using %s\n",
+                   env, w2->name, w2->name);
+  } else if (std::strcmp(env, "avx2") == 0) {
+    want = SimdPath::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "charter: unknown CHARTER_SIMD value '%s' "
+                 "(expected scalar, sse2, neon, or avx2); using %s\n",
+                 env, path_name(compute_best()));
+    return compute_best();
+  }
+  if (table_for(want) == nullptr) {
+    const SimdPath best = compute_best();
+    std::fprintf(stderr,
+                 "charter: CHARTER_SIMD=%s is not available in this "
+                 "build/CPU; using %s\n",
+                 env, path_name(best));
+    return best;
+  }
+  return want;
+}
+
+std::atomic<const KernelTable*>& active_slot() {
+  static std::atomic<const KernelTable*> slot{table_for(initial_path())};
+  return slot;
+}
+
+}  // namespace
+
+const KernelTable& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+SimdPath active_path() {
+  const KernelTable* t = &active();
+  if (t == table_for(SimdPath::kAvx2)) return SimdPath::kAvx2;
+  if (t == table_for(SimdPath::kWidth2)) return SimdPath::kWidth2;
+  return SimdPath::kScalar;
+}
+
+const char* path_name(SimdPath path) {
+  if (path == SimdPath::kScalar) return "scalar";
+  if (path == SimdPath::kAvx2) return "avx2";
+  // The width-2 table knows whether it was compiled as SSE2 or NEON.
+  const KernelTable* t = table_width2();
+  return t != nullptr ? t->name : "width2";
+}
+
+bool path_available(SimdPath path) { return table_for(path) != nullptr; }
+
+SimdPath best_path() { return compute_best(); }
+
+bool set_path(SimdPath path) {
+  const KernelTable* t = table_for(path);
+  if (t == nullptr) return false;
+  active_slot().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+std::string available_paths() {
+  std::string out;
+  for (const SimdPath p :
+       {SimdPath::kScalar, SimdPath::kWidth2, SimdPath::kAvx2}) {
+    if (!path_available(p)) continue;
+    if (!out.empty()) out += ",";
+    out += path_name(p);
+  }
+  return out;
+}
+
+}  // namespace charter::math::simd

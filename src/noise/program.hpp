@@ -11,7 +11,10 @@
 /// thermal-relaxation, depolarizing, bit-flip, kraus) with every schedule-
 /// and calibration-derived parameter resolved at lowering time.  Execution is
 /// then a tight interpreter loop; on the density-matrix engine it dispatches
-/// devirtualized single-pass pair kernels (sim/kernels.hpp).
+/// devirtualized single-pass pair kernels (sim/kernels.hpp), which in turn
+/// run on the SIMD path selected at process start (math/simd_dispatch.hpp) —
+/// AVX2+FMA, SSE2/NEON, or scalar — so tape interpretation inherits the
+/// vectorized kernels at no per-op cost beyond one table load.
 ///
 /// The pipeline is lower -> optimize -> execute:
 ///

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/simd_dispatch.hpp"
 #include "sim/kernels.hpp"
 #include "util/error.hpp"
 
@@ -13,10 +14,7 @@ using math::Mat2;
 
 namespace {
 
-/// Widens x by inserting a zero bit at the position given by \p mask.
-inline std::uint64_t insert_zero_bit(std::uint64_t x, std::uint64_t mask) {
-  return ((x & ~(mask - 1)) << 1) | (x & (mask - 1));
-}
+using math::simd::insert_zero_bit;
 
 inline Mat2 conj2(const Mat2& u) {
   Mat2 r;
@@ -76,21 +74,8 @@ void DensityMatrixEngine::apply_thermal_relaxation(int q, double gamma,
   const std::uint64_t row = 1ULL << q;
   const std::uint64_t col = 1ULL << (q + num_qubits_);
   const double keep = std::sqrt(1.0 - gamma) * (1.0 - 2.0 * pz);
-  cplx* a = rho_.data();
-  util::parallel_for(
-      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
-        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
-                                             row);
-        base = insert_zero_bit(base, col);
-        const std::uint64_t i00 = base;
-        const std::uint64_t i10 = base | row;        // rho_{1,0}
-        const std::uint64_t i01 = base | col;        // rho_{0,1}
-        const std::uint64_t i11 = base | row | col;  // rho_{1,1}
-        a[i00] += gamma * a[i11];
-        a[i11] *= (1.0 - gamma);
-        a[i01] *= keep;
-        a[i10] *= keep;
-      });
+  math::simd::active().thermal_block(rho_.data(), dim2(), row, col, gamma,
+                                     keep);
 }
 
 void DensityMatrixEngine::apply_depolarizing_1q(int q, double p) {
@@ -99,22 +84,7 @@ void DensityMatrixEngine::apply_depolarizing_1q(int q, double p) {
   const std::uint64_t col = 1ULL << (q + num_qubits_);
   const double mix = 2.0 * p / 3.0;        // diagonal exchange weight
   const double coh = 1.0 - 4.0 * p / 3.0;  // coherence scaling
-  cplx* a = rho_.data();
-  util::parallel_for(
-      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
-        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
-                                             row);
-        base = insert_zero_bit(base, col);
-        const std::uint64_t i00 = base;
-        const std::uint64_t i10 = base | row;
-        const std::uint64_t i01 = base | col;
-        const std::uint64_t i11 = base | row | col;
-        const cplx d0 = a[i00], d1 = a[i11];
-        a[i00] = (1.0 - mix) * d0 + mix * d1;
-        a[i11] = (1.0 - mix) * d1 + mix * d0;
-        a[i01] *= coh;
-        a[i10] *= coh;
-      });
+  math::simd::active().depol1q_block(rho_.data(), dim2(), row, col, mix, coh);
 }
 
 void DensityMatrixEngine::apply_depolarizing_2q(int qa, int qb, double p) {
@@ -154,22 +124,7 @@ void DensityMatrixEngine::apply_bitflip(int q, double p) {
   if (p <= 0.0) return;
   const std::uint64_t row = 1ULL << q;
   const std::uint64_t col = 1ULL << (q + num_qubits_);
-  cplx* a = rho_.data();
-  util::parallel_for(
-      static_cast<std::int64_t>(dim2() >> 2), [=](std::int64_t i) {
-        std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i),
-                                             row);
-        base = insert_zero_bit(base, col);
-        const std::uint64_t i00 = base;
-        const std::uint64_t i10 = base | row;
-        const std::uint64_t i01 = base | col;
-        const std::uint64_t i11 = base | row | col;
-        const cplx b00 = a[i00], b01 = a[i01], b10 = a[i10], b11 = a[i11];
-        a[i00] = (1.0 - p) * b00 + p * b11;
-        a[i11] = (1.0 - p) * b11 + p * b00;
-        a[i01] = (1.0 - p) * b01 + p * b10;
-        a[i10] = (1.0 - p) * b10 + p * b01;
-      });
+  math::simd::active().bitflip_block(rho_.data(), dim2(), row, col, p);
 }
 
 void DensityMatrixEngine::apply_kraus_1q(std::span<const Mat2> kraus, int q) {
@@ -189,10 +144,7 @@ void DensityMatrixEngine::apply_kraus_1q(std::span<const Mat2> kraus, int q) {
       first = false;
       continue;
     }
-    cplx* acc = accum_.data();
-    const cplx* src = scratch_.data();
-    util::parallel_for(static_cast<std::int64_t>(dim2()),
-                       [=](std::int64_t i) { acc[i] += src[i]; });
+    math::simd::active().accum_add(accum_.data(), scratch_.data(), dim2());
   }
   rho_.swap(accum_);
 }

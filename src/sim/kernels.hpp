@@ -8,14 +8,24 @@
 /// index (qubit 0 = least significant).  The density-matrix engine reuses the
 /// same kernels by treating vec(rho) as a 2n-qubit state.
 ///
+/// Since the SIMD layer landed, this header is a thin forwarding shim: each
+/// hot kernel dispatches through math::simd::active() to the scalar, width-2
+/// (SSE2/NEON), or AVX2+FMA implementation selected at runtime
+/// (math/simd_dispatch.hpp).  The scalar path is bit-identical to the
+/// historical loops that used to live here; the vector paths agree with it
+/// to <= 1e-12 and are individually deterministic — fixed per-element
+/// operation order, bit-identical across thread counts.  Rarely-hot kernels
+/// (general 4x4 unitaries, Toffoli, SWAP, reductions) remain scalar inline.
+///
 /// Pair kernels.  Every coherent density-matrix update is a *pair* of
 /// single-qubit-style updates — U on pseudo-qubit q and conj(U) on q+n —
 /// which the plain kernels would realize as two full passes over 16*4^n
-/// bytes.  The apply_*_pair kernels below fuse the two into one pass: each
+/// bytes.  The apply_*_pair kernels fuse the two into one pass: each
 /// 4-amplitude group is loaded once, the first update's arithmetic is applied
-/// and then the second's, so the results are bit-identical to the sequential
-/// two-pass forms while halving memory traffic.  They are what the
-/// NoiseProgram tape interpreter dispatches to (see noise/program.hpp).
+/// and then the second's, so the results match the sequential two-pass forms
+/// (bit-identically on the scalar path) while halving memory traffic.  They
+/// are what the NoiseProgram tape interpreter dispatches to (see
+/// noise/program.hpp).
 ///
 /// Iteration order is cache-blocked by construction: groups are enumerated
 /// by inserting zero bits into an ascending counter, so the 2 (or 4) strided
@@ -28,6 +38,7 @@
 #include <cstdint>
 
 #include "math/matrix.hpp"
+#include "math/simd_dispatch.hpp"
 #include "util/parallel.hpp"
 
 namespace charter::sim {
@@ -40,172 +51,68 @@ namespace kernels {
 
 /// Applies a general 2x2 unitary (or Kraus operator) on qubit \p q.
 inline void apply_1q(cplx* a, std::uint64_t dim, int q, const Mat2& u) {
-  const std::uint64_t stride = 1ULL << q;
-  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
-  const std::int64_t npairs = static_cast<std::int64_t>(dim >> 1);
-  util::parallel_for(npairs, [=](std::int64_t p) {
-    // Index of the p-th pair: insert a 0 bit at position q.
-    const std::uint64_t up = static_cast<std::uint64_t>(p);
-    const std::uint64_t i0 = ((up & ~(stride - 1)) << 1) | (up & (stride - 1));
-    const std::uint64_t i1 = i0 | stride;
-    const cplx a0 = a[i0];
-    const cplx a1 = a[i1];
-    a[i0] = u00 * a0 + u01 * a1;
-    a[i1] = u10 * a0 + u11 * a1;
-  });
+  math::simd::active().apply_1q(a, dim, q, u);
 }
 
 /// Applies the diagonal gate diag(d0, d1) on qubit \p q (e.g. RZ).
 inline void apply_diag_1q(cplx* a, std::uint64_t dim, int q, cplx d0,
                           cplx d1) {
-  const std::uint64_t mask = 1ULL << q;
-  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
-    const std::uint64_t ui = static_cast<std::uint64_t>(i);
-    a[ui] *= (ui & mask) ? d1 : d0;
-  });
+  math::simd::active().apply_diag_1q(a, dim, q, d0, d1);
 }
 
 /// Applies two independent 2x2 operators in one pass: \p ua on qubit \p qa
-/// first, then \p ub on qubit \p qb (qa != qb).  Bit-identical to
-/// apply_1q(qa, ua) followed by apply_1q(qb, ub): within each 4-amplitude
-/// group the ua-pairs are transformed first and the ub-pairs second, using
-/// exactly the sequential forms' arithmetic.
+/// first, then \p ub on qubit \p qb (qa != qb).  Matches apply_1q(qa, ua)
+/// followed by apply_1q(qb, ub): within each 4-amplitude group the ua-pairs
+/// are transformed first and the ub-pairs second.
 inline void apply_1q_pair(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
                           int qb, const Mat2& ub) {
-  const std::uint64_t amask = 1ULL << qa;
-  const std::uint64_t bmask = 1ULL << qb;
-  const std::uint64_t lo = amask < bmask ? amask : bmask;
-  const std::uint64_t hi = amask < bmask ? bmask : amask;
-  const cplx a00 = ua(0, 0), a01 = ua(0, 1), a10 = ua(1, 0), a11 = ua(1, 1);
-  const cplx b00 = ub(0, 0), b01 = ub(0, 1), b10 = ub(1, 0), b11 = ub(1, 1);
-  util::parallel_for(static_cast<std::int64_t>(dim >> 2), [=](std::int64_t i) {
-    std::uint64_t base = static_cast<std::uint64_t>(i);
-    base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
-    base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
-    const std::uint64_t i00 = base;
-    const std::uint64_t i10 = base | amask;  // qa bit set
-    const std::uint64_t i01 = base | bmask;  // qb bit set
-    const std::uint64_t i11 = base | amask | bmask;
-    // First update: ua on the qa-pairs.
-    const cplx v00 = a[i00], v10 = a[i10], v01 = a[i01], v11 = a[i11];
-    const cplx t00 = a00 * v00 + a01 * v10;
-    const cplx t10 = a10 * v00 + a11 * v10;
-    const cplx t01 = a00 * v01 + a01 * v11;
-    const cplx t11 = a10 * v01 + a11 * v11;
-    // Second update: ub on the qb-pairs of the intermediate values.
-    a[i00] = b00 * t00 + b01 * t01;
-    a[i01] = b10 * t00 + b11 * t01;
-    a[i10] = b00 * t10 + b01 * t11;
-    a[i11] = b10 * t10 + b11 * t11;
-  });
+  math::simd::active().apply_1q_pair(a, dim, qa, ua, qb, ub);
 }
 
 /// Applies two diagonal one-qubit gates in one pass: diag(a0, a1) on \p qa,
-/// then diag(b0, b1) on \p qb.  Each amplitude is multiplied twice in
-/// sequence, so the result is bit-identical to two apply_diag_1q passes.
+/// then diag(b0, b1) on \p qb.
 inline void apply_diag_1q_pair(cplx* a, std::uint64_t dim, int qa, cplx a0,
                                cplx a1, int qb, cplx b0, cplx b1) {
-  const std::uint64_t amask = 1ULL << qa;
-  const std::uint64_t bmask = 1ULL << qb;
-  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
-    const std::uint64_t ui = static_cast<std::uint64_t>(i);
-    cplx v = a[ui];
-    v *= (ui & amask) ? a1 : a0;
-    v *= (ui & bmask) ? b1 : b0;
-    a[ui] = v;
-  });
+  math::simd::active().apply_diag_1q_pair(a, dim, qa, a0, a1, qb, b0, b1);
 }
 
 /// Applies two diagonal two-qubit gates in one pass: \p da on (qa, qb), then
 /// \p db on (qc, qd); 2-bit index conventions as in apply_diag_2q.
-/// Bit-identical to two apply_diag_2q passes.
 inline void apply_diag_2q_pair(cplx* a, std::uint64_t dim, int qa, int qb,
                                const std::array<cplx, 4>& da, int qc, int qd,
                                const std::array<cplx, 4>& db) {
-  const std::uint64_t am = 1ULL << qa;
-  const std::uint64_t bm = 1ULL << qb;
-  const std::uint64_t cm = 1ULL << qc;
-  const std::uint64_t dm = 1ULL << qd;
-  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
-    const std::uint64_t ui = static_cast<std::uint64_t>(i);
-    const unsigned ia = ((ui & am) ? 1u : 0u) | ((ui & bm) ? 2u : 0u);
-    const unsigned ib = ((ui & cm) ? 1u : 0u) | ((ui & dm) ? 2u : 0u);
-    cplx v = a[ui];
-    v *= da[ia];
-    v *= db[ib];
-    a[ui] = v;
-  });
+  math::simd::active().apply_diag_2q_pair(a, dim, qa, qb, da, qc, qd, db);
 }
 
 /// Applies two CX gates with disjoint bit sets in one pass: control \p c1 /
 /// target \p t1, then control \p c2 / target \p t2.  Requires
 /// {c1, t1} and {c2, t2} disjoint (the density-matrix row/column halves
-/// always are).  Bit-identical to two apply_cx passes.
+/// always are).  A pure permutation: bit-identical on every path.
 inline void apply_cx_pair(cplx* a, std::uint64_t dim, int c1, int t1, int c2,
                           int t2) {
-  const std::uint64_t c1m = 1ULL << c1;
-  const std::uint64_t t1m = 1ULL << t1;
-  const std::uint64_t c2m = 1ULL << c2;
-  const std::uint64_t t2m = 1ULL << t2;
-  const std::uint64_t lo = t1m < t2m ? t1m : t2m;
-  const std::uint64_t hi = t1m < t2m ? t2m : t1m;
-  util::parallel_for(static_cast<std::int64_t>(dim >> 2), [=](std::int64_t i) {
-    std::uint64_t base = static_cast<std::uint64_t>(i);
-    base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
-    base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
-    // The control bits are outside {t1, t2}, so they are constant across
-    // the 4-element group and each swap decision is group-wide.
-    if (base & c1m) {
-      std::swap(a[base], a[base | t1m]);
-      std::swap(a[base | t2m], a[base | t1m | t2m]);
-    }
-    if (base & c2m) {
-      std::swap(a[base], a[base | t2m]);
-      std::swap(a[base | t1m], a[base | t1m | t2m]);
-    }
-  });
+  math::simd::active().apply_cx_pair(a, dim, c1, t1, c2, t2);
 }
 
 /// Applies Pauli-X on qubit \p q (amplitude swap).
 inline void apply_x(cplx* a, std::uint64_t dim, int q) {
-  const std::uint64_t stride = 1ULL << q;
-  const std::int64_t npairs = static_cast<std::int64_t>(dim >> 1);
-  util::parallel_for(npairs, [=](std::int64_t p) {
-    const std::uint64_t up = static_cast<std::uint64_t>(p);
-    const std::uint64_t i0 = ((up & ~(stride - 1)) << 1) | (up & (stride - 1));
-    std::swap(a[i0], a[i0 | stride]);
-  });
+  math::simd::active().apply_x(a, dim, q);
 }
 
 /// Applies CX with control \p c and target \p t.
 inline void apply_cx(cplx* a, std::uint64_t dim, int c, int t) {
-  const std::uint64_t cmask = 1ULL << c;
-  const std::uint64_t tmask = 1ULL << t;
-  util::parallel_for(static_cast<std::int64_t>(dim >> 1), [=](std::int64_t i) {
-    // Enumerate indices with target bit = 0 by inserting a 0 at position t.
-    const std::uint64_t ui = static_cast<std::uint64_t>(i);
-    const std::uint64_t i0 =
-        ((ui & ~(tmask - 1)) << 1) | (ui & (tmask - 1));
-    if (i0 & cmask) std::swap(a[i0], a[i0 | tmask]);
-  });
+  math::simd::active().apply_cx(a, dim, c, t);
 }
 
 /// Applies the diagonal two-qubit gate diag(d) on (qa, qb); the 2-bit index
 /// into \p d is bit(qa) + 2*bit(qb).
 inline void apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
                           const std::array<cplx, 4>& d) {
-  const std::uint64_t amask = 1ULL << qa;
-  const std::uint64_t bmask = 1ULL << qb;
-  util::parallel_for(static_cast<std::int64_t>(dim), [=](std::int64_t i) {
-    const std::uint64_t ui = static_cast<std::uint64_t>(i);
-    const unsigned idx =
-        ((ui & amask) ? 1u : 0u) | ((ui & bmask) ? 2u : 0u);
-    a[ui] *= d[idx];
-  });
+  math::simd::active().apply_diag_2q(a, dim, qa, qb, d);
 }
 
 /// Applies a general 4x4 unitary on (qa, qb); matrix index convention as in
-/// gate_unitary_2q: idx = bit(qa) + 2*bit(qb).
+/// gate_unitary_2q: idx = bit(qa) + 2*bit(qb).  Rare (RXX/RYY only), so it
+/// stays a scalar loop.
 inline void apply_2q(cplx* a, std::uint64_t dim, int qa, int qb,
                      const Mat4& u) {
   const std::uint64_t amask = 1ULL << qa;
@@ -257,7 +164,8 @@ inline void apply_swap(cplx* a, std::uint64_t dim, int qa, int qb) {
   });
 }
 
-/// Squared norm of the state.
+/// Squared norm of the state.  A scalar order-fixed reduction on every
+/// path, so sums never reassociate across dispatch changes.
 inline double norm_sq(const cplx* a, std::uint64_t dim) {
   return util::parallel_sum(static_cast<std::int64_t>(dim),
                             [=](std::int64_t i) { return std::norm(a[i]); });

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "common.hpp"
 
@@ -45,6 +47,41 @@ TEST(BenchContext, BackendAssignmentRule) {
   const auto large = charter::algos::find_benchmark("tfim8");
   EXPECT_EQ(ctx->backend_for(small).name(), "ibm_lagos");
   EXPECT_EQ(ctx->backend_for(large).name(), "ibmq_guadalupe");
+}
+
+TEST(BenchContext, EmptyCacheDirDisablesCaching) {
+  // --cache-dir "" mirrors --out "": an empty path must never create files.
+  const char* argv[] = {"bench", "--cache-dir="};
+  const auto ctx = cb::BenchContext::create("t", 2, argv);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_FALSE(ctx->cache_enabled());
+
+  const char* argv2[] = {"bench"};
+  const auto ctx2 = cb::BenchContext::create("t", 1, argv2);
+  EXPECT_TRUE(ctx2->cache_enabled());
+}
+
+TEST(BenchOutput, EmptyPathIsStdoutOnly) {
+  // The shared --out helper: "" writes nothing and reports false.
+  EXPECT_FALSE(cb::write_output_file("", "{\"k\": 1}\n"));
+}
+
+TEST(BenchOutput, WritesFileAndCreatesParentDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "charter_bench_out_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "result.json").string();
+  EXPECT_TRUE(cb::write_output_file(path, "{\"k\": 2}\n"));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "{\"k\": 2}\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchOutput, UnwritablePathReturnsFalse) {
+  EXPECT_FALSE(cb::write_output_file("/proc/definitely/not/writable.json",
+                                     "{}\n"));
 }
 
 TEST(BenchCache, ReportRoundTrips) {

@@ -2,6 +2,8 @@
 //
 // Subcommands:
 //   list                          show the built-in benchmark algorithms
+//   version                       build/runtime diagnostics (SIMD dispatch,
+//                                 OpenMP width, engine cutoffs)
 //   inspect  --algo <key>         compiled-circuit statistics + diagram
 //   analyze  --algo <key>         per-gate criticality ranking
 //   input    --algo <key>         input-block reversal impact
@@ -12,11 +14,13 @@
 // --reversals, --shots, --seed, --top; see `charter <cmd> --help`.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "algos/registry.hpp"
 #include "backend/backend.hpp"
+#include "math/simd_dispatch.hpp"
 #include "circuit/print.hpp"
 #include "core/analyzer.hpp"
 #include "core/mitigation.hpp"
@@ -72,6 +76,22 @@ co::CharterOptions make_options(const Cli& cli) {
                                        : charter::noise::OptLevel::kExact;
   opts.exec.threads = static_cast<int>(cli.get_int("threads"));
   return opts;
+}
+
+int cmd_version() {
+  namespace simd = charter::math::simd;
+  std::printf("charter (Charter reproduction, C++%ld)\n",
+              static_cast<long>(__cplusplus / 100 % 100));
+  std::printf("  simd dispatch : %s\n",
+              simd::path_name(simd::active_path()));
+  std::printf("  simd available: %s\n", simd::available_paths().c_str());
+  std::printf("  simd override : %s\n",
+              std::getenv("CHARTER_SIMD") != nullptr
+                  ? std::getenv("CHARTER_SIMD")
+                  : "(none; set CHARTER_SIMD=scalar|sse2|neon|avx2)");
+  std::printf("  environment   : %s\n",
+              cb::run_environment_summary().c_str());
+  return 0;
 }
 
 int cmd_list() {
@@ -200,7 +220,8 @@ int cmd_qasm(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: charter <list|inspect|analyze|input|mitigate|qasm> [flags]\n"
+      "usage: charter <list|version|inspect|analyze|input|mitigate|qasm> "
+      "[flags]\n"
       "run `charter <command> --help` for the command's flags\n",
       stderr);
 }
@@ -215,6 +236,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "list") return cmd_list();
+    if (cmd == "version" || cmd == "--version") return cmd_version();
     if (cmd == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (cmd == "input") return cmd_input(argc - 1, argv + 1);

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate the bench JSON artifacts the CI smoke runs record.
+
+CI uploads BENCH_exec.json / BENCH_kernels.json (via actions/upload-artifact)
+so the perf trajectory accumulates run over run; this gate fails the job
+when an artifact is missing, malformed, or has lost a metric key — a silent
+schema drift would otherwise leave holes in the trend right when a
+regression needs investigating.  Correctness invariants the benches assert
+internally (bit-identity, <= 1e-12 agreements) are re-checked here from the
+recorded values so the artifact itself proves they held.
+
+Runnable locally against any bench output:
+
+    ./bench_sim_kernels --smoke --out kernels.json
+    python3 tools/check_bench_trend.py kernels.json
+
+Exit status 0 = every file valid; 1 = any check failed.
+"""
+
+import json
+import math
+import sys
+
+AGREEMENT_BOUND = 1e-12
+
+
+def fail(path, message):
+    print(f"check_bench_trend: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def require_number(path, data, key, *, minimum=None, maximum=None):
+    value = data.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return fail(path, f"metric '{key}' missing or non-numeric: {value!r}")
+    if not math.isfinite(value):
+        return fail(path, f"metric '{key}' is not finite: {value!r}")
+    if minimum is not None and value < minimum:
+        return fail(path, f"metric '{key}' = {value} below {minimum}")
+    if maximum is not None and value > maximum:
+        return fail(path, f"metric '{key}' = {value} above {maximum}")
+    return True
+
+
+def check_exec(path, data):
+    ok = True
+    for key in (
+        "naive_ms",
+        "checkpointed_ms",
+        "fused_checkpointed_ms",
+        "warm_cache_ms",
+    ):
+        ok &= require_number(path, data, key, minimum=0.0)
+    for key in (
+        "cold_speedup",
+        "fused_speedup",
+        "session_speedup",
+        "reanalysis_speedup",
+    ):
+        ok &= require_number(path, data, key, minimum=0.0)
+    ok &= require_number(path, data, "analyzed_gates", minimum=1)
+    if data.get("bit_identical") is not True:
+        ok = fail(path, "checkpointed run was not bit-identical to naive")
+    if data.get("fused_rankings_match") is not True:
+        ok = fail(path, "fused analysis changed the gate ranking")
+    rows = data.get("threads")
+    if not isinstance(rows, list) or not rows:
+        ok = fail(path, "metric 'threads' missing or empty")
+    else:
+        for row in rows:
+            ok &= require_number(path, row, "threads", minimum=1)
+            ok &= require_number(path, row, "ms", minimum=0.0)
+            if row.get("bit_identical_to_1_thread") is not True:
+                ok = fail(
+                    path,
+                    f"threads={row.get('threads')} row not bit-identical "
+                    "to the 1-worker report",
+                )
+    if not isinstance(data.get("simd_active"), str):
+        ok = fail(path, "metric 'simd_active' missing")
+    return ok
+
+
+def check_kernels(path, data):
+    ok = True
+    ok &= require_number(path, data, "qubits", minimum=1)
+    for key in ("simd_active", "simd_available"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            ok = fail(path, f"metric '{key}' missing")
+    rows = data.get("simd")
+    expected = {"unitary_1q", "unitary_1q_pair", "cx_pair", "diag_1q_pair"}
+    if not isinstance(rows, list) or not rows:
+        ok = fail(path, "per-ISA 'simd' rows missing")
+        rows = []
+    seen = set()
+    for row in rows:
+        name = row.get("kernel")
+        seen.add(name)
+        ok &= require_number(path, row, "scalar_ms", minimum=0.0)
+        ok &= require_number(path, row, "best_ms", minimum=0.0)
+        ok &= require_number(path, row, "speedup", minimum=0.0)
+        ok &= require_number(
+            path, row, "max_abs_diff", minimum=0.0, maximum=AGREEMENT_BOUND
+        )
+    if expected - seen:
+        ok = fail(path, f"per-ISA rows missing kernels: {expected - seen}")
+    for key in ("kernel_pair_speedup", "tape_fused_speedup"):
+        ok &= require_number(path, data, key, minimum=0.0)
+    ok &= require_number(
+        path, data, "fused_max_abs_diff", minimum=0.0, maximum=AGREEMENT_BOUND
+    )
+    ok &= require_number(path, data, "tape_ops_exact", minimum=1)
+    ok &= require_number(path, data, "tape_ops_fused", minimum=1)
+    if ok and data["tape_ops_fused"] >= data["tape_ops_exact"]:
+        ok = fail(path, "fusion did not shrink the tape")
+    return ok
+
+
+CHECKERS = {"exec_batching": check_exec, "sim_kernels": check_kernels}
+
+
+def summarize(path, data):
+    bench = data.get("bench")
+    if bench == "exec_batching":
+        print(
+            f"{path}: exec_batching simd={data['simd_active']} "
+            f"cold={data['cold_speedup']:.2f}x "
+            f"fused={data['fused_speedup']:.2f}x "
+            f"session={data['session_speedup']:.2f}x"
+        )
+    else:
+        rows = {r["kernel"]: r["speedup"] for r in data["simd"]}
+        print(
+            f"{path}: sim_kernels simd={data['simd_active']} "
+            f"1q={rows.get('unitary_1q', 0):.2f}x "
+            f"1q_pair={rows.get('unitary_1q_pair', 0):.2f}x "
+            f"cx_pair={rows.get('cx_pair', 0):.2f}x "
+            f"tape_fused={data['tape_fused_speedup']:.2f}x"
+        )
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or malformed JSON: {err}")
+    if not isinstance(data, dict):
+        return fail(path, "top-level JSON value is not an object")
+    bench = data.get("bench")
+    checker = CHECKERS.get(bench)
+    if checker is None:
+        return fail(
+            path, f"unknown bench id {bench!r} (expected {sorted(CHECKERS)})"
+        )
+    if not checker(path, data):
+        return False
+    summarize(path, data)
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        print("usage: check_bench_trend.py BENCH_FILE...", file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok &= check_file(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
