@@ -80,9 +80,9 @@ double analyze_seconds(const cb::FakeBackend& backend,
     charter::util::Timer timer;
     co::CharterReport report = analyzer.analyze(program);
     best = std::min(best, timer.seconds());
-    if (analyzer.last_exec_stats().checkpoint_fallbacks > 0)
+    if (report.exec_stats.checkpoint_fallbacks > 0)
       std::fprintf(stderr, "note: %zu checkpoint fallbacks\n",
-                   analyzer.last_exec_stats().checkpoint_fallbacks);
+                   report.exec_stats.checkpoint_fallbacks);
     if (out != nullptr) *out = std::move(report);
   }
   return best;

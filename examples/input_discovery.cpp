@@ -8,45 +8,62 @@
 // Build & run:  ./build/examples/input_discovery
 
 #include <cstdio>
+#include <vector>
 
-#include "algos/algorithms.hpp"
-#include "backend/backend.hpp"
-#include "core/analyzer.hpp"
+#include <charter/charter.hpp>
+
 #include "util/table.hpp"
 
 int main() {
   namespace cb = charter::backend;
-  namespace co = charter::core;
 
+  // One session, many async jobs: every operand pair's input-impact
+  // computation is queued up front; the handles resolve in submission
+  // order while the table is assembled.
   const cb::FakeBackend backend = cb::FakeBackend::lagos();
-
-  co::CharterOptions options;
-  options.reversals = 5;
-  options.run.shots = 8192;
-  options.run.seed = 7;
-  const co::CharterAnalyzer analyzer(backend, options);
+  charter::Session session(
+      backend, charter::SessionConfig().reversals(5).shots(8192).seed(7));
 
   charter::util::Table table(
       "Input-block reversal impact of a 2-bit Cuccaro adder, per operand "
       "pair:");
   table.set_header({"a", "b", "a+b", "Input impact (TVD)"});
 
-  double worst = -1.0;
-  std::pair<std::uint64_t, std::uint64_t> worst_input{0, 0};
+  struct Case {
+    std::uint64_t a, b;
+    charter::JobHandle job;
+  };
+  std::vector<Case> cases;
   for (std::uint64_t a = 0; a < 4; ++a) {
     for (std::uint64_t b = 0; b < 4; ++b) {
       if (a + b == 0) continue;  // no prep gates to reverse for 0+0
-      const auto program = backend.compile(
+      const auto program = session.compile(
           charter::algos::cuccaro_adder(2, a, b, /*carry_out=*/true));
-      const double impact = analyzer.input_impact(program);
-      if (impact > worst) {
-        worst = impact;
-        worst_input = {a, b};
-      }
-      table.add_row({std::to_string(a), std::to_string(b),
-                     std::to_string(a + b),
-                     charter::util::Table::fmt(impact, 3)});
+      cases.push_back({a, b, session.submit_input_impact(program)});
     }
+  }
+
+  double worst = -1.0;
+  std::pair<std::uint64_t, std::uint64_t> worst_input{0, 0};
+  for (const Case& c : cases) {
+    const charter::JobResult& result = c.job.wait();
+    if (result.status != charter::JobStatus::kDone) {
+      std::fprintf(stderr, "job %llu (a=%llu b=%llu) ended %s: %s\n",
+                   static_cast<unsigned long long>(c.job.id()),
+                   static_cast<unsigned long long>(c.a),
+                   static_cast<unsigned long long>(c.b),
+                   charter::to_string(result.status).c_str(),
+                   result.error.c_str());
+      return 1;
+    }
+    const double impact = result.input_tvd;
+    if (impact > worst) {
+      worst = impact;
+      worst_input = {c.a, c.b};
+    }
+    table.add_row({std::to_string(c.a), std::to_string(c.b),
+                   std::to_string(c.a + c.b),
+                   charter::util::Table::fmt(impact, 3)});
   }
   char note[256];
   std::snprintf(note, sizeof(note),

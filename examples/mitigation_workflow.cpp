@@ -10,11 +10,8 @@
 
 #include <cstdio>
 
-#include "algos/algorithms.hpp"
-#include "backend/backend.hpp"
-#include "core/analyzer.hpp"
-#include "core/mitigation.hpp"
-#include "stats/stats.hpp"
+#include <charter/charter.hpp>
+
 #include "util/table.hpp"
 
 int main() {
@@ -22,16 +19,13 @@ int main() {
   namespace co = charter::core;
 
   const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  charter::Session session(
+      backend, charter::SessionConfig().reversals(5).shots(8192).seed(11));
   const cb::CompiledProgram program =
-      backend.compile(charter::algos::tfim(4, 5));
+      session.compile(charter::algos::tfim(4, 5));
 
-  // Step 1: charter analysis.
-  co::CharterOptions options;
-  options.reversals = 5;
-  options.run.shots = 8192;
-  options.run.seed = 11;
-  const co::CharterAnalyzer analyzer(backend, options);
-  const co::CharterReport report = analyzer.analyze(program);
+  // Step 1: charter analysis through the facade.
+  const co::CharterReport report = session.analyze(program);
 
   const auto top = report.sorted_by_impact();
   std::printf("Top-3 critical gates found by charter:\n");

@@ -10,10 +10,9 @@
 #include <cstdlib>
 #include <map>
 
-#include "algos/algorithms.hpp"
-#include "backend/backend.hpp"
-#include "circuit/print.hpp"
-#include "core/analyzer.hpp"
+#include <charter/charter.hpp>
+
+#include "sim/measurement.hpp"
 
 int main(int argc, char** argv) {
   namespace cb = charter::backend;
@@ -30,8 +29,15 @@ int main(int argc, char** argv) {
   const std::uint64_t k = outputs[hamming_weight];
 
   const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  charter::Session session(
+      backend,
+      charter::SessionConfig()
+          .reversals(5)
+          .skip_rz(false)  // include RZ to demonstrate its ~zero impact
+          .shots(8192)
+          .seed(2022 + static_cast<std::uint64_t>(hamming_weight)));
   const cb::CompiledProgram program =
-      backend.compile(charter::algos::qft(3, k));
+      session.compile(charter::algos::qft(3, k));
 
   std::printf("QFT(3) with ideal output |%s> (Hamming weight %d), compiled "
               "to %zu gates:\n\n%s\n",
@@ -39,13 +45,7 @@ int main(int argc, char** argv) {
               program.physical.size(),
               cc::to_ascii(program.physical, 60).c_str());
 
-  co::CharterOptions options;
-  options.reversals = 5;
-  options.skip_rz = false;  // include RZ to demonstrate its ~zero impact
-  options.run.shots = 8192;
-  options.run.seed = 2022 + static_cast<std::uint64_t>(hamming_weight);
-  const co::CharterAnalyzer analyzer(backend, options);
-  const co::CharterReport report = analyzer.analyze(program);
+  const co::CharterReport report = session.analyze(program);
 
   // Per-qubit rows of layer-indexed impact marks, like the paper's bars:
   // '.' < 0.05, '-' < 0.15, '=' < 0.3, '#' >= 0.3.
@@ -84,6 +84,6 @@ int main(int argc, char** argv) {
               cc::gate_name(top[0].kind).c_str(), top[0].qubits[0],
               top[0].layer, top[0].tvd);
   std::printf("Input-block reversal impact for this input: %.3f\n",
-              analyzer.input_impact(program));
+              session.input_impact(program));
   return 0;
 }

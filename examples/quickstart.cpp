@@ -1,18 +1,17 @@
-// Quickstart: the complete charter workflow in ~60 lines.
+// Quickstart: the complete charter workflow in ~60 lines, on the public
+// Session facade.
 //
 //  1. Build a logical circuit with the fluent builder.
-//  2. Compile it for a fake IBM device (transpile + noise-aware layout).
-//  3. Run charter: one reversed circuit per gate, amplified 5x.
+//  2. Open a Session on a fake IBM device with a validated config.
+//  3. Submit the compiled program as an async job; watch its progress.
 //  4. Print the gates ranked by their impact on the output error.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 
 #include <cstdio>
 
-#include "backend/backend.hpp"
-#include "circuit/circuit.hpp"
-#include "circuit/print.hpp"
-#include "core/analyzer.hpp"
+#include <charter/charter.hpp>
+
 #include "util/table.hpp"
 
 int main() {
@@ -29,19 +28,25 @@ int main() {
   std::printf("Logical circuit:\n%s\n",
               cc::to_ascii(circuit).c_str());
 
-  // A 7-qubit fake device with seeded IBM-era calibration data.
+  // A 7-qubit fake device with seeded IBM-era calibration data, wrapped in
+  // a session: 5 reversals per gate, 8192 shots per run.
   const cb::FakeBackend backend = cb::FakeBackend::lagos();
-  const cb::CompiledProgram program = backend.compile(circuit);
+  charter::Session session(
+      backend, charter::SessionConfig().reversals(5).shots(8192).seed(42));
+  const cb::CompiledProgram program = session.compile(circuit);
   std::printf("Compiled to %zu basis gates on %s.\n\n",
               program.physical.size(), backend.name().c_str());
 
-  // Charter analysis: 5 reversals per gate, 8192 shots per run.
-  co::CharterOptions options;
-  options.reversals = 5;
-  options.run.shots = 8192;
-  options.run.seed = 42;
-  const co::CharterAnalyzer analyzer(backend, options);
-  const co::CharterReport report = analyzer.analyze(program);
+  // Asynchronous submission: submit() returns at once; the callback
+  // streams progress while the sweep runs on the session's workers.
+  charter::JobCallbacks callbacks;
+  callbacks.on_progress = [](const charter::JobProgress& p) {
+    std::fprintf(stderr, "\ranalyzing: %zu/%zu runs", p.completed, p.total);
+    if (p.completed == p.total) std::fputc('\n', stderr);
+  };
+  charter::JobHandle job = session.submit(program, callbacks);
+  const charter::JobResult& result = job.wait();
+  const co::CharterReport& report = result.report;
 
   charter::util::Table table("Gates ranked by error impact (top 10):");
   table.set_header({"Rank", "Gate", "Phys qubits", "Layer", "Impact (TVD)"});
@@ -60,5 +65,5 @@ int main() {
       std::to_string(report.total_gates) +
       " gates analyzed (virtual RZ gates are skipped -- they are free)");
   table.print();
-  return 0;
+  return result.status == charter::JobStatus::kDone ? 0 : 1;
 }

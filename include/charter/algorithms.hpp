@@ -1,0 +1,9 @@
+#pragma once
+
+/// \file charter/algorithms.hpp
+/// Public module header: the paper's benchmark algorithm registry
+/// (namespace charter::algos) — QFT, VQE ansätze, TFIM Trotterization,
+/// the Cuccaro adder, and the keyed lookup used by the CLI.
+
+#include "algos/algorithms.hpp"
+#include "algos/registry.hpp"

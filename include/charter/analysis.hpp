@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file charter/analysis.hpp
+/// Public module header: the CHARTER analysis pipeline (namespace
+/// charter::core) — per-gate criticality reports, gate reversal, the
+/// calibration-only baseline, selective-serialization mitigation, and
+/// report JSON round-tripping.
+
+#include "core/analyzer.hpp"
+#include "core/baseline.hpp"
+#include "core/mitigation.hpp"
+#include "core/report_io.hpp"
+#include "core/reversal.hpp"

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file charter/backend.hpp
+/// Public module header: the abstract backend::Backend device interface,
+/// the FakeBackend reference implementation (the paper's fake IBM Q
+/// devices), and the run/compile option structs.
+
+#include "backend/backend.hpp"

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file charter/charter.hpp
+/// Umbrella header for the charter public API.
+///
+/// Most programs only need this plus the Session quickstart:
+///
+///   #include <charter/charter.hpp>
+///
+///   const auto backend = charter::backend::FakeBackend::lagos();
+///   charter::Session session(backend, charter::SessionConfig().shots(8192));
+///   const auto program = session.compile(circuit);
+///   const auto report = session.analyze(program);
+///
+/// Per-module headers (<charter/session.hpp>, <charter/circuit.hpp>, ...)
+/// are available for finer-grained includes.
+
+#include "charter/algorithms.hpp"
+#include "charter/analysis.hpp"
+#include "charter/backend.hpp"
+#include "charter/circuit.hpp"
+#include "charter/error.hpp"
+#include "charter/exec.hpp"
+#include "charter/noise.hpp"
+#include "charter/session.hpp"
+#include "charter/transpile.hpp"
+#include "charter/version.hpp"

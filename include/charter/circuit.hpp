@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file charter/circuit.hpp
+/// Public module header: circuit construction, printing, scheduling, and
+/// OpenQASM 2.0 import/export (namespace charter::circ).
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/print.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/schedule.hpp"

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file charter/error.hpp
+/// Public module header: the exception hierarchy every charter API throws
+/// (charter::Error and its InvalidArgument / NotFound / Cancelled
+/// subclasses).
+
+#include "util/error.hpp"

@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file charter/exec.hpp
+/// Public module header: the batched execution layer (namespace
+/// charter::exec) — BatchRunner, run caching, and the per-run stats
+/// carried by every CharterReport.  Most callers never touch this
+/// directly; charter::Session drives it.
+
+#include "exec/batch.hpp"
+#include "exec/cache.hpp"

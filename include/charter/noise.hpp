@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file charter/noise.hpp
+/// Public module header: noise models and seeded calibration generation
+/// (namespace charter::noise) for custom devices.
+
+#include "noise/calibration.hpp"
+#include "noise/noise_model.hpp"

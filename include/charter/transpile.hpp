@@ -1,0 +1,12 @@
+#pragma once
+
+/// \file charter/transpile.hpp
+/// Public module header: device topologies and the transpiler (namespace
+/// charter::transpile) — basis decomposition, routing, noise-aware
+/// layout.
+
+#include "transpile/decompose.hpp"
+#include "transpile/passes.hpp"
+#include "transpile/routing.hpp"
+#include "transpile/topology.hpp"
+#include "transpile/transpiler.hpp"

@@ -1,0 +1,9 @@
+#pragma once
+
+/// \file charter/version.hpp
+/// Library version, kept in lockstep with the CMake project() version.
+
+#define CHARTER_VERSION_MAJOR 0
+#define CHARTER_VERSION_MINOR 5
+#define CHARTER_VERSION_PATCH 0
+#define CHARTER_VERSION_STRING "0.5.0"

@@ -1,0 +1,324 @@
+#include "charter/session.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace charter {
+
+// ---------------------------------------------------------------------------
+// SessionConfig
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SessionConfig::validate() const {
+  std::vector<std::string> errors;
+  const auto flag = [&](const std::string& msg) { errors.push_back(msg); };
+
+  if (reversals_ < 1)
+    flag("reversals must be >= 1 (the paper uses 5); got " +
+         std::to_string(reversals_));
+  if (max_gates_ < 0)
+    flag("max_gates must be >= 0 (0 analyzes every eligible gate); got " +
+         std::to_string(max_gates_));
+  if (shots_ < 0)
+    flag("shots must be >= 0 (0 returns the exact distribution); got " +
+         std::to_string(shots_));
+  if (trajectories_ < 1)
+    flag("trajectories must be >= 1 (48 reproduces the paper setup); got " +
+         std::to_string(trajectories_));
+  if (drift_ < 0.0 || drift_ >= 1.0)
+    flag("drift must be in [0, 1) — it scales calibration parameters; got " +
+         std::to_string(drift_));
+  if (threads_ < 0)
+    flag("threads must be >= 0 (0 = one worker per hardware thread); got " +
+         std::to_string(threads_));
+  if (checkpointing_ && checkpoint_memory_bytes_ == 0)
+    flag("checkpoint_memory_bytes must be > 0 when checkpointing is on; "
+         "disable checkpointing instead of zeroing its budget");
+  if (fused_ && engine_ == backend::EngineKind::kTrajectory)
+    flag("fused tape optimization never applies to the trajectory engine "
+         "(fusing would reorder its stochastic draws); drop fused(true) or "
+         "use the density-matrix engine");
+  return errors;
+}
+
+core::CharterOptions SessionConfig::resolved() const {
+  core::CharterOptions o;
+  o.reversals = reversals_;
+  o.skip_rz = skip_rz_;
+  o.isolate = isolate_;
+  o.max_gates = max_gates_;
+  o.compute_validation = validation_;
+  o.common_random_numbers = crn_;
+  o.run.shots = shots_;
+  o.run.engine = engine_;
+  o.run.trajectories = trajectories_;
+  o.run.seed = seed_;
+  o.run.drift = drift_;
+  o.run.opt = fused_ ? noise::OptLevel::kFused : noise::OptLevel::kExact;
+  o.exec.checkpointing = checkpointing_;
+  o.exec.caching = caching_;
+  o.exec.checkpoint_memory_bytes = checkpoint_memory_bytes_;
+  o.exec.threads = threads_;
+  return o;
+}
+
+std::string to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Job state shared between Session, its worker, and every JobHandle copy.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct JobState {
+  explicit JobState(backend::CompiledProgram p) : program(std::move(p)) {}
+
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::kAnalyze;
+  backend::CompiledProgram program;
+  JobCallbacks callbacks;
+  util::CancelFlag cancel;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // under mu
+  JobProgress progress;                   // under mu
+  JobResult result;  ///< written by the worker before the terminal
+                     ///< transition; immutable afterwards
+
+  void set_status(JobStatus next) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      status = next;
+      result.status = next;
+    }
+    cv.notify_all();
+  }
+
+  bool terminal() const {
+    return status == JobStatus::kDone || status == JobStatus::kCancelled ||
+           status == JobStatus::kFailed;
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const detail::JobState& deref(
+    const std::shared_ptr<detail::JobState>& state) {
+  require(state != nullptr, "operation on an invalid (default) JobHandle");
+  return *state;
+}
+
+}  // namespace
+
+std::uint64_t JobHandle::id() const { return deref(state_).id; }
+
+JobKind JobHandle::kind() const { return deref(state_).kind; }
+
+JobStatus JobHandle::status() const {
+  const detail::JobState& s = deref(state_);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.status;
+}
+
+JobProgress JobHandle::progress() const {
+  const detail::JobState& s = deref(state_);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.progress;
+}
+
+void JobHandle::cancel() const {
+  require(state_ != nullptr, "operation on an invalid (default) JobHandle");
+  state_->cancel.request();
+}
+
+const JobResult& JobHandle::wait() const {
+  const detail::JobState& s = deref(state_);
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait(lock, [&] { return s.terminal(); });
+  return s.result;
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  const detail::JobState& s = deref(state_);
+  std::unique_lock<std::mutex> lock(s.mu);
+  return s.cv.wait_for(lock, timeout, [&] { return s.terminal(); });
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::string out = "invalid SessionConfig:";
+  for (const std::string& e : errors) out += "\n  - " + e;
+  return out;
+}
+
+}  // namespace
+
+Session::Session(const backend::Backend& backend, SessionConfig config)
+    : Session(std::shared_ptr<const backend::Backend>(
+                  &backend, [](const backend::Backend*) {}),
+              std::move(config)) {}
+
+Session::Session(std::shared_ptr<const backend::Backend> backend,
+                 SessionConfig config)
+    : backend_(std::move(backend)), config_(std::move(config)) {
+  require(backend_ != nullptr, "Session needs a backend");
+  const std::vector<std::string> errors = config_.validate();
+  if (!errors.empty()) throw InvalidArgument(join_errors(errors));
+  options_ = config_.resolved();
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+Session::~Session() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    // Queued jobs resolve to kCancelled without running; the in-flight one
+    // sees its flag at the next job boundary.
+    for (const auto& job : queue_) job->cancel.request();
+    if (running_ != nullptr) running_->cancel.request();
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+backend::CompiledProgram Session::compile(
+    const circ::Circuit& logical,
+    const transpile::TranspileOptions& options) const {
+  return backend_->compile(logical, options);
+}
+
+JobHandle Session::submit(backend::CompiledProgram program,
+                          JobCallbacks callbacks) {
+  return enqueue(JobKind::kAnalyze, std::move(program), std::move(callbacks));
+}
+
+JobHandle Session::submit_input_impact(backend::CompiledProgram program,
+                                       JobCallbacks callbacks) {
+  return enqueue(JobKind::kInputImpact, std::move(program),
+                 std::move(callbacks));
+}
+
+core::CharterReport Session::analyze(const backend::CompiledProgram& program) {
+  // The handle must outlive the returned reference: it co-owns the job
+  // state wait() points into.
+  const JobHandle job = submit(program);
+  const JobResult& r = job.wait();
+  if (r.status == JobStatus::kFailed) throw Error(r.error);
+  if (r.status == JobStatus::kCancelled)
+    throw Cancelled("analysis cancelled");
+  return r.report;
+}
+
+double Session::input_impact(const backend::CompiledProgram& program) {
+  const JobHandle job = submit_input_impact(program);
+  const JobResult& r = job.wait();
+  if (r.status == JobStatus::kFailed) throw Error(r.error);
+  if (r.status == JobStatus::kCancelled)
+    throw Cancelled("input-impact computation cancelled");
+  return r.input_tvd;
+}
+
+void Session::cancel_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& job : queue_) job->cancel.request();
+  if (running_ != nullptr) running_->cancel.request();
+}
+
+std::size_t Session::outstanding_jobs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (running_ != nullptr ? 1 : 0);
+}
+
+JobHandle Session::enqueue(JobKind kind, backend::CompiledProgram program,
+                           JobCallbacks callbacks) {
+  auto state = std::make_shared<detail::JobState>(std::move(program));
+  state->kind = kind;
+  state->callbacks = std::move(callbacks);
+  state->result.kind = kind;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    require(!closed_, "submit() on a destroyed Session");
+    state->id = next_id_++;
+    queue_.push_back(state);
+  }
+  cv_.notify_all();
+  return JobHandle(state);
+}
+
+void Session::worker_main() {
+  for (;;) {
+    std::shared_ptr<detail::JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      job = queue_.front();
+      queue_.pop_front();
+      running_ = job;
+    }
+    run_job(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_ = nullptr;
+    }
+  }
+}
+
+void Session::run_job(detail::JobState& job) {
+  if (job.cancel.requested()) {
+    job.set_status(JobStatus::kCancelled);
+    return;
+  }
+  job.set_status(JobStatus::kRunning);
+
+  core::AnalysisHooks hooks;
+  hooks.cancel = &job.cancel;
+  hooks.on_progress = [&job](std::size_t completed, std::size_t total) {
+    const JobProgress p{completed, total};
+    {
+      const std::lock_guard<std::mutex> lock(job.mu);
+      job.progress = p;
+    }
+    if (job.callbacks.on_progress) job.callbacks.on_progress(p);
+  };
+  if (job.callbacks.on_impact) hooks.on_impact = job.callbacks.on_impact;
+
+  try {
+    const core::CharterAnalyzer analyzer(*backend_, options_);
+    if (job.kind == JobKind::kAnalyze) {
+      job.result.report = analyzer.analyze(job.program, &hooks);
+    } else {
+      job.result.input_tvd = analyzer.input_impact(job.program, &hooks);
+    }
+    job.set_status(JobStatus::kDone);
+  } catch (const Cancelled&) {
+    job.set_status(JobStatus::kCancelled);
+  } catch (const std::exception& e) {
+    job.result.error = e.what();
+    job.set_status(JobStatus::kFailed);
+  }
+}
+
+}  // namespace charter

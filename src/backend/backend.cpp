@@ -16,6 +16,22 @@ namespace charter::backend {
 using circ::Circuit;
 using circ::Gate;
 
+LoweredRun Backend::lower(const CompiledProgram&, const RunOptions&) const {
+  throw Error("backend '" + name() +
+              "' does not support lowering (supports_lowering() is false); "
+              "the exec layer must route its jobs through run()");
+}
+
+std::vector<double> Backend::finalize(std::vector<double>, const LoweredRun&,
+                                      const CompiledProgram&,
+                                      const RunOptions&) const {
+  throw Error("backend '" + name() +
+              "' does not support lowering (supports_lowering() is false); "
+              "the exec layer must route its jobs through run()");
+}
+
+bool Backend::cache_identity(FingerprintSink&) const { return false; }
+
 FakeBackend::FakeBackend(transpile::Topology topology, noise::NoiseModel model)
     : topology_(std::move(topology)), model_(std::move(model)) {
   require(model_.num_qubits() == topology_.num_qubits(),
@@ -218,6 +234,46 @@ double FakeBackend::duration_ns(const CompiledProgram& program) const {
   const noise::NoiseModel model = restrict_model(model_, kept);
   const noise::NoisyExecutor executor(model);
   return executor.make_schedule(local).total_time;
+}
+
+bool FakeBackend::cache_identity(FingerprintSink& sink) const {
+  sink.mix_string(name());
+  const noise::NoiseModel& m = model_;
+  sink.mix(static_cast<std::uint64_t>(m.num_qubits()));
+  const noise::NoiseToggles& t = m.toggles();
+  sink.mix((static_cast<std::uint64_t>(t.decoherence) << 6) |
+           (static_cast<std::uint64_t>(t.depolarizing) << 5) |
+           (static_cast<std::uint64_t>(t.coherent) << 4) |
+           (static_cast<std::uint64_t>(t.static_zz) << 3) |
+           (static_cast<std::uint64_t>(t.drive_zz) << 2) |
+           (static_cast<std::uint64_t>(t.readout) << 1) |
+           static_cast<std::uint64_t>(t.prep));
+  sink.mix_double(m.reset_duration_ns);
+  for (int q = 0; q < m.num_qubits(); ++q) {
+    const noise::QubitCal& cal = m.qubit(q);
+    sink.mix_double(cal.t1_ns);
+    sink.mix_double(cal.t2_ns);
+    sink.mix_double(cal.prep_error);
+    sink.mix_double(cal.readout.p_meas1_given0);
+    sink.mix_double(cal.readout.p_meas0_given1);
+    for (const circ::GateKind kind : {circ::GateKind::SX, circ::GateKind::X}) {
+      const noise::OneQubitGateCal& g = m.gate_1q(kind, q);
+      sink.mix_double(g.depol);
+      sink.mix_double(g.overrot_frac);
+      sink.mix_double(g.duration_ns);
+    }
+  }
+  for (const auto& [a, b] : m.edges()) {
+    sink.mix((static_cast<std::uint64_t>(a) << 32) |
+             static_cast<std::uint64_t>(b));
+    const noise::EdgeCal& e = m.edge(a, b);
+    sink.mix_double(e.cx_depol);
+    sink.mix_double(e.cx_zz_angle);
+    sink.mix_double(e.cx_duration_ns);
+    sink.mix_double(e.static_zz_rate);
+    sink.mix_double(e.drive_zz_rate);
+  }
+  return true;
 }
 
 }  // namespace charter::backend

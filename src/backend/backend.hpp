@@ -98,8 +98,86 @@ inline constexpr std::uint64_t kTrajectorySeedSalt = 0x7ca3bULL;
 inline constexpr std::uint64_t kShotSeedSalt = 0x51a9eULL;
 inline constexpr std::uint64_t kDriftSeedSalt = 0xd21f7ULL;
 
-/// Noisy device simulator.
-class FakeBackend {
+/// Sink a Backend mixes its cache-identity data into (name, calibration,
+/// anything else that changes run() output).  Implemented by the exec
+/// layer's FingerprintBuilder; declared here so backends stay independent
+/// of the cache machinery.
+class FingerprintSink {
+ public:
+  virtual ~FingerprintSink() = default;
+  virtual void mix(std::uint64_t v) = 0;
+  virtual void mix_double(double v) = 0;
+  virtual void mix_string(const std::string& s) = 0;
+};
+
+/// Abstract device interface the analysis pipeline runs against.
+///
+/// CHARTER is backend-agnostic: the technique needs only "compile a logical
+/// circuit" and "run a compiled program to a distribution".  Everything
+/// else is an optional capability:
+///
+///  - lower()/finalize() expose the simulator-level run decomposition the
+///    exec layer needs for prefix-state checkpointing; backends that cannot
+///    (or need not) split runs report supports_lowering() == false and
+///    every job executes as an independent run() — slower, never wrong.
+///  - cache_identity() feeds the process-wide RunCache; a backend without a
+///    stable deterministic identity returns false and its runs are simply
+///    never memoized.
+///
+/// Implementations must be safe for concurrent const access: the exec
+/// layer calls run/lower/finalize from many worker threads at once.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Device name (also part of the cache identity for lookups/logs).
+  virtual const std::string& name() const = 0;
+
+  /// Compiles a logical circuit into this device's basis/topology.
+  virtual CompiledProgram compile(
+      const circ::Circuit& logical,
+      const transpile::TranspileOptions& options = {}) const = 0;
+
+  /// Runs a compiled program and returns the distribution over the
+  /// *logical* qubits.  Deterministic in (program, options) unless the
+  /// backend says otherwise via cache_identity().
+  virtual std::vector<double> run(const CompiledProgram& program,
+                                  const RunOptions& options = {}) const = 0;
+
+  /// Noiseless execution of the same compiled program (validation oracle).
+  virtual std::vector<double> ideal(const CompiledProgram& program) const = 0;
+
+  /// Wall-clock duration (ns) of the compiled program on this device.
+  virtual double duration_ns(const CompiledProgram& program) const = 0;
+
+  /// Whether lower()/finalize() are implemented.  The exec layer consults
+  /// this before planning checkpoint sharing; false routes every job
+  /// through run().
+  virtual bool supports_lowering() const { return false; }
+
+  /// Lowers a program to its simulator-level form.  run() must equal
+  /// lower + engine execution + finalize.  Default throws; only called
+  /// when supports_lowering() is true.
+  virtual LoweredRun lower(const CompiledProgram& program,
+                           const RunOptions& options) const;
+
+  /// Applies readout/shot/fold post-processing to raw engine probabilities.
+  /// Default throws; only called when supports_lowering() is true.
+  virtual std::vector<double> finalize(std::vector<double> engine_probs,
+                                       const LoweredRun& lowered,
+                                       const CompiledProgram& program,
+                                       const RunOptions& options) const;
+
+  /// Mixes everything (besides program + options) that determines run()
+  /// output into \p sink and returns true, or returns false when this
+  /// backend has no stable deterministic identity — which disables run
+  /// caching for it.  Default: not cacheable.
+  virtual bool cache_identity(FingerprintSink& sink) const;
+};
+
+/// Noisy device simulator: the reference Backend implementation standing in
+/// for the paper's IBM Q devices.
+class FakeBackend : public Backend {
  public:
   FakeBackend(transpile::Topology topology, noise::NoiseModel model);
 
@@ -114,22 +192,26 @@ class FakeBackend {
   const transpile::Topology& topology() const { return topology_; }
   const noise::NoiseModel& model() const { return model_; }
   noise::NoiseModel& model() { return model_; }
-  const std::string& name() const { return topology_.name(); }
+  const std::string& name() const override { return topology_.name(); }
 
   /// Compiles a logical circuit for this device (noise-aware by default).
-  CompiledProgram compile(const circ::Circuit& logical,
-                          const transpile::TranspileOptions& options = {}) const;
+  CompiledProgram compile(
+      const circ::Circuit& logical,
+      const transpile::TranspileOptions& options = {}) const override;
 
   /// Runs a compiled program and returns the distribution over the
   /// *logical* qubits (readout error and optional shot noise included).
   std::vector<double> run(const CompiledProgram& program,
-                          const RunOptions& options = {}) const;
+                          const RunOptions& options = {}) const override;
+
+  /// Fully deterministic and decomposable: the exec layer may checkpoint.
+  bool supports_lowering() const override { return true; }
 
   /// Lowers a program to its simulator-level form (compaction + model
   /// restriction + drift).  run() is exactly lower + engine execution +
   /// finalize.
   LoweredRun lower(const CompiledProgram& program,
-                   const RunOptions& options) const;
+                   const RunOptions& options) const override;
 
   /// Applies readout error, optional shot sampling (seeded by \p options),
   /// and the fold back onto logical qubits to raw engine probabilities
@@ -137,13 +219,17 @@ class FakeBackend {
   std::vector<double> finalize(std::vector<double> engine_probs,
                                const LoweredRun& lowered,
                                const CompiledProgram& program,
-                               const RunOptions& options) const;
+                               const RunOptions& options) const override;
 
   /// Noiseless execution of the same compiled program (validation oracle).
-  std::vector<double> ideal(const CompiledProgram& program) const;
+  std::vector<double> ideal(const CompiledProgram& program) const override;
 
   /// Wall-clock duration (ns) of the compiled program on this device.
-  double duration_ns(const CompiledProgram& program) const;
+  double duration_ns(const CompiledProgram& program) const override;
+
+  /// Name, coupling graph, and the full calibration table: two devices that
+  /// merely share a name never collide in the run cache.
+  bool cache_identity(FingerprintSink& sink) const override;
 
  private:
   transpile::Topology topology_;

@@ -1,6 +1,7 @@
 #include "core/analyzer.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 #include "util/error.hpp"
@@ -75,7 +76,7 @@ std::vector<GateImpact> CharterReport::sorted_by_impact() const {
   return sorted;
 }
 
-CharterAnalyzer::CharterAnalyzer(const backend::FakeBackend& backend,
+CharterAnalyzer::CharterAnalyzer(const backend::Backend& backend,
                                  CharterOptions options)
     : backend_(backend), options_(std::move(options)) {
   require(options_.reversals >= 1, "need at least one reversal");
@@ -113,9 +114,42 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) {
   return util::splitmix64(s);
 }
 
+/// Bridges AnalysisHooks to the exec layer: serializes job-completion
+/// events from the pool workers into a strictly monotone (completed, total)
+/// progress stream, and forwards the cancellation flag.  One relay spans
+/// every chunk of a sweep, so the count never restarts mid-analysis.
+class ProgressRelay {
+ public:
+  ProgressRelay(const AnalysisHooks* hooks, std::size_t total_runs)
+      : hooks_(hooks), total_runs_(total_runs) {
+    if (hooks_ == nullptr) return;
+    if (hooks_->on_progress) {
+      run_hooks_.on_job_complete = [this](std::size_t) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++completed_;
+        hooks_->on_progress(completed_, total_runs_);
+      };
+    }
+    run_hooks_.cancel = hooks_->cancel;
+  }
+
+  /// Hooks to hand to BatchRunner::run (nullptr when nothing to observe).
+  const exec::RunHooks* run_hooks() const {
+    return hooks_ != nullptr ? &run_hooks_ : nullptr;
+  }
+
+ private:
+  const AnalysisHooks* hooks_;
+  const std::size_t total_runs_;
+  exec::RunHooks run_hooks_;
+  std::mutex mu_;
+  std::size_t completed_ = 0;
+};
+
 }  // namespace
 
-CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
+CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
+                                       const AnalysisHooks* hooks) const {
   CharterReport report;
   const circ::Circuit& c = program.physical;
 
@@ -147,6 +181,7 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
   report.impacts.resize(chosen.size());
   const std::size_t chunk_size = std::max<std::size_t>(
       256, 8 * static_cast<std::size_t>(util::num_threads()));
+  ProgressRelay relay(hooks, chosen.size() + 1);
 
   backend::RunOptions orig_run = options_.run;
   orig_run.seed = derive_seed(options_.run.seed, 0);
@@ -179,7 +214,8 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
       jobs.push_back({&reversed.back(), run, op_index + 1});
     }
 
-    const std::vector<std::vector<double>> dists = runner.run(jobs, &program);
+    const std::vector<std::vector<double>> dists =
+        runner.run(jobs, &program, relay.run_hooks());
     const exec::BatchRunner::Stats s = runner.last_stats();
     total_stats.jobs += s.jobs;
     total_stats.cache_hits += s.cache_hits;
@@ -206,13 +242,15 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program) const {
       impact.tvd = stats::tvd(report.original_distribution, rev_dist);
       if (options_.compute_validation)
         impact.tvd_vs_ideal = stats::tvd(report.ideal_distribution, rev_dist);
+      if (hooks != nullptr && hooks->on_impact) hooks->on_impact(impact);
     }
   }
-  record_exec_stats(total_stats);
+  report.exec_stats = total_stats;
   return report;
 }
 
-double CharterAnalyzer::input_impact(const CompiledProgram& program) const {
+double CharterAnalyzer::input_impact(const CompiledProgram& program,
+                                     const AnalysisHooks* hooks) const {
   CompiledProgram reversed = program;
   reversed.physical = insert_input_block_reversal(
       program.physical, options_.reversals, options_.isolate);
@@ -231,11 +269,11 @@ double CharterAnalyzer::input_impact(const CompiledProgram& program) const {
                      : derive_seed(options_.run.seed, 0x11fa7ULL);
 
   const exec::BatchRunner runner(backend_, options_.exec);
+  ProgressRelay relay(hooks, 2);
   const std::vector<std::vector<double>> dists =
       runner.run({{&program, orig_run, program.physical.size()},
                   {&reversed, rev_run, shared}},
-                 &program);
-  record_exec_stats(runner.last_stats());
+                 &program, relay.run_hooks());
   return stats::tvd(dists[0], dists[1]);
 }
 

@@ -12,13 +12,14 @@
 /// (paper Table III), clearly separated in the options.
 
 #include <cstdint>
-#include <mutex>
+#include <functional>
 #include <vector>
 
 #include "backend/backend.hpp"
 #include "core/reversal.hpp"
 #include "exec/batch.hpp"
 #include "stats/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace charter::core {
 
@@ -83,6 +84,12 @@ struct CharterReport {
   std::size_t eligible_gates = 0;  ///< after RZ skipping
   std::size_t analyzed_gates = 0;  ///< after subsampling
 
+  /// Execution diagnostics for the runs that produced *this* report (cache
+  /// hits, checkpointed vs full runs, fallbacks), summed over the sweep's
+  /// chunks.  Each result carries its own stats, so concurrent analyses
+  /// never race on a shared "last stats" slot.
+  exec::BatchRunner::Stats exec_stats;
+
   /// charter scores in impact order (same order as impacts).
   std::vector<double> scores() const;
 
@@ -117,39 +124,54 @@ struct CharterReport {
 std::vector<std::size_t> subsample_evenly(
     const std::vector<std::size_t>& indices, int limit);
 
+/// Observation and cancellation hooks for one analysis (all optional).
+/// The numbers are hook-independent: an observed analysis is bit-identical
+/// to an unobserved one.
+struct AnalysisHooks {
+  /// Progress, as circuit executions complete: \p completed of \p total,
+  /// where total is the original run plus one reversed circuit per analyzed
+  /// gate.  Invocations are serialized and strictly monotone in
+  /// \p completed, but arrive on worker threads — keep the body cheap.
+  std::function<void(std::size_t completed, std::size_t total)> on_progress;
+  /// Scored per-gate impacts, streamed from the coordinating thread in
+  /// deterministic submission order (ascending op_index) as each execution
+  /// chunk is scored.  The same records appear in CharterReport::impacts.
+  std::function<void(const GateImpact&)> on_impact;
+  /// Cooperative cancellation: a requested flag frees the workers at the
+  /// next job boundary and makes analyze()/input_impact() throw
+  /// charter::Cancelled; no partial report escapes.
+  const util::CancelFlag* cancel = nullptr;
+};
+
 /// Orchestrates charter over a backend.
+///
+/// Works against the abstract backend::Backend interface; when the backend
+/// supports lowering the exec layer transparently checkpoints, otherwise
+/// every run executes whole.  Stateless apart from its options — analyze()
+/// may be called concurrently from many threads, and each report carries
+/// the execution stats of its own sweep (CharterReport::exec_stats).
 class CharterAnalyzer {
  public:
-  CharterAnalyzer(const backend::FakeBackend& backend, CharterOptions options);
+  CharterAnalyzer(const backend::Backend& backend, CharterOptions options);
 
-  /// Full per-gate analysis of a compiled program.
-  CharterReport analyze(const backend::CompiledProgram& program) const;
+  /// Full per-gate analysis of a compiled program.  \p hooks (optional)
+  /// observes progress and streamed impacts and carries the cancellation
+  /// flag.
+  CharterReport analyze(const backend::CompiledProgram& program,
+                        const AnalysisHooks* hooks = nullptr) const;
 
   /// Combined impact of the input-preparation region via block reversal
   /// (paper Sec. V "Discovering High-Impact Inputs"): TVD between the
-  /// block-reversed circuit's output and the original output.
-  double input_impact(const backend::CompiledProgram& program) const;
+  /// block-reversed circuit's output and the original output.  Only the
+  /// progress/cancel hooks apply (there is no per-gate stream).
+  double input_impact(const backend::CompiledProgram& program,
+                      const AnalysisHooks* hooks = nullptr) const;
 
   const CharterOptions& options() const { return options_; }
 
-  /// Execution diagnostics from the most recent analyze()/input_impact()
-  /// (cache hits, checkpointed vs full runs, fallbacks).  Thread-safe, but
-  /// with concurrent analyses the value reflects whichever finished last.
-  exec::BatchRunner::Stats last_exec_stats() const {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    return last_exec_stats_;
-  }
-
  private:
-  void record_exec_stats(const exec::BatchRunner::Stats& stats) const {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
-    last_exec_stats_ = stats;
-  }
-
-  const backend::FakeBackend& backend_;
+  const backend::Backend& backend_;
   CharterOptions options_;
-  mutable std::mutex stats_mu_;
-  mutable exec::BatchRunner::Stats last_exec_stats_;
 };
 
 }  // namespace charter::core

@@ -20,7 +20,7 @@ namespace charter::exec {
 using backend::CompiledProgram;
 using backend::EngineKind;
 
-BatchRunner::BatchRunner(const backend::FakeBackend& backend,
+BatchRunner::BatchRunner(const backend::Backend& backend,
                          BatchOptions options)
     : backend_(backend), options_(options) {}
 
@@ -47,7 +47,8 @@ class WorkerEngines {
 
 std::vector<std::vector<double>> BatchRunner::run(
     const std::vector<AnalysisJob>& jobs,
-    const CompiledProgram* base) const {
+    const CompiledProgram* base,
+    const RunHooks* hooks) const {
   stats_ = Stats{};
   stats_.jobs = jobs.size();
   std::vector<std::vector<double>> results(jobs.size());
@@ -55,19 +56,30 @@ std::vector<std::vector<double>> BatchRunner::run(
   for (const AnalysisJob& job : jobs)
     require(job.program != nullptr, "analysis job without a program");
 
+  const util::CancelFlag* cancel = hooks != nullptr ? hooks->cancel : nullptr;
+  const auto cancelled = [&] { return cancel && cancel->requested(); };
+  const auto notify_done = [&](std::size_t job_index) {
+    if (hooks != nullptr && hooks->on_job_complete)
+      hooks->on_job_complete(job_index);
+  };
+
   // Serve repeated submissions from the process-wide cache.  The device
   // fingerprint sweeps the full calibration table, so compute it once for
-  // the batch rather than once per job.
+  // the batch rather than once per job.  A backend with no cache identity
+  // (custom Backend subclasses by default) skips the cache entirely.
   std::vector<Fingerprint> keys;
-  if (options_.caching) {
-    const Fingerprint device = fingerprint(backend_);
+  const std::optional<Fingerprint> device =
+      options_.caching ? fingerprint(backend_) : std::nullopt;
+  const bool caching = device.has_value();
+  if (caching) {
     keys.resize(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      keys[i] = run_key(*jobs[i].program, device, jobs[i].run);
+      keys[i] = run_key(*jobs[i].program, *device, jobs[i].run);
       if (auto hit = RunCache::global().lookup(keys[i])) {
         results[i] = std::move(*hit);
         done[i] = true;
         ++stats_.cache_hits;
+        notify_done(i);
       }
     }
   }
@@ -88,7 +100,12 @@ std::vector<std::vector<double>> BatchRunner::run(
   std::vector<std::size_t> dm_idx;
   std::vector<std::size_t> traj_idx;
   std::vector<std::size_t> plain_idx;
-  const bool base_usable = options_.checkpointing && base != nullptr;
+  // Checkpoint sharing (and the lowered trajectory fan-out below) needs the
+  // backend's lower/finalize decomposition; backends without it run every
+  // job whole.
+  const bool lowering = backend_.supports_lowering();
+  const bool base_usable =
+      options_.checkpointing && base != nullptr && lowering;
   std::vector<int> base_kept;
   if (base_usable) base_kept = backend::used_qubits(*base);
   const int base_width = static_cast<int>(base_kept.size());
@@ -156,6 +173,18 @@ std::vector<std::vector<double>> BatchRunner::run(
     return *pool_storage;
   };
 
+  // Cancellation policy: workers stop claiming tasks once the flag is set
+  // (threaded into every pool().run below); between phases the coordinator
+  // re-checks and abandons the batch.  Partial results never reach the
+  // caller or the cache — the only exit on a requested flag is the throw.
+  const auto throw_if_cancelled = [&] {
+    if (cancelled())
+      throw Cancelled("batch execution cancelled (" +
+                      std::to_string(jobs.size()) + "-job batch on '" +
+                      backend_.name() + "')");
+  };
+  throw_if_cancelled();
+
   if (!dm_idx.empty()) {
     // Lower the base once; every sharer reuses the compaction, restricted
     // model, and executor.  drift == 0 for all sharers, so the lowered model
@@ -190,6 +219,9 @@ std::vector<std::vector<double>> BatchRunner::run(
              [&](std::int64_t s, int worker) {
                for (const std::size_t i :
                     shards[static_cast<std::size_t>(s)].jobs) {
+                 // One shard holds many jobs; honor cancellation between
+                 // them, not just between shards.
+                 if (cancelled()) return;
                  const AnalysisJob& job = jobs[i];
                  std::vector<double> probs;
                  if (job.program == base &&
@@ -214,8 +246,10 @@ std::vector<std::vector<double>> BatchRunner::run(
                  }
                  results[i] = backend_.finalize(std::move(probs), lowered,
                                                 *job.program, job.run);
+                 notify_done(i);
                }
-             });
+             }, cancel);
+    throw_if_cancelled();
     stats_.checkpoint_fallbacks += plan.stats().fallbacks;
     stats_.checkpointed = dm_idx.size() - plan.stats().fallbacks;
   }
@@ -247,7 +281,9 @@ std::vector<std::vector<double>> BatchRunner::run(
                              job.shared_prefix);
                results[i] = backend_.finalize(std::move(probs), lowered,
                                               *job.program, job.run);
-             });
+               notify_done(i);
+             }, cancel);
+    throw_if_cancelled();
     stats_.checkpoint_fallbacks += plan.stats().fallbacks;
     stats_.trajectory_checkpointed = traj_idx.size() - plan.stats().fallbacks;
   }
@@ -262,10 +298,12 @@ std::vector<std::vector<double>> BatchRunner::run(
     std::vector<std::size_t> other_plain;
     for (const std::size_t i : plain_idx) {
       // Classify on the *job's own* compacted width (plain jobs may differ
-      // from the base footprint).
+      // from the base footprint).  The lowered trajectory fan-out needs the
+      // backend's lower/finalize split; without it every job runs whole.
       const int width = static_cast<int>(
           backend::used_qubits(*jobs[i].program).size());
-      (backend::resolve_engine(jobs[i].run, width) == EngineKind::kTrajectory
+      (lowering && backend::resolve_engine(jobs[i].run, width) ==
+                       EngineKind::kTrajectory
            ? traj_plain
            : other_plain)
           .push_back(i);
@@ -276,7 +314,9 @@ std::vector<std::vector<double>> BatchRunner::run(
                const std::size_t i =
                    other_plain[static_cast<std::size_t>(k)];
                results[i] = backend_.run(*jobs[i].program, jobs[i].run);
-             });
+               notify_done(i);
+             }, cancel);
+    throw_if_cancelled();
 
     if (!traj_plain.empty()) {
       struct TrajRun {
@@ -297,7 +337,8 @@ std::vector<std::vector<double>> BatchRunner::run(
                  r.tape = executor.lower(r.lowered->local);
                  r.partial.resize(static_cast<std::size_t>(
                      sim::num_trajectory_groups(jobs[i].run.trajectories)));
-               });
+               }, cancel);
+      throw_if_cancelled();
       // Phase 2: every (job, trajectory-group) pair is one task.
       std::vector<std::pair<std::size_t, int>> units;
       for (std::size_t k = 0; k < traj_plain.size(); ++k)
@@ -320,7 +361,8 @@ std::vector<std::vector<double>> BatchRunner::run(
                          [&](sim::NoisyEngine& engine) {
                            r.tape.execute(engine);
                          });
-               });
+               }, cancel);
+      throw_if_cancelled();
       // Phase 3: fold in group order and finalize (one task per job).
       pool().run(static_cast<std::int64_t>(traj_plain.size()),
                [&](std::int64_t k, int /*worker*/) {
@@ -333,12 +375,15 @@ std::vector<std::vector<double>> BatchRunner::run(
                      sim::fold_trajectory_groups(r.partial, dim,
                                                  jobs[i].run.trajectories),
                      *r.lowered, *jobs[i].program, jobs[i].run);
-               });
+                 notify_done(i);
+               }, cancel);
+      throw_if_cancelled();
     }
     stats_.full_runs = plain_idx.size();
   }
+  throw_if_cancelled();
 
-  if (options_.caching) {
+  if (caching) {
     for (std::size_t i = 0; i < jobs.size(); ++i)
       if (!done[i]) RunCache::global().store(keys[i], results[i]);
   }

@@ -43,10 +43,12 @@
 /// tape.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "backend/backend.hpp"
 #include "exec/cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace charter::exec {
 
@@ -79,19 +81,40 @@ struct BatchOptions {
   int threads = 0;
 };
 
+/// Observation and cancellation hooks for one BatchRunner::run call.
+struct RunHooks {
+  /// Invoked once per job, as its result lands — from pool worker threads
+  /// (or the coordinating thread for cache hits), in completion order.
+  /// Must be thread-safe; keep it cheap (a counter bump, a cv notify).
+  std::function<void(std::size_t job_index)> on_job_complete;
+  /// Cooperative cancellation: checked before every job (and threaded into
+  /// util::ThreadPool's claim loop, so parked work is never started).  A
+  /// requested flag makes run() throw charter::Cancelled after the workers
+  /// drain; partial results are discarded and never cached.
+  const util::CancelFlag* cancel = nullptr;
+};
+
 /// Schedules a family of jobs over one backend.
+///
+/// Any backend::Backend works.  The checkpoint/trajectory sharing paths
+/// additionally require Backend::supports_lowering(); a backend without it
+/// (a custom device wrapper) has every job executed as an independent
+/// Backend::run on the pool.  Caching requires Backend::cache_identity();
+/// backends without one simply never hit the RunCache.
 class BatchRunner {
  public:
-  explicit BatchRunner(const backend::FakeBackend& backend,
+  explicit BatchRunner(const backend::Backend& backend,
                        BatchOptions options = {});
 
   /// Runs every job and returns the logical distributions in job order.
   /// \p base is the program the jobs' shared_prefix fields refer to
   /// (nullptr disables prefix sharing).  A job whose program *is* \p base
-  /// is served from the checkpoint sweep itself.
+  /// is served from the checkpoint sweep itself.  \p hooks (optional)
+  /// observes per-job completion and carries the cancellation flag.
   std::vector<std::vector<double>> run(
       const std::vector<AnalysisJob>& jobs,
-      const backend::CompiledProgram* base = nullptr) const;
+      const backend::CompiledProgram* base = nullptr,
+      const RunHooks* hooks = nullptr) const;
 
   /// Diagnostics from the most recent run() (not cumulative).
   struct Stats {
@@ -110,7 +133,7 @@ class BatchRunner {
   const BatchOptions& options() const { return options_; }
 
  private:
-  const backend::FakeBackend& backend_;
+  const backend::Backend& backend_;
   BatchOptions options_;
   mutable Stats stats_;  // written only by the coordinating thread
 };

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "noise/program.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace charter::exec {
@@ -88,51 +89,37 @@ Fingerprint fingerprint(const backend::RunOptions& options) {
   return b.result();
 }
 
-Fingerprint fingerprint(const backend::FakeBackend& backend) {
+namespace {
+
+/// Adapts the incremental builder to the backend-facing sink interface.
+class BuilderSink final : public backend::FingerprintSink {
+ public:
+  explicit BuilderSink(FingerprintBuilder& b) : b_(b) {}
+  void mix(std::uint64_t v) override { b_.mix(v); }
+  void mix_double(double v) override { b_.mix_double(v); }
+  void mix_string(const std::string& s) override { b_.mix_string(s); }
+
+ private:
+  FingerprintBuilder& b_;
+};
+
+}  // namespace
+
+std::optional<Fingerprint> fingerprint(const backend::Backend& backend) {
   FingerprintBuilder b;
-  b.mix_string(backend.name());
-  const noise::NoiseModel& m = backend.model();
-  b.mix(static_cast<std::uint64_t>(m.num_qubits()));
-  const noise::NoiseToggles& t = m.toggles();
-  b.mix((static_cast<std::uint64_t>(t.decoherence) << 6) |
-        (static_cast<std::uint64_t>(t.depolarizing) << 5) |
-        (static_cast<std::uint64_t>(t.coherent) << 4) |
-        (static_cast<std::uint64_t>(t.static_zz) << 3) |
-        (static_cast<std::uint64_t>(t.drive_zz) << 2) |
-        (static_cast<std::uint64_t>(t.readout) << 1) |
-        static_cast<std::uint64_t>(t.prep));
-  b.mix_double(m.reset_duration_ns);
-  for (int q = 0; q < m.num_qubits(); ++q) {
-    const noise::QubitCal& cal = m.qubit(q);
-    b.mix_double(cal.t1_ns);
-    b.mix_double(cal.t2_ns);
-    b.mix_double(cal.prep_error);
-    b.mix_double(cal.readout.p_meas1_given0);
-    b.mix_double(cal.readout.p_meas0_given1);
-    for (const circ::GateKind kind : {circ::GateKind::SX, circ::GateKind::X}) {
-      const noise::OneQubitGateCal& g = m.gate_1q(kind, q);
-      b.mix_double(g.depol);
-      b.mix_double(g.overrot_frac);
-      b.mix_double(g.duration_ns);
-    }
-  }
-  for (const auto& [a, bq] : m.edges()) {
-    b.mix((static_cast<std::uint64_t>(a) << 32) |
-          static_cast<std::uint64_t>(bq));
-    const noise::EdgeCal& e = m.edge(a, bq);
-    b.mix_double(e.cx_depol);
-    b.mix_double(e.cx_zz_angle);
-    b.mix_double(e.cx_duration_ns);
-    b.mix_double(e.static_zz_rate);
-    b.mix_double(e.drive_zz_rate);
-  }
+  BuilderSink sink(b);
+  if (!backend.cache_identity(sink)) return std::nullopt;
   return b.result();
 }
 
 Fingerprint run_key(const backend::CompiledProgram& program,
-                    const backend::FakeBackend& backend,
+                    const backend::Backend& backend,
                     const backend::RunOptions& options) {
-  return run_key(program, fingerprint(backend), options);
+  const std::optional<Fingerprint> device = fingerprint(backend);
+  require(device.has_value(),
+          "backend '" + backend.name() +
+              "' has no cache identity; its runs cannot be keyed");
+  return run_key(program, *device, options);
 }
 
 Fingerprint run_key(const backend::CompiledProgram& program,

@@ -77,13 +77,16 @@ Fingerprint fingerprint(const backend::CompiledProgram& program);
 /// trajectories, seed, drift).
 Fingerprint fingerprint(const backend::RunOptions& options);
 
-/// Fingerprint of a device: name, coupling graph, and the full calibration
-/// (per-qubit decoherence/SPAM, gate and edge calibrations, toggles).
-Fingerprint fingerprint(const backend::FakeBackend& backend);
+/// Fingerprint of a device via Backend::cache_identity() (for FakeBackend:
+/// name, coupling graph, and the full calibration table).  nullopt when the
+/// backend declares itself uncacheable — its runs are never memoized.
+std::optional<Fingerprint> fingerprint(const backend::Backend& backend);
 
-/// Combined cache key for one run.
+/// Combined cache key for one run.  Requires a cacheable backend (throws
+/// InvalidArgument otherwise); batch code paths should use the
+/// precomputed-device overload below and skip caching on nullopt.
 Fingerprint run_key(const backend::CompiledProgram& program,
-                    const backend::FakeBackend& backend,
+                    const backend::Backend& backend,
                     const backend::RunOptions& options);
 
 /// Same, with the device fingerprint precomputed (batch submissions hash

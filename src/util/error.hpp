@@ -31,6 +31,14 @@ class NotFound : public Error {
   explicit NotFound(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a cooperative cancellation request (util::CancelFlag) aborts
+/// an operation mid-flight.  Partial results are discarded; the operation
+/// left no shared state half-written.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const char* msg);

@@ -39,8 +39,9 @@ void ThreadPool::worker_main(int worker) {
     if (stop_) return;
     seen = generation_;
     const auto* fn = fn_;
+    const CancelFlag* cancel = cancel_;
     const std::int64_t total = total_;
-    while (next_ < total) {
+    while (next_ < total && !(cancel && cancel->requested())) {
       const std::int64_t task = next_++;
       lock.unlock();
       std::exception_ptr err;
@@ -57,16 +58,21 @@ void ThreadPool::worker_main(int worker) {
 }
 
 void ThreadPool::run(std::int64_t n,
-                     const std::function<void(std::int64_t, int)>& fn) {
+                     const std::function<void(std::int64_t, int)>& fn,
+                     const CancelFlag* cancel) {
   if (n <= 0) return;
   if (in_pool_worker()) {
     // Nested use from a task body: the pool is busy running *this* batch, so
     // parking on done_cv_ would deadlock.  Degrade to an inline serial walk.
-    for (std::int64_t i = 0; i < n; ++i) fn(i, 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (cancel && cancel->requested()) return;
+      fn(i, 0);
+    }
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
   fn_ = &fn;
+  cancel_ = cancel;
   total_ = n;
   next_ = 0;
   first_error_ = nullptr;
@@ -75,6 +81,7 @@ void ThreadPool::run(std::int64_t n,
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
+  cancel_ = nullptr;
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;

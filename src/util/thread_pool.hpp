@@ -30,6 +30,7 @@
 /// serial on workers at *every* pool width, including 1.  A run() issued
 /// from inside a worker (accidental nesting) executes inline on the caller.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -45,6 +46,22 @@ namespace charter::util {
 /// "auto" convention used by exec::BatchOptions::threads) means one worker
 /// per hardware thread.
 int resolve_threads(int threads);
+
+/// Cooperative cancellation flag shared between a controller (a Session job
+/// handle, a CLI signal handler) and the workers executing on its behalf.
+/// request() is sticky: once set, every observer sees it until the flag
+/// object is destroyed.  Safe to request from any thread, including from
+/// inside a progress callback running on a pool worker.
+class CancelFlag {
+ public:
+  void request() { requested_.store(true, std::memory_order_relaxed); }
+  bool requested() const {
+    return requested_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
 
 /// Fixed-width pool of parked worker threads with dynamic task claiming.
 class ThreadPool {
@@ -66,7 +83,14 @@ class ThreadPool {
   /// (in completion order) is rethrown here after the loop drains.  Called
   /// from inside a pool worker, the loop degrades to an inline serial walk
   /// (worker index 0) rather than deadlocking on the parked pool.
-  void run(std::int64_t n, const std::function<void(std::int64_t, int)>& fn);
+  ///
+  /// When \p cancel is non-null, workers stop *claiming* tasks as soon as
+  /// the flag is requested (tasks already executing finish normally) and
+  /// run() returns after the drain without visiting the remaining indices.
+  /// The caller decides what a partial walk means — exec::BatchRunner
+  /// discards its partial results and throws charter::Cancelled.
+  void run(std::int64_t n, const std::function<void(std::int64_t, int)>& fn,
+           const CancelFlag* cancel = nullptr);
 
  private:
   void worker_main(int worker);
@@ -75,6 +99,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   ///< workers wait here between runs
   std::condition_variable done_cv_;   ///< run() waits here for the drain
   const std::function<void(std::int64_t, int)>* fn_ = nullptr;
+  const CancelFlag* cancel_ = nullptr;
   std::int64_t total_ = 0;
   std::int64_t next_ = 0;             ///< next unclaimed task (under mu_)
   std::uint64_t generation_ = 0;      ///< bumped per run(); wakes workers

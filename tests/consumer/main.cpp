@@ -1,0 +1,49 @@
+// The README quickstart, built out-of-tree against an installed charter
+// package (find_package(charter) + charter::charter).  Exits nonzero if
+// the facade misbehaves, so the install_consumer CTest entry is a real
+// end-to-end packaging check, not just a link test.
+
+#include <charter/charter.hpp>
+
+#include <cstdio>
+
+int main() {
+  namespace cb = charter::backend;
+
+  // Build and compile a small GHZ + kickback circuit for fake Lagos.
+  charter::circ::Circuit circuit(3);
+  circuit.h(0).cx(0, 1).cx(1, 2).rz(2, 0.7).cx(1, 2).cx(0, 1).h(0);
+
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  charter::Session session(
+      backend,
+      charter::SessionConfig().reversals(5).shots(8192).seed(42).threads(2));
+  const cb::CompiledProgram program = session.compile(circuit);
+
+  // Async submission with a progress callback, then wait for the report.
+  std::size_t progress_events = 0;
+  charter::JobCallbacks callbacks;
+  callbacks.on_progress = [&](const charter::JobProgress&) {
+    ++progress_events;
+  };
+  charter::JobHandle job = session.submit(program, callbacks);
+  const charter::JobResult& result = job.wait();
+
+  if (result.status != charter::JobStatus::kDone) {
+    std::fprintf(stderr, "job ended %s: %s\n",
+                 charter::to_string(result.status).c_str(),
+                 result.error.c_str());
+    return 1;
+  }
+  if (result.report.impacts.empty() || progress_events == 0) {
+    std::fprintf(stderr, "empty report (%zu impacts) or no progress (%zu)\n",
+                 result.report.impacts.size(), progress_events);
+    return 1;
+  }
+
+  const auto ranked = result.report.sorted_by_impact();
+  std::printf("charter %s: analyzed %zu gates on %s; top impact %.4f TVD\n",
+              CHARTER_VERSION_STRING, result.report.analyzed_gates,
+              session.backend().name().c_str(), ranked.front().tvd);
+  return 0;
+}

@@ -1,0 +1,44 @@
+# CTest driver for the packaging check (see CMakeLists.txt's
+# install_consumer entry).  Stages `cmake --install` into a scratch
+# prefix, configures tests/consumer/ against it with find_package, builds,
+# and runs the produced binary.  Any failing step fails the test.
+#
+# Inputs (via -D): CHARTER_BUILD_DIR, CHARTER_CONSUMER_DIR, STAGE_DIR,
+# BUILD_TYPE (may be empty for multi-config-less setups).
+
+foreach(var CHARTER_BUILD_DIR CHARTER_CONSUMER_DIR STAGE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+set(prefix ${STAGE_DIR}/prefix)
+set(consumer_build ${STAGE_DIR}/build)
+file(REMOVE_RECURSE ${STAGE_DIR})
+
+function(run_step name)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "install_consumer: ${name} failed (exit ${rc})")
+  endif()
+endfunction()
+
+run_step("install" ${CMAKE_COMMAND} --install ${CHARTER_BUILD_DIR}
+         --prefix ${prefix})
+
+set(configure_args
+    -S ${CHARTER_CONSUMER_DIR} -B ${consumer_build}
+    -DCMAKE_PREFIX_PATH=${prefix})
+if(BUILD_TYPE)
+  list(APPEND configure_args -DCMAKE_BUILD_TYPE=${BUILD_TYPE})
+endif()
+run_step("configure" ${CMAKE_COMMAND} ${configure_args})
+
+run_step("build" ${CMAKE_COMMAND} --build ${consumer_build})
+
+find_program(consumer_exe charter_consumer PATHS ${consumer_build}
+             PATH_SUFFIXES . ${BUILD_TYPE} NO_DEFAULT_PATH)
+if(NOT consumer_exe)
+  message(FATAL_ERROR "install_consumer: built binary not found")
+endif()
+run_step("run" ${consumer_exe})

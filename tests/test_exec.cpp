@@ -751,7 +751,7 @@ TEST(AnalyzerEquivalence, CommonRandomNumbersTrajectorySharingMatchesNaive) {
   options.exec.checkpointing = true;
   const co::CharterAnalyzer fast_analyzer(backend, options);
   const co::CharterReport fast = fast_analyzer.analyze(program);
-  EXPECT_GT(fast_analyzer.last_exec_stats().trajectory_checkpointed, 0u);
+  EXPECT_GT(fast.exec_stats.trajectory_checkpointed, 0u);
 
   options.exec.checkpointing = false;
   const co::CharterReport naive =
@@ -788,9 +788,9 @@ MatrixRun analyze_at_width(const cb::FakeBackend& backend,
   const co::CharterAnalyzer analyzer(backend, options);
   MatrixRun out;
   out.cold_report = analyzer.analyze(program);
-  out.cold_stats = analyzer.last_exec_stats();
+  out.cold_stats = out.cold_report.exec_stats;
   out.warm_report = analyzer.analyze(program);  // all jobs served from cache
-  out.warm_stats = analyzer.last_exec_stats();
+  out.warm_stats = out.warm_report.exec_stats;
   ex::RunCache::global().clear();
   return out;
 }

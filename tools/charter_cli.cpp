@@ -1,4 +1,5 @@
-// charter — command-line interface to the library.
+// charter — command-line interface to the library, built on the public
+// charter::Session facade (include/charter/).
 //
 // Subcommands:
 //   list                          show the built-in benchmark algorithms
@@ -6,27 +7,26 @@
 //                                 OpenMP width, engine cutoffs)
 //   inspect  --algo <key>         compiled-circuit statistics + diagram
 //   analyze  --algo <key>         per-gate criticality ranking
+//                                 (--progress for live status, --json for
+//                                 machine-readable job output)
 //   input    --algo <key>         input-block reversal impact
 //   mitigate --algo <key>         serialize top layers, report error change
 //   qasm     --algo <key>         emit the compiled circuit as OpenQASM 2.0
 //
-// Every subcommand accepts --backend lagos|guadalupe (default by size),
-// --reversals, --shots, --seed, --top; see `charter <cmd> --help`.
+// Every subcommand accepts --help; the analysis ones accept
+// --backend lagos|guadalupe (default by size), --reversals, --shots,
+// --seed, --top, --threads, --fused.  An unknown --algo key lists the
+// valid keys and exits 2.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "algos/registry.hpp"
-#include "backend/backend.hpp"
+#include <charter/charter.hpp>
+
 #include "math/simd_dispatch.hpp"
-#include "circuit/print.hpp"
-#include "core/analyzer.hpp"
-#include "core/mitigation.hpp"
-#include "stats/stats.hpp"
 #include "util/cli.hpp"
-#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -55,6 +55,23 @@ void add_common_flags(Cli& cli) {
                "results are identical at every value)");
 }
 
+/// Looks up --algo, and on an unknown key prints the valid ones and exits
+/// nonzero instead of surfacing a bare NotFound.
+charter::algos::AlgoSpec find_spec(const Cli& cli) {
+  const std::string key = cli.get_string("algo");
+  try {
+    return charter::algos::find_benchmark(key);
+  } catch (const charter::NotFound&) {
+    std::fprintf(stderr, "charter: unknown benchmark key '%s'\n",
+                 key.c_str());
+    std::fprintf(stderr, "valid keys (see `charter list`):\n");
+    for (const auto& spec : charter::algos::paper_benchmarks())
+      std::fprintf(stderr, "  %-12s %s\n", spec.key.c_str(),
+                   spec.name.c_str());
+    std::exit(2);
+  }
+}
+
 cb::FakeBackend make_backend(const Cli& cli,
                              const charter::algos::AlgoSpec& spec) {
   const std::string name = cli.get_string("backend");
@@ -63,24 +80,26 @@ cb::FakeBackend make_backend(const Cli& cli,
   if (name == "auto")
     return spec.qubits <= 7 ? cb::FakeBackend::lagos()
                             : cb::FakeBackend::guadalupe();
-  throw charter::InvalidArgument("unknown backend: " + name);
+  throw charter::InvalidArgument("unknown backend: " + name +
+                                 " (expected lagos, guadalupe, or auto)");
 }
 
-co::CharterOptions make_options(const Cli& cli) {
-  co::CharterOptions opts;
-  opts.reversals = static_cast<int>(cli.get_int("reversals"));
-  opts.max_gates = static_cast<int>(cli.get_int("max-gates"));
-  opts.run.shots = cli.get_int("shots");
-  opts.run.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  opts.run.opt = cli.get_bool("fused") ? charter::noise::OptLevel::kFused
-                                       : charter::noise::OptLevel::kExact;
-  opts.exec.threads = static_cast<int>(cli.get_int("threads"));
-  return opts;
+charter::SessionConfig make_config(const Cli& cli) {
+  return charter::SessionConfig()
+      .reversals(static_cast<int>(cli.get_int("reversals")))
+      .max_gates(static_cast<int>(cli.get_int("max-gates")))
+      .shots(cli.get_int("shots"))
+      .seed(static_cast<std::uint64_t>(cli.get_int("seed")))
+      .fused(cli.get_bool("fused"))
+      .threads(static_cast<int>(cli.get_int("threads")));
 }
 
-int cmd_version() {
+int cmd_version(int argc, const char* const* argv) {
+  Cli cli("charter version: build/runtime diagnostics");
+  if (!cli.parse(argc, argv)) return 0;
   namespace simd = charter::math::simd;
-  std::printf("charter (Charter reproduction, C++%ld)\n",
+  std::printf("charter %s (Charter reproduction, C++%ld)\n",
+              CHARTER_VERSION_STRING,
               static_cast<long>(__cplusplus / 100 % 100));
   std::printf("  simd dispatch : %s\n",
               simd::path_name(simd::active_path()));
@@ -94,7 +113,9 @@ int cmd_version() {
   return 0;
 }
 
-int cmd_list() {
+int cmd_list(int argc, const char* const* argv) {
+  Cli cli("charter list: the built-in benchmark algorithms");
+  if (!cli.parse(argc, argv)) return 0;
   Table table("Built-in benchmark algorithms (paper Table II):");
   table.set_header({"Key", "Name", "Qubits", "Gates (logical)"});
   for (const auto& spec : charter::algos::paper_benchmarks()) {
@@ -109,9 +130,10 @@ int cmd_inspect(int argc, const char* const* argv) {
   Cli cli("charter inspect: compiled-circuit statistics");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  const auto spec = charter::algos::find_benchmark(cli.get_string("algo"));
+  const auto spec = find_spec(cli);
   const cb::FakeBackend backend = make_backend(cli, spec);
-  const cb::CompiledProgram prog = backend.compile(spec.build());
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
 
   const auto count = [&](cc::GateKind k) {
     return prog.physical.count_kind(k);
@@ -133,13 +155,49 @@ int cmd_inspect(int argc, const char* const* argv) {
 int cmd_analyze(int argc, const char* const* argv) {
   Cli cli("charter analyze: per-gate criticality via amplified reversals");
   add_common_flags(cli);
+  cli.add_flag("progress", false, "stream job progress to stderr");
+  cli.add_flag("json", false,
+               "emit the full report as JSON on stdout (job id/status, "
+               "impacts, exec stats) instead of the table");
   if (!cli.parse(argc, argv)) return 0;
-  const auto spec = charter::algos::find_benchmark(cli.get_string("algo"));
-  const cb::FakeBackend backend = make_backend(cli, spec);
-  const cb::CompiledProgram prog = backend.compile(spec.build());
+  const auto spec = find_spec(cli);
+  const bool progress = cli.get_bool("progress");
+  const bool json = cli.get_bool("json");
 
-  const co::CharterAnalyzer analyzer(backend, make_options(cli));
-  const co::CharterReport report = analyzer.analyze(prog);
+  const cb::FakeBackend backend = make_backend(cli, spec);
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
+
+  charter::JobCallbacks callbacks;
+  if (progress) {
+    callbacks.on_progress = [](const charter::JobProgress& p) {
+      std::fprintf(stderr, "\rcharter: %zu/%zu runs", p.completed, p.total);
+      if (p.completed == p.total) std::fputc('\n', stderr);
+    };
+  }
+  const charter::JobHandle job = session.submit(prog, callbacks);
+  const charter::JobResult& result = job.wait();
+  if (result.status != charter::JobStatus::kDone) {
+    std::fprintf(stderr, "charter: job %llu %s%s%s\n",
+                 static_cast<unsigned long long>(job.id()),
+                 charter::to_string(result.status).c_str(),
+                 result.error.empty() ? "" : ": ",
+                 result.error.c_str());
+    return 1;
+  }
+  const co::CharterReport& report = result.report;
+
+  if (json) {
+    std::printf("{\"job\": {\"id\": %llu, \"status\": \"%s\", "
+                "\"algo\": \"%s\", \"backend\": \"%s\"},\n\"report\": ",
+                static_cast<unsigned long long>(job.id()),
+                charter::to_string(result.status).c_str(),
+                spec.key.c_str(), backend.name().c_str());
+    std::fputs(co::report_to_json(report, report.exec_stats).c_str(),
+               stdout);
+    std::fputs("}\n", stdout);
+    return 0;
+  }
 
   Table table(spec.name + " on " + backend.name() +
               " -- gates ranked by error impact:");
@@ -168,12 +226,12 @@ int cmd_input(int argc, const char* const* argv) {
   Cli cli("charter input: combined impact of the input-preparation block");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  const auto spec = charter::algos::find_benchmark(cli.get_string("algo"));
+  const auto spec = find_spec(cli);
   const cb::FakeBackend backend = make_backend(cli, spec);
-  const cb::CompiledProgram prog = backend.compile(spec.build());
-  const co::CharterAnalyzer analyzer(backend, make_options(cli));
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
   std::printf("%s input-block reversal impact: %.4f TVD\n",
-              spec.name.c_str(), analyzer.input_impact(prog));
+              spec.name.c_str(), session.input_impact(prog));
   return 0;
 }
 
@@ -182,11 +240,11 @@ int cmd_mitigate(int argc, const char* const* argv) {
   add_common_flags(cli);
   cli.add_flag("fraction", 0.1, "top-impact gate fraction to serialize");
   if (!cli.parse(argc, argv)) return 0;
-  const auto spec = charter::algos::find_benchmark(cli.get_string("algo"));
+  const auto spec = find_spec(cli);
   const cb::FakeBackend backend = make_backend(cli, spec);
-  const cb::CompiledProgram prog = backend.compile(spec.build());
-  const co::CharterAnalyzer analyzer(backend, make_options(cli));
-  const co::CharterReport report = analyzer.analyze(prog);
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
+  const co::CharterReport report = session.analyze(prog);
 
   cb::CompiledProgram mitigated = prog;
   mitigated.physical = co::serialize_high_impact(
@@ -211,9 +269,10 @@ int cmd_qasm(int argc, const char* const* argv) {
   Cli cli("charter qasm: emit the compiled circuit as OpenQASM 2.0");
   add_common_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  const auto spec = charter::algos::find_benchmark(cli.get_string("algo"));
+  const auto spec = find_spec(cli);
   const cb::FakeBackend backend = make_backend(cli, spec);
-  const cb::CompiledProgram prog = backend.compile(spec.build());
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
   std::fputs(cc::to_qasm(prog.physical).c_str(), stdout);
   return 0;
 }
@@ -235,8 +294,9 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    if (cmd == "list") return cmd_list();
-    if (cmd == "version" || cmd == "--version") return cmd_version();
+    if (cmd == "list") return cmd_list(argc - 1, argv + 1);
+    if (cmd == "version" || cmd == "--version")
+      return cmd_version(argc - 1, argv + 1);
     if (cmd == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (cmd == "input") return cmd_input(argc - 1, argv + 1);
