@@ -41,6 +41,7 @@
 
 #include "backend/backend.hpp"
 #include "core/analyzer.hpp"
+#include "exec/cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace charter {
@@ -99,6 +100,22 @@ class SessionConfig {
   /// Worker-pool width per job sweep: 0 = one worker per hardware thread.
   /// Results are bit-identical at every value; only wall-clock changes.
   SessionConfig& threads(int n) { threads_ = n; return *this; }
+  /// Attach a persistent disk tier to the process-wide run cache, rooted
+  /// at \p dir (created if missing; empty = memory-only, the default).
+  /// Entries are fingerprint-keyed, checksummed on load, and survive
+  /// process restarts — a warm directory serves repeat analyses with zero
+  /// new simulations.  The tier is process-wide state: the last Session
+  /// (or tool) to set it wins.
+  SessionConfig& cache_dir(std::string dir) {
+    cache_dir_ = std::move(dir);
+    return *this;
+  }
+  /// Disk-tier byte budget; least-recently-used entries are evicted past
+  /// it.  Only meaningful with a non-empty cache_dir.
+  SessionConfig& cache_disk_bytes(std::size_t n) {
+    cache_disk_bytes_ = n;
+    return *this;
+  }
 
   // -- getters ------------------------------------------------------------
   int reversals() const { return reversals_; }
@@ -117,6 +134,8 @@ class SessionConfig {
   bool caching() const { return caching_; }
   std::size_t checkpoint_memory_bytes() const { return checkpoint_memory_bytes_; }
   int threads() const { return threads_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+  std::size_t cache_disk_bytes() const { return cache_disk_bytes_; }
 
   /// Checks every knob and returns one actionable message per problem
   /// (empty = valid).  Session's constructor calls this and throws
@@ -145,6 +164,8 @@ class SessionConfig {
   bool caching_ = true;
   std::size_t checkpoint_memory_bytes_ = 512ull << 20;
   int threads_ = 0;
+  std::string cache_dir_;
+  std::size_t cache_disk_bytes_ = 1ull << 30;
 };
 
 /// Lifecycle of a submitted job.  Terminal states: kDone, kCancelled,
@@ -275,6 +296,11 @@ class Session {
 
   /// Jobs submitted but not yet terminal (queued + running).
   std::size_t outstanding_jobs() const;
+
+  /// Snapshot of the process-wide run cache (both tiers).  Static because
+  /// the cache is shared across every Session in the process — per-job
+  /// tier splits live in CharterReport::exec_stats instead.
+  static exec::RunCache::Stats cache_stats();
 
  private:
   JobHandle enqueue(JobKind kind, backend::CompiledProgram program,

@@ -35,6 +35,12 @@ std::vector<std::string> SessionConfig::validate() const {
   if (checkpointing_ && checkpoint_memory_bytes_ == 0)
     flag("checkpoint_memory_bytes must be > 0 when checkpointing is on; "
          "disable checkpointing instead of zeroing its budget");
+  if (!cache_dir_.empty() && !caching_)
+    flag("cache_dir is set but caching is disabled; drop cache_dir or "
+         "enable caching");
+  if (!cache_dir_.empty() && cache_disk_bytes_ == 0)
+    flag("cache_disk_bytes must be > 0 when cache_dir is set; drop "
+         "cache_dir instead of zeroing its budget");
   if (fused_ && engine_ == backend::EngineKind::kTrajectory)
     flag("fused tape optimization never applies to the trajectory engine "
          "(fusing would reorder its stochastic draws); drop fused(true) or "
@@ -187,6 +193,9 @@ Session::Session(std::shared_ptr<const backend::Backend> backend,
   const std::vector<std::string> errors = config_.validate();
   if (!errors.empty()) throw InvalidArgument(join_errors(errors));
   options_ = config_.resolved();
+  if (!config_.cache_dir().empty())
+    exec::RunCache::global().set_disk_tier(config_.cache_dir(),
+                                           config_.cache_disk_bytes());
   worker_ = std::thread([this] { worker_main(); });
 }
 
@@ -249,6 +258,10 @@ void Session::cancel_all() {
 std::size_t Session::outstanding_jobs() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return queue_.size() + (running_ != nullptr ? 1 : 0);
+}
+
+exec::RunCache::Stats Session::cache_stats() {
+  return exec::RunCache::global().stats();
 }
 
 JobHandle Session::enqueue(JobKind kind, backend::CompiledProgram program,

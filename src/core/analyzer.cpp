@@ -219,6 +219,8 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
     const exec::BatchRunner::Stats s = runner.last_stats();
     total_stats.jobs += s.jobs;
     total_stats.cache_hits += s.cache_hits;
+    total_stats.cache_memory_hits += s.cache_memory_hits;
+    total_stats.cache_disk_hits += s.cache_disk_hits;
     total_stats.checkpointed += s.checkpointed;
     total_stats.trajectory_checkpointed += s.trajectory_checkpointed;
     total_stats.full_runs += s.full_runs;

@@ -12,7 +12,9 @@ namespace charter::core {
 
 namespace {
 
-constexpr int kSchemaVersion = 1;
+// v2: exec gains the cache-tier split (cache_memory_hits/cache_disk_hits)
+// introduced with the two-tier RunCache.
+constexpr int kSchemaVersion = 2;
 
 void append_double(std::string& out, double v) {
   char buf[40];
@@ -140,6 +142,9 @@ std::string report_to_json(const CharterReport& report,
   out += "\n],\n\"exec\":{";
   out += "\"jobs\":" + std::to_string(exec_stats.jobs);
   out += ",\"cache_hits\":" + std::to_string(exec_stats.cache_hits);
+  out += ",\"cache_memory_hits\":" +
+         std::to_string(exec_stats.cache_memory_hits);
+  out += ",\"cache_disk_hits\":" + std::to_string(exec_stats.cache_disk_hits);
   out += ",\"checkpointed\":" + std::to_string(exec_stats.checkpointed);
   out += ",\"trajectory_checkpointed\":" +
          std::to_string(exec_stats.trajectory_checkpointed);
@@ -215,6 +220,14 @@ GoldenReport report_from_json(const std::string& json) {
   p.expect(',');
   require(p.key() == "cache_hits", "golden report: missing exec.cache_hits");
   out.exec.cache_hits = p.size();
+  p.expect(',');
+  require(p.key() == "cache_memory_hits",
+          "golden report: missing exec.cache_memory_hits");
+  out.exec.cache_memory_hits = p.size();
+  p.expect(',');
+  require(p.key() == "cache_disk_hits",
+          "golden report: missing exec.cache_disk_hits");
+  out.exec.cache_disk_hits = p.size();
   p.expect(',');
   require(p.key() == "checkpointed",
           "golden report: missing exec.checkpointed");

@@ -75,10 +75,13 @@ std::vector<std::vector<double>> BatchRunner::run(
     keys.resize(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       keys[i] = run_key(*jobs[i].program, *device, jobs[i].run);
-      if (auto hit = RunCache::global().lookup(keys[i])) {
+      CacheTier served = CacheTier::kNone;
+      if (auto hit = RunCache::global().lookup(keys[i], &served)) {
         results[i] = std::move(*hit);
         done[i] = true;
         ++stats_.cache_hits;
+        ++(served == CacheTier::kDisk ? stats_.cache_disk_hits
+                                      : stats_.cache_memory_hits);
         notify_done(i);
       }
     }
@@ -165,9 +168,11 @@ std::vector<std::vector<double>> BatchRunner::run(
   }
 
   // The pool spawns lazily: a fully cache-served batch (the warm re-analysis
-  // path) never pays worker creation.
+  // path) never pays worker creation.  A caller-provided pool (charterd's
+  // shared one) is used as-is.
   std::optional<util::ThreadPool> pool_storage;
   const auto pool = [&]() -> util::ThreadPool& {
+    if (options_.pool != nullptr) return *options_.pool;
     if (!pool_storage)
       pool_storage.emplace(util::resolve_threads(options_.threads));
     return *pool_storage;

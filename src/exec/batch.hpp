@@ -79,6 +79,12 @@ struct BatchOptions {
   /// >= 1 = exactly that many workers.  Results are bit-identical at every
   /// value; only wall-clock changes.
   int threads = 0;
+  /// Externally owned worker pool to schedule on instead of spawning one
+  /// per run() (non-owning; must outlive the runner; `threads` is ignored).
+  /// charterd points every tenant's sweeps at one shared pool so the
+  /// daemon's concurrency is bounded by a single width knob.  The pool
+  /// serves one run() at a time — callers multiplex at job granularity.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Observation and cancellation hooks for one BatchRunner::run call.
@@ -119,7 +125,13 @@ class BatchRunner {
   /// Diagnostics from the most recent run() (not cumulative).
   struct Stats {
     std::size_t jobs = 0;
-    std::size_t cache_hits = 0;
+    std::size_t cache_hits = 0;  ///< total over both tiers
+    /// Tier split of cache_hits: served from the striped memory tier vs
+    /// loaded from the persistent disk tier (exec/disk_cache.hpp).  A warm
+    /// same-process re-analysis shows memory hits; a warm re-analysis
+    /// after a restart shows disk hits.
+    std::size_t cache_memory_hits = 0;
+    std::size_t cache_disk_hits = 0;
     std::size_t checkpointed = 0;  ///< jobs served via the DM checkpoint plan
     /// Jobs served via the trajectory checkpoint plan (clone resumption).
     std::size_t trajectory_checkpointed = 0;

@@ -2,7 +2,9 @@
 
 #include <array>
 #include <bit>
+#include <filesystem>
 
+#include "exec/disk_cache.hpp"
 #include "noise/program.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -149,77 +151,170 @@ Fingerprint run_key(const backend::CompiledProgram& program,
 RunCache::RunCache(std::size_t max_bytes)
     : max_bytes_(max_bytes), shard_budget_(max_bytes / kNumShards) {}
 
+RunCache::~RunCache() = default;
+
 RunCache& RunCache::global() {
   static RunCache cache;
   return cache;
 }
 
-std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key) {
-  Shard& shard = shards_[shard_index(key)];
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) {
-    ++shard.stats.misses;
-    return std::nullopt;
-  }
-  ++shard.stats.hits;
-  return it->second;
+void RunCache::set_disk_tier(const std::string& dir, std::size_t max_bytes) {
+  std::shared_ptr<DiskCacheTier> tier;
+  if (!dir.empty()) tier = std::make_shared<DiskCacheTier>(dir, max_bytes);
+  const std::lock_guard<std::mutex> lock(disk_mu_);
+  disk_ = std::move(tier);
 }
 
-void RunCache::store(const Fingerprint& key, std::vector<double> distribution) {
-  const std::size_t bytes = distribution.size() * sizeof(double);
-  // Admission is against the *total* budget (the constructor's contract),
-  // not the per-shard split: an entry bigger than a shard's even share
-  // still gets cached — the eviction loop below drains its shard and it
-  // occupies the stripe alone.  The eviction target keeps each shard at its
-  // share otherwise, so total memory stays within max_bytes plus at most
-  // one oversized entry per stripe.
-  if (bytes > max_bytes_) return;  // never admit an entry that can't fit
+bool RunCache::has_disk_tier() const {
+  const std::lock_guard<std::mutex> lock(disk_mu_);
+  return disk_ != nullptr;
+}
+
+std::string RunCache::disk_dir() const {
+  const std::lock_guard<std::mutex> lock(disk_mu_);
+  return disk_ != nullptr ? disk_->dir() : std::string();
+}
+
+std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key,
+                                                    CacheTier* served) {
+  if (served != nullptr) *served = CacheTier::kNone;
   Shard& shard = shards_[shard_index(key)];
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.entries.contains(key)) return;
-  while (shard.stored_bytes + bytes > shard_budget_ &&
-         shard.next_evict < shard.insertion_order.size()) {
-    const auto it = shard.entries.find(shard.insertion_order[shard.next_evict++]);
-    if (it == shard.entries.end()) continue;
-    shard.stored_bytes -= it->second.size() * sizeof(double);
-    shard.entries.erase(it);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.stats.hits;
+      // Refresh recency: splice this key to the back of the LRU list.
+      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_pos);
+      if (served != nullptr) *served = CacheTier::kMemory;
+      return it->second.distribution;
+    }
+    ++shard.stats.misses;
+  }
+
+  // Fall through to the persistent tier; promote hits so repeated lookups
+  // stay in memory.  The disk tier records its own hit/miss counters.
+  std::shared_ptr<DiskCacheTier> disk;
+  {
+    const std::lock_guard<std::mutex> lock(disk_mu_);
+    disk = disk_;
+  }
+  if (disk == nullptr) return std::nullopt;
+  std::optional<std::vector<double>> loaded = disk->load(key);
+  if (!loaded.has_value()) return std::nullopt;
+  if (loaded->size() * sizeof(double) <= max_bytes_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    store_in_shard(shard, key, std::vector<double>(*loaded));
+  }
+  if (served != nullptr) *served = CacheTier::kDisk;
+  return loaded;
+}
+
+void RunCache::store_in_shard(Shard& shard, const Fingerprint& key,
+                              std::vector<double>&& distribution) {
+  const std::size_t bytes = distribution.size() * sizeof(double);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Results for a given key are identical by construction; refresh
+    // recency only.
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  while (shard.stored_bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    const auto victim = shard.entries.find(shard.lru.front());
+    shard.lru.pop_front();
+    if (victim == shard.entries.end()) continue;
+    shard.stored_bytes -= victim->second.distribution.size() * sizeof(double);
+    shard.entries.erase(victim);
     ++shard.stats.evictions;
   }
   shard.stored_bytes += bytes;
-  shard.entries.emplace(key, std::move(distribution));
-  shard.insertion_order.push_back(key);
-  // Compact the FIFO queue once the evicted prefix dominates it.
-  if (shard.next_evict > shard.insertion_order.size() / 2) {
-    shard.insertion_order.erase(
-        shard.insertion_order.begin(),
-        shard.insertion_order.begin() +
-            static_cast<std::ptrdiff_t>(shard.next_evict));
-    shard.next_evict = 0;
-  }
+  const auto pos = shard.lru.insert(shard.lru.end(), key);
+  shard.entries.emplace(key, Shard::Entry{std::move(distribution), pos});
   shard.stats.entries = shard.entries.size();
+  shard.stats.bytes = shard.stored_bytes;
+}
+
+void RunCache::store(const Fingerprint& key, std::vector<double> distribution) {
+  std::shared_ptr<DiskCacheTier> disk;
+  {
+    const std::lock_guard<std::mutex> lock(disk_mu_);
+    disk = disk_;
+  }
+  // Write through before moving the payload into the memory tier.
+  if (disk != nullptr) disk->store(key, distribution);
+
+  const std::size_t bytes = distribution.size() * sizeof(double);
+  // Admission is against the *total* budget (the constructor's contract),
+  // not the per-shard split: an entry bigger than a shard's even share
+  // still gets cached — the eviction loop drains its shard and it occupies
+  // the stripe alone.  The eviction target keeps each shard at its share
+  // otherwise, so total memory stays within max_bytes plus at most one
+  // oversized entry per stripe.
+  if (bytes > max_bytes_) return;  // never admit an entry that can't fit
+  Shard& shard = shards_[shard_index(key)];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  store_in_shard(shard, key, std::move(distribution));
 }
 
 void RunCache::clear() {
   for (Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mu);
     shard.entries.clear();
-    shard.insertion_order.clear();
-    shard.next_evict = 0;
+    shard.lru.clear();
     shard.stored_bytes = 0;
-    shard.stats = Stats{};
+    shard.stats = TierStats{};
   }
+}
+
+void RunCache::clear_disk() {
+  std::shared_ptr<DiskCacheTier> disk;
+  {
+    const std::lock_guard<std::mutex> lock(disk_mu_);
+    disk = disk_;
+  }
+  if (disk == nullptr) return;
+  // Re-attaching a fresh tier over an emptied directory both wipes the
+  // files and resets its counters.
+  const std::string dir = disk->dir();
+  const std::size_t budget = disk->max_bytes();
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    std::error_code rec;
+    fs::remove(de.path(), rec);
+  }
+  set_disk_tier(dir, budget);
 }
 
 RunCache::Stats RunCache::stats() const {
   Stats total;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mu);
-    total.hits += shard.stats.hits;
-    total.misses += shard.stats.misses;
-    total.entries += shard.entries.size();
-    total.evictions += shard.stats.evictions;
+    total.memory.hits += shard.stats.hits;
+    total.memory.misses += shard.stats.misses;
+    total.memory.evictions += shard.stats.evictions;
+    total.memory.entries += shard.entries.size();
+    total.memory.bytes += shard.stored_bytes;
   }
+  std::shared_ptr<DiskCacheTier> disk;
+  {
+    const std::lock_guard<std::mutex> lock(disk_mu_);
+    disk = disk_;
+  }
+  if (disk != nullptr) {
+    const DiskCacheTier::Stats d = disk->stats();
+    total.disk = {d.hits, d.misses, d.evictions, d.entries, d.bytes};
+  }
+  total.hits = total.memory.hits + total.disk.hits;
+  // A disk hit was first a memory miss; only lookups neither tier answered
+  // count as misses of the cache as a whole.  (Saturating: per-shard
+  // snapshots may straddle a concurrent promote.)
+  total.misses = total.memory.misses > total.disk.hits
+                     ? total.memory.misses - total.disk.hits
+                     : 0;
+  total.entries = total.memory.entries;
+  total.evictions = total.memory.evictions + total.disk.evictions;
   return total;
 }
 

@@ -1,36 +1,50 @@
 #pragma once
 
 /// \file cache.hpp
-/// Process-wide memoization of backend runs.
+/// Two-tier, process-wide memoization of backend runs.
 ///
 /// Every FakeBackend execution is deterministic in (program, backend,
 /// RunOptions), so identical submissions — repeated CLI invocations inside
-/// one process, the bench sweeps that share configs, and the mitigation
-/// workflow's re-analysis of an unchanged program — can be served from
-/// memory instead of the simulator.  Entries are keyed on a 128-bit
-/// structural fingerprint covering the compiled circuit, the device (its
-/// topology name *and* full calibration data, so two devices that merely
-/// share a name never collide), the run options — including the tape
-/// optimization level, so exact and fused runs of the same circuit never
-/// collide — and the NoiseProgram schema fingerprint, which invalidates
-/// every entry if the lowering pipeline's semantics change.
+/// one process, the bench sweeps that share configs, different charterd
+/// tenants submitting the same circuit, and the mitigation workflow's
+/// re-analysis of an unchanged program — can be served from a cache instead
+/// of the simulator.  Entries are keyed on a 128-bit structural fingerprint
+/// covering the compiled circuit, the device (its topology name *and* full
+/// calibration data, so two devices that merely share a name never
+/// collide), the run options — including the tape optimization level, so
+/// exact and fused runs of the same circuit never collide — and the
+/// NoiseProgram schema fingerprint, which invalidates every entry if the
+/// lowering pipeline's semantics change.
 ///
 /// Fused-mode caveat: with OptLevel::kFused, a checkpointed run and a
 /// standalone run of the same job agree to the fusion tolerance (~1e-12)
 /// rather than bit-for-bit, so a fused cache entry is canonical only to
 /// that tolerance.  Exact-mode entries remain bit-reproducible.
 ///
-/// The cache is thread-safe and bounded.  Since the sharded analysis driver
-/// hits it from every pool worker at once, the store is *striped*: entries
-/// hash onto kNumShards independent shards, each with its own mutex, map,
-/// byte budget, and FIFO eviction queue, so concurrent lookups and stores
-/// on distinct keys almost never contend on a lock.  The 128-bit key spreads
-/// uniformly, so the per-shard budget (total / kNumShards) fills evenly.
+/// Two tiers:
+///
+///  - Memory: thread-safe and bounded.  Since the sharded analysis driver
+///    hits it from every pool worker at once, the store is *striped*:
+///    entries hash onto kNumShards independent shards, each with its own
+///    mutex, map, byte budget, and LRU list, so concurrent lookups and
+///    stores on distinct keys almost never contend on a lock.  The 128-bit
+///    key spreads uniformly, so the per-shard budget (total / kNumShards)
+///    fills evenly.  Eviction is true LRU: a lookup hit moves the entry to
+///    the back of its shard's recency list.
+///  - Disk (optional; DiskCacheTier): fingerprint-keyed files under a cache
+///    directory, attached via set_disk_tier() — the CLI's --cache-dir /
+///    CHARTER_CACHE_DIR plumbing and charterd's startup both point here.
+///    A memory miss falls through to disk; a disk hit is promoted into the
+///    memory tier.  Stores write through, so results survive restarts and
+///    are shared across processes.
+///
 /// exec::BatchRunner consults the cache before scheduling work; nothing
 /// below the exec layer knows it exists.
 
 #include <array>
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -40,6 +54,8 @@
 #include "backend/backend.hpp"
 
 namespace charter::exec {
+
+class DiskCacheTier;
 
 /// 128-bit fingerprint: two independently mixed 64-bit streams, so a
 /// collision requires defeating both.  Used as a cache key.
@@ -95,8 +111,11 @@ Fingerprint run_key(const backend::CompiledProgram& program,
                     const Fingerprint& device,
                     const backend::RunOptions& options);
 
+/// Which tier served a lookup (kNone = miss).
+enum class CacheTier { kNone, kMemory, kDisk };
+
 /// Bounded, thread-safe, lock-striped memoization of run results (logical
-/// distributions).
+/// distributions), optionally backed by a persistent disk tier.
 class RunCache {
  public:
   /// Independent lock stripes; a power of two so shard selection is a mask.
@@ -109,23 +128,62 @@ class RunCache {
   /// against the full budget, so an entry larger than one shard's share is
   /// still cacheable (it then holds its stripe alone).
   explicit RunCache(std::size_t max_bytes = 256ull << 20);
+  ~RunCache();
 
-  /// The process-wide instance BatchRunner uses by default.
+  /// The process-wide instance BatchRunner uses by default.  Constructed
+  /// memory-only; the CLI/daemon attach the disk tier explicitly after
+  /// resolving --cache-dir / CHARTER_CACHE_DIR, so library users and tests
+  /// stay hermetic.
   static RunCache& global();
 
-  /// Returns the cached distribution for \p key, or nullopt on a miss.
-  /// Locks only \p key's shard.
-  std::optional<std::vector<double>> lookup(const Fingerprint& key);
+  /// Attaches (or, with an empty \p dir, detaches) the persistent tier.
+  /// Replaces any previously attached tier; process-wide when called on
+  /// global().  Throws InvalidArgument when the directory cannot be
+  /// created.
+  void set_disk_tier(const std::string& dir,
+                     std::size_t max_bytes = 1ull << 30);
+  bool has_disk_tier() const;
+  /// The attached tier's directory ("" when memory-only).
+  std::string disk_dir() const;
 
-  /// Stores a result; evicts the shard's oldest entries when its budget is
-  /// exceeded.  Storing an existing key refreshes nothing (first result
-  /// wins; results for a given key are identical by construction).  Locks
-  /// only \p key's shard.
+  /// Returns the cached distribution for \p key, or nullopt on a miss.
+  /// Memory is consulted first (locking only \p key's shard; a hit
+  /// refreshes LRU recency), then the disk tier; a disk hit is promoted
+  /// into the memory tier.  \p served (optional) reports the tier that
+  /// answered.
+  std::optional<std::vector<double>> lookup(const Fingerprint& key,
+                                            CacheTier* served = nullptr);
+
+  /// Stores a result in the memory tier (evicting the shard's
+  /// least-recently-used entries past its budget) and writes through to the
+  /// disk tier when one is attached.  Storing an existing key refreshes
+  /// recency only (results for a given key are identical by construction).
   void store(const Fingerprint& key, std::vector<double> distribution);
 
+  /// Drops every memory-tier entry and resets the counters.  The disk tier
+  /// keeps its files (that persistence is its contract — a daemon restart
+  /// is exactly this); use clear_disk() to wipe it.
   void clear();
 
+  /// Unlinks every entry file in the attached disk tier.
+  void clear_disk();
+
+  /// Per-tier counters.  For memory, entries/bytes are current occupancy;
+  /// for disk they reflect the most recent directory scan.
+  struct TierStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
   struct Stats {
+    TierStats memory;
+    TierStats disk;  ///< zeros when no disk tier is attached
+    /// Aggregates over both tiers.  `hits` counts every served lookup
+    /// (memory.hits + disk.hits); `misses` counts lookups neither tier
+    /// answered; `entries` is the memory tier's occupancy (the historical
+    /// meaning); `evictions` sums both tiers.
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t entries = 0;
@@ -150,19 +208,30 @@ class RunCache {
     }
   };
 
-  /// One lock stripe: a self-contained FIFO-evicting map.
+  /// One lock stripe: a self-contained LRU-evicting map.
   struct Shard {
+    struct Entry {
+      std::vector<double> distribution;
+      std::list<Fingerprint>::iterator lru_pos;
+    };
     mutable std::mutex mu;
     std::size_t stored_bytes = 0;
-    std::unordered_map<Fingerprint, std::vector<double>, KeyHash> entries;
-    std::vector<Fingerprint> insertion_order;  ///< FIFO eviction queue
-    std::size_t next_evict = 0;
-    Stats stats;
+    std::unordered_map<Fingerprint, Entry, KeyHash> entries;
+    std::list<Fingerprint> lru;  ///< front = coldest, back = most recent
+    TierStats stats;             ///< entries/bytes maintained on the fly
   };
+
+  /// Inserts into \p shard (caller holds its mutex), evicting LRU entries
+  /// past the shard budget.  No-op when the key is present.
+  void store_in_shard(Shard& shard, const Fingerprint& key,
+                      std::vector<double>&& distribution);
 
   std::size_t max_bytes_;     ///< admission limit (constructor contract)
   std::size_t shard_budget_;  ///< max_bytes / kNumShards (eviction target)
   std::array<Shard, kNumShards> shards_;
+
+  mutable std::mutex disk_mu_;  ///< guards the tier pointer, not its calls
+  std::shared_ptr<DiskCacheTier> disk_;
 };
 
 }  // namespace charter::exec

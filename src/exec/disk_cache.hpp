@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file disk_cache.hpp
+/// The persistent tier of the two-tier run cache.
+///
+/// RunCache's in-memory stripes die with the process; this tier does not.
+/// Every stored distribution is written to a fingerprint-keyed file under a
+/// cache directory, so results survive daemon restarts and are shared
+/// between processes (the CLI and charterd pointed at the same
+/// --cache-dir serve each other's entries).  Cross-user memoization is the
+/// point: one analysis costs G+1 noisy simulations, so a circuit any client
+/// has ever analyzed never re-simulates anywhere on the machine.
+///
+/// On-disk layout (see docs/protocol.md "Cache directory"):
+///
+///   <dir>/<hi:016x><lo:016x>.chd       one entry per run fingerprint
+///   <dir>/.tmp-<pid>-<seq>             in-flight writes (ignored by scans)
+///
+/// Entry format, versioned binary:
+///
+///   magic   "CHD\1"                      4 bytes
+///   version u32 (little-endian fields follow host order; the version
+///           gates any layout change, including an endianness migration)
+///   key     2 x u64 (lo, hi)             guards renamed/collided files
+///   count   u64                          payload length
+///   payload count x double
+///   check   u64                          splitmix chain over the payload
+///
+/// Crash safety: entries are written to a temp file in the same directory
+/// and atomically renamed into place, so a reader never observes a partial
+/// entry under a final name.  Any file that fails validation — short read,
+/// magic/version/key mismatch, checksum mismatch — is treated as a miss,
+/// counted, and unlinked best-effort; corruption is never fatal.
+///
+/// Eviction is LRU by file mtime under a byte budget: a load hit bumps the
+/// entry's mtime, and once the directory exceeds the budget the oldest
+/// entries are unlinked until it fits.  Concurrent processes coordinate
+/// through the filesystem alone (atomic renames + tolerant loads); no lock
+/// file is needed because entries for one key are identical by construction
+/// and double-eviction merely re-simulates.
+///
+/// Thread-safe within a process (one mutex — this tier sits below the
+/// striped memory tier, so it only sees memory-tier misses).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace charter::exec {
+
+struct Fingerprint;
+
+/// Fingerprint-keyed file store with a byte budget and mtime-LRU eviction.
+class DiskCacheTier {
+ public:
+  /// Opens (creating if needed) \p dir and scans it for the current entry
+  /// count/bytes.  Throws InvalidArgument when the directory cannot be
+  /// created.
+  DiskCacheTier(std::string dir, std::size_t max_bytes);
+
+  /// Returns the stored distribution, bumping the entry's LRU stamp, or
+  /// nullopt on a miss.  Invalid/corrupt files are misses (and removed).
+  std::optional<std::vector<double>> load(const Fingerprint& key);
+
+  /// Persists a distribution (write-to-temp-then-rename), then evicts the
+  /// least-recently-used entries if the directory exceeds the budget.
+  /// Re-storing an existing key refreshes its LRU stamp only.  Entries
+  /// larger than the whole budget are not admitted.
+  void store(const Fingerprint& key, const std::vector<double>& distribution);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t corrupt_skipped = 0;  ///< invalid files treated as misses
+    std::size_t entries = 0;          ///< entries on disk (last scan)
+    std::size_t bytes = 0;            ///< bytes on disk (last scan)
+  };
+  /// Counters are process-local; entries/bytes reflect the directory as of
+  /// the most recent scan (other processes may have changed it since).
+  Stats stats() const;
+
+  const std::string& dir() const { return dir_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Entry filename for \p key ("<hi:016x><lo:016x>.chd"); exposed for the
+  /// corruption/eviction tests.
+  static std::string entry_filename(const Fingerprint& key);
+
+ private:
+  /// Re-scans the directory (entries/bytes) and, when over budget, unlinks
+  /// oldest-mtime entries until it fits.  Caller holds mu_.
+  void enforce_budget_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::size_t max_bytes_;
+  std::size_t approx_bytes_ = 0;  ///< scan result + local stores since
+  std::uint64_t temp_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace charter::exec

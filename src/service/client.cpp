@@ -1,0 +1,92 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace charter::service {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(!socket_path.empty() && socket_path.size() < sizeof(addr.sun_path),
+          "bad socket path: '" + socket_path + "'");
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot reach charterd at " + socket_path + ": " +
+                std::strerror(err) + " (is the daemon running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::call_raw(const std::string& request_line) {
+  const std::string framed = request_line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("charterd connection lost: ") +
+                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = pending_.substr(0, nl);
+      pending_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw Error("charterd hung up before responding");
+    pending_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+JsonValue Client::call(const std::string& request_line) {
+  return parse_json(call_raw(request_line));
+}
+
+std::string Client::default_socket_path() {
+  if (const char* dir = std::getenv("XDG_RUNTIME_DIR");
+      dir != nullptr && dir[0] != '\0')
+    return std::string(dir) + "/charterd.sock";
+  return "/tmp/charterd-" + std::to_string(::getuid()) + ".sock";
+}
+
+std::string Client::extract_report_json(const std::string& response_line) {
+  // A successful fetch response is {...,"report":{<report>}} with the
+  // report object last, so the payload is everything from its opening
+  // brace to the response's closing one.
+  const std::string marker = "\"report\":";
+  const std::size_t at = response_line.find(marker);
+  require(at != std::string::npos && response_line.back() == '}',
+          "not a successful fetch response: " + response_line);
+  const std::size_t begin = at + marker.size();
+  return response_line.substr(begin, response_line.size() - begin - 1);
+}
+
+}  // namespace charter::service

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file client.hpp
+/// Blocking client for the charterd line protocol: connect to the
+/// daemon's AF_UNIX socket, send one JSON request line, read one JSON
+/// response line.  Used by `charter client`, the daemon smoke test, and
+/// the service test suite; anything speaking the protocol from C++
+/// should go through this instead of hand-rolling framing.
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace charter::service {
+
+class Client {
+ public:
+  /// Connects immediately; throws charter::Error when the daemon is not
+  /// listening at \p socket_path.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends \p request_line (newline appended) and returns the raw
+  /// response line (newline stripped).  Throws charter::Error when the
+  /// daemon hangs up mid-exchange.
+  std::string call_raw(const std::string& request_line);
+
+  /// call_raw + parse: returns the response as a JSON tree.
+  JsonValue call(const std::string& request_line);
+
+  /// Where charterd listens by default: $XDG_RUNTIME_DIR/charterd.sock,
+  /// falling back to /tmp/charterd-<uid>.sock.  Both sides of the
+  /// protocol (daemon and clients) use this, so `charterd` followed by
+  /// `charter client ping` works with no flags.
+  static std::string default_socket_path();
+
+  /// Pulls the embedded golden-report JSON out of a fetch response (the
+  /// exact bytes core::report_from_json round-trips).  Throws
+  /// charter::Error when \p response_line is not a successful fetch.
+  static std::string extract_report_json(const std::string& response_line);
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the last returned line
+};
+
+}  // namespace charter::service

@@ -1,0 +1,272 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace charter::service {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const Member& m : object)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue document() {
+    const JsonValue v = value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw InvalidArgument("json: " + msg + " at byte " + std::to_string(pos_));
+  }
+
+  void check(bool cond, const char* msg) const {
+    if (!cond) fail(msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(peek() == c, "unexpected character");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_)
+      check(pos_ < text_.size() && text_[pos_] == *p, "invalid literal");
+  }
+
+  JsonValue value() {
+    check(depth_ < max_depth_, "nesting too deep");
+    ++depth_;
+    JsonValue v;
+    switch (peek()) {
+      case '{': v = object(); break;
+      case '[': v = array(); break;
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = string();
+        break;
+      case 't':
+        literal("true");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        break;
+      case 'f':
+        literal("false");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        break;
+      case 'n':
+        literal("null");
+        v.kind = JsonValue::Kind::kNull;
+        break;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = number();
+        break;
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (consume('}')) return v;
+    do {
+      check(peek() == '"', "object keys must be strings");
+      std::string key = string();
+      for (const JsonValue::Member& m : v.object)
+        if (m.first == key) fail("duplicate key '" + key + "'");
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      check(c >= 0x20, "raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      check(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  /// Decodes the four hex digits after \u to UTF-8.  Surrogates are
+  /// rejected rather than paired: the protocol is ASCII-dominated and a
+  /// lone or paired surrogate in a tenant name is noise, not data.
+  std::string unicode_escape() {
+    check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    unsigned code = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    check(code < 0xd800 || code > 0xdfff, "surrogate in \\u escape");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    // Validate the RFC grammar by hand (strtod is laxer: it accepts hex,
+    // "inf", leading '+', and leading '.').
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    check(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                     text_[pos_])),
+          "invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      check(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                       text_[pos_])),
+            "invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      check(pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                       text_[pos_])),
+            "invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    return std::strtod(text_.c_str() + start, nullptr);
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, int max_depth) {
+  return Parser(text, max_depth).document();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace charter::service

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal strict JSON for the charterd wire protocol.
+///
+/// The daemon speaks line-delimited JSON (docs/protocol.md).  Requests are
+/// small and adversarial — they arrive from arbitrary local clients — so
+/// the parser here is strict by construction: it accepts exactly RFC 8259
+/// values (no comments, no trailing commas, no bare NaN/Infinity), bounds
+/// nesting depth, and rejects trailing content.  Malformed input throws
+/// charter::InvalidArgument with a byte offset, which the protocol layer
+/// maps to a structured `parse_error` response.
+///
+/// This is deliberately not a general-purpose JSON library: documents are
+/// held as a tagged tree of std::string/std::vector nodes, numbers are
+/// doubles (the protocol's integers — job ids, shot counts — fit a double
+/// exactly up to 2^53), and object member order is preserved so the
+/// protocol layer can report *which* field was unexpected.  Report
+/// payloads going the other way are emitted by core/report_io.cpp, not
+/// serialized through this tree.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace charter::service {
+
+/// One parsed JSON value (tagged union over the six RFC 8259 kinds).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<Member> object;  ///< member order preserved
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document.  Throws charter::InvalidArgument on
+/// malformed input, nesting beyond \p max_depth, or trailing content.
+JsonValue parse_json(const std::string& text, int max_depth = 32);
+
+/// Escapes \p s for embedding inside a JSON string literal (quotes not
+/// included): the two mandatory escapes plus \uXXXX for control bytes.
+std::string json_escape(const std::string& s);
+
+}  // namespace charter::service

@@ -1,0 +1,175 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <initializer_list>
+
+#include "service/json.hpp"
+
+namespace charter::service {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownField: return "unknown_field";
+    case ErrorCode::kTooLarge: return "too_large";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+[[noreturn]] void bail(ErrorCode code, const std::string& message) {
+  throw ProtocolError(code, message);
+}
+
+/// Every field must be on the op's allow-list; anything else is an error
+/// naming the field, so typos surface immediately.
+void reject_unknown_fields(const JsonValue& root, const char* op,
+                           std::initializer_list<const char*> allowed) {
+  for (const JsonValue::Member& m : root.object) {
+    bool ok = false;
+    for (const char* name : allowed)
+      if (m.first == name) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      bail(ErrorCode::kUnknownField,
+           "unknown field '" + m.first + "' for op '" + op + "'");
+  }
+}
+
+std::string required_string(const JsonValue& root, const char* field) {
+  const JsonValue* v = root.find(field);
+  if (v == nullptr)
+    bail(ErrorCode::kBadRequest, std::string("missing field '") + field + "'");
+  if (!v->is_string())
+    bail(ErrorCode::kBadRequest,
+         std::string("field '") + field + "' must be a string");
+  return v->string;
+}
+
+/// Integer field: a JSON number that is a non-negative integer exactly
+/// representable in a double.  Returns \p fallback when absent.
+std::int64_t optional_uint(const JsonValue& root, const char* field,
+                           std::int64_t fallback) {
+  const JsonValue* v = root.find(field);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || v->number < 0 || v->number > 9.007199254740992e15 ||
+      std::floor(v->number) != v->number)
+    bail(ErrorCode::kBadRequest,
+         std::string("field '") + field +
+             "' must be a non-negative integer");
+  return static_cast<std::int64_t>(v->number);
+}
+
+bool optional_bool(const JsonValue& root, const char* field, bool fallback) {
+  const JsonValue* v = root.find(field);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool())
+    bail(ErrorCode::kBadRequest,
+         std::string("field '") + field + "' must be a boolean");
+  return v->boolean;
+}
+
+std::uint64_t job_id(const JsonValue& root) {
+  const JsonValue* v = root.find("job");
+  if (v == nullptr) bail(ErrorCode::kBadRequest, "missing field 'job'");
+  if (!v->is_number() || v->number < 1 ||
+      std::floor(v->number) != v->number)
+    bail(ErrorCode::kBadRequest, "field 'job' must be a positive integer");
+  return static_cast<std::uint64_t>(v->number);
+}
+
+Request parse_submit(const JsonValue& root, const ServiceLimits& limits) {
+  reject_unknown_fields(root, "submit",
+                        {"op", "tenant", "benchmark", "qasm", "detach",
+                         "shots", "seed", "reversals", "max_gates"});
+  Request r;
+  r.op = Op::kSubmit;
+  SubmitRequest& s = r.submit;
+  if (root.find("tenant") != nullptr) s.tenant = required_string(root, "tenant");
+  if (s.tenant.empty())
+    bail(ErrorCode::kBadRequest, "field 'tenant' must be non-empty");
+  if (s.tenant.size() > 64)
+    bail(ErrorCode::kBadRequest, "field 'tenant' is longer than 64 bytes");
+
+  const bool has_benchmark = root.find("benchmark") != nullptr;
+  const bool has_qasm = root.find("qasm") != nullptr;
+  if (has_benchmark == has_qasm)
+    bail(ErrorCode::kBadRequest,
+         "submit takes exactly one of 'benchmark' or 'qasm'");
+  if (has_benchmark) s.benchmark = required_string(root, "benchmark");
+  if (has_qasm) {
+    s.qasm = required_string(root, "qasm");
+    if (s.qasm.size() > limits.max_qasm_bytes)
+      bail(ErrorCode::kTooLarge,
+           "qasm source exceeds " + std::to_string(limits.max_qasm_bytes) +
+               " bytes");
+  }
+
+  s.detach = optional_bool(root, "detach", false);
+  s.shots = optional_uint(root, "shots", -1);
+  s.seed = optional_uint(root, "seed", -1);
+  s.reversals = optional_uint(root, "reversals", -1);
+  s.max_gates = optional_uint(root, "max_gates", -1);
+  if (s.reversals == 0)
+    bail(ErrorCode::kBadRequest, "field 'reversals' must be >= 1");
+  return r;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line, const ServiceLimits& limits) {
+  if (line.size() > limits.max_line_bytes)
+    bail(ErrorCode::kTooLarge,
+         "request exceeds " + std::to_string(limits.max_line_bytes) +
+             " bytes");
+  JsonValue root;
+  try {
+    root = parse_json(line);
+  } catch (const InvalidArgument& e) {
+    bail(ErrorCode::kParseError, e.what());
+  }
+  if (!root.is_object())
+    bail(ErrorCode::kBadRequest, "request must be a JSON object");
+  const std::string op = required_string(root, "op");
+
+  if (op == "submit") return parse_submit(root, limits);
+
+  Request r;
+  if (op == "ping" || op == "stats" || op == "shutdown") {
+    reject_unknown_fields(root, op.c_str(), {"op"});
+    r.op = (op == "ping")   ? Op::kPing
+           : (op == "stats") ? Op::kStats
+                             : Op::kShutdown;
+    return r;
+  }
+  if (op == "status" || op == "wait" || op == "fetch" || op == "cancel") {
+    reject_unknown_fields(root, op.c_str(), {"op", "job"});
+    r.op = (op == "status") ? Op::kStatus
+           : (op == "wait") ? Op::kWait
+           : (op == "fetch") ? Op::kFetch
+                             : Op::kCancel;
+    r.job = job_id(root);
+    return r;
+  }
+  bail(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
+}
+
+std::string error_response(ErrorCode code, const std::string& message) {
+  std::string out = "{\"ok\":false,\"error\":{\"code\":\"";
+  out += error_code_name(code);
+  out += "\",\"message\":\"";
+  out += json_escape(message);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace charter::service

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The charterd wire protocol: request parsing, admission limits, and
+/// structured errors.
+///
+/// One request per line, one response per line (docs/protocol.md).  Every
+/// request is a JSON object with an "op" field; everything a client can
+/// get wrong — malformed JSON, an unknown op, a field the op does not
+/// take, an oversized program — maps to a ProtocolError carrying a stable
+/// machine-readable code, which the server renders as
+///
+///   {"ok":false,"error":{"code":"queue_full","message":"..."}}
+///
+/// instead of dropping the connection.  Unknown fields are rejected, not
+/// ignored: a client that misspells "detach" should hear about it on the
+/// first request, not discover weeks later that every job it thought was
+/// detached died with its connections.
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace charter::service {
+
+/// Stable machine-readable error codes (the `error.code` wire values).
+enum class ErrorCode {
+  kParseError,    ///< request line is not valid JSON
+  kBadRequest,    ///< valid JSON, invalid shape (missing/mistyped fields)
+  kUnknownOp,     ///< "op" names no operation
+  kUnknownField,  ///< a field the op does not accept (strict by design)
+  kTooLarge,      ///< request, program, or qubit count over the limits
+  kQueueFull,     ///< admission control: too many jobs already queued
+  kNotFound,      ///< job id names no job
+  kShuttingDown,  ///< daemon is draining; no new work accepted
+  kInternal,      ///< unexpected server-side failure
+};
+
+/// Wire name of \p code ("parse_error", "queue_full", ...).
+const char* error_code_name(ErrorCode code);
+
+/// A protocol violation the server reports as a structured error response.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : Error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Admission-control knobs, all enforced before a job touches the
+/// scheduler: a request that violates one costs the daemon a string
+/// comparison, never a simulation.
+struct ServiceLimits {
+  /// Hard cap on one request line (bytes, excluding the newline).  The
+  /// server discards oversized lines without buffering them.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Cap on an inline "qasm" program source.
+  std::size_t max_qasm_bytes = 256 << 10;
+  /// Widest circuit the daemon will simulate (density-matrix cost is
+  /// 4^qubits; one admission knob, not a per-tenant quota).
+  int max_qubits = 16;
+  /// Jobs admitted but not yet finished, across all tenants.
+  std::size_t max_queued_jobs = 64;
+};
+
+/// The operations a request can name.
+enum class Op {
+  kPing,      ///< liveness check
+  kSubmit,    ///< enqueue an analysis job
+  kStatus,    ///< non-blocking job snapshot
+  kWait,      ///< block until the job is terminal
+  kFetch,     ///< full report of a finished job
+  kCancel,    ///< request cooperative cancellation
+  kStats,     ///< scheduler + run-cache counters
+  kShutdown,  ///< ask the daemon to drain and exit
+};
+
+/// Fields of a submit request.  Overrides left at -1 fall back to the
+/// daemon's base configuration.
+struct SubmitRequest {
+  std::string tenant = "default";
+  std::string benchmark;  ///< built-in key (algos::find_benchmark)
+  std::string qasm;       ///< inline OpenQASM 2.0 (exactly one of the two)
+  /// Detached jobs survive their submitting connection; attached jobs are
+  /// cancelled when it closes (a vanished client should not keep burning
+  /// the pool).
+  bool detach = false;
+  std::int64_t shots = -1;
+  std::int64_t seed = -1;
+  std::int64_t reversals = -1;
+  std::int64_t max_gates = -1;
+};
+
+/// One parsed, validated request.
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t job = 0;  ///< status/wait/fetch/cancel target
+  SubmitRequest submit;   ///< meaningful for kSubmit
+};
+
+/// Parses and validates one request line.  Throws ProtocolError on any
+/// violation; the returned Request is structurally valid (admission
+/// limits beyond request shape — queue depth, qubit count — are checked
+/// later, where the information exists).
+Request parse_request(const std::string& line, const ServiceLimits& limits);
+
+/// Renders the structured error line for \p code (no trailing newline).
+std::string error_response(ErrorCode code, const std::string& message);
+
+}  // namespace charter::service

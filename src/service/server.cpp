@@ -1,0 +1,380 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "algos/registry.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "core/report_io.hpp"
+#include "exec/cache.hpp"
+#include "service/json.hpp"
+
+namespace charter::service {
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+Service::Service(const backend::Backend& backend, SessionConfig base,
+                 ServiceLimits limits, Scheduler& scheduler)
+    : backend_(backend),
+      base_(std::move(base)),
+      limits_(limits),
+      scheduler_(scheduler) {}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::size_t value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+std::string job_response(const JobSnapshot& s) {
+  std::string out = "{\"ok\":true,\"job\":" + std::to_string(s.id);
+  out += ",\"tenant\":\"" + json_escape(s.tenant) + "\"";
+  out += ",\"status\":\"";
+  out += job_phase_name(s.phase);
+  out += "\"";
+  append_kv(out, "completed", s.completed);
+  append_kv(out, "total", s.total);
+  if (s.phase == JobPhase::kFailed)
+    out += ",\"error\":\"" + json_escape(s.error) + "\"";
+  out += "}";
+  return out;
+}
+
+void append_tier(std::string& out, const char* name,
+                 const exec::RunCache::TierStats& t) {
+  out += "\"";
+  out += name;
+  out += "\":{\"hits\":" + std::to_string(t.hits);
+  append_kv(out, "misses", t.misses);
+  append_kv(out, "evictions", t.evictions);
+  append_kv(out, "entries", t.entries);
+  append_kv(out, "bytes", t.bytes);
+  out += "}";
+}
+
+}  // namespace
+
+std::string Service::handle_line(const std::string& line,
+                                 std::uint64_t connection) {
+  try {
+    return dispatch(parse_request(line, limits_), connection);
+  } catch (const ProtocolError& e) {
+    return error_response(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return error_response(ErrorCode::kInternal, e.what());
+  }
+}
+
+std::string Service::dispatch(const Request& request,
+                              std::uint64_t connection) {
+  switch (request.op) {
+    case Op::kPing:
+      return "{\"ok\":true,\"pong\":true}";
+    case Op::kSubmit:
+      return handle_submit(request.submit, connection);
+    case Op::kStatus:
+      return job_response(scheduler_.snapshot(request.job));
+    case Op::kWait:
+      return job_response(scheduler_.await(request.job));
+    case Op::kCancel: {
+      const bool landed = scheduler_.cancel(request.job);
+      return "{\"ok\":true,\"job\":" + std::to_string(request.job) +
+             ",\"cancelled\":" + (landed ? "true" : "false") + "}";
+    }
+    case Op::kFetch: {
+      const core::CharterReport report = scheduler_.report(request.job);
+      // The report is the library's own golden-report JSON (schema'd,
+      // %.17g round-trip exact); its newlines are stripped to respect the
+      // one-line framing, which its whitespace-skipping parser allows.
+      std::string body = core::report_to_json(report, report.exec_stats);
+      body.erase(std::remove(body.begin(), body.end(), '\n'), body.end());
+      return "{\"ok\":true,\"job\":" + std::to_string(request.job) +
+             ",\"status\":\"done\",\"report\":" + body + "}";
+    }
+    case Op::kStats: {
+      const Scheduler::Stats s = scheduler_.stats();
+      std::string out = "{\"ok\":true,\"scheduler\":{\"submitted\":" +
+                        std::to_string(s.submitted);
+      append_kv(out, "done", s.done);
+      append_kv(out, "cancelled", s.cancelled);
+      append_kv(out, "failed", s.failed);
+      append_kv(out, "queued", s.queued);
+      append_kv(out, "running", s.running);
+      append_kv(out, "tenants", s.tenants);
+      out += "},\"pool_threads\":" +
+             std::to_string(scheduler_.pool().num_workers());
+      const exec::RunCache::Stats cache = exec::RunCache::global().stats();
+      out += ",\"cache\":{";
+      append_tier(out, "memory", cache.memory);
+      out += ",";
+      append_tier(out, "disk", cache.disk);
+      out += "}}";
+      return out;
+    }
+    case Op::kShutdown: {
+      scheduler_.request_drain();
+      if (on_shutdown) on_shutdown();
+      return "{\"ok\":true,\"draining\":true}";
+    }
+  }
+  return error_response(ErrorCode::kInternal, "unhandled op");
+}
+
+std::string Service::handle_submit(const SubmitRequest& submit,
+                                   std::uint64_t connection) {
+  // Resolve the circuit before touching the scheduler: a bad program
+  // must never consume an admission slot.
+  circ::Circuit circuit(1);
+  if (!submit.benchmark.empty()) {
+    try {
+      circuit = algos::find_benchmark(submit.benchmark).build();
+    } catch (const NotFound& e) {
+      throw ProtocolError(ErrorCode::kNotFound, e.what());
+    }
+  } else {
+    try {
+      circuit = circ::parse_qasm(submit.qasm);
+    } catch (const Error& e) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          std::string("qasm: ") + e.what());
+    }
+  }
+  if (circuit.num_qubits() > limits_.max_qubits)
+    throw ProtocolError(
+        ErrorCode::kTooLarge,
+        "circuit uses " + std::to_string(circuit.num_qubits()) +
+            " qubits; this daemon admits at most " +
+            std::to_string(limits_.max_qubits));
+
+  SessionConfig config = base_;
+  if (submit.shots >= 0) config.shots(submit.shots);
+  if (submit.seed >= 0) config.seed(static_cast<std::uint64_t>(submit.seed));
+  if (submit.reversals >= 0)
+    config.reversals(static_cast<int>(submit.reversals));
+  if (submit.max_gates >= 0)
+    config.max_gates(static_cast<int>(submit.max_gates));
+  const std::vector<std::string> errors = config.validate();
+  if (!errors.empty()) {
+    std::string msg = "invalid configuration:";
+    for (const std::string& e : errors) msg += " " + e + ";";
+    throw ProtocolError(ErrorCode::kBadRequest, msg);
+  }
+
+  std::uint64_t id = 0;
+  try {
+    id = scheduler_.submit(submit.tenant, backend_.compile(circuit),
+                           config.resolved(), submit.detach, connection);
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const Error& e) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        std::string("compile: ") + e.what());
+  }
+  return "{\"ok\":true,\"job\":" + std::to_string(id) +
+         ",\"status\":\"queued\"}";
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// send(2) until done; false on a broken connection.  MSG_NOSIGNAL keeps
+/// a mid-write hangup an error return instead of a fatal SIGPIPE.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Service& service, Scheduler& scheduler,
+                           std::string socket_path)
+    : service_(service),
+      scheduler_(scheduler),
+      socket_path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() {
+  request_stop();
+  wait_until_stopped();
+}
+
+void SocketServer::start() {
+  require(!socket_path_.empty(), "charterd needs a socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(socket_path_.size() < sizeof(addr.sun_path),
+          "socket path too long: " + socket_path_);
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  ::unlink(socket_path_.c_str());  // replace a stale socket from a crash
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("bind " + socket_path_ + ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error(std::string("listen: ") + std::strerror(err));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    listen_fd_ = fd;
+  }
+  acceptor_ = std::thread([this] { accept_main(); });
+}
+
+void SocketServer::request_stop() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  stopping_ = true;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // SHUT_RD, not RDWR: blocked reads return so connection threads unwind,
+  // but a response already being written — the `shutdown` ack that
+  // triggered this very teardown — still reaches its client.
+  for (const auto& [id, fd] : open_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+std::size_t SocketServer::open_connections() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return open_fds_.size();
+}
+
+void SocketServer::wait_until_stopped() {
+  if (acceptor_.joinable()) acceptor_.join();
+  // Connection threads unwind after their sockets shut down; collect them
+  // (the vector only grows under mu_, so the swap is safe to repeat).
+  for (;;) {
+    std::vector<std::thread> threads;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      threads.swap(threads_);
+    }
+    if (threads.empty()) break;
+    for (std::thread& t : threads) t.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(socket_path_.c_str());
+    }
+  }
+}
+
+void SocketServer::accept_main() {
+  for (;;) {
+    int listen_fd;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    std::uint64_t connection;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      connection = next_connection_++;
+      open_fds_.emplace(connection, fd);
+      threads_.emplace_back(
+          [this, fd, connection] { connection_main(fd, connection); });
+    }
+  }
+}
+
+void SocketServer::connection_main(int fd, std::uint64_t connection) {
+  const std::size_t max_line = service_.limits().max_line_bytes;
+  std::string buffer;
+  bool discarding = false;  // inside an oversized line, dropping to newline
+  char chunk[4096];
+
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // hangup or shutdown
+
+    std::size_t begin = 0;
+    const std::size_t got = static_cast<std::size_t>(n);
+    while (begin < got) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(chunk + begin, '\n', got - begin));
+      if (nl == nullptr) {
+        if (discarding) break;  // still dropping the oversized line
+        buffer.append(chunk + begin, got - begin);
+        if (buffer.size() > max_line) {
+          // Refuse to buffer further; answer now and skip to the newline.
+          buffer.clear();
+          discarding = true;
+          if (!write_all(fd, error_response(ErrorCode::kTooLarge,
+                                            "request exceeds " +
+                                                std::to_string(max_line) +
+                                                " bytes") +
+                                 "\n"))
+            goto done;
+        }
+        break;
+      }
+      const std::size_t len = static_cast<std::size_t>(nl - (chunk + begin));
+      if (discarding) {
+        discarding = false;  // oversized line ends here; already answered
+      } else {
+        buffer.append(chunk + begin, len);
+        if (!buffer.empty() && buffer.back() == '\r') buffer.pop_back();
+        if (!buffer.empty()) {
+          const std::string response =
+              service_.handle_line(buffer, connection);
+          if (!write_all(fd, response + "\n")) goto done;
+        }
+        buffer.clear();
+      }
+      begin += len + 1;
+    }
+  }
+
+done:
+  // A vanished client must not keep burning the pool: its non-detached
+  // jobs are cancelled and their partial results discarded uncached.
+  scheduler_.connection_closed(connection);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(connection);
+  }
+  ::close(fd);
+}
+
+}  // namespace charter::service

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file server.hpp
+/// charterd's request engine and socket front-end, deliberately split:
+///
+///  - Service turns one request line into one response line.  It owns the
+///    protocol semantics — compiling submissions, applying per-request
+///    overrides to the daemon's base configuration, admission checks that
+///    need a circuit in hand (qubit cap), and mapping every failure to a
+///    structured error.  It touches no sockets, so the protocol tests
+///    drive it directly with strings.
+///
+///  - SocketServer owns the AF_UNIX listener and one thread per
+///    connection: line framing, the oversized-line discard path, and the
+///    hang-up notification that cancels a client's non-detached jobs.
+///
+/// Blocking ops (wait) block the connection thread only; every client
+/// has its own.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "charter/session.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+
+namespace charter::service {
+
+/// Socket-free protocol engine: one line in, one line out.
+class Service {
+ public:
+  /// \p base is the daemon-wide configuration; submit overrides
+  /// (shots/seed/reversals/max_gates) are applied per request and
+  /// re-validated.  \p backend and \p scheduler must outlive the service.
+  Service(const backend::Backend& backend, SessionConfig base,
+          ServiceLimits limits, Scheduler& scheduler);
+
+  /// Handles one request line (no trailing newline) from \p connection
+  /// and returns the response line.  Never throws: every failure becomes
+  /// a structured error response.
+  std::string handle_line(const std::string& line, std::uint64_t connection);
+
+  const ServiceLimits& limits() const { return limits_; }
+
+  /// Invoked (from the handling connection thread) after a shutdown
+  /// request is acknowledged and the scheduler's drain has been
+  /// requested.  The daemon wires this to wake its main thread; it must
+  /// not block on the drain itself.
+  std::function<void()> on_shutdown;
+
+ private:
+  std::string dispatch(const Request& request, std::uint64_t connection);
+  std::string handle_submit(const SubmitRequest& submit,
+                            std::uint64_t connection);
+
+  const backend::Backend& backend_;
+  const SessionConfig base_;
+  const ServiceLimits limits_;
+  Scheduler& scheduler_;
+};
+
+/// AF_UNIX stream listener with one thread per connection.
+class SocketServer {
+ public:
+  /// \p service and \p scheduler must outlive the server.  The socket is
+  /// not created until start().
+  SocketServer(Service& service, Scheduler& scheduler,
+               std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds (replacing a stale socket file), listens, and starts the
+  /// accept thread.  Throws charter::Error when the address is unusable.
+  void start();
+
+  /// Stops accepting and shuts down every open connection's socket so
+  /// blocked reads return.  Safe from any thread; idempotent.
+  void request_stop();
+
+  /// Joins the accept thread and every connection thread.  Call after
+  /// request_stop() (in-flight `wait` ops finish first — the daemon
+  /// drains the scheduler before stopping the server).
+  void wait_until_stopped();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Connections currently being served.  A connection leaves this count
+  /// only after its hangup handling (connection_closed) has finished, so
+  /// tests can wait for a disconnect's cancellations to land.
+  std::size_t open_connections() const;
+
+ private:
+  void accept_main();
+  void connection_main(int fd, std::uint64_t connection);
+
+  Service& service_;
+  Scheduler& scheduler_;
+  const std::string socket_path_;
+
+  mutable std::mutex mu_;
+  int listen_fd_ = -1;                    // under mu_
+  std::map<std::uint64_t, int> open_fds_; // under mu_
+  std::vector<std::thread> threads_;      // under mu_
+  std::uint64_t next_connection_ = 1;     // under mu_
+  bool stopping_ = false;                 // under mu_
+  std::thread acceptor_;
+};
+
+}  // namespace charter::service

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke test, run by CTest as `service_smoke`.
+#
+# Drives the real charterd binary with the real `charter client` over an
+# AF_UNIX socket and checks the contract the unit tests cannot: a cold
+# daemon simulates, a *restarted* daemon with the same --cache-dir serves
+# the same submission entirely from the disk tier (zero new simulations),
+# and both shutdown paths (`charter client shutdown`, SIGTERM) drain
+# cleanly.
+#
+# Required environment: CHARTERD_BIN and CHARTER_BIN point at the built
+# binaries (CMake passes $<TARGET_FILE:...>).
+
+set -u
+
+: "${CHARTERD_BIN:?set CHARTERD_BIN to the charterd binary}"
+: "${CHARTER_BIN:?set CHARTER_BIN to the charter CLI binary}"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/charter_service_smoke.XXXXXX")"
+SOCK="$WORK/charterd.sock"
+CACHE="$WORK/cache"
+LOG="$WORK/charterd.log"
+DAEMON_PID=""
+
+fail() {
+  echo "service_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+client() {
+  "$CHARTER_BIN" client "$@" --socket "$SOCK"
+}
+
+start_daemon() {
+  "$CHARTERD_BIN" --socket "$SOCK" --backend lagos --threads 2 \
+    --cache-dir "$CACHE" --shots 2048 --seed 7 --reversals 3 \
+    >>"$LOG" 2>&1 &
+  DAEMON_PID=$!
+  # The socket appears once the listener is up; pings may still race the
+  # bind, so poll.
+  for _ in $(seq 1 100); do
+    if client ping >/dev/null 2>&1; then return 0; fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.1
+  done
+  fail "daemon never answered ping on $SOCK"
+}
+
+await_daemon_exit() {
+  wait "$DAEMON_PID"
+  local status=$?
+  DAEMON_PID=""
+  [ "$status" -eq 0 ] || fail "daemon exited with status $status"
+}
+
+# --- cold daemon: submit simulates, report fetches ---------------------------
+start_daemon
+
+client ping | grep -q '"pong":true' || fail "ping did not pong"
+client submit --algo qft3 --wait >/dev/null || fail "cold submit failed"
+
+COLD="$(client fetch --job 1)" || fail "cold fetch failed"
+echo "$COLD" | grep -q '"status":"done"' || fail "cold job not done"
+echo "$COLD" | grep -q '"schema":' || fail "fetch did not embed a report"
+echo "$COLD" | grep -q '"cache_hits":0' \
+  || fail "cold run hit the cache; the cache cannot be cold"
+
+# "Zero new simulations": every execution path that touches the simulator
+# (full runs and both checkpoint plans) must count zero.
+all_cached() {
+  echo "$1" | grep -q '"full_runs":0' &&
+    echo "$1" | grep -q '"checkpointed":0' &&
+    echo "$1" | grep -q '"trajectory_checkpointed":0' &&
+    ! echo "$1" | grep -q '"cache_hits":0'
+}
+
+# A same-process resubmission is served by the in-memory tier.
+client submit --algo qft3 --wait >/dev/null || fail "warm submit failed"
+WARM_MEM="$(client fetch --job 2)" || fail "warm fetch failed"
+all_cached "$WARM_MEM" || fail "same-process resubmission still simulated"
+echo "$WARM_MEM" | grep -q '"cache_memory_hits":0' \
+  && fail "same-process resubmission bypassed the memory tier"
+
+client stats | grep -q '"disk":' || fail "stats missing the disk tier"
+
+# --- graceful shutdown over the wire -----------------------------------------
+client shutdown | grep -q '"draining":true' || fail "shutdown not acknowledged"
+await_daemon_exit
+grep -q "drained, exiting" "$LOG" || fail "first daemon did not drain"
+
+# --- restarted daemon: the disk tier survives the process --------------------
+start_daemon
+client submit --algo qft3 --wait >/dev/null || fail "post-restart submit failed"
+DISK="$(client fetch --job 1)" || fail "post-restart fetch failed"
+all_cached "$DISK" \
+  || fail "restarted daemon re-simulated despite a warm disk cache"
+echo "$DISK" | grep -q '"cache_disk_hits":0' \
+  && fail "restarted daemon did not hit the disk tier"
+
+# Warm and cold reports agree on the analysis itself.
+cold_impacts="$(echo "$COLD" | sed 's/.*"impacts":\[\([^]]*\)\].*/\1/')"
+disk_impacts="$(echo "$DISK" | sed 's/.*"impacts":\[\([^]]*\)\].*/\1/')"
+[ -n "$cold_impacts" ] || fail "could not extract impacts from the cold report"
+[ "$cold_impacts" = "$disk_impacts" ] \
+  || fail "disk-served report differs from the cold report"
+
+# --- SIGTERM drains too ------------------------------------------------------
+kill -TERM "$DAEMON_PID"
+await_daemon_exit
+grep -c "drained, exiting" "$LOG" | grep -q '^2$' \
+  || fail "SIGTERM did not drain the second daemon"
+
+ls "$CACHE"/*.chd >/dev/null 2>&1 || fail "no cache entries on disk"
+
+echo "service_smoke: PASS"

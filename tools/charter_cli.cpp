@@ -26,6 +26,8 @@
 #include <charter/charter.hpp>
 
 #include "math/simd_dispatch.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +38,14 @@ namespace cc = charter::circ;
 namespace co = charter::core;
 using charter::util::Cli;
 using charter::util::Table;
+
+/// The run cache's disk tier is attached only here at the tool level (via
+/// flag or environment); the library's RunCache::global() stays
+/// memory-only so tests and embedders are hermetic by default.
+std::string default_cache_dir() {
+  const char* dir = std::getenv("CHARTER_CACHE_DIR");
+  return dir != nullptr ? dir : "";
+}
 
 void add_common_flags(Cli& cli) {
   cli.add_flag("algo", std::string("qft3"),
@@ -53,6 +63,9 @@ void add_common_flags(Cli& cli) {
   cli.add_flag("threads", std::int64_t{0},
                "analysis worker-pool width (0 = all hardware threads; "
                "results are identical at every value)");
+  cli.add_flag("cache-dir", default_cache_dir(),
+               "persistent run-cache directory (default $CHARTER_CACHE_DIR; "
+               "empty = memory-only)");
 }
 
 /// Looks up --algo, and on an unknown key prints the valid ones and exits
@@ -91,11 +104,14 @@ charter::SessionConfig make_config(const Cli& cli) {
       .shots(cli.get_int("shots"))
       .seed(static_cast<std::uint64_t>(cli.get_int("seed")))
       .fused(cli.get_bool("fused"))
-      .threads(static_cast<int>(cli.get_int("threads")));
+      .threads(static_cast<int>(cli.get_int("threads")))
+      .cache_dir(cli.get_string("cache-dir"));
 }
 
 int cmd_version(int argc, const char* const* argv) {
   Cli cli("charter version: build/runtime diagnostics");
+  cli.add_flag("verbose", false,
+               "also report run-cache configuration and per-tier counters");
   if (!cli.parse(argc, argv)) return 0;
   namespace simd = charter::math::simd;
   std::printf("charter %s (Charter reproduction, C++%ld)\n",
@@ -110,6 +126,137 @@ int cmd_version(int argc, const char* const* argv) {
                   : "(none; set CHARTER_SIMD=scalar|sse2|neon|avx2)");
   std::printf("  environment   : %s\n",
               cb::run_environment_summary().c_str());
+  if (cli.get_bool("verbose")) {
+    // Attach the disk tier exactly as the analysis subcommands would, so
+    // the entry/byte counts describe the directory a run would hit.
+    const std::string cache_dir = default_cache_dir();
+    if (!cache_dir.empty())
+      charter::exec::RunCache::global().set_disk_tier(cache_dir);
+    const auto stats = charter::Session::cache_stats();
+    std::printf("  cache dir     : %s\n",
+                cache_dir.empty() ? "(memory-only; set CHARTER_CACHE_DIR)"
+                                  : cache_dir.c_str());
+    std::printf("  cache memory  : %zu entries, %zu bytes "
+                "(%zu hits, %zu misses, %zu evictions)\n",
+                stats.memory.entries, stats.memory.bytes, stats.memory.hits,
+                stats.memory.misses, stats.memory.evictions);
+    std::printf("  cache disk    : %zu entries, %zu bytes "
+                "(%zu hits, %zu misses, %zu evictions)\n",
+                stats.disk.entries, stats.disk.bytes, stats.disk.hits,
+                stats.disk.misses, stats.disk.evictions);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// charter client — drive a running charterd over its socket
+// ---------------------------------------------------------------------------
+
+int cmd_client(int argc, const char* const* argv) {
+  namespace cs = charter::service;
+  const std::string ops =
+      "ping|submit|status|wait|fetch|cancel|stats|shutdown";
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: charter client <%s> [flags]\n", ops.c_str());
+    return 2;
+  }
+  const std::string op = argv[1];
+  Cli cli("charter client " + op + ": one request to a running charterd");
+  cli.add_flag("socket", cs::Client::default_socket_path(),
+               "charterd socket path");
+  cli.add_flag("tenant", std::string("default"),
+               "tenant name for fair-share scheduling (submit)");
+  cli.add_flag("algo", std::string(""),
+               "benchmark key to submit (see `charter list`)");
+  cli.add_flag("qasm-file", std::string(""),
+               "submit an OpenQASM 2.0 file instead of --algo");
+  cli.add_flag("job", std::int64_t{0}, "job id (status/wait/fetch/cancel)");
+  cli.add_flag("detach", false,
+               "keep the job running after this client disconnects");
+  cli.add_flag("wait", false, "after submit, block until the job finishes");
+  cli.add_flag("shots", std::int64_t{-1}, "override shots (-1 = daemon default)");
+  cli.add_flag("seed", std::int64_t{-1}, "override seed (-1 = daemon default)");
+  cli.add_flag("reversals", std::int64_t{-1},
+               "override reversed pairs (-1 = daemon default)");
+  cli.add_flag("max-gates", std::int64_t{-1},
+               "override analyzed-gate cap (-1 = daemon default)");
+  if (!cli.parse(argc - 1, argv + 1)) return 0;
+
+  std::string request;
+  if (op == "ping" || op == "stats" || op == "shutdown") {
+    request = "{\"op\":\"" + op + "\"}";
+  } else if (op == "status" || op == "wait" || op == "fetch" ||
+             op == "cancel") {
+    if (cli.get_int("job") <= 0) {
+      std::fprintf(stderr, "charter client %s needs --job <id>\n",
+                   op.c_str());
+      return 2;
+    }
+    request = "{\"op\":\"" + op +
+              "\",\"job\":" + std::to_string(cli.get_int("job")) + "}";
+  } else if (op == "submit") {
+    const std::string algo = cli.get_string("algo");
+    const std::string qasm_file = cli.get_string("qasm-file");
+    if (algo.empty() == qasm_file.empty()) {
+      std::fprintf(stderr,
+                   "charter client submit needs exactly one of --algo or "
+                   "--qasm-file\n");
+      return 2;
+    }
+    request = "{\"op\":\"submit\",\"tenant\":\"" +
+              cs::json_escape(cli.get_string("tenant")) + "\"";
+    if (!algo.empty()) {
+      request += ",\"benchmark\":\"" + cs::json_escape(algo) + "\"";
+    } else {
+      std::FILE* f = std::fopen(qasm_file.c_str(), "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "charter: cannot read %s\n", qasm_file.c_str());
+        return 1;
+      }
+      std::string source;
+      char buf[4096];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        source.append(buf, n);
+      std::fclose(f);
+      request += ",\"qasm\":\"" + cs::json_escape(source) + "\"";
+    }
+    if (cli.get_bool("detach")) request += ",\"detach\":true";
+    for (const char* field : {"shots", "seed", "reversals", "max-gates"}) {
+      if (cli.get_int(field) >= 0) {
+        const std::string key =
+            std::strcmp(field, "max-gates") == 0 ? "max_gates" : field;
+        request += ",\"" + key + "\":" + std::to_string(cli.get_int(field));
+      }
+    }
+    request += "}";
+  } else {
+    std::fprintf(stderr, "charter client: unknown op '%s' (expected %s)\n",
+                 op.c_str(), ops.c_str());
+    return 2;
+  }
+
+  cs::Client client(cli.get_string("socket"));
+  std::string response = client.call_raw(request);
+  std::printf("%s\n", response.c_str());
+
+  cs::JsonValue parsed = cs::parse_json(response);
+  const cs::JsonValue* ok = parsed.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->boolean) return 1;
+
+  if (op == "submit" && cli.get_bool("wait")) {
+    const cs::JsonValue* id = parsed.find("job");
+    if (id == nullptr || !id->is_number()) return 1;
+    response = client.call_raw(
+        "{\"op\":\"wait\",\"job\":" +
+        std::to_string(static_cast<std::int64_t>(id->number)) + "}");
+    std::printf("%s\n", response.c_str());
+    parsed = cs::parse_json(response);
+    const cs::JsonValue* status = parsed.find("status");
+    if (status == nullptr || !status->is_string() ||
+        status->string != "done")
+      return 1;
+  }
   return 0;
 }
 
@@ -279,9 +426,11 @@ int cmd_qasm(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: charter <list|version|inspect|analyze|input|mitigate|qasm> "
-      "[flags]\n"
-      "run `charter <command> --help` for the command's flags\n",
+      "usage: charter "
+      "<list|version|inspect|analyze|input|mitigate|qasm|client> [flags]\n"
+      "run `charter <command> --help` for the command's flags\n"
+      "`charter client <op>` talks to a running charterd (see charterd "
+      "--help)\n",
       stderr);
 }
 
@@ -302,6 +451,7 @@ int main(int argc, char** argv) {
     if (cmd == "input") return cmd_input(argc - 1, argv + 1);
     if (cmd == "mitigate") return cmd_mitigate(argc - 1, argv + 1);
     if (cmd == "qasm") return cmd_qasm(argc - 1, argv + 1);
+    if (cmd == "client") return cmd_client(argc - 1, argv + 1);
     usage();
     return 2;
   } catch (const charter::Error& e) {
