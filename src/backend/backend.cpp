@@ -77,6 +77,7 @@ std::string run_environment_summary() {
   out += ", threads=" + std::to_string(util::num_threads());
   out += ", dm_max_qubits=" +
          std::to_string(sim::DensityMatrixEngine::kMaxQubits);
+  out += ", fusion_width=" + std::to_string(noise::fusion_width());
   return out;
 }
 
@@ -198,13 +199,18 @@ std::vector<double> FakeBackend::run(const CompiledProgram& program,
 
   // Lower once; the tape is reusable across executions, so trajectory
   // averaging interprets the same tape per unravelling instead of
-  // re-deriving the schedule and clock walk each time.  Trajectories always
-  // run the exact tape: fusion merges/reorders stochastic channels, which
-  // would resample every unravelling (sampling-noise-sized changes, not the
-  // documented ~1e-12) for no kernel-pass savings at statevector cost.
-  const noise::OptLevel opt = engine == EngineKind::kDensityMatrix
-                                  ? options.opt
-                                  : noise::OptLevel::kExact;
+  // re-deriving the schedule and clock walk each time.  Trajectory runs
+  // downgrade kFused to the exact tape: fused() merges/reorders stochastic
+  // channels, which would resample every unravelling (sampling-noise-sized
+  // changes, not the documented ~1e-12) for no kernel-pass savings at
+  // statevector cost.  kFusedWide is honored — it keeps stochastic channels
+  // as barriers in tape order, so the RNG draw sequence is preserved and
+  // only coherent segments consolidate into dense wide gates.
+  const noise::OptLevel opt =
+      engine == EngineKind::kDensityMatrix ||
+              options.opt == noise::OptLevel::kFusedWide
+          ? options.opt
+          : noise::OptLevel::kExact;
   const noise::NoisyExecutor executor(lowered.model, opt);
   const noise::NoiseProgram tape = executor.lower(lowered.local);
   std::vector<double> probs;

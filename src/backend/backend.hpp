@@ -53,10 +53,15 @@ struct RunOptions {
   /// default) is bit-identical to the interpretive executor walk; kFused
   /// merges gates, diagonal chains, and relaxation windows for speed, with
   /// results agreeing to ~1e-12 on the exact density-matrix engine.
-  /// Trajectory runs ignore kFused and always execute the exact tape —
-  /// fusing would reorder the stochastic branch draws and resample every
-  /// unravelling.  Part of the exec::RunCache key: exact and fused runs of
-  /// the same circuit never collide.
+  /// kFusedWide additionally consolidates coherent runs into dense
+  /// two-qubit (and, with noise::set_fusion_width(3), three-qubit)
+  /// unitaries while keeping every stochastic channel as a barrier in tape
+  /// order.  Trajectory runs downgrade kFused to the exact tape — fusing
+  /// would reorder the stochastic branch draws and resample every
+  /// unravelling — but honor kFusedWide, whose barrier discipline preserves
+  /// the RNG draw sequence.  Part of the exec::RunCache key: exact, fused,
+  /// and fused-wide runs of the same circuit never collide (fused-wide keys
+  /// also mix the active fusion width).
   noise::OptLevel opt = noise::OptLevel::kExact;
 };
 

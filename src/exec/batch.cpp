@@ -139,23 +139,28 @@ std::vector<std::vector<double>> BatchRunner::run(
   }
 
   // Trajectory sharing only pays when at least two candidates agree on
-  // (seed, trajectory count) — the base sweep costs a full run's worth of
-  // simulation, so a lone job is cheaper cold.  Pick the plurality config;
-  // candidates outside it run plain.
+  // (seed, trajectory count, opt level) — the base sweep costs a full run's
+  // worth of simulation, so a lone job is cheaper cold, and mixing exact
+  // with fused-wide sharers would hand half the group a tape lowered at the
+  // wrong level.  Pick the plurality config; candidates outside it run
+  // plain.
   bool have_traj_group = false;
   std::uint64_t group_seed = 0;
   int group_trajectories = 0;
+  noise::OptLevel group_opt = noise::OptLevel::kExact;
   if (traj_candidates.size() >= 2) {
     std::size_t best_count = 0;
     for (const std::size_t i : traj_candidates) {
       std::size_t count = 0;
       for (const std::size_t j : traj_candidates)
         count += (jobs[j].run.seed == jobs[i].run.seed &&
-                  jobs[j].run.trajectories == jobs[i].run.trajectories);
+                  jobs[j].run.trajectories == jobs[i].run.trajectories &&
+                  jobs[j].run.opt == jobs[i].run.opt);
       if (count > best_count) {
         best_count = count;
         group_seed = jobs[i].run.seed;
         group_trajectories = jobs[i].run.trajectories;
+        group_opt = jobs[i].run.opt;
       }
     }
     have_traj_group = best_count >= 2;
@@ -163,7 +168,8 @@ std::vector<std::vector<double>> BatchRunner::run(
   for (const std::size_t i : traj_candidates) {
     const bool in_group = have_traj_group &&
                           jobs[i].run.seed == group_seed &&
-                          jobs[i].run.trajectories == group_trajectories;
+                          jobs[i].run.trajectories == group_trajectories &&
+                          jobs[i].run.opt == group_opt;
     (in_group ? traj_idx : plain_idx).push_back(i);
   }
 
@@ -263,9 +269,13 @@ std::vector<std::vector<double>> BatchRunner::run(
     backend::RunOptions lower_options;
     lower_options.drift = 0.0;
     const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
-    // Trajectory tapes are never fused (fusing reorders stochastic draws).
-    const noise::NoisyExecutor executor(lowered.model,
-                                        noise::OptLevel::kExact);
+    // Trajectory tapes downgrade kFused to exact (fused() reorders
+    // stochastic draws); kFusedWide keeps channels as in-order barriers, so
+    // the group may share a fused-wide lowering.
+    const noise::NoisyExecutor executor(
+        lowered.model, group_opt == noise::OptLevel::kFusedWide
+                           ? noise::OptLevel::kFusedWide
+                           : noise::OptLevel::kExact);
     std::vector<std::size_t> prefix_lens;
     for (const std::size_t i : traj_idx)
       if (jobs[i].program != base) prefix_lens.push_back(jobs[i].shared_prefix);
@@ -337,8 +347,13 @@ std::vector<std::vector<double>> BatchRunner::run(
                      traj_plain[static_cast<std::size_t>(k)];
                  TrajRun& r = runs[static_cast<std::size_t>(k)];
                  r.lowered = backend_.lower(*jobs[i].program, jobs[i].run);
+                 // Mirror FakeBackend::run's trajectory policy: kFusedWide
+                 // is honored, kFused downgrades to the exact tape.
                  const noise::NoisyExecutor executor(
-                     r.lowered->model, noise::OptLevel::kExact);
+                     r.lowered->model,
+                     jobs[i].run.opt == noise::OptLevel::kFusedWide
+                         ? noise::OptLevel::kFusedWide
+                         : noise::OptLevel::kExact);
                  r.tape = executor.lower(r.lowered->local);
                  r.partial.resize(static_cast<std::size_t>(
                      sim::num_trajectory_groups(jobs[i].run.trajectories)));

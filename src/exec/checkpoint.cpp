@@ -112,6 +112,8 @@ std::vector<double> CheckpointPlan::run_shared(
   noise::NoiseProgram tape = std::move(*spliced);
   if (executor_.level() == noise::OptLevel::kFused)
     tape = noise::fused(tape, resume_pos);
+  else if (executor_.level() == noise::OptLevel::kFusedWide)
+    tape = noise::fused_wide(tape, resume_pos);
 
   engine.load_state(snapshot->rho);
   replayed_ops_.fetch_add(prefix_len - snapshot->prefix_len,

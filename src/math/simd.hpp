@@ -3,7 +3,7 @@
 /// \file simd.hpp
 /// Portable SIMD layer for the hot simulation kernels.
 ///
-/// Three implementations of the same kernel set coexist in the binary,
+/// Four implementations of the same kernel set coexist in the binary,
 /// selected at runtime by CPU-feature dispatch (simd_dispatch.hpp):
 ///
 ///  - scalar   plain std::complex loops, bit-identical to the historical
@@ -15,10 +15,14 @@
 ///  - width-4  two complex doubles per 256-bit vector — AVX2+FMA on
 ///             x86-64, compiled in its own translation unit with
 ///             -mavx2 -mfma and only ever called after a runtime CPUID
-///             check.
+///             check;
+///  - width-8  four complex doubles per 512-bit vector — AVX-512 F+DQ on
+///             x86-64, compiled in its own translation unit (gated by the
+///             CHARTER_SIMD_AVX512 CMake option) with -mavx512f -mavx512dq
+///             and only ever called after a runtime CPUID check.
 ///
-/// The vector types below (CVec2d / CVec4d) are defined only when the
-/// including translation unit enables the matching ISA, so ordinary code
+/// The vector types below (CVec2d / CVec4d / CVec8d) are defined only when
+/// the including translation unit enables the matching ISA, so ordinary code
 /// never sees intrinsics; everything else reaches the kernels through the
 /// KernelTable function-pointer set, which keeps the call ABI identical
 /// across paths and lets sim/kernels.hpp stay a thin forwarding header.
@@ -46,7 +50,7 @@ inline std::uint64_t insert_zero_bit(std::uint64_t x, std::uint64_t mask) {
 /// One kernel set.  Signatures mirror sim/kernels.hpp exactly; `dim` is the
 /// amplitude count (a power of two), qubit q maps to bit q of the index.
 struct KernelTable {
-  const char* name;  ///< "scalar", "sse2"/"neon", or "avx2"
+  const char* name;  ///< "scalar", "sse2"/"neon", "avx2", or "avx512"
 
   // ---- statevector / generic gate kernels -------------------------------
   void (*apply_1q)(cplx* a, std::uint64_t dim, int q, const Mat2& u);
@@ -55,6 +59,9 @@ struct KernelTable {
   void (*apply_cx)(cplx* a, std::uint64_t dim, int c, int t);
   void (*apply_diag_2q)(cplx* a, std::uint64_t dim, int qa, int qb,
                         const std::array<cplx, 4>& d);
+  /// Dense 4x4 unitary on (qa, qb); index convention bit(qa) + 2*bit(qb).
+  /// Hot on fused-wide tapes (noise::fused_wide emits kUnitary2q ops).
+  void (*apply_2q)(cplx* a, std::uint64_t dim, int qa, int qb, const Mat4& u);
 
   // ---- fused density-matrix pair kernels --------------------------------
   void (*apply_1q_pair)(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
@@ -92,6 +99,7 @@ struct KernelTable {
 const KernelTable* table_scalar();
 const KernelTable* table_width2();
 const KernelTable* table_avx2();
+const KernelTable* table_avx512();
 
 // ===========================================================================
 // Width-2 complex vector: one complex double in a 128-bit register.
@@ -244,5 +252,68 @@ inline CVec4d cmul(CVec4d x, CVec4d y) {
 /// acc + x*y on both lanes.
 inline CVec4d cfma(CVec4d acc, CVec4d x, CVec4d y) { return acc + cmul(x, y); }
 #endif  // AVX2 + FMA
+
+// ===========================================================================
+// Width-8 complex vector: four complex doubles in a 512-bit register.
+// Only defined in the AVX-512 translation unit (-mavx512f -mavx512dq; DQ
+// supplies _mm512_broadcast_f64x2).
+// ===========================================================================
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+#define CHARTER_SIMD_HAS_AVX512 1
+#include <immintrin.h>
+
+struct CVec8d {
+  __m512d v;  ///< [re0, im0, re1, im1, re2, im2, re3, im3]
+
+  static CVec8d load(const cplx* p) {
+    return {_mm512_loadu_pd(reinterpret_cast<const double*>(p))};
+  }
+  void store(cplx* p) const {
+    _mm512_storeu_pd(reinterpret_cast<double*>(p), v);
+  }
+  /// All four lanes set to the same complex value.
+  static CVec8d bcast(cplx c) {
+    return {_mm512_broadcast_f64x2(
+        _mm_loadu_pd(reinterpret_cast<const double*>(&c)))};
+  }
+  /// Lane k = ck (lane 0 lowest in memory).
+  static CVec8d set4(cplx c0, cplx c1, cplx c2, cplx c3) {
+    return {_mm512_set_pd(c3.imag(), c3.real(), c2.imag(), c2.real(),
+                          c1.imag(), c1.real(), c0.imag(), c0.real())};
+  }
+
+  friend CVec8d operator+(CVec8d a, CVec8d b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  CVec8d rscale(double s) const {
+    return {_mm512_mul_pd(v, _mm512_set1_pd(s))};
+  }
+  /// this*s + b*t with real factors, fused per element.
+  CVec8d rmix(double s, CVec8d b, double t) const {
+    return {_mm512_fmadd_pd(b.v, _mm512_set1_pd(t),
+                            _mm512_mul_pd(v, _mm512_set1_pd(s)))};
+  }
+
+  /// Arbitrary permutation of the four 128-bit complex lanes; \p imm selects
+  /// source lane (imm >> (2k)) & 3 into destination lane k.
+  template <int imm>
+  CVec8d lanes() const {
+    return {_mm512_shuffle_f64x2(v, v, imm)};
+  }
+};
+
+/// Complex product on all four lanes via the fmaddsub recipe:
+/// even slots a*c - b*d, odd slots b*c + a*d.
+inline CVec8d cmul(CVec8d x, CVec8d y) {
+  const __m512d yr = _mm512_movedup_pd(y.v);        // [c, c, ...]
+  const __m512d yi = _mm512_permute_pd(y.v, 0xFF);  // [d, d, ...]
+  const __m512d xs = _mm512_permute_pd(x.v, 0x55);  // [b, a, ...]
+  return {_mm512_fmaddsub_pd(x.v, yr, _mm512_mul_pd(xs, yi))};
+}
+
+/// acc + x*y on all four lanes.
+inline CVec8d cfma(CVec8d acc, CVec8d x, CVec8d y) { return acc + cmul(x, y); }
+#endif  // AVX-512 F + DQ
 
 }  // namespace charter::math::simd

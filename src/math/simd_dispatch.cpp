@@ -20,6 +20,17 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+/// Same gate for the width-8 unit: compiled with -mavx512f -mavx512dq, so
+/// only CPUs with both features may ever reach it.
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
 const KernelTable* table_for(SimdPath path) {
   switch (path) {
     case SimdPath::kScalar:
@@ -28,11 +39,14 @@ const KernelTable* table_for(SimdPath path) {
       return table_width2();
     case SimdPath::kAvx2:
       return cpu_has_avx2_fma() ? table_avx2() : nullptr;
+    case SimdPath::kAvx512:
+      return cpu_has_avx512() ? table_avx512() : nullptr;
   }
   return nullptr;
 }
 
 SimdPath compute_best() {
+  if (table_for(SimdPath::kAvx512) != nullptr) return SimdPath::kAvx512;
   if (table_for(SimdPath::kAvx2) != nullptr) return SimdPath::kAvx2;
   if (table_for(SimdPath::kWidth2) != nullptr) return SimdPath::kWidth2;
   return SimdPath::kScalar;
@@ -59,10 +73,12 @@ SimdPath initial_path() {
                    env, w2->name, w2->name);
   } else if (std::strcmp(env, "avx2") == 0) {
     want = SimdPath::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    want = SimdPath::kAvx512;
   } else {
     std::fprintf(stderr,
                  "charter: unknown CHARTER_SIMD value '%s' "
-                 "(expected scalar, sse2, neon, or avx2); using %s\n",
+                 "(expected scalar, sse2, neon, avx2, or avx512); using %s\n",
                  env, path_name(compute_best()));
     return compute_best();
   }
@@ -90,6 +106,7 @@ const KernelTable& active() {
 
 SimdPath active_path() {
   const KernelTable* t = &active();
+  if (t == table_for(SimdPath::kAvx512)) return SimdPath::kAvx512;
   if (t == table_for(SimdPath::kAvx2)) return SimdPath::kAvx2;
   if (t == table_for(SimdPath::kWidth2)) return SimdPath::kWidth2;
   return SimdPath::kScalar;
@@ -98,6 +115,7 @@ SimdPath active_path() {
 const char* path_name(SimdPath path) {
   if (path == SimdPath::kScalar) return "scalar";
   if (path == SimdPath::kAvx2) return "avx2";
+  if (path == SimdPath::kAvx512) return "avx512";
   // The width-2 table knows whether it was compiled as SSE2 or NEON.
   const KernelTable* t = table_width2();
   return t != nullptr ? t->name : "width2";
@@ -116,8 +134,8 @@ bool set_path(SimdPath path) {
 
 std::string available_paths() {
   std::string out;
-  for (const SimdPath p :
-       {SimdPath::kScalar, SimdPath::kWidth2, SimdPath::kAvx2}) {
+  for (const SimdPath p : {SimdPath::kScalar, SimdPath::kWidth2,
+                           SimdPath::kAvx2, SimdPath::kAvx512}) {
     if (!path_available(p)) continue;
     if (!out.empty()) out += ",";
     out += path_name(p);

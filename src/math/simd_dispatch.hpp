@@ -4,16 +4,16 @@
 /// Runtime selection between the SIMD kernel paths (math/simd.hpp).
 ///
 /// On first use the dispatcher picks the widest path that (a) was compiled
-/// into the binary and (b) the running CPU supports — AVX2+FMA via CPUID on
-/// x86-64, the baseline width-2 path (SSE2/NEON) otherwise, scalar as the
-/// universal fallback.  The choice is a single atomic table pointer, so a
-/// kernel call costs one relaxed load plus an indirect call — noise next to
-/// the O(2^n) work each kernel performs.
+/// into the binary and (b) the running CPU supports — AVX-512 F+DQ or
+/// AVX2+FMA via CPUID on x86-64, the baseline width-2 path (SSE2/NEON)
+/// otherwise, scalar as the universal fallback.  The choice is a single
+/// atomic table pointer, so a kernel call costs one relaxed load plus an
+/// indirect call — noise next to the O(2^n) work each kernel performs.
 ///
 /// Overrides, in precedence order:
 ///  1. set_path() — used by tests and benches to pin or sweep paths;
-///  2. the CHARTER_SIMD environment variable ("scalar", "sse2", "neon", or
-///     "avx2"), read once at first dispatch.  Requesting an unavailable
+///  2. the CHARTER_SIMD environment variable ("scalar", "sse2", "neon",
+///     "avx2", or "avx512"), read once at first dispatch.  Requesting an unavailable
 ///     path warns on stderr and falls back to the best available one, so a
 ///     pinned CI job never silently exercises the wrong kernels on an old
 ///     machine — the warning makes it visible.
@@ -32,6 +32,7 @@ enum class SimdPath : int {
   kScalar = 0,  ///< plain std::complex loops (always available)
   kWidth2 = 1,  ///< SSE2 (x86-64) or NEON (aarch64)
   kAvx2 = 2,    ///< AVX2+FMA, width-4
+  kAvx512 = 3,  ///< AVX-512 F+DQ, width-8 (CHARTER_SIMD_AVX512 builds only)
 };
 
 /// The table every kernel call dispatches through.
@@ -41,7 +42,7 @@ const KernelTable& active();
 SimdPath active_path();
 
 /// Canonical name of a path as compiled into this binary ("scalar",
-/// "sse2" or "neon" for kWidth2, "avx2").
+/// "sse2" or "neon" for kWidth2, "avx2", "avx512").
 const char* path_name(SimdPath path);
 
 /// True when \p path is compiled in and supported by the running CPU.

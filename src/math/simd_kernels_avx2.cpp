@@ -139,6 +139,41 @@ void k_apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
   });
 }
 
+void k_apply_2q(cplx* a, std::uint64_t dim, int qa, int qb, const Mat4& u) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  const std::uint64_t lo = amask < bmask ? amask : bmask;
+  const std::uint64_t hi = amask < bmask ? bmask : amask;
+  if (lo == 1) {
+    // A bit-0 operand splits every 4-amplitude group across register lanes;
+    // the dense 4x4 matvec would spend more shuffles than math.  Scalar is
+    // exact and this configuration is 1/n of fused-tape gates.
+    table_scalar()->apply_2q(a, dim, qa, qb, u);
+    return;
+  }
+  // lo >= 2: group bases come in contiguous pairs; two groups per iteration,
+  // one 256-bit load per input stream.
+  std::array<CVec4d, 16> um;
+  for (int r = 0; r < 4; ++r)
+    for (int k = 0; k < 4; ++k)
+      um[static_cast<std::size_t>(r * 4 + k)] = CVec4d::bcast(u(r, k));
+  util::parallel_for(static_cast<std::int64_t>(dim >> 3), [=](std::int64_t i) {
+    std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i) << 1,
+                                         lo);
+    base = insert_zero_bit(base, hi);
+    const std::uint64_t idx[4] = {base, base | amask, base | bmask,
+                                  base | amask | bmask};
+    CVec4d in[4];
+    for (int k = 0; k < 4; ++k) in[k] = CVec4d::load(a + idx[k]);
+    for (int r = 0; r < 4; ++r) {
+      CVec4d acc = cmul(in[0], um[static_cast<std::size_t>(r * 4)]);
+      for (int k = 1; k < 4; ++k)
+        acc = cfma(acc, in[k], um[static_cast<std::size_t>(r * 4 + k)]);
+      acc.store(a + idx[r]);
+    }
+  });
+}
+
 void k_apply_1q_pair(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
                      int qb, const Mat2& ub) {
   const std::uint64_t amask = 1ULL << qa;
@@ -393,11 +428,21 @@ void k_accum_add(cplx* acc, const cplx* src, std::uint64_t n) {
 }
 
 constexpr KernelTable kAvx2Table = {
-    "avx2",            k_apply_1q,           k_apply_diag_1q,
-    k_apply_x,         k_apply_cx,           k_apply_diag_2q,
-    k_apply_1q_pair,   k_apply_diag_1q_pair, k_apply_diag_2q_pair,
-    k_apply_cx_pair,   k_thermal_block,      k_depol1q_block,
-    k_bitflip_block,   k_accum_add,
+    .name = "avx2",
+    .apply_1q = k_apply_1q,
+    .apply_diag_1q = k_apply_diag_1q,
+    .apply_x = k_apply_x,
+    .apply_cx = k_apply_cx,
+    .apply_diag_2q = k_apply_diag_2q,
+    .apply_2q = k_apply_2q,
+    .apply_1q_pair = k_apply_1q_pair,
+    .apply_diag_1q_pair = k_apply_diag_1q_pair,
+    .apply_diag_2q_pair = k_apply_diag_2q_pair,
+    .apply_cx_pair = k_apply_cx_pair,
+    .thermal_block = k_thermal_block,
+    .depol1q_block = k_depol1q_block,
+    .bitflip_block = k_bitflip_block,
+    .accum_add = k_accum_add,
 };
 
 }  // namespace

@@ -71,6 +71,29 @@ void k_apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
   });
 }
 
+void k_apply_2q(cplx* a, std::uint64_t dim, int qa, int qb, const Mat4& u) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  const std::uint64_t lo = amask < bmask ? amask : bmask;
+  const std::uint64_t hi = amask < bmask ? bmask : amask;
+  util::parallel_for(
+      static_cast<std::int64_t>(dim >> 2), [=, &u](std::int64_t i) {
+        // Insert 0 bits at both qubit positions (lo first, then hi).
+        std::uint64_t base = static_cast<std::uint64_t>(i);
+        base = ((base & ~(lo - 1)) << 1) | (base & (lo - 1));
+        base = ((base & ~(hi - 1)) << 1) | (base & (hi - 1));
+        const std::uint64_t idx[4] = {base, base | amask, base | bmask,
+                                      base | amask | bmask};
+        cplx in[4];
+        for (int k = 0; k < 4; ++k) in[k] = a[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+          cplx acc = 0.0;
+          for (int k = 0; k < 4; ++k) acc += u(r, k) * in[k];
+          a[idx[r]] = acc;
+        }
+      });
+}
+
 void k_apply_1q_pair(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
                      int qb, const Mat2& ub) {
   const std::uint64_t amask = 1ULL << qa;
@@ -213,11 +236,21 @@ void k_accum_add(cplx* acc, const cplx* src, std::uint64_t n) {
 }
 
 constexpr KernelTable kScalarTable = {
-    "scalar",          k_apply_1q,           k_apply_diag_1q,
-    k_apply_x,         k_apply_cx,           k_apply_diag_2q,
-    k_apply_1q_pair,   k_apply_diag_1q_pair, k_apply_diag_2q_pair,
-    k_apply_cx_pair,   k_thermal_block,      k_depol1q_block,
-    k_bitflip_block,   k_accum_add,
+    .name = "scalar",
+    .apply_1q = k_apply_1q,
+    .apply_diag_1q = k_apply_diag_1q,
+    .apply_x = k_apply_x,
+    .apply_cx = k_apply_cx,
+    .apply_diag_2q = k_apply_diag_2q,
+    .apply_2q = k_apply_2q,
+    .apply_1q_pair = k_apply_1q_pair,
+    .apply_diag_1q_pair = k_apply_diag_1q_pair,
+    .apply_diag_2q_pair = k_apply_diag_2q_pair,
+    .apply_cx_pair = k_apply_cx_pair,
+    .thermal_block = k_thermal_block,
+    .depol1q_block = k_depol1q_block,
+    .bitflip_block = k_bitflip_block,
+    .accum_add = k_accum_add,
 };
 
 }  // namespace

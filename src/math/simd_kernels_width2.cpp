@@ -53,6 +53,31 @@ void k_apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
   });
 }
 
+void k_apply_2q(cplx* a, std::uint64_t dim, int qa, int qb, const Mat4& u) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  const std::uint64_t lo = amask < bmask ? amask : bmask;
+  const std::uint64_t hi = amask < bmask ? bmask : amask;
+  std::array<CVec2d, 16> um;
+  for (int r = 0; r < 4; ++r)
+    for (int k = 0; k < 4; ++k)
+      um[static_cast<std::size_t>(r * 4 + k)] = CVec2d::from(u(r, k));
+  util::parallel_for(static_cast<std::int64_t>(dim >> 2), [=](std::int64_t i) {
+    std::uint64_t base = insert_zero_bit(static_cast<std::uint64_t>(i), lo);
+    base = insert_zero_bit(base, hi);
+    const std::uint64_t idx[4] = {base, base | amask, base | bmask,
+                                  base | amask | bmask};
+    CVec2d in[4];
+    for (int k = 0; k < 4; ++k) in[k] = CVec2d::load(a + idx[k]);
+    for (int r = 0; r < 4; ++r) {
+      CVec2d acc = cmul(in[0], um[static_cast<std::size_t>(r * 4)]);
+      for (int k = 1; k < 4; ++k)
+        acc = acc + cmul(in[k], um[static_cast<std::size_t>(r * 4 + k)]);
+      acc.store(a + idx[r]);
+    }
+  });
+}
+
 void k_apply_1q_pair(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
                      int qb, const Mat2& ub) {
   const std::uint64_t amask = 1ULL << qa;
@@ -182,20 +207,21 @@ constexpr const char* kWidth2Name = "neon";
 #endif
 
 const KernelTable kWidth2Table = {
-    kWidth2Name,
-    k_apply_1q,
-    k_apply_diag_1q,
-    /*apply_x=*/nullptr,   // patched from the scalar table below
-    /*apply_cx=*/nullptr,  // (pure permutations, no arithmetic)
-    k_apply_diag_2q,
-    k_apply_1q_pair,
-    k_apply_diag_1q_pair,
-    k_apply_diag_2q_pair,
-    /*apply_cx_pair=*/nullptr,
-    k_thermal_block,
-    k_depol1q_block,
-    k_bitflip_block,
-    k_accum_add,
+    .name = kWidth2Name,
+    .apply_1q = k_apply_1q,
+    .apply_diag_1q = k_apply_diag_1q,
+    .apply_x = nullptr,   // patched from the scalar table below
+    .apply_cx = nullptr,  // (pure permutations, no arithmetic)
+    .apply_diag_2q = k_apply_diag_2q,
+    .apply_2q = k_apply_2q,
+    .apply_1q_pair = k_apply_1q_pair,
+    .apply_diag_1q_pair = k_apply_diag_1q_pair,
+    .apply_diag_2q_pair = k_apply_diag_2q_pair,
+    .apply_cx_pair = nullptr,
+    .thermal_block = k_thermal_block,
+    .depol1q_block = k_depol1q_block,
+    .bitflip_block = k_bitflip_block,
+    .accum_add = k_accum_add,
 };
 
 const KernelTable* build_table() {

@@ -17,7 +17,11 @@ circ::Schedule NoisyExecutor::make_schedule(const circ::Circuit& c) const {
 
 NoiseProgram NoisyExecutor::lower(const circ::Circuit& c) const {
   NoiseProgram program = noise::lower(model_, c);
-  if (level_ == OptLevel::kFused) program = fused(std::move(program));
+  if (level_ == OptLevel::kFused) {
+    program = fused(std::move(program));
+  } else if (level_ == OptLevel::kFusedWide) {
+    program = fused_wide(program);
+  }
   return program;
 }
 

@@ -1,7 +1,11 @@
 #include "noise/program.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "util/error.hpp"
@@ -101,6 +105,28 @@ void NoiseProgram::append_kraus_1q(std::span<const Mat2> kraus, int q) {
   ops_.push_back(op);
 }
 
+void NoiseProgram::append_unitary_2q(const math::Mat4& u, int qa, int qb) {
+  TapeOp op;
+  op.kind = TapeOpKind::kUnitary2q;
+  op.q0 = static_cast<std::int16_t>(qa);
+  op.q1 = static_cast<std::int16_t>(qb);
+  op.payload = static_cast<std::uint32_t>(mats4_.size());
+  mats4_.push_back(u);
+  ops_.push_back(op);
+}
+
+void NoiseProgram::append_unitary_3q(const std::array<cplx, 64>& u, int qa,
+                                     int qb, int qc) {
+  TapeOp op;
+  op.kind = TapeOpKind::kUnitary3q;
+  op.q0 = static_cast<std::int16_t>(qa);
+  op.q1 = static_cast<std::int16_t>(qb);
+  op.q2 = static_cast<std::int16_t>(qc);
+  op.payload = static_cast<std::uint32_t>(mats8_.size());
+  mats8_.push_back(u);
+  ops_.push_back(op);
+}
+
 // ---------------------------------------------------------------------------
 // Interpreters
 // ---------------------------------------------------------------------------
@@ -145,6 +171,12 @@ void run_impl(const NoiseProgram& p, Engine& engine, std::size_t begin,
         break;
       case TapeOpKind::kKraus1q:
         engine.apply_kraus_1q(p.kraus(op.payload), op.q0);
+        break;
+      case TapeOpKind::kUnitary2q:
+        engine.apply_unitary_2q(p.mat4(op.payload), op.q0, op.q1);
+        break;
+      case TapeOpKind::kUnitary3q:
+        engine.apply_unitary_3q(p.mat8(op.payload), op.q0, op.q1, op.q2);
         break;
     }
   }
@@ -206,10 +238,12 @@ std::array<std::uint64_t, 2> NoiseProgram::fingerprint() const {
   h.mix(static_cast<std::uint64_t>(level_));
   h.mix(ops_.size());
   for (const TapeOp& op : ops_) {
-    h.mix((static_cast<std::uint64_t>(op.kind) << 32) |
+    h.mix((static_cast<std::uint64_t>(op.kind) << 48) |
           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q0))
+           << 32) |
+          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q1))
            << 16) |
-          static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q1)));
+          static_cast<std::uint64_t>(static_cast<std::uint16_t>(op.q2)));
     h.mix_double(op.a);
     h.mix_double(op.b);
     switch (op.kind) {
@@ -227,6 +261,12 @@ std::array<std::uint64_t, 2> NoiseProgram::fingerprint() const {
           for (const cplx& v : mats_[set.offset + k].m) h.mix_cplx(v);
         break;
       }
+      case TapeOpKind::kUnitary2q:
+        for (const cplx& v : mats4_[op.payload].m) h.mix_cplx(v);
+        break;
+      case TapeOpKind::kUnitary3q:
+        for (const cplx& v : mats8_[op.payload]) h.mix_cplx(v);
+        break;
       default:
         break;
     }
@@ -237,7 +277,9 @@ std::array<std::uint64_t, 2> NoiseProgram::fingerprint() const {
 std::array<std::uint64_t, 2> tape_schema_fingerprint() {
   // Version tag of the lowering pipeline semantics; bump when the tape op
   // set, emission rules, or interpreter behavior change incompatibly.
-  constexpr std::uint64_t kTapeSchemaVersion = 1;
+  // v2: dense kUnitary2q/kUnitary3q ops (wide-gate fusion), q2 operand in
+  // the per-op fingerprint word.
+  constexpr std::uint64_t kTapeSchemaVersion = 2;
   Hash128 h;
   h.mix(0x7a9e5cafe7001ULL);
   h.mix(kTapeSchemaVersion);
@@ -250,8 +292,8 @@ bool NoiseProgram::region_equal(const NoiseProgram& other, std::size_t begin,
   for (std::size_t i = begin; i < end; ++i) {
     const TapeOp& a = ops_[i];
     const TapeOp& b = other.ops_[i];
-    if (a.kind != b.kind || a.q0 != b.q0 || a.q1 != b.q1 || a.a != b.a ||
-        a.b != b.b)
+    if (a.kind != b.kind || a.q0 != b.q0 || a.q1 != b.q1 || a.q2 != b.q2 ||
+        a.a != b.a || a.b != b.b)
       return false;
     switch (a.kind) {
       case TapeOpKind::kUnitary1q:
@@ -270,6 +312,12 @@ bool NoiseProgram::region_equal(const NoiseProgram& other, std::size_t begin,
             return false;
         break;
       }
+      case TapeOpKind::kUnitary2q:
+        if (mats4_[a.payload].m != other.mats4_[b.payload].m) return false;
+        break;
+      case TapeOpKind::kUnitary3q:
+        if (mats8_[a.payload] != other.mats8_[b.payload]) return false;
+        break;
       default:
         break;
     }
@@ -399,7 +447,7 @@ class Lowerer {
     // leading slice of each array; copying past it would duplicate the
     // base's entire suffix payload per spliced circuit (O(G^2) across an
     // analysis).
-    std::size_t mats = 0, diags = 0, kraus = 0;
+    std::size_t mats = 0, diags = 0, kraus = 0, mats4 = 0, mats8 = 0;
     for (std::size_t i = 0; i < prefix; ++i) {
       const TapeOp& op = base.ops_[i];
       switch (op.kind) {
@@ -416,6 +464,12 @@ class Lowerer {
           mats = std::max<std::size_t>(mats, set.offset + set.count);
           break;
         }
+        case TapeOpKind::kUnitary2q:
+          mats4 = std::max<std::size_t>(mats4, op.payload + 1);
+          break;
+        case TapeOpKind::kUnitary3q:
+          mats8 = std::max<std::size_t>(mats8, op.payload + 1);
+          break;
         default:
           break;
       }
@@ -428,6 +482,10 @@ class Lowerer {
     out_.kraus_sets_.assign(
         base.kraus_sets_.begin(),
         base.kraus_sets_.begin() + static_cast<std::ptrdiff_t>(kraus));
+    out_.mats4_.assign(base.mats4_.begin(),
+                       base.mats4_.begin() + static_cast<std::ptrdiff_t>(mats4));
+    out_.mats8_.assign(base.mats8_.begin(),
+                       base.mats8_.begin() + static_cast<std::ptrdiff_t>(mats8));
     out_.prologue_end_ = base.prologue_end_;
     out_.op_end_.assign(base.op_end_.begin(),
                         base.op_end_.begin() +
@@ -621,6 +679,8 @@ NoiseProgram fused(const NoiseProgram& p, std::size_t from_pos) {
   out.mats_ = p.mats_;
   out.diags_ = p.diags_;
   out.kraus_sets_ = p.kraus_sets_;
+  out.mats4_ = p.mats4_;
+  out.mats8_ = p.mats8_;
   out.ops_.assign(p.ops_.begin(),
                   p.ops_.begin() + static_cast<std::ptrdiff_t>(from_pos));
   out.prologue_end_ = std::min(p.prologue_end_, from_pos);
@@ -850,6 +910,21 @@ NoiseProgram fused(const NoiseProgram& p, std::size_t from_pos) {
         last_touch[q] = idx;
         break;
       }
+      case TapeOpKind::kUnitary2q:
+      case TapeOpKind::kUnitary3q: {
+        // Dense wide ops only appear on already-optimized (fused-wide)
+        // tapes; treat them as opaque barriers on every operand.
+        const int idx = append(op);
+        for (const std::int16_t raw : {op.q0, op.q1, op.q2}) {
+          if (raw < 0) continue;
+          const std::size_t qq = static_cast<std::size_t>(raw);
+          diag1_target[qq] = kNone;
+          diag2_target[qq] = kNone;
+          thermal_target[qq] = kNone;
+          last_touch[qq] = idx;
+        }
+        break;
+      }
     }
   }
 
@@ -860,6 +935,318 @@ NoiseProgram fused(const NoiseProgram& p, std::size_t from_pos) {
       if (!dead[i]) compact.push_back(out.ops_[i]);
     out.ops_ = std::move(compact);
   }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wide-gate fusion (kFusedWide)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int initial_fusion_width() {
+  if (const char* env = std::getenv("CHARTER_FUSION_WIDTH")) {
+    if (std::strcmp(env, "2") == 0) return 2;
+    if (std::strcmp(env, "3") == 0) return 3;
+    std::fprintf(stderr,
+                 "charter: ignoring CHARTER_FUSION_WIDTH=%s (want 2 or 3); "
+                 "keeping default 2\n",
+                 env);
+  }
+  return 2;
+}
+
+std::atomic<int>& fusion_width_state() {
+  static std::atomic<int> width{initial_fusion_width()};
+  return width;
+}
+
+/// Pending coherent block in the fused-wide walk: a dense unitary over
+/// `width` cluster qubits.  Index bit k of `u` corresponds to qubits[k];
+/// `u` is row-major with dim = 2^width, and only the leading dim*dim
+/// entries are meaningful.
+struct Cluster {
+  int width = 0;
+  std::array<int, 3> qubits{{-1, -1, -1}};
+  std::array<cplx, 64> u{};
+  std::uint64_t seq = 0;  ///< creation order; fixes the final-flush order
+  bool live = false;
+};
+
+/// Left-multiplies a gw-qubit gate (row-major, dim 2^gw) acting on cluster
+/// index bits pos[0..gw-1] into the cluster matrix.  Each column of the
+/// cluster matrix is a width-qubit mini-statevector; the gate contracts
+/// its bits the same way the engines contract amplitude indices.
+void cluster_lmul(Cluster& c, const cplx* g, const int* pos, int gw) {
+  const int dim = 1 << c.width;
+  const int gd = 1 << gw;
+  int gate_mask = 0;
+  for (int k = 0; k < gw; ++k) gate_mask |= 1 << pos[k];
+  for (int col = 0; col < dim; ++col) {
+    for (int base = 0; base < dim; ++base) {
+      if (base & gate_mask) continue;
+      cplx in[4];
+      for (int t = 0; t < gd; ++t) {
+        int r = base;
+        for (int k = 0; k < gw; ++k)
+          if (t & (1 << k)) r |= 1 << pos[k];
+        in[t] = c.u[static_cast<std::size_t>(r * dim + col)];
+      }
+      for (int rt = 0; rt < gd; ++rt) {
+        cplx acc = 0.0;
+        for (int t = 0; t < gd; ++t) acc += g[rt * gd + t] * in[t];
+        int r = base;
+        for (int k = 0; k < gw; ++k)
+          if (rt & (1 << k)) r |= 1 << pos[k];
+        c.u[static_cast<std::size_t>(r * dim + col)] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int fusion_width() {
+  return fusion_width_state().load(std::memory_order_relaxed);
+}
+
+void set_fusion_width(int width) {
+  fusion_width_state().store(std::clamp(width, 2, 3),
+                             std::memory_order_relaxed);
+}
+
+NoiseProgram fused_wide(const NoiseProgram& p, std::size_t from_pos,
+                        int max_width) {
+  require(from_pos <= p.size(), "fusion start past the end of the tape");
+  if (max_width == 0) max_width = fusion_width();
+  max_width = std::clamp(max_width, 2, 3);
+
+  NoiseProgram out(p.num_qubits());
+  out.level_ = OptLevel::kFusedWide;
+  out.mats_ = p.mats_;
+  out.diags_ = p.diags_;
+  out.kraus_sets_ = p.kraus_sets_;
+  out.mats4_ = p.mats4_;
+  out.mats8_ = p.mats8_;
+  // Verbatim prefix: like fused(), ops before from_pos are copied
+  // untouched so a checkpoint snapshot at from_pos stays a valid resume
+  // point on the optimized tape.
+  out.ops_.assign(p.ops_.begin(),
+                  p.ops_.begin() + static_cast<std::ptrdiff_t>(from_pos));
+  out.prologue_end_ = std::min(p.prologue_end_, from_pos);
+  for (const std::size_t e : p.op_end_) {
+    if (e > from_pos) break;
+    out.op_end_.push_back(e);
+  }
+
+  const std::size_t nq = static_cast<std::size_t>(p.num_qubits());
+  std::vector<Cluster> clusters;   // slots are never erased; ids stay stable
+  std::vector<int> owner(nq, -1);  // qubit -> live cluster slot, or -1
+  std::uint64_t next_seq = 0;
+
+  const auto bit_of = [](const Cluster& c, int q) {
+    for (int k = 0; k < c.width; ++k)
+      if (c.qubits[k] == q) return k;
+    CHARTER_ASSERT(false, "qubit not in cluster");
+    return -1;
+  };
+
+  const auto make_cluster = [&](int q) -> int {
+    Cluster c;
+    c.width = 1;
+    c.qubits[0] = q;
+    c.u[0] = 1.0;
+    c.u[3] = 1.0;
+    c.seq = next_seq++;
+    c.live = true;
+    clusters.push_back(c);
+    const int id = static_cast<int>(clusters.size() - 1);
+    owner[static_cast<std::size_t>(q)] = id;
+    return id;
+  };
+
+  const auto ensure = [&](int q) -> int {
+    const int id = owner[static_cast<std::size_t>(q)];
+    return id != -1 ? id : make_cluster(q);
+  };
+
+  // Emits a cluster as the narrowest tape op that represents it: pure
+  // diagonals become kDiag1q/kDiag2q (so the cheap diagonal kernels keep
+  // handling them), everything else a dense unitary.
+  const auto flush = [&](int id) {
+    Cluster& c = clusters[static_cast<std::size_t>(id)];
+    if (!c.live) return;
+    const int dim = 1 << c.width;
+    bool diagonal = true;
+    for (int r = 0; r < dim && diagonal; ++r)
+      for (int col = 0; col < dim; ++col)
+        if (r != col &&
+            c.u[static_cast<std::size_t>(r * dim + col)] != 0.0) {
+          diagonal = false;
+          break;
+        }
+    if (c.width == 1) {
+      if (diagonal) {
+        out.append_diag_1q(c.u[0], c.u[3], c.qubits[0]);
+      } else {
+        Mat2 m;
+        for (std::size_t k = 0; k < 4; ++k) m.m[k] = c.u[k];
+        out.append_unitary_1q(m, c.qubits[0]);
+      }
+    } else if (c.width == 2) {
+      if (diagonal) {
+        out.append_diag_2q({c.u[0], c.u[5], c.u[10], c.u[15]}, c.qubits[0],
+                           c.qubits[1]);
+      } else {
+        math::Mat4 m;
+        for (std::size_t k = 0; k < 16; ++k) m.m[k] = c.u[k];
+        out.append_unitary_2q(m, c.qubits[0], c.qubits[1]);
+      }
+    } else {
+      out.append_unitary_3q(c.u, c.qubits[0], c.qubits[1], c.qubits[2]);
+    }
+    for (int k = 0; k < c.width; ++k)
+      owner[static_cast<std::size_t>(c.qubits[k])] = -1;
+    c.live = false;
+  };
+
+  const auto flush_qubit = [&](int q) {
+    const int id = owner[static_cast<std::size_t>(q)];
+    if (id != -1) flush(id);
+  };
+
+  // Kronecker-merges cluster b_id into a_id's slot with A's index bits
+  // low: merged[(rb << wa) | ra, (cb << wa) | ca] = B[rb, cb] * A[ra, ca].
+  const auto merge = [&](int a_id, int b_id) -> int {
+    const Cluster a = clusters[static_cast<std::size_t>(a_id)];
+    const Cluster b = clusters[static_cast<std::size_t>(b_id)];
+    Cluster m;
+    m.width = a.width + b.width;
+    CHARTER_ASSERT(m.width <= 3, "merged cluster exceeds max fusion width");
+    const int da = 1 << a.width;
+    const int db = 1 << b.width;
+    const int dm = da * db;
+    for (int k = 0; k < a.width; ++k) m.qubits[k] = a.qubits[k];
+    for (int k = 0; k < b.width; ++k) m.qubits[a.width + k] = b.qubits[k];
+    for (int rb = 0; rb < db; ++rb)
+      for (int cb = 0; cb < db; ++cb)
+        for (int ra = 0; ra < da; ++ra)
+          for (int ca = 0; ca < da; ++ca)
+            m.u[static_cast<std::size_t>(((rb << a.width) | ra) * dm +
+                                         ((cb << a.width) | ca))] =
+                b.u[static_cast<std::size_t>(rb * db + cb)] *
+                a.u[static_cast<std::size_t>(ra * da + ca)];
+    m.seq = std::min(a.seq, b.seq);
+    m.live = true;
+    clusters[static_cast<std::size_t>(a_id)] = m;
+    clusters[static_cast<std::size_t>(b_id)].live = false;
+    for (int k = 0; k < m.width; ++k)
+      owner[static_cast<std::size_t>(m.qubits[k])] = a_id;
+    return a_id;
+  };
+
+  // Folds a two-qubit gate (row-major 4x4, index bit 0 = qa) into the
+  // cluster state.  If the operands' clusters cannot merge under
+  // max_width, both retire and the gate seeds a fresh pair cluster.
+  const auto apply_2q_gate = [&](const std::array<cplx, 16>& g, int qa,
+                                 int qb) {
+    int ia = owner[static_cast<std::size_t>(qa)];
+    const int ib = owner[static_cast<std::size_t>(qb)];
+    if (ia == -1 || ia != ib) {
+      const int wa = ia != -1 ? clusters[static_cast<std::size_t>(ia)].width
+                              : 1;
+      const int wb = ib != -1 ? clusters[static_cast<std::size_t>(ib)].width
+                              : 1;
+      if (wa + wb > max_width) {
+        flush_qubit(qa);
+        flush_qubit(qb);
+        Cluster c;
+        c.width = 2;
+        c.qubits = {{qa, qb, -1}};
+        for (std::size_t k = 0; k < 16; ++k) c.u[k] = g[k];
+        c.seq = next_seq++;
+        c.live = true;
+        clusters.push_back(c);
+        const int id = static_cast<int>(clusters.size() - 1);
+        owner[static_cast<std::size_t>(qa)] = id;
+        owner[static_cast<std::size_t>(qb)] = id;
+        return;
+      }
+      const int a_id = ensure(qa);
+      const int b_id = ensure(qb);
+      ia = merge(a_id, b_id);
+    }
+    Cluster& c = clusters[static_cast<std::size_t>(ia)];
+    const int pos[2] = {bit_of(c, qa), bit_of(c, qb)};
+    cluster_lmul(c, g.data(), pos, 2);
+  };
+
+  for (std::size_t i = from_pos; i < p.size(); ++i) {
+    const TapeOp& op = p.ops_[i];
+    switch (op.kind) {
+      case TapeOpKind::kUnitary1q: {
+        Cluster& c = clusters[static_cast<std::size_t>(ensure(op.q0))];
+        const int pos = bit_of(c, op.q0);
+        cluster_lmul(c, p.mats_[op.payload].m.data(), &pos, 1);
+        break;
+      }
+      case TapeOpKind::kDiag1q: {
+        Cluster& c = clusters[static_cast<std::size_t>(ensure(op.q0))];
+        const auto& d = p.diags_[op.payload];
+        const std::array<cplx, 4> g{d[0], 0.0, 0.0, d[1]};
+        const int pos = bit_of(c, op.q0);
+        cluster_lmul(c, g.data(), &pos, 1);
+        break;
+      }
+      case TapeOpKind::kCx: {
+        // |c + 2t>: CX permutes 1 <-> 3 (control set flips the target).
+        std::array<cplx, 16> g{};
+        g[0 * 4 + 0] = 1.0;
+        g[3 * 4 + 1] = 1.0;
+        g[2 * 4 + 2] = 1.0;
+        g[1 * 4 + 3] = 1.0;
+        apply_2q_gate(g, op.q0, op.q1);
+        break;
+      }
+      case TapeOpKind::kDiag2q: {
+        const auto& d = p.diags_[op.payload];
+        std::array<cplx, 16> g{};
+        for (int k = 0; k < 4; ++k)
+          g[static_cast<std::size_t>(k * 4 + k)] = d[static_cast<std::size_t>(k)];
+        apply_2q_gate(g, op.q0, op.q1);
+        break;
+      }
+      case TapeOpKind::kThermal:
+      case TapeOpKind::kDepol1q:
+      case TapeOpKind::kDepol2q:
+      case TapeOpKind::kBitflip:
+      case TapeOpKind::kKraus1q:
+      case TapeOpKind::kUnitary2q:
+      case TapeOpKind::kUnitary3q: {
+        // Stochastic channels are hard barriers: a trajectory run draws
+        // RNG values in tape order, so pending coherent blocks on the
+        // touched qubits retire first and the channel copies through
+        // verbatim.  (Blocks on *disjoint* qubits may stay pending — a
+        // unitary elsewhere leaves this channel's marginals invariant.)
+        // Dense wide ops from an already-optimized input tape take the
+        // same path.
+        flush_qubit(op.q0);
+        if (op.q1 >= 0) flush_qubit(op.q1);
+        if (op.q2 >= 0) flush_qubit(op.q2);
+        out.ops_.push_back(op);  // payload arrays were copied wholesale
+        break;
+      }
+    }
+  }
+
+  // Retire the remaining blocks in creation order — deterministic, and
+  // since live clusters are qubit-disjoint the value is order-independent.
+  std::vector<int> pending;
+  for (std::size_t id = 0; id < clusters.size(); ++id)
+    if (clusters[id].live) pending.push_back(static_cast<int>(id));
+  std::sort(pending.begin(), pending.end(),
+            [&](int x, int y) { return clusters[x].seq < clusters[y].seq; });
+  for (const int id : pending) flush(id);
   return out;
 }
 

@@ -32,6 +32,11 @@
 ///    composition.  Fused results agree with exact to ~1e-12 (the float
 ///    reassociation error), never more: fusion changes rounding, not
 ///    physics.
+///  - fused_wide() is the trajectory-safe wide-gate optimizer: coherent
+///    runs consolidate into dense 2q/3q unitaries (kUnitary2q/kUnitary3q)
+///    while stochastic channels pass through as barriers in tape order, so
+///    the statevector trajectory path gets the fewer-wider-matmuls win
+///    without perturbing its random draw sequence.
 ///  - run()/execute() interpret a tape region against an engine.
 ///
 /// Tape positions.  The tape records where each circuit op's segment begins
@@ -62,6 +67,12 @@ namespace charter::noise {
 enum class OptLevel : std::uint8_t {
   kExact = 0,  ///< no fusion; bit-identical to the interpretive walk
   kFused = 1,  ///< gate/diagonal/relaxation fusion; ~1e-12 agreement
+  /// Wide coherent fusion (fused_wide()): adjacent gates consolidate into
+  /// dense 2q (and, at fusion width 3, 3q) unitaries.  Stochastic channels
+  /// are hard barriers — never merged, reordered, or dropped — so the
+  /// trajectory engines consume their random draws in the exact tape's
+  /// order and the ~1e-12 agreement holds per unravelling.
+  kFusedWide = 2,
 };
 
 /// Typed tape operation kinds.
@@ -75,6 +86,10 @@ enum class TapeOpKind : std::uint8_t {
   kDepol2q,    ///< two-qubit depolarizing on (q0, q1) with p = a
   kBitflip,    ///< X with probability a on q0 (state-prep error)
   kKraus1q,    ///< generic one-qubit Kraus set on q0 (payload -> set)
+  kUnitary2q,  ///< dense 4x4 on (q0, q1), index bit(q0) + 2*bit(q1)
+               ///< (payload -> Mat4); emitted by fused_wide()
+  kUnitary3q,  ///< dense 8x8 on (q0, q1, q2), index bit(q0) + 2*bit(q1) +
+               ///< 4*bit(q2) (payload -> 64-entry row-major block)
 };
 
 /// One tape op: fixed footprint, parameters inline, matrices via payload
@@ -83,6 +98,7 @@ struct TapeOp {
   TapeOpKind kind = TapeOpKind::kDiag1q;
   std::int16_t q0 = -1;
   std::int16_t q1 = -1;
+  std::int16_t q2 = -1;  ///< third operand (kUnitary3q only)
   std::uint32_t payload = 0;
   double a = 0.0;
   double b = 0.0;
@@ -142,6 +158,9 @@ class NoiseProgram {
   void append_depol_2q(int qa, int qb, double p);
   void append_bitflip(int q, double p);
   void append_kraus_1q(std::span<const math::Mat2> kraus, int q);
+  void append_unitary_2q(const math::Mat4& u, int qa, int qb);
+  void append_unitary_3q(const std::array<math::cplx, 64>& u, int qa, int qb,
+                         int qc);
 
   // ---- payload access ----
 
@@ -152,6 +171,10 @@ class NoiseProgram {
   std::span<const math::Mat2> kraus(std::uint32_t slot) const {
     const KrausSet& set = kraus_sets_[slot];
     return {mats_.data() + set.offset, set.count};
+  }
+  const math::Mat4& mat4(std::uint32_t slot) const { return mats4_[slot]; }
+  const std::array<math::cplx, 64>& mat8(std::uint32_t slot) const {
+    return mats8_[slot];
   }
 
   /// Structural 128-bit fingerprint over width, level, every op, and every
@@ -192,6 +215,8 @@ class NoiseProgram {
   friend class Lowerer;
   friend NoiseProgram fused(const NoiseProgram& program,
                             std::size_t from_pos);
+  friend NoiseProgram fused_wide(const NoiseProgram& program,
+                                 std::size_t from_pos, int max_width);
 
   int num_qubits_;
   OptLevel level_ = OptLevel::kExact;
@@ -199,6 +224,8 @@ class NoiseProgram {
   std::vector<math::Mat2> mats_;
   std::vector<std::array<math::cplx, 4>> diags_;
   std::vector<KrausSet> kraus_sets_;
+  std::vector<math::Mat4> mats4_;
+  std::vector<std::array<math::cplx, 64>> mats8_;
   std::size_t prologue_end_ = 0;
   std::vector<std::size_t> op_end_;
   std::optional<ResumeInfo> resume_;
@@ -236,6 +263,30 @@ std::optional<NoiseProgram> lower_spliced(const NoiseModel& model,
 /// snapshot taken at \p from_pos stays a valid resume point.  Boundaries
 /// past \p from_pos are invalidated.
 NoiseProgram fused(const NoiseProgram& program, std::size_t from_pos = 0);
+
+/// The wide-gate optimizer behind OptLevel::kFusedWide: accumulates runs of
+/// adjacent *coherent* ops (unitaries, diagonals, CX) into per-qubit-set
+/// clusters of at most \p max_width qubits and emits each cluster as one
+/// dense kUnitary2q/kUnitary3q (or kUnitary1q/kDiag1q/kDiag2q when narrower
+/// or still diagonal) tape op — so the interpreter executes far fewer, wider
+/// matmuls.  Unlike fused(), stochastic channels are hard barriers: they are
+/// copied through in tape order and flush the clusters on their qubits, so a
+/// trajectory engine consumes random draws in exactly the exact tape's order
+/// and per-unravelling agreement stays ~1e-12.  Ops before \p from_pos are
+/// copied verbatim and never merged into (checkpoint splice contract).
+/// \p max_width 0 means "use the active fusion_width()"; valid widths are
+/// 2 and 3.
+NoiseProgram fused_wide(const NoiseProgram& program, std::size_t from_pos = 0,
+                        int max_width = 0);
+
+/// The process-wide fusion width fused_wide() consolidates to when callers
+/// pass max_width = 0: 2 by default, 3 when CHARTER_FUSION_WIDTH=3 (read
+/// once at first use; unknown values warn and keep the default).  Part of
+/// the exec::fingerprint cache key for kFusedWide runs.
+int fusion_width();
+
+/// Overrides the active fusion width (tests/tools); clamps to [2, 3].
+void set_fusion_width(int width);
 
 /// Fingerprint of the tape schema itself: mixed into exec::RunCache keys so
 /// cached results can never survive a change to the lowering pipeline's

@@ -22,6 +22,18 @@ inline Mat2 conj2(const Mat2& u) {
   return r;
 }
 
+inline math::Mat4 conj4(const math::Mat4& u) {
+  math::Mat4 r;
+  for (std::size_t i = 0; i < 16; ++i) r.m[i] = std::conj(u.m[i]);
+  return r;
+}
+
+inline std::array<cplx, 64> conj8(const std::array<cplx, 64>& u) {
+  std::array<cplx, 64> r;
+  for (std::size_t i = 0; i < 64; ++i) r[i] = std::conj(u[i]);
+  return r;
+}
+
 }  // namespace
 
 DensityMatrixEngine::DensityMatrixEngine(int num_qubits)
@@ -66,6 +78,23 @@ void DensityMatrixEngine::apply_diag_2q(const std::array<cplx, 4>& d, int qa,
   kernels::apply_diag_2q_pair(
       rho_.data(), dim2(), qa, qb, d, qa + num_qubits_, qb + num_qubits_,
       {std::conj(d[0]), std::conj(d[1]), std::conj(d[2]), std::conj(d[3])});
+}
+
+void DensityMatrixEngine::apply_unitary_2q(const math::Mat4& u, int qa,
+                                           int qb) {
+  // Dense gates have no fused pair kernel; two passes over vec(rho) —
+  // U on the row pseudo-qubits, conj(U) on the column pseudo-qubits —
+  // realize U rho U^dag exactly.
+  kernels::apply_2q(rho_.data(), dim2(), qa, qb, u);
+  kernels::apply_2q(rho_.data(), dim2(), qa + num_qubits_, qb + num_qubits_,
+                    conj4(u));
+}
+
+void DensityMatrixEngine::apply_unitary_3q(const std::array<cplx, 64>& u,
+                                           int qa, int qb, int qc) {
+  kernels::apply_3q(rho_.data(), dim2(), qa, qb, qc, u);
+  kernels::apply_3q(rho_.data(), dim2(), qa + num_qubits_, qb + num_qubits_,
+                    qc + num_qubits_, conj8(u));
 }
 
 void DensityMatrixEngine::apply_thermal_relaxation(int q, double gamma,

@@ -1,6 +1,9 @@
 #include "sim/statevector.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "sim/kernels.hpp"
 #include "util/error.hpp"
@@ -10,6 +13,36 @@ namespace charter::sim {
 using circ::Gate;
 using circ::GateKind;
 using math::cplx;
+
+namespace {
+
+int initial_amp_parallel_min_qubits() {
+  if (const char* env = std::getenv("CHARTER_AMP_PARALLEL_MIN_QUBITS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 63) return v;
+    std::fprintf(stderr,
+                 "charter: ignoring CHARTER_AMP_PARALLEL_MIN_QUBITS=%s "
+                 "(want 1..63); keeping default 20\n",
+                 env);
+  }
+  return 20;
+}
+
+std::atomic<int>& amp_parallel_threshold() {
+  static std::atomic<int> threshold{initial_amp_parallel_min_qubits()};
+  return threshold;
+}
+
+}  // namespace
+
+int amp_parallel_min_qubits() {
+  return amp_parallel_threshold().load(std::memory_order_relaxed);
+}
+
+void set_amp_parallel_min_qubits(int num_qubits) {
+  const int clamped = num_qubits < 1 ? 1 : (num_qubits > 63 ? 63 : num_qubits);
+  amp_parallel_threshold().store(clamped, std::memory_order_relaxed);
+}
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   require(num_qubits >= 1 && num_qubits <= 28,
@@ -108,6 +141,14 @@ void Statevector::apply_unitary_2q(const math::Mat4& u, int qa, int qb) {
   kernels::apply_2q(amps_.data(), dim(), qa, qb, u);
 }
 
+void Statevector::apply_unitary_3q(const std::array<cplx, 64>& u, int qa,
+                                   int qb, int qc) {
+  require(qa >= 0 && qa < num_qubits_ && qb >= 0 && qb < num_qubits_ &&
+              qc >= 0 && qc < num_qubits_ && qa != qb && qa != qc && qb != qc,
+          "qubits out of range");
+  kernels::apply_3q(amps_.data(), dim(), qa, qb, qc, u);
+}
+
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> p(dim());
   const cplx* a = amps_.data();
@@ -119,13 +160,23 @@ std::vector<double> Statevector::probabilities() const {
 double Statevector::probability_one(int q) const {
   const std::uint64_t mask = 1ULL << q;
   const cplx* a = amps_.data();
-  return util::parallel_sum(
-      static_cast<std::int64_t>(dim()), [=](std::int64_t i) {
-        return (static_cast<std::uint64_t>(i) & mask) ? std::norm(a[i]) : 0.0;
-      });
+  const auto term = [=](std::int64_t i) {
+    return (static_cast<std::uint64_t>(i) & mask) ? std::norm(a[i]) : 0.0;
+  };
+  // Above the amplitude-parallelism threshold the trajectory groups run
+  // serially and this reduction may fan out over threads, so it must use the
+  // thread-count-invariant chunked sum to keep per-path bit-determinism.
+  if (num_qubits_ >= amp_parallel_min_qubits())
+    return util::parallel_sum_chunked(static_cast<std::int64_t>(dim()), term);
+  return util::parallel_sum(static_cast<std::int64_t>(dim()), term);
 }
 
 double Statevector::norm_sq() const {
+  const cplx* a = amps_.data();
+  if (num_qubits_ >= amp_parallel_min_qubits())
+    return util::parallel_sum_chunked(
+        static_cast<std::int64_t>(dim()),
+        [=](std::int64_t i) { return std::norm(a[i]); });
   return kernels::norm_sq(amps_.data(), dim());
 }
 

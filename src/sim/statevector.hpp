@@ -16,6 +16,19 @@
 
 namespace charter::sim {
 
+/// Width (in qubits) at and above which the statevector/trajectory engines
+/// switch to *amplitude-level* parallelism: trajectory groups run serially
+/// so the O(2^n) kernels may fan out over OpenMP instead, and state
+/// reductions (norm, marginals) use the thread-count-invariant chunked sum.
+/// Below the threshold everything behaves exactly as before — per-job/
+/// per-group parallelism with serial kernels.  Default 20; override with
+/// CHARTER_AMP_PARALLEL_MIN_QUBITS (read once at first use).
+int amp_parallel_min_qubits();
+
+/// Overrides the amplitude-parallelism threshold (tests/benches); values
+/// are clamped to [1, 63].
+void set_amp_parallel_min_qubits(int num_qubits);
+
 /// 2^n complex amplitudes with gate application and measurement helpers.
 class Statevector {
  public:
@@ -44,6 +57,11 @@ class Statevector {
 
   /// Applies an explicit 4x4 unitary on (qa, qb).
   void apply_unitary_2q(const math::Mat4& u, int qa, int qb);
+
+  /// Applies an explicit 8x8 unitary (row-major) on (qa, qb, qc); index
+  /// convention bit(qa) + 2*bit(qb) + 4*bit(qc).
+  void apply_unitary_3q(const std::array<math::cplx, 64>& u, int qa, int qb,
+                        int qc);
 
   /// Measurement probabilities |amp_k|^2 for all 2^n outcomes.
   std::vector<double> probabilities() const;

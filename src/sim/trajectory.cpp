@@ -37,6 +37,15 @@ void TrajectoryEngine::apply_diag_2q(const std::array<cplx, 4>& d, int qa,
                          qb, d);
 }
 
+void TrajectoryEngine::apply_unitary_2q(const math::Mat4& u, int qa, int qb) {
+  state_.apply_unitary_2q(u, qa, qb);
+}
+
+void TrajectoryEngine::apply_unitary_3q(const std::array<cplx, 64>& u, int qa,
+                                        int qb, int qc) {
+  state_.apply_unitary_3q(u, qa, qb, qc);
+}
+
 void TrajectoryEngine::apply_pauli(int which, int q) {
   cplx* a = state_.mutable_amplitudes().data();
   const std::uint64_t d = state_.dim();
@@ -171,13 +180,24 @@ std::vector<double> run_trajectories(
   const int num_groups = num_trajectory_groups(num_trajectories);
   std::vector<std::vector<double>> partial(
       static_cast<std::size_t>(num_groups));
-  util::parallel_for_dynamic(num_groups, [&](std::int64_t g) {
+  const auto run_group = [&](std::int64_t g) {
     const int begin = static_cast<int>(g) * kTrajectoryGroupSize;
     const int end =
         std::min(begin + kTrajectoryGroupSize, num_trajectories);
     partial[static_cast<std::size_t>(g)] =
         run_trajectory_group(num_qubits, begin, end, seeder, program);
-  });
+  };
+  if (num_qubits >= amp_parallel_min_qubits()) {
+    // Amplitude-parallel regime: each O(2^n) kernel pass dwarfs the
+    // per-group overhead, so run the groups serially and let the kernels'
+    // own OpenMP loops fan out instead.  (On pool workers the kernels stay
+    // serial per the nesting contract — the serial group loop is then just
+    // the order parallel_for_dynamic would have produced, so results are
+    // bit-identical either way.)
+    for (std::int64_t g = 0; g < num_groups; ++g) run_group(g);
+  } else {
+    util::parallel_for_dynamic(num_groups, run_group);
+  }
   return fold_trajectory_groups(partial, dim, num_trajectories);
 }
 

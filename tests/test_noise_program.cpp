@@ -15,6 +15,7 @@
 #include "noise/executor.hpp"
 #include "noise/program.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/trajectory.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -135,6 +136,121 @@ TEST(NoiseProgram, FusedTapeAgreesWithinTolerance) {
   }
 }
 
+TEST(NoiseProgram, FusedWideTapeAgreesWithinTolerance) {
+  // Tentpole acceptance: wide-gate fusion consolidates coherent runs into
+  // dense 2q/3q unitaries and still agrees with the exact tape to 1e-12.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const cn::NoiseModel m = line_model(5, 200 + seed);
+    const cc::Circuit c = random_basis_circuit(5, 60, seed);
+    const cn::NoiseProgram exact = cn::lower(m, c);
+    for (const int width : {2, 3}) {
+      const cn::NoiseProgram wide = cn::fused_wide(exact, 0, width);
+      EXPECT_EQ(wide.level(), cn::OptLevel::kFusedWide);
+      EXPECT_LT(wide.size(), exact.size())
+          << "wide fusion should shrink the tape";
+
+      cs::DensityMatrixEngine a(5), b(5);
+      exact.execute(a);
+      wide.execute(b);
+      EXPECT_LE(max_abs_diff(a.raw(), b.raw()), 1e-12)
+          << "seed " << seed << " width " << width;
+    }
+  }
+}
+
+TEST(NoiseProgram, FusedWideTrajectoryAgreesAndPreservesRanking) {
+  // Trajectory runs honor kFusedWide because stochastic channels stay
+  // in-order barriers: the RNG draw sequence matches the exact tape, so
+  // per-seed results agree within the fusion tolerance and the outcome
+  // ranking is unchanged.
+  const int n = 5;
+  const cn::NoiseModel m = line_model(n, 307);
+  const cc::Circuit c = random_basis_circuit(n, 60, 71);
+  const cn::NoiseProgram exact = cn::lower(m, c);
+  const cn::NoiseProgram wide = cn::fused_wide(exact);
+
+  const auto run = [&](const cn::NoiseProgram& tape) {
+    return cs::run_trajectories(
+        n, 24, 0x5eedULL,
+        [&](cs::NoisyEngine& engine) { tape.execute(engine); });
+  };
+  const std::vector<double> pe = run(exact);
+  const std::vector<double> pw = run(wide);
+  ASSERT_EQ(pe.size(), pw.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pe.size(); ++i)
+    worst = std::max(worst, std::abs(pe[i] - pw[i]));
+  EXPECT_LE(worst, 1e-12);
+
+  // Ranking equality: sorting outcomes by probability must give the same
+  // order on both tapes (the exact density-matrix ranking check below is
+  // the stronger cross-engine version).
+  const auto ranking = [](const std::vector<double>& p) {
+    std::vector<std::size_t> order(p.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return p[a] != p[b] ? p[a] > p[b] : a < b;
+    });
+    return order;
+  };
+  EXPECT_EQ(ranking(pe), ranking(pw));
+
+  // Cross-check on the exact engine: fused-wide vs exact density-matrix
+  // distributions rank outcomes identically.
+  cs::DensityMatrixEngine a(n), b(n);
+  exact.execute(a);
+  wide.execute(b);
+  EXPECT_EQ(ranking(a.probabilities()), ranking(b.probabilities()));
+}
+
+TEST(NoiseProgram, FusedWideEmitsDenseWideOps) {
+  // A coherent-dominated model (stochastic channels off) collapses whole
+  // gate runs between CX barriers; the result must actually contain dense
+  // two-qubit tape ops, not just re-emitted 1q gates.
+  cn::NoiseModel m = line_model(4, 401);
+  m.toggles().decoherence = false;
+  m.toggles().depolarizing = false;
+  m.toggles().prep = false;
+  m.toggles().readout = false;
+  const cc::Circuit c = random_basis_circuit(4, 50, 77);
+  const cn::NoiseProgram exact = cn::lower(m, c);
+  const cn::NoiseProgram wide = cn::fused_wide(exact);
+  std::size_t dense = 0;
+  for (std::size_t i = 0; i < wide.size(); ++i)
+    dense += wide.op(i).kind == cn::TapeOpKind::kUnitary2q ||
+             wide.op(i).kind == cn::TapeOpKind::kUnitary3q;
+  EXPECT_GT(dense, 0u);
+  EXPECT_LT(wide.size(), cn::fused(exact).size())
+      << "wide fusion should beat gate fusion on coherent tapes";
+}
+
+TEST(NoiseProgram, FusedWidePreservesVerbatimPrefix) {
+  const cn::NoiseModel m = line_model(4, 501);
+  const cc::Circuit c = random_basis_circuit(4, 30, 91);
+  const cn::NoiseProgram exact = cn::lower(m, c);
+
+  const std::size_t cut = exact.op_end(c.size() / 2);
+  const cn::NoiseProgram part = cn::fused_wide(exact, cut);
+  ASSERT_TRUE(part.region_equal(exact, 0, cut));
+  EXPECT_EQ(part.level(), cn::OptLevel::kFusedWide);
+
+  cs::DensityMatrixEngine a(4), b(4);
+  exact.execute(a);
+  part.execute(b);
+  EXPECT_LE(max_abs_diff(a.raw(), b.raw()), 1e-12);
+}
+
+TEST(NoiseProgram, FusionWidthKnobClampsAndSticks) {
+  const int original = cn::fusion_width();
+  cn::set_fusion_width(3);
+  EXPECT_EQ(cn::fusion_width(), 3);
+  cn::set_fusion_width(1);  // clamps up
+  EXPECT_EQ(cn::fusion_width(), 2);
+  cn::set_fusion_width(7);  // clamps down
+  EXPECT_EQ(cn::fusion_width(), 3);
+  cn::set_fusion_width(original);
+}
+
 TEST(NoiseProgram, FusionPreservesVerbatimPrefix) {
   const cn::NoiseModel m = line_model(4, 7);
   const cc::Circuit c = random_basis_circuit(4, 30, 21);
@@ -199,10 +315,15 @@ TEST(NoiseProgram, FingerprintsSeparateLevelsAndCircuits) {
   const cn::NoiseProgram exact = cn::lower(m, c1);
   const cn::NoiseProgram again = cn::lower(m, c1);
   const cn::NoiseProgram fused = cn::fused(exact);
+  const cn::NoiseProgram wide2 = cn::fused_wide(exact, 0, 2);
+  const cn::NoiseProgram wide3 = cn::fused_wide(exact, 0, 3);
   const cn::NoiseProgram other = cn::lower(m, c2);
 
   EXPECT_EQ(exact.fingerprint(), again.fingerprint());
   EXPECT_NE(exact.fingerprint(), fused.fingerprint());
+  EXPECT_NE(exact.fingerprint(), wide2.fingerprint());
+  EXPECT_NE(fused.fingerprint(), wide2.fingerprint());
+  EXPECT_NE(wide2.fingerprint(), wide3.fingerprint());
   EXPECT_NE(exact.fingerprint(), other.fingerprint());
   EXPECT_NE(exact.fingerprint()[0], cn::tape_schema_fingerprint()[0]);
 }

@@ -87,6 +87,28 @@ void ref_apply_diag_2q(cplx* a, std::uint64_t dim, int qa, int qb,
   }
 }
 
+void ref_apply_2q(cplx* a, std::uint64_t dim, int qa, int qb,
+                  const charter::math::Mat4& u) {
+  const std::uint64_t amask = 1ULL << qa;
+  const std::uint64_t bmask = 1ULL << qb;
+  const std::uint64_t lo = amask < bmask ? amask : bmask;
+  const std::uint64_t hi = amask < bmask ? bmask : amask;
+  for (std::uint64_t i = 0; i < (dim >> 2); ++i) {
+    const std::uint64_t base = insert0(insert0(i, lo), hi);
+    const std::uint64_t idx[4] = {base, base | amask, base | bmask,
+                                  base | amask | bmask};
+    cplx in[4];
+    for (int k = 0; k < 4; ++k) in[k] = a[idx[k]];
+    for (int r = 0; r < 4; ++r) {
+      cplx acc = 0.0;
+      for (int k = 0; k < 4; ++k)
+        acc += u(static_cast<std::size_t>(r), static_cast<std::size_t>(k)) *
+               in[k];
+      a[idx[r]] = acc;
+    }
+  }
+}
+
 void ref_apply_1q_pair(cplx* a, std::uint64_t dim, int qa, const Mat2& ua,
                        int qb, const Mat2& ub) {
   const std::uint64_t am = 1ULL << qa;
@@ -215,6 +237,13 @@ std::array<cplx, 4> random_diag4(Rng& rng) {
   return d;
 }
 
+charter::math::Mat4 random_mat4(Rng& rng) {
+  charter::math::Mat4 u;
+  for (cplx& v : u.m)
+    v = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return u;
+}
+
 double max_abs_diff(const std::vector<cplx>& a, const std::vector<cplx>& b) {
   double worst = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i)
@@ -272,6 +301,13 @@ void sweep_against_reference(const ms::KernelTable& table, int n, Rng& rng,
       const cplx b0(rng.uniform(), -0.2), b1(rng.uniform(), 0.7);
       run("apply_cx", [&](cplx* a) { ref_apply_cx(a, dim, qa, qb); },
           [&](cplx* a) { table.apply_cx(a, dim, qa, qb); });
+      // Dense 4x4 (fused-wide tape op) — exercised at every (qa, qb)
+      // ordering so the bit-0 operand and low-stride fallbacks are hit.
+      if (n >= 2) {
+        const charter::math::Mat4 u4 = random_mat4(rng);
+        run("apply_2q", [&](cplx* a) { ref_apply_2q(a, dim, qa, qb, u4); },
+            [&](cplx* a) { table.apply_2q(a, dim, qa, qb, u4); });
+      }
       run("apply_diag_2q",
           [&](cplx* a) { ref_apply_diag_2q(a, dim, qa, qb, d); },
           [&](cplx* a) { table.apply_diag_2q(a, dim, qa, qb, d); });
@@ -358,7 +394,7 @@ TEST(SimdDispatch, ScalarAlwaysAvailable) {
 TEST(SimdDispatch, SetPathRoundTrips) {
   const ms::SimdPath original = ms::active_path();
   for (const ms::SimdPath p : {ms::SimdPath::kScalar, ms::SimdPath::kWidth2,
-                               ms::SimdPath::kAvx2}) {
+                               ms::SimdPath::kAvx2, ms::SimdPath::kAvx512}) {
     if (!ms::path_available(p)) {
       EXPECT_FALSE(ms::set_path(p));
       continue;
@@ -396,14 +432,18 @@ TEST(SimdKernels, ScalarPathBitIdenticalToPreChangeKernels) {
 // Every vector path agrees with the reference (== scalar) to <= 1e-12 over
 // the full op x position x width sweep.
 TEST(SimdKernels, AllPathsAgreeWithinTolerance) {
-  for (const ms::SimdPath p : {ms::SimdPath::kWidth2, ms::SimdPath::kAvx2}) {
+  for (const ms::SimdPath p : {ms::SimdPath::kWidth2, ms::SimdPath::kAvx2,
+                               ms::SimdPath::kAvx512}) {
     if (!ms::path_available(p)) {
       GTEST_LOG_(INFO) << "path " << ms::path_name(p)
                        << " unavailable; skipped";
       continue;
     }
-    const ms::KernelTable* table =
-        p == ms::SimdPath::kWidth2 ? ms::table_width2() : ms::table_avx2();
+    const ms::KernelTable* table = p == ms::SimdPath::kWidth2
+                                       ? ms::table_width2()
+                                       : p == ms::SimdPath::kAvx2
+                                             ? ms::table_avx2()
+                                             : ms::table_avx512();
     ASSERT_NE(table, nullptr);
     Rng rng(0x5eed + static_cast<std::uint64_t>(p));
     for (int n = 1; n <= 7; ++n) {

@@ -26,6 +26,7 @@
 #include <charter/charter.hpp>
 
 #include "math/simd_dispatch.hpp"
+#include "noise/program.hpp"
 #include "service/client.hpp"
 #include "service/json.hpp"
 #include "util/cli.hpp"
@@ -123,7 +124,11 @@ int cmd_version(int argc, const char* const* argv) {
   std::printf("  simd override : %s\n",
               std::getenv("CHARTER_SIMD") != nullptr
                   ? std::getenv("CHARTER_SIMD")
-                  : "(none; set CHARTER_SIMD=scalar|sse2|neon|avx2)");
+                  : "(none; set CHARTER_SIMD=scalar|sse2|neon|avx2|avx512)");
+  std::printf("  fusion width  : %d%s\n", charter::noise::fusion_width(),
+              std::getenv("CHARTER_FUSION_WIDTH") != nullptr
+                  ? " (from CHARTER_FUSION_WIDTH)"
+                  : " (default; set CHARTER_FUSION_WIDTH=2|3)");
   std::printf("  environment   : %s\n",
               cb::run_environment_summary().c_str());
   if (cli.get_bool("verbose")) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the bench JSON artifacts the CI smoke runs record.
 
-CI uploads BENCH_exec.json / BENCH_kernels.json (via actions/upload-artifact)
+CI uploads BENCH_exec.json / BENCH_kernels.json / BENCH_trajectory.json
+(via actions/upload-artifact)
 so the perf trajectory accumulates run over run; this gate fails the job
 when an artifact is missing, malformed, or has lost a metric key — a silent
 schema drift would otherwise leave holes in the trend right when a
@@ -116,7 +117,58 @@ def check_kernels(path, data):
     return ok
 
 
-CHECKERS = {"exec_batching": check_exec, "sim_kernels": check_kernels}
+def check_trajectory(path, data):
+    ok = True
+    ok &= require_number(path, data, "qubits", minimum=1)
+    ok &= require_number(path, data, "trajectories", minimum=1)
+    ok &= require_number(path, data, "fusion_width", minimum=2, maximum=3)
+    for key in ("simd_active", "simd_available"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            ok = fail(path, f"metric '{key}' missing")
+    for name in ("coherent", "full_noise"):
+        row = data.get(name)
+        if not isinstance(row, dict):
+            ok = fail(path, f"sweep row '{name}' missing")
+            continue
+        ok &= require_number(path, row, "exact_ms", minimum=0.0)
+        ok &= require_number(path, row, "fused_wide_ms", minimum=0.0)
+        # The coherent-dominated row is the headline gate: a fused-wide
+        # sweep that fails to at least match the exact tape is a
+        # regression in the wide-fusion pipeline itself.
+        ok &= require_number(
+            path, row, "speedup", minimum=1.0 if name == "coherent" else 0.0
+        )
+        ok &= require_number(
+            path, row, "max_abs_diff", minimum=0.0, maximum=AGREEMENT_BOUND
+        )
+        ok &= require_number(path, row, "tape_ops_exact", minimum=1)
+        ok &= require_number(path, row, "tape_ops_fused_wide", minimum=1)
+        if (
+            ok
+            and row["tape_ops_fused_wide"] >= row["tape_ops_exact"]
+        ):
+            ok = fail(path, f"'{name}': wide fusion did not shrink the tape")
+    rows = data.get("threads")
+    if not isinstance(rows, list) or not rows:
+        ok = fail(path, "metric 'threads' missing or empty")
+    else:
+        for row in rows:
+            ok &= require_number(path, row, "threads", minimum=1)
+            ok &= require_number(path, row, "ms", minimum=0.0)
+            if row.get("bit_identical_to_1_thread") is not True:
+                ok = fail(
+                    path,
+                    f"threads={row.get('threads')} sweep not bit-identical "
+                    "to the 1-thread fold",
+                )
+    return ok
+
+
+CHECKERS = {
+    "exec_batching": check_exec,
+    "sim_kernels": check_kernels,
+    "trajectory": check_trajectory,
+}
 
 
 def summarize(path, data):
@@ -127,6 +179,14 @@ def summarize(path, data):
             f"cold={data['cold_speedup']:.2f}x "
             f"fused={data['fused_speedup']:.2f}x "
             f"session={data['session_speedup']:.2f}x"
+        )
+    elif bench == "trajectory":
+        print(
+            f"{path}: trajectory n={data['qubits']} "
+            f"simd={data['simd_active']} "
+            f"width={data['fusion_width']} "
+            f"coherent={data['coherent']['speedup']:.2f}x "
+            f"full_noise={data['full_noise']['speedup']:.2f}x"
         )
     else:
         rows = {r["kernel"]: r["speedup"] for r in data["simd"]}
