@@ -1,0 +1,207 @@
+// Micro-benchmark of multi-process sweep sharding: the same checkpointed
+// analysis in-process vs fanned out to 1/2/4/... `charter worker` child
+// processes over serialized tapes and snapshots (exec/worker.hpp).  Every
+// worker count must reproduce the in-process report bit for bit — the wire
+// formats carry raw double bits and the reduction is submission-index
+// ordered — and that contract is asserted on every bench run, not just in
+// the test suite.  A fault-injection pass (CHARTER_WORKER_KILL_AFTER)
+// additionally SIGKILLs every child after its first request and verifies
+// the sweep still completes, via in-process retries, with the report
+// unchanged.
+//
+// Reported metrics:
+//   inprocess_ms   checkpointed analysis wall-clock, workers = 0
+//   workers[]      wall-clock per worker-process count, each row asserted
+//                  bit_identical_to_inprocess
+//   kill_retry     worker_failures / retried_jobs observed under fault
+//                  injection, plus report_unchanged
+//
+// Usage: bench_exec_multiprocess [--rounds N] [--reps N] [--reversals N]
+//                                [--shots N] [--max-workers N] [--smoke]
+//                                [--out PATH]
+//
+// Children are plain forks of this binary (worker_exe empty), so the bench
+// needs no installed CLI.  --smoke shrinks the workload for CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "bench/common.hpp"
+#include "core/analyzer.hpp"
+#include "exec/cache.hpp"
+#include "transpile/topology.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace cb = charter::backend;
+namespace cc = charter::circ;
+namespace co = charter::core;
+namespace ct = charter::transpile;
+namespace ex = charter::exec;
+
+namespace {
+
+/// Deep 5-qubit logical circuit; rounds scale the eligible-gate count.
+cc::Circuit workload(int rounds) {
+  cc::Circuit c(5);
+  for (int q = 0; q < 5; ++q) c.h(q, cc::kFlagInputPrep);
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < 4; ++q) c.cx(q, q + 1);
+    for (int q = 0; q < 5; ++q) c.rx(q, 0.2 + 0.07 * q);
+    c.cx(4, 3);
+    for (int q = 0; q < 5; ++q) c.ry(q, 0.5 - 0.05 * q);
+  }
+  return c;
+}
+
+double analyze_seconds(const cb::FakeBackend& backend,
+                       const cb::CompiledProgram& program,
+                       const co::CharterOptions& options, int reps,
+                       co::CharterReport* out) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const co::CharterAnalyzer analyzer(backend, options);
+    charter::util::Timer timer;
+    co::CharterReport report = analyzer.analyze(program);
+    best = std::min(best, timer.seconds());
+    if (out != nullptr) *out = std::move(report);
+  }
+  return best;
+}
+
+bool reports_identical(const co::CharterReport& a, const co::CharterReport& b) {
+  if (a.impacts.size() != b.impacts.size()) return false;
+  if (a.original_distribution != b.original_distribution) return false;
+  for (std::size_t i = 0; i < a.impacts.size(); ++i) {
+    if (a.impacts[i].op_index != b.impacts[i].op_index) return false;
+    if (a.impacts[i].tvd != b.impacts[i].tvd) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  charter::util::Cli cli(
+      "bench_exec_multiprocess: in-process vs multi-process sweep sharding "
+      "wall-clock, with a worker-kill fault-injection pass");
+  cli.add_flag("rounds", std::int64_t{8}, "workload rounds (depth scale)");
+  cli.add_flag("reps", std::int64_t{3}, "timed repetitions (best-of)");
+  cli.add_flag("reversals", std::int64_t{5}, "reversed pairs per gate");
+  cli.add_flag("shots", std::int64_t{0},
+               "shots per run (0 = exact engine distributions)");
+  cli.add_flag("max-workers", std::int64_t{4},
+               "sweep worker counts 1, 2, 4, ... up to this many children");
+  cli.add_flag("smoke", false, "CI preset: tiny workload, 2 children max");
+  cli.add_flag("out", std::string("bench_results/exec_multiprocess.json"),
+               "JSON output path ('' = stdout only)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_bool("smoke");
+  const int rounds = smoke ? 2 : static_cast<int>(cli.get_int("rounds"));
+  const int reps = smoke ? 1 : static_cast<int>(cli.get_int("reps"));
+  const int max_workers =
+      smoke ? 2 : static_cast<int>(cli.get_int("max-workers"));
+
+  const cb::FakeBackend backend =
+      cb::FakeBackend::from_topology(ct::line(5), /*cal_seed=*/2022);
+  const cb::CompiledProgram program = backend.compile(workload(rounds));
+
+  co::CharterOptions options;
+  options.reversals = static_cast<int>(cli.get_int("reversals"));
+  options.run.shots = cli.get_int("shots");
+  options.run.seed = 2022;
+  options.run.drift = 0.0;
+  options.exec.caching = false;
+  options.exec.threads = 2;
+
+  co::CharterReport inprocess_report;
+  const double inprocess_s =
+      analyze_seconds(backend, program, options, reps, &inprocess_report);
+
+  struct WorkerRow {
+    int workers = 0;
+    double seconds = 0.0;
+    bool identical = false;
+  };
+  std::vector<WorkerRow> rows;
+  bool all_identical = true;
+  for (int w = 1; w <= max_workers; w *= 2) {
+    options.exec.workers = w;
+    co::CharterReport report;
+    const double s = analyze_seconds(backend, program, options, reps, &report);
+    const bool identical = reports_identical(inprocess_report, report);
+    all_identical = all_identical && identical;
+    if (report.exec_stats.worker_jobs == 0) {
+      std::fprintf(stderr, "FAIL: workers=%d served no work units\n", w);
+      return 1;
+    }
+    rows.push_back({w, s, identical});
+  }
+
+  // Fault injection: every child kills itself after one request; the sweep
+  // must complete via in-process retries with the report unchanged.
+  options.exec.workers = 2;
+  ::setenv("CHARTER_WORKER_KILL_AFTER", "1", 1);
+  co::CharterReport kill_report;
+  analyze_seconds(backend, program, options, 1, &kill_report);
+  ::unsetenv("CHARTER_WORKER_KILL_AFTER");
+  options.exec.workers = 0;
+  const bool kill_unchanged = reports_identical(inprocess_report, kill_report);
+  const std::size_t kill_failures = kill_report.exec_stats.worker_failures;
+  const std::size_t kill_retried = kill_report.exec_stats.worker_retried_jobs;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"exec_multiprocess\",\n";
+  json += "  \"qubits\": 5,\n";
+  json += "  \"analyzed_gates\": " +
+          std::to_string(inprocess_report.analyzed_gates) + ",\n";
+  json += "  \"reversals\": " + std::to_string(options.reversals) + ",\n";
+  json += "  \"engine\": \"density_matrix\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  \"inprocess_ms\": %.3f,\n",
+                inprocess_s * 1e3);
+  json += buf;
+  json += "  \"workers\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const WorkerRow& row = rows[k];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %d, \"ms\": %.3f, \"speedup\": %.3f, "
+                  "\"bit_identical_to_inprocess\": %s}%s\n",
+                  row.workers, row.seconds * 1e3,
+                  row.seconds > 0.0 ? inprocess_s / row.seconds : 0.0,
+                  row.identical ? "true" : "false",
+                  k + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"kill_retry\": {\"worker_failures\": %zu, "
+                "\"retried_jobs\": %zu, \"report_unchanged\": %s}\n",
+                kill_failures, kill_retried,
+                kill_unchanged ? "true" : "false");
+  json += buf;
+  json += "}\n";
+  std::fputs(json.c_str(), stdout);
+
+  charter::bench::write_output_file(cli.get_string("out"), json);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: report changed with the worker-process count\n");
+    return 1;
+  }
+  if (kill_failures == 0 || kill_retried == 0) {
+    std::fprintf(stderr, "FAIL: fault injection did not fire\n");
+    return 1;
+  }
+  if (!kill_unchanged) {
+    std::fprintf(stderr,
+                 "FAIL: report changed after a worker was killed mid-shard\n");
+    return 1;
+  }
+  return 0;
+}

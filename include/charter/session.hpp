@@ -100,6 +100,20 @@ class SessionConfig {
   /// Worker-pool width per job sweep: 0 = one worker per hardware thread.
   /// Results are bit-identical at every value; only wall-clock changes.
   SessionConfig& threads(int n) { threads_ = n; return *this; }
+  /// Multi-process sweep sharding: > 0 fans each sweep's checkpoint
+  /// shards and trajectory groups out to that many `charter worker`
+  /// child processes over serialized tapes/snapshots.  0 (default) keeps
+  /// execution in-process.  Reports stay bit-identical at every worker
+  /// count, and a worker killed mid-sweep is retried in-process.
+  SessionConfig& workers(int n) { workers_ = n; return *this; }
+  /// Executable to fork+exec as each worker (`<exe> worker --fd N`); the
+  /// CLI and charterd pass their own binary.  Empty (default): plain
+  /// fork of the current process image.  Only meaningful with
+  /// workers > 0.
+  SessionConfig& worker_exe(std::string exe) {
+    worker_exe_ = std::move(exe);
+    return *this;
+  }
   /// Attach a persistent disk tier to the process-wide run cache, rooted
   /// at \p dir (created if missing; empty = memory-only, the default).
   /// Entries are fingerprint-keyed, checksummed on load, and survive
@@ -134,6 +148,8 @@ class SessionConfig {
   bool caching() const { return caching_; }
   std::size_t checkpoint_memory_bytes() const { return checkpoint_memory_bytes_; }
   int threads() const { return threads_; }
+  int workers() const { return workers_; }
+  const std::string& worker_exe() const { return worker_exe_; }
   const std::string& cache_dir() const { return cache_dir_; }
   std::size_t cache_disk_bytes() const { return cache_disk_bytes_; }
 
@@ -164,6 +180,8 @@ class SessionConfig {
   bool caching_ = true;
   std::size_t checkpoint_memory_bytes_ = 512ull << 20;
   int threads_ = 0;
+  int workers_ = 0;
+  std::string worker_exe_;
   std::string cache_dir_;
   std::size_t cache_disk_bytes_ = 1ull << 30;
 };

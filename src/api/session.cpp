@@ -32,6 +32,12 @@ std::vector<std::string> SessionConfig::validate() const {
   if (threads_ < 0)
     flag("threads must be >= 0 (0 = one worker per hardware thread); got " +
          std::to_string(threads_));
+  if (workers_ < 0)
+    flag("workers must be >= 0 (0 = in-process execution); got " +
+         std::to_string(workers_));
+  if (!worker_exe_.empty() && workers_ == 0)
+    flag("worker_exe is set but workers is 0; set workers >= 1 or drop "
+         "worker_exe");
   if (checkpointing_ && checkpoint_memory_bytes_ == 0)
     flag("checkpoint_memory_bytes must be > 0 when checkpointing is on; "
          "disable checkpointing instead of zeroing its budget");
@@ -66,6 +72,8 @@ core::CharterOptions SessionConfig::resolved() const {
   o.exec.caching = caching_;
   o.exec.checkpoint_memory_bytes = checkpoint_memory_bytes_;
   o.exec.threads = threads_;
+  o.exec.workers = workers_;
+  o.exec.worker_exe = worker_exe_;
   return o;
 }
 
@@ -102,7 +110,22 @@ struct JobState {
   JobResult result;  ///< written by the worker before the terminal
                      ///< transition; immutable afterwards
 
+  /// Callback fence: user callbacks (on_progress/on_impact) deliver only
+  /// while the gate is open, and the terminal transition closes it
+  /// *before* publishing the terminal status — so once wait() (or
+  /// status()) can observe kDone/kCancelled/kFailed, no further callback
+  /// begins.  Closing the gate also drains any callback in flight, since
+  /// delivery holds callbacks_mu.  Lock order where nested: callbacks_mu
+  /// before mu (set_status never holds both).
+  mutable std::mutex callbacks_mu;
+  bool callbacks_open = true;  // under callbacks_mu
+
   void set_status(JobStatus next) {
+    if (next == JobStatus::kDone || next == JobStatus::kCancelled ||
+        next == JobStatus::kFailed) {
+      const std::lock_guard<std::mutex> gate(callbacks_mu);
+      callbacks_open = false;
+    }
     {
       const std::lock_guard<std::mutex> lock(mu);
       status = next;
@@ -310,13 +333,21 @@ void Session::run_job(detail::JobState& job) {
   hooks.cancel = &job.cancel;
   hooks.on_progress = [&job](std::size_t completed, std::size_t total) {
     const JobProgress p{completed, total};
+    const std::lock_guard<std::mutex> gate(job.callbacks_mu);
+    if (!job.callbacks_open) return;  // terminal status already observable
     {
       const std::lock_guard<std::mutex> lock(job.mu);
       job.progress = p;
     }
     if (job.callbacks.on_progress) job.callbacks.on_progress(p);
   };
-  if (job.callbacks.on_impact) hooks.on_impact = job.callbacks.on_impact;
+  if (job.callbacks.on_impact) {
+    hooks.on_impact = [&job](const core::GateImpact& impact) {
+      const std::lock_guard<std::mutex> gate(job.callbacks_mu);
+      if (!job.callbacks_open) return;
+      job.callbacks.on_impact(impact);
+    };
+  }
 
   try {
     const core::CharterAnalyzer analyzer(*backend_, options_);

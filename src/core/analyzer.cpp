@@ -225,6 +225,9 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
     total_stats.trajectory_checkpointed += s.trajectory_checkpointed;
     total_stats.full_runs += s.full_runs;
     total_stats.checkpoint_fallbacks += s.checkpoint_fallbacks;
+    total_stats.worker_jobs += s.worker_jobs;
+    total_stats.worker_failures += s.worker_failures;
+    total_stats.worker_retried_jobs += s.worker_retried_jobs;
 
     // Score this chunk immediately; the distributions are not retained, so
     // peak memory stays proportional to the chunk, not the whole sweep.

@@ -185,6 +185,7 @@ std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key,
                                                     CacheTier* served) {
   if (served != nullptr) *served = CacheTier::kNone;
   Shard& shard = shards_[shard_index(key)];
+  std::optional<std::vector<double>> memory_hit;
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.entries.find(key);
@@ -193,9 +194,22 @@ std::optional<std::vector<double>> RunCache::lookup(const Fingerprint& key,
       // Refresh recency: splice this key to the back of the LRU list.
       shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_pos);
       if (served != nullptr) *served = CacheTier::kMemory;
-      return it->second.distribution;
+      memory_hit = it->second.distribution;
+    } else {
+      ++shard.stats.misses;
     }
-    ++shard.stats.misses;
+  }
+  if (memory_hit.has_value()) {
+    // A memory hit is still a *use* of the disk copy: refresh its mtime so
+    // the disk tier's LRU sweep doesn't evict the hottest entries first
+    // (they stop reaching load() the moment they're promoted to memory).
+    std::shared_ptr<DiskCacheTier> disk;
+    {
+      const std::lock_guard<std::mutex> lock(disk_mu_);
+      disk = disk_;
+    }
+    if (disk != nullptr) disk->touch(key);
+    return memory_hit;
   }
 
   // Fall through to the persistent tier; promote hits so repeated lookups

@@ -78,9 +78,8 @@ std::size_t CheckpointPlan::segment_of(std::size_t prefix_len) const {
   return segment;
 }
 
-std::vector<double> CheckpointPlan::run_shared(
-    const circ::Circuit& c, std::size_t prefix_len,
-    sim::DensityMatrixEngine& engine) const {
+std::optional<CheckpointPlan::PreparedResume> CheckpointPlan::prepare_shared(
+    const circ::Circuit& c, std::size_t prefix_len) const {
   require(c.num_qubits() == base_.num_qubits(),
           "derived circuit width differs from the base");
 
@@ -101,8 +100,7 @@ std::vector<double> CheckpointPlan::run_shared(
 
   if (!spliced.has_value()) {
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    executor_.run(c, engine);
-    return engine.probabilities();
+    return std::nullopt;
   }
 
   // Resume at the tape position of the snapshot; in fused mode, optimize
@@ -115,11 +113,22 @@ std::vector<double> CheckpointPlan::run_shared(
   else if (executor_.level() == noise::OptLevel::kFusedWide)
     tape = noise::fused_wide(tape, resume_pos);
 
-  engine.load_state(snapshot->rho);
   replayed_ops_.fetch_add(prefix_len - snapshot->prefix_len,
                           std::memory_order_relaxed);
   resumed_.fetch_add(1, std::memory_order_relaxed);
-  tape.run(engine, resume_pos, tape.size());
+  return PreparedResume{std::move(tape), resume_pos, &snapshot->rho};
+}
+
+std::vector<double> CheckpointPlan::run_shared(
+    const circ::Circuit& c, std::size_t prefix_len,
+    sim::DensityMatrixEngine& engine) const {
+  std::optional<PreparedResume> prep = prepare_shared(c, prefix_len);
+  if (!prep.has_value()) {
+    executor_.run(c, engine);
+    return engine.probabilities();
+  }
+  engine.load_state(*prep->snapshot);
+  prep->tape.run(engine, prep->resume_pos, prep->tape.size());
   return engine.probabilities();
 }
 

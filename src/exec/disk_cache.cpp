@@ -133,6 +133,15 @@ std::optional<std::vector<double>> DiskCacheTier::load(const Fingerprint& key) {
   return payload;
 }
 
+void DiskCacheTier::touch(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path path = fs::path(dir_) / entry_filename(key);
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  // Errors (entry evicted by another process, read-only dir) are benign:
+  // the worst case is one stale LRU stamp.
+}
+
 void DiskCacheTier::store(const Fingerprint& key,
                           const std::vector<double>& distribution) {
   const std::size_t bytes = entry_file_bytes(distribution.size());

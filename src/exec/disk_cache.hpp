@@ -70,6 +70,13 @@ class DiskCacheTier {
   /// larger than the whole budget are not admitted.
   void store(const Fingerprint& key, const std::vector<double>& distribution);
 
+  /// Refreshes the entry's LRU stamp without reading it.  Memory-tier hits
+  /// must call this: once an entry is promoted into RunCache's memory
+  /// stripes, load() is never reached again, so without the touch the
+  /// hottest entries keep the *oldest* mtimes and the budget sweep evicts
+  /// them first.  A missing file is a no-op.
+  void touch(const Fingerprint& key);
+
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;

@@ -12,11 +12,20 @@
 
 namespace charter::service {
 
+void validate_socket_path(const std::string& path) {
+  require(!path.empty(), "socket path is empty");
+  constexpr std::size_t kMax = sizeof(sockaddr_un::sun_path) - 1;
+  require(path.size() <= kMax,
+          "socket path '" + path + "' is " + std::to_string(path.size()) +
+              " bytes, but AF_UNIX paths are limited to " +
+              std::to_string(kMax) +
+              " — pass a shorter --socket (e.g. under /tmp)");
+}
+
 Client::Client(const std::string& socket_path) {
+  validate_socket_path(socket_path);
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  require(!socket_path.empty() && socket_path.size() < sizeof(addr.sun_path),
-          "bad socket path: '" + socket_path + "'");
   std::strncpy(addr.sun_path, socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);

@@ -13,6 +13,15 @@
 
 namespace charter::service {
 
+/// Validates \p path as an AF_UNIX socket address up front: non-empty and
+/// short enough for sockaddr_un::sun_path (107 bytes + NUL on Linux).
+/// Throws charter::InvalidArgument with the offending path, its length,
+/// and the limit — long $XDG_RUNTIME_DIR or deeply nested test scratch
+/// directories hit this, and a truncated strncpy would otherwise bind or
+/// connect to the wrong path.  Both sides of the protocol (Client,
+/// SocketServer) call this before touching the socket API.
+void validate_socket_path(const std::string& path);
+
 class Client {
  public:
   /// Connects immediately; throws charter::Error when the daemon is not

@@ -13,6 +13,7 @@
 #include "circuit/qasm_parser.hpp"
 #include "core/report_io.hpp"
 #include "exec/cache.hpp"
+#include "service/client.hpp"
 #include "service/json.hpp"
 
 namespace charter::service {
@@ -221,11 +222,9 @@ SocketServer::~SocketServer() {
 }
 
 void SocketServer::start() {
-  require(!socket_path_.empty(), "charterd needs a socket path");
+  validate_socket_path(socket_path_);
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  require(socket_path_.size() < sizeof(addr.sun_path),
-          "socket path too long: " + socket_path_);
   std::strncpy(addr.sun_path, socket_path_.c_str(),
                sizeof(addr.sun_path) - 1);
 

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file byte_io.hpp
+/// Little-endian byte-buffer writer/reader for the versioned binary
+/// formats (tape "CHP\2", snapshot "CHS\1", and the worker wire frames).
+///
+/// Everything is written field-by-field in explicit little-endian byte
+/// order — never by memcpy of a struct — so the formats are independent of
+/// host struct layout and padding, and a reader can validate as it goes.
+/// ByteReader throws charter::InvalidArgument on any attempt to read past
+/// the end: truncated input is a structured error, never UB.
+///
+/// checksum() is the same splitmix64 chain discipline as the disk cache's
+/// payload checksum (exec/disk_cache.cpp), generalized to arbitrary bytes:
+/// the stream is consumed in 8-byte words (zero-padded tail) and each word
+/// perturbs a running state whose splitmix64 image is folded into the
+/// digest.  Single-bit flips anywhere in the stream change the result.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charter::util {
+
+/// Appends fixed-width little-endian fields to a growing byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(v, 2); }
+  void u32(std::uint32_t v) { append(v, 4); }
+  void u64(std::uint64_t v) { append(v, 8); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes fixed-width little-endian fields from a byte span.  Every read
+/// past the end throws InvalidArgument naming \p label — malformed input
+/// is always a structured error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data, std::string label)
+      : data_(data), label_(std::move(label)) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() { return take(8); }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+
+  /// Rejects trailing garbage after the last expected field.
+  void expect_end() const {
+    if (offset_ != data_.size())
+      throw InvalidArgument(label_ + ": " +
+                            std::to_string(data_.size() - offset_) +
+                            " trailing bytes after the checksum");
+  }
+
+ private:
+  std::uint64_t take(std::size_t n) {
+    if (data_.size() - offset_ < n)
+      throw InvalidArgument(label_ + ": truncated at byte " +
+                            std::to_string(offset_) + " (need " +
+                            std::to_string(n) + " more of " +
+                            std::to_string(data_.size()) + " total)");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    offset_ += n;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+  std::string label_;
+};
+
+/// Splitmix64-chain digest over \p data (see file comment).
+inline std::uint64_t checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ data.size();
+  std::uint64_t h = splitmix64(state);
+  for (std::size_t i = 0; i < data.size(); i += 8) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, data.size() - i);
+    for (std::size_t k = 0; k < n; ++k)
+      word |= static_cast<std::uint64_t>(data[i + k]) << (8 * k);
+    state ^= word;
+    h ^= splitmix64(state);
+  }
+  return h;
+}
+
+}  // namespace charter::util

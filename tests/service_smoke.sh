@@ -16,7 +16,10 @@ set -u
 : "${CHARTERD_BIN:?set CHARTERD_BIN to the charterd binary}"
 : "${CHARTER_BIN:?set CHARTER_BIN to the charter CLI binary}"
 
-WORK="$(mktemp -d "${TMPDIR:-/tmp}/charter_service_smoke.XXXXXX")"
+# Scratch under a fixed short /tmp prefix — NOT $TMPDIR: CTest build trees
+# can nest deeply enough that "$TMPDIR/.../charterd.sock" blows the 107-byte
+# AF_UNIX sun_path limit, which the daemon now rejects up front.
+WORK="$(mktemp -d "/tmp/charter_smoke.XXXXXX")"
 SOCK="$WORK/charterd.sock"
 CACHE="$WORK/cache"
 LOG="$WORK/charterd.log"

@@ -209,6 +209,40 @@ TEST(DiskCache, BudgetEvictsLeastRecentlyUsedFirst) {
   EXPECT_GE(tier.stats().evictions, 1u);
 }
 
+TEST(DiskCache, MemoryTierHitRefreshesDiskEntryMtime) {
+  ScratchDir dir("memtouch");
+  const std::size_t entry_bytes = 32 + 8 * sizeof(double) + 8;
+  ex::RunCache cache(1ull << 20);
+  cache.set_disk_tier(dir.path(), entry_bytes * 3);
+  for (std::uint64_t i = 0; i < 3; ++i) cache.store(key_of(i), payload_of(i));
+
+  // Simulate a coarse-mtime filesystem: the whole store burst lands on a
+  // single timestamp tick for keys 1/2, and key 0 is older still.
+  const auto stamp =
+      fs::file_time_type::clock::now() - std::chrono::hours(2);
+  fs::last_write_time(entry_path(dir, key_of(0)),
+                      stamp - std::chrono::hours(1));
+  fs::last_write_time(entry_path(dir, key_of(1)), stamp);
+  fs::last_write_time(entry_path(dir, key_of(2)), stamp);
+
+  // Key 0 is the hottest entry, but it is served from the *memory* tier —
+  // the disk file is never read again after promotion.  The memory hit
+  // must still refresh the disk mtime, or the LRU sweep below would evict
+  // the hottest entry first.
+  ex::CacheTier served = ex::CacheTier::kNone;
+  ASSERT_TRUE(cache.lookup(key_of(0), &served).has_value());
+  EXPECT_EQ(served, ex::CacheTier::kMemory);
+
+  cache.store(key_of(3), payload_of(3));  // disk over budget: one eviction
+  EXPECT_TRUE(fs::exists(entry_path(dir, key_of(0))))
+      << "memory-hot entry must survive the mtime-LRU sweep";
+  EXPECT_TRUE(fs::exists(entry_path(dir, key_of(3))));
+  int cold_left = 0;
+  for (std::uint64_t i = 1; i <= 2; ++i)
+    if (fs::exists(entry_path(dir, key_of(i)))) ++cold_left;
+  EXPECT_EQ(cold_left, 1) << "exactly one cold entry evicted";
+}
+
 TEST(DiskCache, OversizedEntryIsNotAdmitted) {
   ScratchDir dir("oversize");
   ex::DiskCacheTier tier(dir.path(), 64);  // smaller than any entry

@@ -291,6 +291,49 @@ TEST(Session, CancellationMidSweepFreesWorkersAndReportsCancelled) {
   ex::RunCache::global().clear();
 }
 
+TEST(Session, NoProgressAfterTerminalStatusIsObservable) {
+  // Regression: on_progress used to race set_status — a callback already
+  // past the status check could deliver *after* wait() had returned
+  // kCancelled, surprising callers that tear their observer state down on
+  // wait().  Callback delivery is now fenced: once a terminal status is
+  // observable, no further progress arrives.
+  const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
+  const cb::CompiledProgram program = qft3_program(backend);
+
+  ex::RunCache::global().clear();
+  charter::Session session(
+      backend,
+      session_config(2).caching(false).checkpointing(false).reversals(40));
+
+  // Repeat to give the (former) race a chance to fire.
+  for (int round = 0; round < 5; ++round) {
+    charter::JobHandle job;
+    std::atomic<bool> handle_ready{false};
+    std::atomic<bool> terminal_observed{false};
+    std::atomic<bool> late_progress{false};
+    charter::JobCallbacks callbacks;
+    callbacks.on_progress = [&](const charter::JobProgress& p) {
+      if (terminal_observed.load()) late_progress = true;
+      if (p.completed >= 1) {
+        while (!handle_ready.load()) std::this_thread::yield();
+        job.cancel();
+      }
+    };
+    job = session.submit(program, callbacks);
+    handle_ready.store(true);
+    const charter::JobResult& result = job.wait();
+    terminal_observed.store(true);
+    EXPECT_EQ(result.status, charter::JobStatus::kCancelled)
+        << "round " << round;
+    // Give any straggler callback time to (wrongly) deliver.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(late_progress.load())
+        << "round " << round
+        << ": on_progress fired after wait() returned kCancelled";
+  }
+  ex::RunCache::global().clear();
+}
+
 TEST(Session, QueuedJobCancelsWithoutRunning) {
   const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
   const cb::CompiledProgram program = qft3_program(backend);
