@@ -42,16 +42,162 @@
 #include "backend/backend.hpp"
 #include "core/analyzer.hpp"
 #include "exec/cache.hpp"
+#include "exec/strategy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace charter {
 
-/// Validated, builder-style session configuration: one flat surface over
-/// what used to be three nested structs (core::CharterOptions ->
-/// backend::RunOptions -> exec::BatchOptions).  Every setter returns *this
-/// for chaining; validate() reports *actionable* errors instead of the
-/// old silent fallbacks, and Session's constructor throws
+/// Builder-style *execution* configuration: every knob that shapes how a
+/// sweep runs (parallelism, caching, checkpointing, tape optimization, and
+/// the strategy portfolio) without changing what it computes.  Lives inside
+/// SessionConfig as SessionConfig::execution(); the old flat SessionConfig
+/// setters forward here and are deprecated.
+///
+///   charter::SessionConfig cfg;
+///   cfg.shots(8192).seed(42);
+///   cfg.execution()
+///       .threads(8)
+///       .strategy(charter::exec::StrategyKind::kAuto)
+///       .cost_profile("charter.costs.json");
+///
+/// Validation happens through SessionConfig::validate() — ExecutionConfig
+/// carries no invariants of its own beyond what the session checks.
+class ExecutionConfig {
+ public:
+  // -- parallelism --------------------------------------------------------
+  /// Worker-pool width per job sweep: 0 = one worker per hardware thread.
+  /// Results are bit-identical at every value; only wall-clock changes.
+  ExecutionConfig& threads(int n) { threads_ = n; return *this; }
+  /// Multi-process sweep sharding: > 0 fans each sweep's checkpoint shards
+  /// and trajectory groups out to that many `charter worker` child
+  /// processes over serialized tapes/snapshots.  0 (default) keeps
+  /// execution in-process.  Reports stay bit-identical at every worker
+  /// count, and a worker killed mid-sweep is retried in-process.
+  ExecutionConfig& workers(int n) { workers_ = n; return *this; }
+  /// Executable to fork+exec as each worker (`<exe> worker --fd N`); the
+  /// CLI and charterd pass their own binary.  Empty (default): plain fork
+  /// of the current process image.  Only meaningful with workers > 0.
+  ExecutionConfig& worker_exe(std::string exe) {
+    worker_exe_ = std::move(exe);
+    return *this;
+  }
+
+  // -- tape optimization --------------------------------------------------
+  /// Fuse the lowered noise tape (faster, ~1e-12 agreement; the exact
+  /// tape is bit-reproducible).
+  ExecutionConfig& fused(bool on) { fused_ = on; return *this; }
+  /// Pin the wide-fusion window for this session's runs: 0 (default)
+  /// defers to the process-global noise::fusion_width(); 2 or 3 pins it
+  /// per run (part of the run's cache fingerprint).  Only meaningful for
+  /// the fused-wide tape level (StrategyKind::kDmFusedWide).
+  ExecutionConfig& fusion_width(int w) { fusion_width_ = w; return *this; }
+
+  // -- variance reduction -------------------------------------------------
+  /// Share one seed across the original and every reversed run
+  /// (common-random-numbers variance reduction; also what makes
+  /// trajectory checkpoint sharing exact).
+  ExecutionConfig& common_random_numbers(bool on) { crn_ = on; return *this; }
+
+  // -- checkpointing / caching --------------------------------------------
+  /// Resume jobs from prefix-state snapshots when exact (needs a backend
+  /// with supports_lowering()).
+  ExecutionConfig& checkpointing(bool on) { checkpointing_ = on; return *this; }
+  /// Serve and populate the process-wide run cache (needs a backend with
+  /// a cache identity).
+  ExecutionConfig& caching(bool on) { caching_ = on; return *this; }
+  /// Snapshot memory budget per batch.
+  ExecutionConfig& checkpoint_memory_bytes(std::size_t n) {
+    checkpoint_memory_bytes_ = n;
+    return *this;
+  }
+  /// Attach a persistent disk tier to the process-wide run cache, rooted
+  /// at \p dir (created if missing; empty = memory-only, the default).
+  /// Entries are fingerprint-keyed, checksummed on load, and survive
+  /// process restarts.  The tier is process-wide state: the last Session
+  /// (or tool) to set it wins.
+  ExecutionConfig& cache_dir(std::string dir) {
+    cache_dir_ = std::move(dir);
+    return *this;
+  }
+  /// Disk-tier byte budget; least-recently-used entries are evicted past
+  /// it.  Only meaningful with a non-empty cache_dir.
+  ExecutionConfig& cache_disk_bytes(std::size_t n) {
+    cache_disk_bytes_ = n;
+    return *this;
+  }
+
+  // -- strategy portfolio (exec/strategy.hpp) -----------------------------
+  /// Execution strategy for every sweep.  kAuto (default): the session's
+  /// planner picks per job family from its online cost model — with a
+  /// cold model this is exactly the historical fixed-rule behavior.  A
+  /// fixed kind (kDmExact, kDmFused, kDmFusedWide, kTrajectory) overrides
+  /// the engine/tape configuration for every run.
+  ExecutionConfig& strategy(exec::StrategyKind kind) {
+    strategy_ = kind;
+    return *this;
+  }
+  /// Adaptive trajectory budgets: stop allocating unravelling groups to a
+  /// gate once its impact confidence interval separates from its rank
+  /// neighbors.  Off (default) = BudgetMode::kFixedBudget, the mode the
+  /// bit-identity contract is stated under; savings appear in
+  /// exec_stats.trajectories_executed vs trajectories_budgeted.
+  ExecutionConfig& adaptive(bool on) { adaptive_ = on; return *this; }
+  /// Persist the planner's cost model at this path: loaded (if present)
+  /// when the Session is constructed — a corrupt profile throws
+  /// InvalidArgument then — and saved (atomically, temp + rename) when
+  /// the Session is destroyed.  Empty (default): the model lives and
+  /// dies with the session.
+  ExecutionConfig& cost_profile(std::string path) {
+    cost_profile_ = std::move(path);
+    return *this;
+  }
+
+  // -- getters ------------------------------------------------------------
+  int threads() const { return threads_; }
+  int workers() const { return workers_; }
+  const std::string& worker_exe() const { return worker_exe_; }
+  bool fused() const { return fused_; }
+  int fusion_width() const { return fusion_width_; }
+  bool common_random_numbers() const { return crn_; }
+  bool checkpointing() const { return checkpointing_; }
+  bool caching() const { return caching_; }
+  std::size_t checkpoint_memory_bytes() const {
+    return checkpoint_memory_bytes_;
+  }
+  const std::string& cache_dir() const { return cache_dir_; }
+  std::size_t cache_disk_bytes() const { return cache_disk_bytes_; }
+  exec::StrategyKind strategy() const { return strategy_; }
+  bool adaptive() const { return adaptive_; }
+  const std::string& cost_profile() const { return cost_profile_; }
+
+ private:
+  int threads_ = 0;
+  int workers_ = 0;
+  std::string worker_exe_;
+  bool fused_ = false;
+  int fusion_width_ = 0;
+  bool crn_ = false;
+  bool checkpointing_ = true;
+  bool caching_ = true;
+  std::size_t checkpoint_memory_bytes_ = 512ull << 20;
+  std::string cache_dir_;
+  std::size_t cache_disk_bytes_ = 1ull << 30;
+  exec::StrategyKind strategy_ = exec::StrategyKind::kAuto;
+  bool adaptive_ = false;
+  std::string cost_profile_;
+};
+
+/// Validated, builder-style session configuration: the analysis protocol
+/// and per-run physics stay flat here; everything about *how* sweeps
+/// execute lives in the nested ExecutionConfig (execution()).  Every
+/// setter returns *this for chaining; validate() reports *actionable*
+/// errors instead of silent fallbacks, and Session's constructor throws
 /// InvalidArgument listing them all.
+///
+/// The pre-ExecutionConfig flat execution setters (threads, workers,
+/// fused, ...) remain as deprecated forwarding shims — old code compiles
+/// and behaves identically, with a deprecation warning pointing at the
+/// replacement.
 class SessionConfig {
  public:
   // -- analysis protocol (paper Sec. IV) ----------------------------------
@@ -66,10 +212,6 @@ class SessionConfig {
   /// Also compute the ideal distribution and per-gate TVD vs ideal
   /// (validation only — not part of the technique).
   SessionConfig& validation(bool on) { validation_ = on; return *this; }
-  /// Share one seed across the original and every reversed run
-  /// (common-random-numbers variance reduction).
-  SessionConfig& common_random_numbers(bool on) { crn_ = on; return *this; }
-
   // -- per-run execution --------------------------------------------------
   /// Shots to sample; 0 returns the exact engine-level distribution.
   SessionConfig& shots(std::int64_t n) { shots_ = n; return *this; }
@@ -81,53 +223,60 @@ class SessionConfig {
   SessionConfig& seed(std::uint64_t s) { seed_ = s; return *this; }
   /// Calibration drift magnitude per run (0 disables).
   SessionConfig& drift(double d) { drift_ = d; return *this; }
-  /// Fuse the lowered noise tape (faster, ~1e-12 agreement; the exact
-  /// tape is bit-reproducible).
-  SessionConfig& fused(bool on) { fused_ = on; return *this; }
 
-  // -- execution strategy -------------------------------------------------
-  /// Resume jobs from prefix-state snapshots when exact (needs a backend
-  /// with supports_lowering()).
-  SessionConfig& checkpointing(bool on) { checkpointing_ = on; return *this; }
-  /// Serve and populate the process-wide run cache (needs a backend with
-  /// a cache identity).
-  SessionConfig& caching(bool on) { caching_ = on; return *this; }
-  /// Snapshot memory budget per batch.
+  // -- execution ----------------------------------------------------------
+  /// The nested execution configuration: parallelism, caching,
+  /// checkpointing, tape optimization, and the strategy portfolio.
+  /// Mutable access chains naturally:
+  ///   cfg.execution().threads(8).strategy(exec::StrategyKind::kAuto);
+  ExecutionConfig& execution() { return exec_; }
+  const ExecutionConfig& execution() const { return exec_; }
+  /// Whole-object setter for builder-style one-liners:
+  ///   SessionConfig().shots(1024).execution(ExecutionConfig().threads(4))
+  SessionConfig& execution(ExecutionConfig exec) {
+    exec_ = std::move(exec);
+    return *this;
+  }
+
+  // -- deprecated flat execution shims ------------------------------------
+  // Pre-ExecutionConfig spellings.  Each forwards to execution() and
+  // behaves identically; new code should use the nested builder.
+  [[deprecated("use execution().common_random_numbers()")]]
+  SessionConfig& common_random_numbers(bool on) {
+    exec_.common_random_numbers(on);
+    return *this;
+  }
+  [[deprecated("use execution().fused()")]]
+  SessionConfig& fused(bool on) { exec_.fused(on); return *this; }
+  [[deprecated("use execution().checkpointing()")]]
+  SessionConfig& checkpointing(bool on) {
+    exec_.checkpointing(on);
+    return *this;
+  }
+  [[deprecated("use execution().caching()")]]
+  SessionConfig& caching(bool on) { exec_.caching(on); return *this; }
+  [[deprecated("use execution().checkpoint_memory_bytes()")]]
   SessionConfig& checkpoint_memory_bytes(std::size_t n) {
-    checkpoint_memory_bytes_ = n;
+    exec_.checkpoint_memory_bytes(n);
     return *this;
   }
-  /// Worker-pool width per job sweep: 0 = one worker per hardware thread.
-  /// Results are bit-identical at every value; only wall-clock changes.
-  SessionConfig& threads(int n) { threads_ = n; return *this; }
-  /// Multi-process sweep sharding: > 0 fans each sweep's checkpoint
-  /// shards and trajectory groups out to that many `charter worker`
-  /// child processes over serialized tapes/snapshots.  0 (default) keeps
-  /// execution in-process.  Reports stay bit-identical at every worker
-  /// count, and a worker killed mid-sweep is retried in-process.
-  SessionConfig& workers(int n) { workers_ = n; return *this; }
-  /// Executable to fork+exec as each worker (`<exe> worker --fd N`); the
-  /// CLI and charterd pass their own binary.  Empty (default): plain
-  /// fork of the current process image.  Only meaningful with
-  /// workers > 0.
+  [[deprecated("use execution().threads()")]]
+  SessionConfig& threads(int n) { exec_.threads(n); return *this; }
+  [[deprecated("use execution().workers()")]]
+  SessionConfig& workers(int n) { exec_.workers(n); return *this; }
+  [[deprecated("use execution().worker_exe()")]]
   SessionConfig& worker_exe(std::string exe) {
-    worker_exe_ = std::move(exe);
+    exec_.worker_exe(std::move(exe));
     return *this;
   }
-  /// Attach a persistent disk tier to the process-wide run cache, rooted
-  /// at \p dir (created if missing; empty = memory-only, the default).
-  /// Entries are fingerprint-keyed, checksummed on load, and survive
-  /// process restarts — a warm directory serves repeat analyses with zero
-  /// new simulations.  The tier is process-wide state: the last Session
-  /// (or tool) to set it wins.
+  [[deprecated("use execution().cache_dir()")]]
   SessionConfig& cache_dir(std::string dir) {
-    cache_dir_ = std::move(dir);
+    exec_.cache_dir(std::move(dir));
     return *this;
   }
-  /// Disk-tier byte budget; least-recently-used entries are evicted past
-  /// it.  Only meaningful with a non-empty cache_dir.
+  [[deprecated("use execution().cache_disk_bytes()")]]
   SessionConfig& cache_disk_bytes(std::size_t n) {
-    cache_disk_bytes_ = n;
+    exec_.cache_disk_bytes(n);
     return *this;
   }
 
@@ -137,21 +286,34 @@ class SessionConfig {
   bool isolate() const { return isolate_; }
   int max_gates() const { return max_gates_; }
   bool validation() const { return validation_; }
-  bool common_random_numbers() const { return crn_; }
   std::int64_t shots() const { return shots_; }
   backend::EngineKind engine() const { return engine_; }
   int trajectories() const { return trajectories_; }
   std::uint64_t seed() const { return seed_; }
   double drift() const { return drift_; }
-  bool fused() const { return fused_; }
-  bool checkpointing() const { return checkpointing_; }
-  bool caching() const { return caching_; }
-  std::size_t checkpoint_memory_bytes() const { return checkpoint_memory_bytes_; }
-  int threads() const { return threads_; }
-  int workers() const { return workers_; }
-  const std::string& worker_exe() const { return worker_exe_; }
-  const std::string& cache_dir() const { return cache_dir_; }
-  std::size_t cache_disk_bytes() const { return cache_disk_bytes_; }
+  // Deprecated flat getters (forward to execution()).
+  [[deprecated("use execution().common_random_numbers()")]]
+  bool common_random_numbers() const { return exec_.common_random_numbers(); }
+  [[deprecated("use execution().fused()")]]
+  bool fused() const { return exec_.fused(); }
+  [[deprecated("use execution().checkpointing()")]]
+  bool checkpointing() const { return exec_.checkpointing(); }
+  [[deprecated("use execution().caching()")]]
+  bool caching() const { return exec_.caching(); }
+  [[deprecated("use execution().checkpoint_memory_bytes()")]]
+  std::size_t checkpoint_memory_bytes() const {
+    return exec_.checkpoint_memory_bytes();
+  }
+  [[deprecated("use execution().threads()")]]
+  int threads() const { return exec_.threads(); }
+  [[deprecated("use execution().workers()")]]
+  int workers() const { return exec_.workers(); }
+  [[deprecated("use execution().worker_exe()")]]
+  const std::string& worker_exe() const { return exec_.worker_exe(); }
+  [[deprecated("use execution().cache_dir()")]]
+  const std::string& cache_dir() const { return exec_.cache_dir(); }
+  [[deprecated("use execution().cache_disk_bytes()")]]
+  std::size_t cache_disk_bytes() const { return exec_.cache_disk_bytes(); }
 
   /// Checks every knob and returns one actionable message per problem
   /// (empty = valid).  Session's constructor calls this and throws
@@ -169,21 +331,12 @@ class SessionConfig {
   bool isolate_ = true;
   int max_gates_ = 0;
   bool validation_ = false;
-  bool crn_ = false;
   std::int64_t shots_ = 4096;
   backend::EngineKind engine_ = backend::EngineKind::kAuto;
   int trajectories_ = 48;
   std::uint64_t seed_ = 1;
   double drift_ = 0.0;
-  bool fused_ = false;
-  bool checkpointing_ = true;
-  bool caching_ = true;
-  std::size_t checkpoint_memory_bytes_ = 512ull << 20;
-  int threads_ = 0;
-  int workers_ = 0;
-  std::string worker_exe_;
-  std::string cache_dir_;
-  std::size_t cache_disk_bytes_ = 1ull << 30;
+  ExecutionConfig exec_;
 };
 
 /// Lifecycle of a submitted job.  Terminal states: kDone, kCancelled,
@@ -290,6 +443,16 @@ class Session {
   const backend::Backend& backend() const { return *backend_; }
   const SessionConfig& config() const { return config_; }
 
+  /// The session's strategy planner: the online cost model every sweep
+  /// feeds wall-clock observations into and (under StrategyKind::kAuto)
+  /// plans from.  Always present; shared across all of this session's
+  /// jobs and internally synchronized.  When
+  /// execution().cost_profile() names a path, the model is seeded from it
+  /// at construction (a corrupt profile throws InvalidArgument) and
+  /// persisted back on destruction (atomically; a failed save is noted on
+  /// stderr, never thrown — destructors stay quiet).
+  exec::StrategyPlanner& planner() const { return *planner_; }
+
   /// Compiles a logical circuit on the session's device.
   backend::CompiledProgram compile(
       const circ::Circuit& logical,
@@ -328,6 +491,7 @@ class Session {
 
   std::shared_ptr<const backend::Backend> backend_;
   SessionConfig config_;
+  std::shared_ptr<exec::StrategyPlanner> planner_;
   core::CharterOptions options_;  ///< config_.resolved(), computed once
 
   mutable std::mutex mu_;

@@ -1,5 +1,6 @@
 #include "charter/session.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "util/error.hpp"
@@ -29,28 +30,48 @@ std::vector<std::string> SessionConfig::validate() const {
   if (drift_ < 0.0 || drift_ >= 1.0)
     flag("drift must be in [0, 1) — it scales calibration parameters; got " +
          std::to_string(drift_));
-  if (threads_ < 0)
+  if (exec_.threads() < 0)
     flag("threads must be >= 0 (0 = one worker per hardware thread); got " +
-         std::to_string(threads_));
-  if (workers_ < 0)
+         std::to_string(exec_.threads()));
+  if (exec_.workers() < 0)
     flag("workers must be >= 0 (0 = in-process execution); got " +
-         std::to_string(workers_));
-  if (!worker_exe_.empty() && workers_ == 0)
+         std::to_string(exec_.workers()));
+  if (!exec_.worker_exe().empty() && exec_.workers() == 0)
     flag("worker_exe is set but workers is 0; set workers >= 1 or drop "
          "worker_exe");
-  if (checkpointing_ && checkpoint_memory_bytes_ == 0)
+  if (exec_.checkpointing() && exec_.checkpoint_memory_bytes() == 0)
     flag("checkpoint_memory_bytes must be > 0 when checkpointing is on; "
          "disable checkpointing instead of zeroing its budget");
-  if (!cache_dir_.empty() && !caching_)
+  if (!exec_.cache_dir().empty() && !exec_.caching())
     flag("cache_dir is set but caching is disabled; drop cache_dir or "
          "enable caching");
-  if (!cache_dir_.empty() && cache_disk_bytes_ == 0)
+  if (!exec_.cache_dir().empty() && exec_.cache_disk_bytes() == 0)
     flag("cache_disk_bytes must be > 0 when cache_dir is set; drop "
          "cache_dir instead of zeroing its budget");
-  if (fused_ && engine_ == backend::EngineKind::kTrajectory)
+  if (exec_.fused() && engine_ == backend::EngineKind::kTrajectory)
     flag("fused tape optimization never applies to the trajectory engine "
          "(fusing would reorder its stochastic draws); drop fused(true) or "
          "use the density-matrix engine");
+  if (exec_.fusion_width() != 0 &&
+      (exec_.fusion_width() < 2 || exec_.fusion_width() > 3))
+    flag("fusion_width must be 0 (process default) or in [2, 3]; got " +
+         std::to_string(exec_.fusion_width()));
+  if (exec_.strategy() == exec::StrategyKind::kCheckpointSplice)
+    flag("checkpoint_splice is an execution classification, not a "
+         "requestable strategy; use kAuto and let checkpoint sharing "
+         "engage on its own");
+  if (exec_.strategy() == exec::StrategyKind::kTrajectory && exec_.fused())
+    flag("strategy kTrajectory conflicts with fused(true): the trajectory "
+         "engine never fuses its tape (fusing would reorder its stochastic "
+         "draws); drop one of the two");
+  if ((exec_.strategy() == exec::StrategyKind::kDmExact ||
+       exec_.strategy() == exec::StrategyKind::kDmFused ||
+       exec_.strategy() == exec::StrategyKind::kDmFusedWide) &&
+      engine_ == backend::EngineKind::kTrajectory)
+    flag("a density-matrix strategy (" +
+         std::string(exec::strategy_name(exec_.strategy())) +
+         ") conflicts with engine(kTrajectory); drop the engine override "
+         "or request the trajectory strategy");
   return errors;
 }
 
@@ -61,19 +82,27 @@ core::CharterOptions SessionConfig::resolved() const {
   o.isolate = isolate_;
   o.max_gates = max_gates_;
   o.compute_validation = validation_;
-  o.common_random_numbers = crn_;
+  o.common_random_numbers = exec_.common_random_numbers();
   o.run.shots = shots_;
   o.run.engine = engine_;
   o.run.trajectories = trajectories_;
   o.run.seed = seed_;
   o.run.drift = drift_;
-  o.run.opt = fused_ ? noise::OptLevel::kFused : noise::OptLevel::kExact;
-  o.exec.checkpointing = checkpointing_;
-  o.exec.caching = caching_;
-  o.exec.checkpoint_memory_bytes = checkpoint_memory_bytes_;
-  o.exec.threads = threads_;
-  o.exec.workers = workers_;
-  o.exec.worker_exe = worker_exe_;
+  o.run.opt =
+      exec_.fused() ? noise::OptLevel::kFused : noise::OptLevel::kExact;
+  o.run.fusion_width = exec_.fusion_width();
+  o.exec.checkpointing = exec_.checkpointing();
+  o.exec.caching = exec_.caching();
+  o.exec.checkpoint_memory_bytes = exec_.checkpoint_memory_bytes();
+  o.exec.threads = exec_.threads();
+  o.exec.workers = exec_.workers();
+  o.exec.worker_exe = exec_.worker_exe();
+  // A fixed strategy (or, with a planner, kAuto) reshapes engine/opt per
+  // job family at analyze() time via exec::plan_family; o.exec.planner is
+  // attached by the Session, which owns the model.
+  o.strategy = exec_.strategy();
+  o.budget = exec_.adaptive() ? exec::BudgetMode::kAdaptive
+                              : exec::BudgetMode::kFixedBudget;
   return o;
 }
 
@@ -215,10 +244,15 @@ Session::Session(std::shared_ptr<const backend::Backend> backend,
   require(backend_ != nullptr, "Session needs a backend");
   const std::vector<std::string> errors = config_.validate();
   if (!errors.empty()) throw InvalidArgument(join_errors(errors));
+  planner_ = std::make_shared<exec::StrategyPlanner>();
+  if (!config_.execution().cost_profile().empty())
+    planner_->load_profile(config_.execution().cost_profile());
   options_ = config_.resolved();
-  if (!config_.cache_dir().empty())
-    exec::RunCache::global().set_disk_tier(config_.cache_dir(),
-                                           config_.cache_disk_bytes());
+  options_.exec.planner = planner_.get();
+  if (!config_.execution().cache_dir().empty())
+    exec::RunCache::global().set_disk_tier(
+        config_.execution().cache_dir(),
+        config_.execution().cache_disk_bytes());
   worker_ = std::thread([this] { worker_main(); });
 }
 
@@ -233,6 +267,16 @@ Session::~Session() {
   }
   cv_.notify_all();
   worker_.join();
+  // Persist the learned cost model after the worker is quiet.  A failed
+  // save is reported but never thrown — destructors stay noexcept.
+  if (!config_.execution().cost_profile().empty()) {
+    try {
+      planner_->save_profile(config_.execution().cost_profile());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "charter: could not save cost profile '%s': %s\n",
+                   config_.execution().cost_profile().c_str(), e.what());
+    }
+  }
 }
 
 backend::CompiledProgram Session::compile(

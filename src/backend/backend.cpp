@@ -69,6 +69,12 @@ EngineKind resolve_engine(const RunOptions& options, int local_width) {
              : EngineKind::kTrajectory;
 }
 
+int resolve_fusion_width(const RunOptions& options) {
+  if (options.fusion_width != 0)
+    return std::clamp(options.fusion_width, 2, 3);
+  return noise::fusion_width();
+}
+
 std::string run_environment_summary() {
   namespace simd = math::simd;
   std::string out = "simd=";
@@ -211,7 +217,8 @@ std::vector<double> FakeBackend::run(const CompiledProgram& program,
               options.opt == noise::OptLevel::kFusedWide
           ? options.opt
           : noise::OptLevel::kExact;
-  const noise::NoisyExecutor executor(lowered.model, opt);
+  const noise::NoisyExecutor executor(lowered.model, opt,
+                                      resolve_fusion_width(options));
   const noise::NoiseProgram tape = executor.lower(lowered.local);
   std::vector<double> probs;
   if (engine == EngineKind::kDensityMatrix) {

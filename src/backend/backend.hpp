@@ -61,8 +61,15 @@ struct RunOptions {
   /// unravelling — but honor kFusedWide, whose barrier discipline preserves
   /// the RNG draw sequence.  Part of the exec::RunCache key: exact, fused,
   /// and fused-wide runs of the same circuit never collide (fused-wide keys
-  /// also mix the active fusion width).
+  /// also mix the resolved fusion width).
   noise::OptLevel opt = noise::OptLevel::kExact;
+  /// Maximum wide-gate width for kFusedWide lowerings of *this run*.  0 (the
+  /// default) defers to the process-global noise::fusion_width() at lowering
+  /// time; 2 or 3 pins the width per run, so two runs in one batch can carry
+  /// different widths without racing on the global knob.  Ignored by kExact
+  /// and kFused.  Resolved via resolve_fusion_width(); part of the cache key
+  /// and of the exec layer's tape-sharing group keys for fused-wide runs.
+  int fusion_width = 0;
 };
 
 /// A transpiled program plus everything needed to interpret its output.
@@ -88,6 +95,13 @@ struct LoweredRun {
 /// compacted width is \p local_width (resolves kAuto).  Shared by
 /// FakeBackend::run and the exec layer so the two can never diverge.
 EngineKind resolve_engine(const RunOptions& options, int local_width);
+
+/// The wide-gate fusion width a kFusedWide lowering of \p options actually
+/// uses: the per-run override when set (clamped to the valid 2..3 range the
+/// same way noise::set_fusion_width clamps), else the process-global
+/// noise::fusion_width().  Shared by the backend, the exec layer's tape
+/// grouping, and the run-cache key so none of them can diverge.
+int resolve_fusion_width(const RunOptions& options);
 
 /// One-line description of the execution environment every RunOptions is
 /// interpreted under: the active SIMD kernel path and the paths available

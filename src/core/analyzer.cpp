@@ -1,9 +1,11 @@
 #include "core/analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <set>
 
+#include "exec/strategy.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -114,6 +116,35 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t tag) {
   return util::splitmix64(s);
 }
 
+/// Sums one chunk's execution stats into the sweep total, field by field
+/// (BatchRunner::Stats has no operator+= by design — the report's exec
+/// block enumerates exactly these fields, and a new field must be added
+/// here *and* in report_io.cpp deliberately).
+void accumulate_stats(exec::BatchRunner::Stats& total,
+                      const exec::BatchRunner::Stats& s) {
+  total.jobs += s.jobs;
+  total.cache_hits += s.cache_hits;
+  total.cache_memory_hits += s.cache_memory_hits;
+  total.cache_disk_hits += s.cache_disk_hits;
+  total.checkpointed += s.checkpointed;
+  total.trajectory_checkpointed += s.trajectory_checkpointed;
+  total.full_runs += s.full_runs;
+  total.checkpoint_fallbacks += s.checkpoint_fallbacks;
+  total.worker_jobs += s.worker_jobs;
+  total.worker_failures += s.worker_failures;
+  total.worker_retried_jobs += s.worker_retried_jobs;
+  total.strategy_jobs.dm_exact += s.strategy_jobs.dm_exact;
+  total.strategy_jobs.dm_fused += s.strategy_jobs.dm_fused;
+  total.strategy_jobs.dm_fused_wide += s.strategy_jobs.dm_fused_wide;
+  total.strategy_jobs.trajectory += s.strategy_jobs.trajectory;
+  total.strategy_jobs.checkpoint_splice += s.strategy_jobs.checkpoint_splice;
+  total.predicted_ns += s.predicted_ns;
+  total.actual_ns += s.actual_ns;
+  total.trajectories_budgeted += s.trajectories_budgeted;
+  total.trajectories_executed += s.trajectories_executed;
+  total.gates_settled_early += s.gates_settled_early;
+}
+
 /// Bridges AnalysisHooks to the exec layer: serializes job-completion
 /// events from the pool workers into a strictly monotone (completed, total)
 /// progress stream, and forwards the cancellation flag.  One relay spans
@@ -183,8 +214,103 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
       256, 8 * static_cast<std::size_t>(util::num_threads()));
   ProgressRelay relay(hooks, chosen.size() + 1);
 
-  backend::RunOptions orig_run = options_.run;
+  // Plan the execution strategy once for the whole family, from the
+  // planner's model state at entry: every chunk of one sweep runs the same
+  // prepared RunOptions, and kAuto with no planner resolves to exactly the
+  // options the caller passed in (the historical fixed-rule behavior).
+  exec::StrategyContext sctx;
+  sctx.width = static_cast<int>(backend::used_qubits(program).size());
+  sctx.ops = c.size();
+  sctx.jobs = chosen.size() + 1;
+  sctx.run = options_.run;
+  sctx.duration_ns = backend_.duration_ns(program);
+  sctx.lowering = backend_.supports_lowering();
+  const exec::StrategyPlanner::Decision decision = exec::plan_family(
+      options_.exec.planner, options_.strategy, options_.budget, sctx);
+
+  backend::RunOptions orig_run = decision.run;
   orig_run.seed = derive_seed(options_.run.seed, 0);
+
+  if (decision.adaptive && !chosen.empty()) {
+    // Adaptive early termination (BudgetMode::kAdaptive, trajectory
+    // family).  The original still goes through the batch runner with its
+    // full budget — it is the reference every TVD compares against, so it
+    // never terminates early and stays cacheable.  The reversed family
+    // then runs as ONE adaptive sweep, not in chunks: the sequential test
+    // stops a gate when its confidence interval separates from its *rank
+    // neighbors*, and rank is only defined across the whole family.  Peak
+    // memory is O(G * circuit) here — adaptive mode trades the chunked
+    // path's bounded footprint for fewer simulated trajectories.
+    const std::vector<std::vector<double>> orig_dists =
+        runner.run({{&program, orig_run, c.size()}}, &program,
+                   relay.run_hooks());
+    accumulate_stats(total_stats, runner.last_stats());
+    report.original_distribution = orig_dists[0];
+
+    std::vector<CompiledProgram> reversed;
+    reversed.reserve(chosen.size());
+    std::vector<exec::AdaptiveJob> ajobs;
+    ajobs.reserve(chosen.size());
+    for (const std::size_t op_index : chosen) {
+      CompiledProgram rev = program;
+      rev.physical = insert_reversed_pairs(c, op_index, options_.reversals,
+                                           options_.isolate);
+      reversed.push_back(std::move(rev));
+      backend::RunOptions run = decision.run;
+      run.seed = options_.common_random_numbers
+                     ? orig_run.seed
+                     : derive_seed(options_.run.seed, op_index + 1);
+      ajobs.push_back({&reversed.back(), run});
+    }
+
+    exec::AdaptiveOptions aopts;
+    aopts.pool = options_.exec.pool;
+    aopts.threads = options_.exec.threads;
+    aopts.hooks = relay.run_hooks();
+    const auto t0 = std::chrono::steady_clock::now();
+    const exec::AdaptiveResult ares = exec::run_adaptive_trajectory_sweep(
+        backend_, ajobs, report.original_distribution, aopts);
+    total_stats.jobs += ajobs.size();
+    total_stats.full_runs += ajobs.size();
+    total_stats.trajectories_budgeted += ares.trajectories_budgeted;
+    total_stats.trajectories_executed += ares.trajectories_executed;
+    total_stats.gates_settled_early += ares.gates_settled_early;
+    if (exec::StrategyPlanner* planner = options_.exec.planner;
+        planner != nullptr) {
+      const double ns = std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      const double jobs_d = static_cast<double>(ajobs.size());
+      total_stats.strategy_jobs.trajectory += ajobs.size();
+      // Prediction is read before the observation so "predicted vs actual"
+      // compares the model against data it has not yet absorbed.
+      total_stats.predicted_ns +=
+          planner->predicted_ns(exec::StrategyKind::kTrajectory, sctx.width,
+                                sctx.ops) *
+          jobs_d;
+      total_stats.actual_ns += ns;
+      planner->observe(exec::StrategyKind::kTrajectory, sctx.width, sctx.ops,
+                       ns / jobs_d);
+    }
+
+    for (std::size_t k = 0; k < chosen.size(); ++k) {
+      const std::size_t op_index = chosen[k];
+      const circ::Gate& g = c.op(op_index);
+      const std::vector<double>& rev_dist = ares.distributions[k];
+      GateImpact& impact = report.impacts[k];
+      impact.op_index = op_index;
+      impact.kind = g.kind;
+      impact.qubits = g.qubits;
+      impact.num_qubits = g.num_qubits;
+      impact.layer = layering.layer[op_index];
+      impact.tvd = stats::tvd(report.original_distribution, rev_dist);
+      if (options_.compute_validation)
+        impact.tvd_vs_ideal = stats::tvd(report.ideal_distribution, rev_dist);
+      if (hooks != nullptr && hooks->on_impact) hooks->on_impact(impact);
+    }
+    report.exec_stats = total_stats;
+    return report;
+  }
 
   // At least one chunk always runs: the original-run job rides with it.
   const std::size_t num_chunks =
@@ -206,7 +332,7 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
       rev.physical = insert_reversed_pairs(c, op_index, options_.reversals,
                                            options_.isolate);
       reversed.push_back(std::move(rev));
-      backend::RunOptions run = options_.run;
+      backend::RunOptions run = decision.run;
       run.seed = options_.common_random_numbers
                      ? orig_run.seed
                      : derive_seed(options_.run.seed, op_index + 1);
@@ -216,18 +342,7 @@ CharterReport CharterAnalyzer::analyze(const CompiledProgram& program,
 
     const std::vector<std::vector<double>> dists =
         runner.run(jobs, &program, relay.run_hooks());
-    const exec::BatchRunner::Stats s = runner.last_stats();
-    total_stats.jobs += s.jobs;
-    total_stats.cache_hits += s.cache_hits;
-    total_stats.cache_memory_hits += s.cache_memory_hits;
-    total_stats.cache_disk_hits += s.cache_disk_hits;
-    total_stats.checkpointed += s.checkpointed;
-    total_stats.trajectory_checkpointed += s.trajectory_checkpointed;
-    total_stats.full_runs += s.full_runs;
-    total_stats.checkpoint_fallbacks += s.checkpoint_fallbacks;
-    total_stats.worker_jobs += s.worker_jobs;
-    total_stats.worker_failures += s.worker_failures;
-    total_stats.worker_retried_jobs += s.worker_retried_jobs;
+    accumulate_stats(total_stats, runner.last_stats());
 
     // Score this chunk immediately; the distributions are not retained, so
     // peak memory stays proportional to the chunk, not the whole sweep.
@@ -266,9 +381,23 @@ double CharterAnalyzer::input_impact(const CompiledProgram& program,
       program.physical.ops_with_flag(circ::kFlagInputPrep);
   const std::size_t shared = prep.empty() ? 0 : prep.back() + 1;
 
-  backend::RunOptions orig_run = options_.run;
+  // Same per-family planning as analyze(); the family here is just the
+  // original plus the block-reversed circuit.  Adaptive early termination
+  // never applies — there is no gate ranking to settle — so the decision
+  // only shapes the prepared RunOptions.
+  exec::StrategyContext sctx;
+  sctx.width = static_cast<int>(backend::used_qubits(program).size());
+  sctx.ops = program.physical.size();
+  sctx.jobs = 2;
+  sctx.run = options_.run;
+  sctx.duration_ns = backend_.duration_ns(program);
+  sctx.lowering = backend_.supports_lowering();
+  const exec::StrategyPlanner::Decision decision = exec::plan_family(
+      options_.exec.planner, options_.strategy, options_.budget, sctx);
+
+  backend::RunOptions orig_run = decision.run;
   orig_run.seed = derive_seed(options_.run.seed, 0);
-  backend::RunOptions rev_run = options_.run;
+  backend::RunOptions rev_run = decision.run;
   rev_run.seed = options_.common_random_numbers
                      ? orig_run.seed
                      : derive_seed(options_.run.seed, 0x11fa7ULL);

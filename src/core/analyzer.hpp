@@ -62,6 +62,22 @@ struct CharterOptions {
   /// configurations fall back to independent full runs automatically.
   /// Reports are bit-identical at every exec.threads value.
   exec::BatchOptions exec;
+  /// Execution strategy for the sweep (exec/strategy.hpp).  A fixed kind
+  /// (kDmExact, kDmFused, kDmFusedWide, kTrajectory) overrides run.engine /
+  /// run.opt for every circuit; kAuto (the default) lets the planner in
+  /// exec.planner choose per job family from its cost model — with no
+  /// planner attached, kAuto is exactly the historical fixed-rule behavior.
+  /// The decision is made once per analyze() call, from the planner's model
+  /// state at entry, so every chunk of one sweep runs the same strategy.
+  exec::StrategyKind strategy = exec::StrategyKind::kAuto;
+  /// Trajectory budget policy.  kFixedBudget (default): every trajectory
+  /// run uses its full RunOptions::trajectories budget — the mode the
+  /// bit-identity contract and golden fixtures are stated under.
+  /// kAdaptive: trajectory sweeps stop allocating unravelling groups to a
+  /// gate once its impact confidence interval separates from its rank
+  /// neighbors (exec::run_adaptive_trajectory_sweep); savings land in
+  /// exec_stats.trajectories_executed vs trajectories_budgeted.
+  exec::BudgetMode budget = exec::BudgetMode::kFixedBudget;
 };
 
 /// Impact record for one analyzed gate.

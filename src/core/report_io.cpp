@@ -14,7 +14,11 @@ namespace {
 
 // v2: exec gains the cache-tier split (cache_memory_hits/cache_disk_hits)
 // introduced with the two-tier RunCache.
-constexpr int kSchemaVersion = 2;
+// v3: exec gains the strategy portfolio's accounting — the per-strategy
+// job classification (strategy_jobs), the cost model's predicted vs
+// measured nanoseconds, and adaptive early-termination savings
+// (trajectories_budgeted/executed, gates_settled_early).
+constexpr int kSchemaVersion = 3;
 
 void append_double(std::string& out, double v) {
   char buf[40];
@@ -151,6 +155,26 @@ std::string report_to_json(const CharterReport& report,
   out += ",\"full_runs\":" + std::to_string(exec_stats.full_runs);
   out += ",\"checkpoint_fallbacks\":" +
          std::to_string(exec_stats.checkpoint_fallbacks);
+  out += ",\"strategy_jobs\":{";
+  out += "\"dm_exact\":" + std::to_string(exec_stats.strategy_jobs.dm_exact);
+  out += ",\"dm_fused\":" +
+         std::to_string(exec_stats.strategy_jobs.dm_fused);
+  out += ",\"dm_fused_wide\":" +
+         std::to_string(exec_stats.strategy_jobs.dm_fused_wide);
+  out += ",\"trajectory\":" +
+         std::to_string(exec_stats.strategy_jobs.trajectory);
+  out += ",\"checkpoint_splice\":" +
+         std::to_string(exec_stats.strategy_jobs.checkpoint_splice);
+  out += "},\"predicted_ns\":";
+  append_double(out, exec_stats.predicted_ns);
+  out += ",\"actual_ns\":";
+  append_double(out, exec_stats.actual_ns);
+  out += ",\"trajectories_budgeted\":" +
+         std::to_string(exec_stats.trajectories_budgeted);
+  out += ",\"trajectories_executed\":" +
+         std::to_string(exec_stats.trajectories_executed);
+  out += ",\"gates_settled_early\":" +
+         std::to_string(exec_stats.gates_settled_early);
   out += "}\n}\n";
   return out;
 }
@@ -243,6 +267,45 @@ GoldenReport report_from_json(const std::string& json) {
   require(p.key() == "checkpoint_fallbacks",
           "golden report: missing exec.checkpoint_fallbacks");
   out.exec.checkpoint_fallbacks = p.size();
+  p.expect(',');
+  require(p.key() == "strategy_jobs",
+          "golden report: missing exec.strategy_jobs");
+  p.expect('{');
+  require(p.key() == "dm_exact", "golden report: missing dm_exact");
+  out.exec.strategy_jobs.dm_exact = p.size();
+  p.expect(',');
+  require(p.key() == "dm_fused", "golden report: missing dm_fused");
+  out.exec.strategy_jobs.dm_fused = p.size();
+  p.expect(',');
+  require(p.key() == "dm_fused_wide", "golden report: missing dm_fused_wide");
+  out.exec.strategy_jobs.dm_fused_wide = p.size();
+  p.expect(',');
+  require(p.key() == "trajectory", "golden report: missing trajectory");
+  out.exec.strategy_jobs.trajectory = p.size();
+  p.expect(',');
+  require(p.key() == "checkpoint_splice",
+          "golden report: missing checkpoint_splice");
+  out.exec.strategy_jobs.checkpoint_splice = p.size();
+  p.expect('}');
+  p.expect(',');
+  require(p.key() == "predicted_ns",
+          "golden report: missing exec.predicted_ns");
+  out.exec.predicted_ns = p.number();
+  p.expect(',');
+  require(p.key() == "actual_ns", "golden report: missing exec.actual_ns");
+  out.exec.actual_ns = p.number();
+  p.expect(',');
+  require(p.key() == "trajectories_budgeted",
+          "golden report: missing exec.trajectories_budgeted");
+  out.exec.trajectories_budgeted = p.size();
+  p.expect(',');
+  require(p.key() == "trajectories_executed",
+          "golden report: missing exec.trajectories_executed");
+  out.exec.trajectories_executed = p.size();
+  p.expect(',');
+  require(p.key() == "gates_settled_early",
+          "golden report: missing exec.gates_settled_early");
+  out.exec.gates_settled_early = p.size();
   p.expect('}');
   p.expect('}');
   p.done();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -48,6 +49,39 @@ class WorkerEngines {
  private:
   std::vector<std::unique_ptr<sim::DensityMatrixEngine>> engines_;
 };
+
+/// The tape-sharing key: sharers must agree on the optimization level AND,
+/// for fused-wide tapes, on the resolved fusion width — a width-2 and a
+/// width-3 run lower to different tapes, so letting them share would splice
+/// suffixes into a tape fused at the wrong width.  Exact/fused runs ignore
+/// the width knob and must not fork on it.
+std::pair<noise::OptLevel, int> tape_key(const backend::RunOptions& run) {
+  return {run.opt, run.opt == noise::OptLevel::kFusedWide
+                       ? backend::resolve_fusion_width(run)
+                       : 0};
+}
+
+/// The full-DM-walk strategy a tape level classifies as.
+StrategyKind dm_kind(noise::OptLevel opt) {
+  switch (opt) {
+    case noise::OptLevel::kFused: return StrategyKind::kDmFused;
+    case noise::OptLevel::kFusedWide: return StrategyKind::kDmFusedWide;
+    case noise::OptLevel::kExact: break;
+  }
+  return StrategyKind::kDmExact;
+}
+
+void count_strategy(BatchRunner::Stats::StrategyCount& counts,
+                    StrategyKind kind, std::size_t n) {
+  switch (kind) {
+    case StrategyKind::kDmExact: counts.dm_exact += n; break;
+    case StrategyKind::kDmFused: counts.dm_fused += n; break;
+    case StrategyKind::kDmFusedWide: counts.dm_fused_wide += n; break;
+    case StrategyKind::kTrajectory: counts.trajectory += n; break;
+    case StrategyKind::kCheckpointSplice: counts.checkpoint_splice += n; break;
+    case StrategyKind::kAuto: break;
+  }
+}
 
 }  // namespace
 
@@ -118,7 +152,7 @@ std::vector<std::vector<double>> BatchRunner::run(
   std::vector<int> base_kept;
   if (base_usable) base_kept = backend::used_qubits(*base);
   const int base_width = static_cast<int>(base_kept.size());
-  std::optional<noise::OptLevel> shared_opt;
+  std::optional<std::pair<noise::OptLevel, int>> shared_tape;
   std::vector<std::size_t> traj_candidates;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (done[i]) continue;
@@ -134,8 +168,8 @@ std::vector<std::vector<double>> BatchRunner::run(
     bool eligible = false;
     if (prefix_ok && engine == EngineKind::kDensityMatrix &&
         base_width <= sim::DensityMatrixEngine::kMaxQubits) {
-      if (!shared_opt.has_value()) shared_opt = job.run.opt;
-      eligible = job.run.opt == *shared_opt;
+      if (!shared_tape.has_value()) shared_tape = tape_key(job.run);
+      eligible = tape_key(job.run) == *shared_tape;
       (eligible ? dm_idx : plain_idx).push_back(i);
     } else if (prefix_ok && engine == EngineKind::kTrajectory) {
       traj_candidates.push_back(i);
@@ -145,15 +179,15 @@ std::vector<std::vector<double>> BatchRunner::run(
   }
 
   // Trajectory sharing only pays when at least two candidates agree on
-  // (seed, trajectory count, opt level) — the base sweep costs a full run's
+  // (seed, trajectory count, tape key) — the base sweep costs a full run's
   // worth of simulation, so a lone job is cheaper cold, and mixing exact
-  // with fused-wide sharers would hand half the group a tape lowered at the
-  // wrong level.  Pick the plurality config; candidates outside it run
-  // plain.
+  // with fused-wide sharers (or fused-wide sharers at different resolved
+  // widths) would hand part of the group a tape lowered the wrong way.
+  // Pick the plurality config; candidates outside it run plain.
   bool have_traj_group = false;
   std::uint64_t group_seed = 0;
   int group_trajectories = 0;
-  noise::OptLevel group_opt = noise::OptLevel::kExact;
+  std::pair<noise::OptLevel, int> group_tape{noise::OptLevel::kExact, 0};
   if (traj_candidates.size() >= 2) {
     std::size_t best_count = 0;
     for (const std::size_t i : traj_candidates) {
@@ -161,12 +195,12 @@ std::vector<std::vector<double>> BatchRunner::run(
       for (const std::size_t j : traj_candidates)
         count += (jobs[j].run.seed == jobs[i].run.seed &&
                   jobs[j].run.trajectories == jobs[i].run.trajectories &&
-                  jobs[j].run.opt == jobs[i].run.opt);
+                  tape_key(jobs[j].run) == tape_key(jobs[i].run));
       if (count > best_count) {
         best_count = count;
         group_seed = jobs[i].run.seed;
         group_trajectories = jobs[i].run.trajectories;
-        group_opt = jobs[i].run.opt;
+        group_tape = tape_key(jobs[i].run);
       }
     }
     have_traj_group = best_count >= 2;
@@ -175,7 +209,7 @@ std::vector<std::vector<double>> BatchRunner::run(
     const bool in_group = have_traj_group &&
                           jobs[i].run.seed == group_seed &&
                           jobs[i].run.trajectories == group_trajectories &&
-                          jobs[i].run.opt == group_opt;
+                          tape_key(jobs[i].run) == group_tape;
     (in_group ? traj_idx : plain_idx).push_back(i);
   }
 
@@ -258,15 +292,27 @@ std::vector<std::vector<double>> BatchRunner::run(
   };
   throw_if_cancelled();
 
+  // Route timing for the cost model: coordinator-side steady_clock spans
+  // around each route, attributed evenly across the route's jobs.  Never
+  // touches the numerics; only collected when a planner is listening.
+  StrategyPlanner* const planner = options_.planner;
+  const auto route_ns = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
   if (!dm_idx.empty()) {
+    const auto dm_t0 = std::chrono::steady_clock::now();
     // Lower the base once; every sharer reuses the compaction, restricted
     // model, and executor.  drift == 0 for all sharers, so the lowered model
     // is seed-independent and shared safely.
     backend::RunOptions lower_options;
     lower_options.drift = 0.0;
     const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
-    const noise::OptLevel opt = shared_opt.value_or(noise::OptLevel::kExact);
-    const noise::NoisyExecutor executor(lowered.model, opt);
+    const auto [opt, fusion_width] =
+        shared_tape.value_or(std::pair{noise::OptLevel::kExact, 0});
+    const noise::NoisyExecutor executor(lowered.model, opt, fusion_width);
 
     std::vector<std::size_t> prefix_lens;
     for (const std::size_t i : dm_idx)
@@ -425,19 +471,55 @@ std::vector<std::vector<double>> BatchRunner::run(
     throw_if_cancelled();
     stats_.checkpoint_fallbacks += plan.stats().fallbacks;
     stats_.checkpointed = dm_idx.size() - plan.stats().fallbacks;
+
+    if (planner != nullptr) {
+      const double ns = route_ns(dm_t0);
+      stats_.actual_ns += ns;
+      const double per_job = ns / static_cast<double>(dm_idx.size());
+      const std::size_t ops = base->physical.size();
+      // Non-base jobs resume from shared prefix snapshots (splice); base
+      // jobs are full DM walks at the shared tape level.
+      std::size_t splice_jobs = 0;
+      for (const std::size_t i : dm_idx)
+        splice_jobs += (jobs[i].program != base);
+      const std::size_t full_jobs = dm_idx.size() - splice_jobs;
+      // Predictions are read before this run's observation lands, so
+      // predicted_ns vs actual_ns compares the model against fresh data.
+      if (splice_jobs > 0) {
+        count_strategy(stats_.strategy_jobs, StrategyKind::kCheckpointSplice,
+                       splice_jobs);
+        stats_.predicted_ns +=
+            static_cast<double>(splice_jobs) *
+            planner->predicted_ns(StrategyKind::kCheckpointSplice, base_width,
+                                  ops);
+        planner->observe(StrategyKind::kCheckpointSplice, base_width, ops,
+                         per_job);
+      }
+      if (full_jobs > 0) {
+        count_strategy(stats_.strategy_jobs, dm_kind(opt), full_jobs);
+        stats_.predicted_ns +=
+            static_cast<double>(full_jobs) *
+            planner->predicted_ns(dm_kind(opt), base_width, ops);
+        planner->observe(dm_kind(opt), base_width, ops, per_job);
+      }
+    }
   }
 
   if (!traj_idx.empty()) {
+    const auto traj_t0 = std::chrono::steady_clock::now();
     backend::RunOptions lower_options;
     lower_options.drift = 0.0;
     const backend::LoweredRun lowered = backend_.lower(*base, lower_options);
     // Trajectory tapes downgrade kFused to exact (fused() reorders
     // stochastic draws); kFusedWide keeps channels as in-order barriers, so
-    // the group may share a fused-wide lowering.
+    // the group may share a fused-wide lowering — at the group's agreed
+    // fusion width.
     const noise::NoisyExecutor executor(
-        lowered.model, group_opt == noise::OptLevel::kFusedWide
-                           ? noise::OptLevel::kFusedWide
-                           : noise::OptLevel::kExact);
+        lowered.model,
+        group_tape.first == noise::OptLevel::kFusedWide
+            ? noise::OptLevel::kFusedWide
+            : noise::OptLevel::kExact,
+        group_tape.second);
     std::vector<std::size_t> prefix_lens;
     for (const std::size_t i : traj_idx)
       if (jobs[i].program != base) prefix_lens.push_back(jobs[i].shared_prefix);
@@ -463,9 +545,23 @@ std::vector<std::vector<double>> BatchRunner::run(
     throw_if_cancelled();
     stats_.checkpoint_fallbacks += plan.stats().fallbacks;
     stats_.trajectory_checkpointed = traj_idx.size() - plan.stats().fallbacks;
+
+    if (planner != nullptr) {
+      const double ns = route_ns(traj_t0);
+      stats_.actual_ns += ns;
+      const std::size_t ops = base->physical.size();
+      count_strategy(stats_.strategy_jobs, StrategyKind::kTrajectory,
+                     traj_idx.size());
+      stats_.predicted_ns +=
+          static_cast<double>(traj_idx.size()) *
+          planner->predicted_ns(StrategyKind::kTrajectory, base_width, ops);
+      planner->observe(StrategyKind::kTrajectory, base_width, ops,
+                       ns / static_cast<double>(traj_idx.size()));
+    }
   }
 
   if (!plain_idx.empty()) {
+    const auto plain_t0 = std::chrono::steady_clock::now();
     // Independent full runs.  Trajectory jobs fan their unravelling groups
     // out as individual pool tasks — a two-job batch with 48 trajectories
     // each still saturates the pool — and fold in group order, which is the
@@ -515,7 +611,8 @@ std::vector<std::vector<double>> BatchRunner::run(
                      r.lowered->model,
                      jobs[i].run.opt == noise::OptLevel::kFusedWide
                          ? noise::OptLevel::kFusedWide
-                         : noise::OptLevel::kExact);
+                         : noise::OptLevel::kExact,
+                     backend::resolve_fusion_width(jobs[i].run));
                  r.tape = executor.lower(r.lowered->local);
                  r.partial.resize(static_cast<std::size_t>(
                      sim::num_trajectory_groups(jobs[i].run.trajectories)));
@@ -600,6 +697,28 @@ std::vector<std::vector<double>> BatchRunner::run(
       throw_if_cancelled();
     }
     stats_.full_runs = plain_idx.size();
+
+    if (planner != nullptr) {
+      const double ns = route_ns(plain_t0);
+      stats_.actual_ns += ns;
+      const double per_job = ns / static_cast<double>(plain_idx.size());
+      // Plain jobs are heterogeneous (that is why they are plain), so each
+      // is classified on its own width/ops.  Predictions are read for every
+      // job first; observations land afterwards.
+      std::vector<std::tuple<StrategyKind, int, std::size_t>> shapes;
+      shapes.reserve(plain_idx.size());
+      for (const std::size_t i : plain_idx) {
+        const int width = static_cast<int>(
+            backend::used_qubits(*jobs[i].program).size());
+        const std::size_t ops = jobs[i].program->physical.size();
+        const StrategyKind kind = classify_run(jobs[i].run, width, lowering);
+        count_strategy(stats_.strategy_jobs, kind, 1);
+        stats_.predicted_ns += planner->predicted_ns(kind, width, ops);
+        shapes.emplace_back(kind, width, ops);
+      }
+      for (const auto& [kind, width, ops] : shapes)
+        planner->observe(kind, width, ops, per_job);
+    }
   }
   throw_if_cancelled();
   stats_.worker_jobs = mp_units.load();

@@ -6,8 +6,9 @@
 
 namespace charter::noise {
 
-NoisyExecutor::NoisyExecutor(const NoiseModel& model, OptLevel level)
-    : model_(model), level_(level) {}
+NoisyExecutor::NoisyExecutor(const NoiseModel& model, OptLevel level,
+                             int fusion_width)
+    : model_(model), level_(level), fusion_width_(fusion_width) {}
 
 circ::Schedule NoisyExecutor::make_schedule(const circ::Circuit& c) const {
   return circ::schedule_asap(
@@ -20,7 +21,7 @@ NoiseProgram NoisyExecutor::lower(const circ::Circuit& c) const {
   if (level_ == OptLevel::kFused) {
     program = fused(std::move(program));
   } else if (level_ == OptLevel::kFusedWide) {
-    program = fused_wide(program);
+    program = fused_wide(program, /*from_pos=*/0, fusion_width_);
   }
   return program;
 }

@@ -51,8 +51,13 @@ namespace charter::noise {
 /// { s = make_stream(c); start(c,s,e); step...; finish }.
 class NoisyExecutor {
  public:
+  /// \p fusion_width caps wide-gate fusion for kFusedWide lowerings: 2 or 3
+  /// pins the width for this executor, 0 (default) defers to the
+  /// process-global noise::fusion_width() at lowering time.  Ignored by the
+  /// other levels.
   explicit NoisyExecutor(const NoiseModel& model,
-                         OptLevel level = OptLevel::kExact);
+                         OptLevel level = OptLevel::kExact,
+                         int fusion_width = 0);
 
   /// Everything one in-flight execution carries: the exact tape (schedule,
   /// crosstalk, and clock bookkeeping all resolved into it) and the next
@@ -98,10 +103,12 @@ class NoisyExecutor {
 
   const NoiseModel& model() const { return model_; }
   OptLevel level() const { return level_; }
+  int fusion_width() const { return fusion_width_; }
 
  private:
   const NoiseModel& model_;
   OptLevel level_;
+  int fusion_width_;
 };
 
 }  // namespace charter::noise

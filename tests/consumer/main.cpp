@@ -1,9 +1,12 @@
 // The README quickstart, built out-of-tree against an installed charter
 // package (find_package(charter) + charter::charter).  Exits nonzero if
 // the facade misbehaves, so the install_consumer CTest entry is a real
-// end-to-end packaging check, not just a link test.
+// end-to-end packaging check, not just a link test.  Exercises the
+// ExecutionConfig builder and the public exec surface (charter/exec.hpp:
+// StrategyKind + ExecStats) the way a downstream consumer would.
 
 #include <charter/charter.hpp>
+#include <charter/exec.hpp>
 
 #include <cstdio>
 
@@ -15,9 +18,10 @@ int main() {
   circuit.h(0).cx(0, 1).cx(1, 2).rz(2, 0.7).cx(1, 2).cx(0, 1).h(0);
 
   const cb::FakeBackend backend = cb::FakeBackend::lagos();
-  charter::Session session(
-      backend,
-      charter::SessionConfig().reversals(5).shots(8192).seed(42).threads(2));
+  charter::SessionConfig config;
+  config.reversals(5).shots(8192).seed(42);
+  config.execution().threads(2).strategy(charter::exec::StrategyKind::kAuto);
+  charter::Session session(backend, config);
   const cb::CompiledProgram program = session.compile(circuit);
 
   // Async submission with a progress callback, then wait for the report.
@@ -41,9 +45,22 @@ int main() {
     return 1;
   }
 
+  // The per-report execution stats are part of the public surface: every
+  // job the sweep ran must be accounted for.
+  const charter::exec::ExecStats& stats = result.report.exec_stats;
+  if (stats.jobs != result.report.analyzed_gates + 1) {
+    std::fprintf(stderr, "exec stats lost jobs: %zu jobs for %zu gates\n",
+                 stats.jobs, result.report.analyzed_gates);
+    return 1;
+  }
+
   const auto ranked = result.report.sorted_by_impact();
-  std::printf("charter %s: analyzed %zu gates on %s; top impact %.4f TVD\n",
-              CHARTER_VERSION_STRING, result.report.analyzed_gates,
-              session.backend().name().c_str(), ranked.front().tvd);
+  std::printf(
+      "charter %s: analyzed %zu gates on %s (strategy %s); top impact %.4f "
+      "TVD\n",
+      CHARTER_VERSION_STRING, result.report.analyzed_gates,
+      session.backend().name().c_str(),
+      charter::exec::strategy_name(session.config().execution().strategy()),
+      ranked.front().tvd);
   return 0;
 }

@@ -31,11 +31,16 @@ co::CharterOptions direct_options(int threads) {
 }
 
 charter::SessionConfig session_config(int threads) {
-  return charter::SessionConfig()
-      .reversals(3)
-      .shots(4096)
-      .seed(2022)
-      .threads(threads);
+  charter::SessionConfig config =
+      charter::SessionConfig().reversals(3).shots(4096).seed(2022);
+  config.execution().threads(threads);
+  return config;
+}
+
+charter::SessionConfig uncached_config(int threads) {
+  charter::SessionConfig config = session_config(threads);
+  config.execution().caching(false);
+  return config;
 }
 
 cb::CompiledProgram qft3_program(const cb::FakeBackend& backend) {
@@ -70,12 +75,12 @@ TEST(SessionConfig, DefaultIsValid) {
 }
 
 TEST(SessionConfig, ReportsEveryProblemActionably) {
-  const charter::SessionConfig bad = charter::SessionConfig()
-                                         .reversals(0)
-                                         .shots(-1)
-                                         .trajectories(0)
-                                         .drift(1.5)
-                                         .threads(-2);
+  charter::SessionConfig bad = charter::SessionConfig()
+                                   .reversals(0)
+                                   .shots(-1)
+                                   .trajectories(0)
+                                   .drift(1.5);
+  bad.execution().threads(-2);
   const std::vector<std::string> errors = bad.validate();
   ASSERT_EQ(errors.size(), 5u);
   // Each message names the knob and the accepted range — actionable, not
@@ -88,10 +93,10 @@ TEST(SessionConfig, ReportsEveryProblemActionably) {
 }
 
 TEST(SessionConfig, FusedTrajectoryCombinationIsRejected) {
-  const auto errors = charter::SessionConfig()
-                          .fused(true)
-                          .engine(cb::EngineKind::kTrajectory)
-                          .validate();
+  charter::SessionConfig config =
+      charter::SessionConfig().engine(cb::EngineKind::kTrajectory);
+  config.execution().fused(true);
+  const auto errors = config.validate();
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_NE(errors[0].find("fused"), std::string::npos);
 }
@@ -108,23 +113,24 @@ TEST(SessionConfig, SessionConstructorThrowsWithJoinedErrors) {
 }
 
 TEST(SessionConfig, ResolvedMapsLosslessly) {
-  const co::CharterOptions o = charter::SessionConfig()
-                                   .reversals(7)
-                                   .skip_rz(false)
-                                   .isolate(false)
-                                   .max_gates(9)
-                                   .validation(true)
-                                   .common_random_numbers(true)
-                                   .shots(123)
-                                   .engine(cb::EngineKind::kTrajectory)
-                                   .trajectories(11)
-                                   .seed(99)
-                                   .drift(0.05)
-                                   .checkpointing(false)
-                                   .caching(false)
-                                   .checkpoint_memory_bytes(1 << 20)
-                                   .threads(3)
-                                   .resolved();
+  charter::SessionConfig config = charter::SessionConfig()
+                                      .reversals(7)
+                                      .skip_rz(false)
+                                      .isolate(false)
+                                      .max_gates(9)
+                                      .validation(true)
+                                      .shots(123)
+                                      .engine(cb::EngineKind::kTrajectory)
+                                      .trajectories(11)
+                                      .seed(99)
+                                      .drift(0.05);
+  config.execution()
+      .common_random_numbers(true)
+      .checkpointing(false)
+      .caching(false)
+      .checkpoint_memory_bytes(1 << 20)
+      .threads(3);
+  const co::CharterOptions o = config.resolved();
   EXPECT_EQ(o.reversals, 7);
   EXPECT_FALSE(o.skip_rz);
   EXPECT_FALSE(o.isolate);
@@ -255,9 +261,9 @@ TEST(Session, CancellationMidSweepFreesWorkersAndReportsCancelled) {
   // follow-up job via the run cache; checkpointing off and a large
   // reversal count so every run costs whole milliseconds — the cancel
   // issued at run 2 must land while most of the sweep is still pending.
-  charter::Session session(
-      backend,
-      session_config(2).caching(false).checkpointing(false).reversals(40));
+  charter::SessionConfig config = uncached_config(2).reversals(40);
+  config.execution().checkpointing(false);
+  charter::Session session(backend, config);
 
   charter::JobHandle job;
   std::atomic<bool> handle_ready{false};
@@ -301,9 +307,9 @@ TEST(Session, NoProgressAfterTerminalStatusIsObservable) {
   const cb::CompiledProgram program = qft3_program(backend);
 
   ex::RunCache::global().clear();
-  charter::Session session(
-      backend,
-      session_config(2).caching(false).checkpointing(false).reversals(40));
+  charter::SessionConfig config = uncached_config(2).reversals(40);
+  config.execution().checkpointing(false);
+  charter::Session session(backend, config);
 
   // Repeat to give the (former) race a chance to fire.
   for (int round = 0; round < 5; ++round) {
@@ -339,7 +345,7 @@ TEST(Session, QueuedJobCancelsWithoutRunning) {
   const cb::CompiledProgram program = qft3_program(backend);
 
   ex::RunCache::global().clear();
-  charter::Session session(backend, session_config(2).caching(false));
+  charter::Session session(backend, uncached_config(2));
   // Job A occupies the worker; B is queued behind it and cancelled before
   // it can start.
   const charter::JobHandle a = session.submit(program);
@@ -358,7 +364,7 @@ TEST(Session, DestructorCancelsOutstandingJobs) {
   ex::RunCache::global().clear();
   charter::JobHandle queued;
   {
-    charter::Session session(backend, session_config(2).caching(false));
+    charter::Session session(backend, uncached_config(2));
     session.submit(program);  // running (or about to)
     queued = session.submit(program);
     // Destructor: cancels the queue, flags the running job, joins.
@@ -372,7 +378,7 @@ TEST(Session, WaitForTimesOutWhileQueuedBehindWork) {
   const cb::FakeBackend backend = cb::FakeBackend::lagos(7);
   const cb::CompiledProgram program = qft3_program(backend);
   ex::RunCache::global().clear();
-  charter::Session session(backend, session_config(2).caching(false));
+  charter::Session session(backend, uncached_config(2));
   const charter::JobHandle a = session.submit(program);
   const charter::JobHandle b = session.submit(program);
   // b cannot be terminal while a is still occupying the session worker.
@@ -456,8 +462,10 @@ TEST(Session, CustomBackendWithoutLoweringRunsEveryJobWhole) {
   cc::Circuit circuit(3);
   circuit.h(0).cx(0, 1).cx(1, 2);
 
-  charter::Session session(
-      backend, charter::SessionConfig().reversals(2).shots(0).threads(2));
+  charter::SessionConfig config =
+      charter::SessionConfig().reversals(2).shots(0);
+  config.execution().threads(2);
+  charter::Session session(backend, config);
   const cb::CompiledProgram program = session.compile(circuit);
   const co::CharterReport report = session.analyze(program);
 

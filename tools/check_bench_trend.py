@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Validate the bench JSON artifacts the CI smoke runs record.
 
-CI uploads BENCH_exec.json / BENCH_kernels.json / BENCH_trajectory.json
-(via actions/upload-artifact)
+CI uploads BENCH_exec.json / BENCH_kernels.json / BENCH_trajectory.json /
+BENCH_multiprocess.json / BENCH_strategy.json (via actions/upload-artifact)
 so the perf trajectory accumulates run over run; this gate fails the job
 when an artifact is missing, malformed, or has lost a metric key — a silent
 schema drift would otherwise leave holes in the trend right when a
@@ -195,11 +195,77 @@ def check_multiprocess(path, data):
     return ok
 
 
+def check_strategy(path, data):
+    ok = True
+    if not isinstance(data.get("simd_active"), str):
+        ok = fail(path, "metric 'simd_active' missing")
+    families = data.get("families")
+    expected = {"qft", "vqe", "random_basis"}
+    if not isinstance(families, list) or not families:
+        ok = fail(path, "metric 'families' missing or empty")
+        families = []
+    seen = set()
+    for row in families:
+        name = row.get("name")
+        seen.add(name)
+        ok &= require_number(path, row, "qubits", minimum=1)
+        ok &= require_number(path, row, "analyzed_gates", minimum=1)
+        fixed = row.get("fixed")
+        if not isinstance(fixed, dict):
+            ok = fail(path, f"family '{name}': 'fixed' timings missing")
+        else:
+            for key in ("dm_exact_ms", "dm_fused_ms", "dm_fused_wide_ms"):
+                ok &= require_number(path, fixed, key, minimum=0.0)
+        ok &= require_number(path, row, "auto_ms", minimum=0.0)
+        ok &= require_number(path, row, "best_fixed_ms", minimum=0.0)
+        ok &= require_number(path, row, "auto_vs_best", minimum=0.0)
+        # The bench applies the 1.1x bound itself (with an absolute floor
+        # for sub-millisecond sweeps) and records the verdict; the
+        # artifact must prove it held.
+        if row.get("auto_within_bound") is not True:
+            ok = fail(
+                path,
+                f"family '{name}': auto exceeded 1.1x of the best fixed "
+                f"strategy ({row.get('auto_vs_best')}x)",
+            )
+        if row.get("auto_cold_bit_identical") is not True:
+            ok = fail(
+                path,
+                f"family '{name}': cold-planner auto sweep was not "
+                "bit-identical to its incumbent strategy",
+            )
+        if row.get("rankings_match") is not True:
+            ok = fail(
+                path,
+                f"family '{name}': strategies disagree on the gate ranking",
+            )
+        if not isinstance(row.get("auto_pick"), str):
+            ok = fail(path, f"family '{name}': 'auto_pick' missing")
+    if expected - seen:
+        ok = fail(path, f"family rows missing: {expected - seen}")
+    adaptive = data.get("adaptive")
+    if not isinstance(adaptive, dict):
+        ok = fail(path, "metric 'adaptive' missing")
+        return ok
+    ok &= require_number(path, adaptive, "trajectories_budgeted", minimum=1)
+    ok &= require_number(path, adaptive, "trajectories_executed", minimum=1)
+    ok &= require_number(path, adaptive, "gates_settled_early", minimum=1)
+    ok &= require_number(path, adaptive, "savings_pct", minimum=0.0)
+    if ok and adaptive["trajectories_executed"] >= adaptive[
+        "trajectories_budgeted"
+    ]:
+        ok = fail(path, "adaptive budget saved no trajectories")
+    if adaptive.get("topk_match") is not True:
+        ok = fail(path, "adaptive budget changed the top-k gate ranking")
+    return ok
+
+
 CHECKERS = {
     "exec_batching": check_exec,
     "sim_kernels": check_kernels,
     "trajectory": check_trajectory,
     "exec_multiprocess": check_multiprocess,
+    "strategy": check_strategy,
 }
 
 
@@ -222,6 +288,16 @@ def summarize(path, data):
             f"{path}: exec_multiprocess n={data['qubits']} "
             f"inprocess={data['inprocess_ms']:.1f}ms {speed} "
             f"kill_retry_failures={data['kill_retry']['worker_failures']}"
+        )
+    elif bench == "strategy":
+        picks = ", ".join(
+            f"{r['name']}={r['auto_pick']}@{r['auto_vs_best']:.2f}x"
+            for r in data["families"]
+        )
+        adaptive = data["adaptive"]
+        print(
+            f"{path}: strategy simd={data['simd_active']} {picks} "
+            f"adaptive_saved={adaptive['savings_pct']:.1f}%"
         )
     elif bench == "trajectory":
         print(
