@@ -1,0 +1,193 @@
+// Micro-benchmark of the characterization subsystem: germ-ladder sequence
+// sweeps with checkpoint splicing on vs off, on the same top-k gates of a
+// Charter analysis.  Emits JSON so the perf trajectory can be tracked
+// across commits.
+//
+// Reported metrics:
+//   naive_ms                characterization with checkpointing disabled
+//                           (every germ sequence simulated from scratch)
+//   spliced_ms              the same characterization with prefix-state
+//                           splicing on — shallower depths resume from the
+//                           ladder base's snapshots
+//   splice_speedup          naive_ms / spliced_ms
+//   sequences_per_s         germ-sequence throughput of the spliced path
+//   checkpoint_reuse_ratio  checkpointed / jobs over the spliced sweep —
+//                           how much of the ladder actually rode the
+//                           base sweep's snapshots
+//   bit_identical           the two paths' reports agree bit for bit (the
+//                           splice contract; a breach fails the bench)
+//
+// Usage: bench_characterize [--benchmark KEY] [--top-k N] [--reversals N]
+//                           [--reps N] [--smoke] [--out PATH]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/registry.hpp"
+#include "backend/backend.hpp"
+#include "bench/common.hpp"
+#include "characterize/characterize.hpp"
+#include "core/analyzer.hpp"
+#include "exec/cache.hpp"
+#include "math/simd_dispatch.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace ca = charter::algos;
+namespace cb = charter::backend;
+namespace ch = charter::characterize;
+namespace co = charter::core;
+namespace ex = charter::exec;
+
+namespace {
+
+double characterize_seconds(const cb::FakeBackend& backend,
+                            const cb::CompiledProgram& program,
+                            const co::CharterReport& charter,
+                            const ch::CharacterizeOptions& options, int reps,
+                            ch::CharacterizationReport* out) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const ch::GateCharacterizer characterizer(backend, options);
+    charter::util::Timer timer;
+    ch::CharacterizationReport report =
+        characterizer.characterize(program, charter);
+    best = std::min(best, timer.seconds());
+    if (out != nullptr) *out = std::move(report);
+  }
+  return best;
+}
+
+bool reports_identical(const ch::CharacterizationReport& a,
+                       const ch::CharacterizationReport& b) {
+  if (a.gates.size() != b.gates.size()) return false;
+  if (a.original_distribution != b.original_distribution) return false;
+  for (std::size_t g = 0; g < a.gates.size(); ++g) {
+    if (a.gates[g].op_index != b.gates[g].op_index) return false;
+    if (a.gates[g].decay.size() != b.gates[g].decay.size()) return false;
+    for (std::size_t i = 0; i < a.gates[g].decay.size(); ++i)
+      if (a.gates[g].decay[i].tvd != b.gates[g].decay[i].tvd) return false;
+    if (a.gates[g].fit.rho != b.gates[g].fit.rho) return false;
+    if (a.gates[g].fit.phi != b.gates[g].fit.phi) return false;
+    if (a.gates[g].severity != b.gates[g].severity) return false;
+  }
+  return true;
+}
+
+void append_double(std::string& out, const char* key, double v,
+                   bool trailing_comma = true) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  \"%s\": %.4f%s\n", key, v,
+                trailing_comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  charter::util::Cli cli(
+      "bench_characterize: germ-ladder sequence throughput and checkpoint "
+      "reuse of the characterization subsystem");
+  cli.add_flag("benchmark", std::string("vqe4"),
+               "registry key of the circuit to characterize");
+  cli.add_flag("top-k", std::int64_t{3}, "gates to characterize");
+  cli.add_flag("reversals", std::int64_t{2},
+               "reversed pairs per gate in the Charter analysis");
+  cli.add_flag("reps", std::int64_t{3}, "timed repetitions (best-of)");
+  cli.add_flag("smoke", false, "CI preset: qft3, 2 gates, short ladder");
+  cli.add_flag("out", std::string("bench_results/characterize.json"),
+               "JSON output path ('' = stdout only)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_bool("smoke");
+  const std::string key =
+      smoke ? "qft3" : cli.get_string("benchmark");
+  const int top_k = smoke ? 2 : static_cast<int>(cli.get_int("top-k"));
+  const int reps = smoke ? 1 : static_cast<int>(cli.get_int("reps"));
+
+  const ca::AlgoSpec spec = ca::find_benchmark(key);
+  const cb::FakeBackend backend = spec.qubits <= 7
+                                      ? cb::FakeBackend::lagos()
+                                      : cb::FakeBackend::guadalupe();
+  const cb::CompiledProgram program = backend.compile(spec.build());
+
+  co::CharterOptions analysis;
+  analysis.reversals = static_cast<int>(cli.get_int("reversals"));
+  analysis.run.shots = 0;
+  analysis.run.seed = 2022;
+  analysis.exec.caching = false;
+  const co::CharterReport charter =
+      co::CharterAnalyzer(backend, analysis).analyze(program);
+
+  ch::CharacterizeOptions options;
+  options.top_k = top_k;
+  options.depths = smoke ? std::vector<int>{1, 2, 4, 8}
+                         : std::vector<int>{1, 2, 3, 4, 6, 8, 12, 16};
+  options.bootstrap_resamples = smoke ? 16 : 100;
+  options.severity_reversals = analysis.reversals;
+  options.run.shots = 0;
+  options.run.seed = 2022;
+  options.exec.caching = false;
+
+  ex::RunCache::global().clear();
+  options.exec.checkpointing = false;
+  ch::CharacterizationReport naive;
+  const double naive_s = characterize_seconds(backend, program, charter,
+                                              options, reps, &naive);
+
+  options.exec.checkpointing = true;
+  ch::CharacterizationReport spliced;
+  const double spliced_s = characterize_seconds(backend, program, charter,
+                                                options, reps, &spliced);
+
+  const bool identical = reports_identical(naive, spliced);
+  const double speedup = spliced_s > 0.0 ? naive_s / spliced_s : 0.0;
+  const double throughput =
+      spliced_s > 0.0 ? double(spliced.total_sequences) / spliced_s : 0.0;
+  // Of every job the spliced sweep executed (original + fiducials + germ
+  // sequences), the fraction resumed from a prefix snapshot.
+  const std::size_t jobs = spliced.exec_stats.jobs;
+  const double reuse =
+      jobs > 0 ? double(spliced.exec_stats.checkpointed) / double(jobs) : 0.0;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"characterize\",\n";
+  json += "  \"benchmark\": \"" + key + "\",\n";
+  json += "  \"qubits\": " + std::to_string(spec.qubits) + ",\n";
+  json += "  \"gates\": " + std::to_string(spliced.gates.size()) + ",\n";
+  json += "  \"depths\": " + std::to_string(options.depths.size()) + ",\n";
+  json += "  \"sequences\": " + std::to_string(spliced.total_sequences) +
+          ",\n";
+  json += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+  json += "  \"checkpointed\": " +
+          std::to_string(spliced.exec_stats.checkpointed) + ",\n";
+  json += "  \"checkpoint_fallbacks\": " +
+          std::to_string(spliced.exec_stats.checkpoint_fallbacks) + ",\n";
+  json += std::string("  \"simd_active\": \"") +
+          charter::math::simd::path_name(charter::math::simd::active_path()) +
+          "\",\n";
+  append_double(json, "naive_ms", naive_s * 1e3);
+  append_double(json, "spliced_ms", spliced_s * 1e3);
+  append_double(json, "splice_speedup", speedup);
+  append_double(json, "sequences_per_s", throughput);
+  append_double(json, "checkpoint_reuse_ratio", reuse);
+  append_double(json, "rank_agreement", spliced.rank_agreement);
+  json += std::string("  \"bit_identical\": ") +
+          (identical ? "true" : "false") + "\n";
+  json += "}\n";
+  std::fputs(json.c_str(), stdout);
+
+  charter::bench::write_output_file(cli.get_string("out"), json);
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: spliced characterization != naive\n");
+    return 1;
+  }
+  if (spliced.exec_stats.checkpointed == 0) {
+    std::fprintf(stderr, "FAIL: germ ladders reused no checkpoints\n");
+    return 1;
+  }
+  return 0;
+}

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "backend/backend.hpp"
+#include "characterize/characterize.hpp"
 #include "core/analyzer.hpp"
 #include "exec/cache.hpp"
 #include "exec/strategy.hpp"
@@ -348,8 +349,9 @@ std::string to_string(JobStatus status);
 
 /// What a job computes.
 enum class JobKind {
-  kAnalyze,      ///< full per-gate sweep -> CharterReport
-  kInputImpact,  ///< input-block reversal -> one TVD
+  kAnalyze,       ///< full per-gate sweep -> CharterReport
+  kInputImpact,   ///< input-block reversal -> one TVD
+  kCharacterize,  ///< germ-ladder estimation -> CharacterizationReport
 };
 
 /// Monotone progress snapshot: \p completed circuit executions out of
@@ -362,12 +364,14 @@ struct JobProgress {
 
 /// Final outcome of a job.  `report` is meaningful for kAnalyze jobs that
 /// reached kDone (and carries its own exec stats in report.exec_stats);
-/// `input_tvd` for kInputImpact jobs; `error` for kFailed.
+/// `input_tvd` for kInputImpact jobs; `characterization` for
+/// kCharacterize jobs; `error` for kFailed.
 struct JobResult {
   JobKind kind = JobKind::kAnalyze;
   JobStatus status = JobStatus::kQueued;
   core::CharterReport report;
   double input_tvd = 0.0;
+  characterize::CharacterizationReport characterization;
   std::string error;
 };
 
@@ -468,9 +472,22 @@ class Session {
   JobHandle submit_input_impact(backend::CompiledProgram program,
                                 JobCallbacks callbacks = {});
 
+  /// Enqueues error-channel characterization of the top-\p top_k gates of
+  /// \p charter (a finished analysis of \p program — op indices and gate
+  /// kinds are cross-checked).  Germ ladders, decay fits, and bootstrap
+  /// CIs run with the session's execution configuration; characterization
+  /// always uses common random numbers (the decay curve is a
+  /// within-experiment comparison) and a fixed trajectory budget.
+  JobHandle submit_characterization(backend::CompiledProgram program,
+                                    core::CharterReport charter,
+                                    int top_k = 3, JobCallbacks callbacks = {});
+
   /// Synchronous conveniences: submit + wait, rethrowing failures.
   core::CharterReport analyze(const backend::CompiledProgram& program);
   double input_impact(const backend::CompiledProgram& program);
+  characterize::CharacterizationReport characterize(
+      const backend::CompiledProgram& program,
+      const core::CharterReport& charter, int top_k = 3);
 
   /// Requests cancellation of every queued and running job.
   void cancel_all();
@@ -485,7 +502,9 @@ class Session {
 
  private:
   JobHandle enqueue(JobKind kind, backend::CompiledProgram program,
-                    JobCallbacks callbacks);
+                    JobCallbacks callbacks, core::CharterReport charter = {},
+                    int top_k = 0);
+  characterize::CharacterizeOptions characterization_options(int top_k) const;
   void worker_main();
   void run_job(detail::JobState& job);
 

@@ -216,4 +216,59 @@ Circuit heisenberg(int n, int steps, double dt, double jx, double jy,
   return c;
 }
 
+namespace {
+
+// Phase-flips |1...1> over search qubits [0, n).  n <= 3 needs no
+// ancillas; larger n ANDs the first n - 1 controls into an ancilla chain
+// starting at qubit n, applies CZ against the last control, and
+// uncomputes.
+void multi_controlled_z(Circuit& c, int n) {
+  if (n == 2) {
+    c.cz(0, 1);
+    return;
+  }
+  if (n == 3) {
+    c.h(2);
+    c.ccx(0, 1, 2);
+    c.h(2);
+    return;
+  }
+  const int anc = n;  // first ancilla
+  c.ccx(0, 1, anc);
+  for (int i = 2; i < n - 1; ++i) c.ccx(i, anc + i - 2, anc + i - 1);
+  c.cz(anc + n - 3, n - 1);
+  for (int i = n - 2; i >= 2; --i) c.ccx(i, anc + i - 2, anc + i - 1);
+  c.ccx(0, 1, anc);
+}
+
+}  // namespace
+
+Circuit grover(int n, std::uint64_t marked, int iterations) {
+  require(n >= 2 && n <= 16, "grover needs 2 <= n <= 16");
+  require(marked < (std::uint64_t{1} << n), "marked state out of range");
+  if (iterations <= 0) {
+    iterations = static_cast<int>(
+        std::floor(M_PI / 4.0 * std::sqrt(std::pow(2.0, n))));
+    if (iterations < 1) iterations = 1;
+  }
+  const int width = n <= 3 ? n : 2 * n - 2;
+  Circuit c(width);
+  for (int q = 0; q < n; ++q) c.h(q, kFlagInputPrep);
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: phase flip on |marked>.
+    for (int q = 0; q < n; ++q)
+      if (!((marked >> q) & 1)) c.x(q);
+    multi_controlled_z(c, n);
+    for (int q = 0; q < n; ++q)
+      if (!((marked >> q) & 1)) c.x(q);
+    // Diffusion: reflect about the uniform superposition.
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int q = 0; q < n; ++q) c.x(q);
+    multi_controlled_z(c, n);
+    for (int q = 0; q < n; ++q) c.x(q);
+    for (int q = 0; q < n; ++q) c.h(q);
+  }
+  return c;
+}
+
 }  // namespace charter::algos

@@ -66,4 +66,11 @@ circ::Circuit xy_model(int n, int steps, double dt = 0.2, double j = 1.0);
 circ::Circuit heisenberg(int n, int steps, double dt = 0.2, double jx = 1.0,
                          double jy = 1.0, double jz = 1.0);
 
+/// Grover search over n qubits for the basis state \p marked.  Each
+/// iteration is the phase oracle on |marked> followed by the diffusion
+/// operator; \p iterations <= 0 picks the optimal floor(pi/4 * sqrt(2^n)).
+/// The multi-controlled Z is built from CZ/CCX; for n >= 4 an ancilla
+/// chain of n - 2 qubits is appended (total width 2n - 2).
+circ::Circuit grover(int n, std::uint64_t marked, int iterations = 0);
+
 }  // namespace charter::algos

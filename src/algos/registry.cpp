@@ -32,8 +32,19 @@ std::vector<AlgoSpec> paper_benchmarks() {
   };
 }
 
+std::vector<AlgoSpec> extended_benchmarks() {
+  std::vector<AlgoSpec> all = paper_benchmarks();
+  all.push_back(
+      {"QAOA p1 (5)", "qaoa5p1", 5, [] { return qaoa_maxcut(5, 1, 21); }});
+  all.push_back(
+      {"QAOA p1 (10)", "qaoa10p1", 10, [] { return qaoa_maxcut(10, 1, 22); }});
+  all.push_back({"Grover (3)", "grover3", 3, [] { return grover(3, 5); }});
+  all.push_back({"Grover (4)", "grover4", 6, [] { return grover(4, 9, 2); }});
+  return all;
+}
+
 AlgoSpec find_benchmark(const std::string& key) {
-  for (AlgoSpec& spec : paper_benchmarks())
+  for (AlgoSpec& spec : extended_benchmarks())
     if (spec.key == key) return spec;
   throw NotFound("unknown benchmark key: " + key);
 }

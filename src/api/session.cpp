@@ -130,6 +130,8 @@ struct JobState {
   JobKind kind = JobKind::kAnalyze;
   backend::CompiledProgram program;
   JobCallbacks callbacks;
+  core::CharterReport charter;  ///< kCharacterize input ranking
+  int top_k = 0;                ///< kCharacterize gate count
   util::CancelFlag cancel;
 
   mutable std::mutex mu;
@@ -296,6 +298,14 @@ JobHandle Session::submit_input_impact(backend::CompiledProgram program,
                  std::move(callbacks));
 }
 
+JobHandle Session::submit_characterization(backend::CompiledProgram program,
+                                           core::CharterReport charter,
+                                           int top_k, JobCallbacks callbacks) {
+  require(top_k >= 1, "characterization top_k must be >= 1");
+  return enqueue(JobKind::kCharacterize, std::move(program),
+                 std::move(callbacks), std::move(charter), top_k);
+}
+
 core::CharterReport Session::analyze(const backend::CompiledProgram& program) {
   // The handle must outlive the returned reference: it co-owns the job
   // state wait() points into.
@@ -316,6 +326,17 @@ double Session::input_impact(const backend::CompiledProgram& program) {
   return r.input_tvd;
 }
 
+characterize::CharacterizationReport Session::characterize(
+    const backend::CompiledProgram& program,
+    const core::CharterReport& charter, int top_k) {
+  const JobHandle job = submit_characterization(program, charter, top_k);
+  const JobResult& r = job.wait();
+  if (r.status == JobStatus::kFailed) throw Error(r.error);
+  if (r.status == JobStatus::kCancelled)
+    throw Cancelled("characterization cancelled");
+  return r.characterization;
+}
+
 void Session::cancel_all() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& job : queue_) job->cancel.request();
@@ -331,11 +352,30 @@ exec::RunCache::Stats Session::cache_stats() {
   return exec::RunCache::global().stats();
 }
 
+characterize::CharacterizeOptions Session::characterization_options(
+    int top_k) const {
+  characterize::CharacterizeOptions o;
+  o.top_k = top_k;
+  o.isolate = config_.isolate();
+  o.severity_reversals = config_.reversals();
+  // Characterization always shares one seed across the original and every
+  // sequence: the decay curve is a within-experiment comparison, unlike the
+  // paper's independent analysis runs, so CRN is pure variance reduction.
+  o.common_random_numbers = true;
+  o.run = options_.run;
+  o.exec = options_.exec;
+  o.strategy = options_.strategy;
+  return o;
+}
+
 JobHandle Session::enqueue(JobKind kind, backend::CompiledProgram program,
-                           JobCallbacks callbacks) {
+                           JobCallbacks callbacks, core::CharterReport charter,
+                           int top_k) {
   auto state = std::make_shared<detail::JobState>(std::move(program));
   state->kind = kind;
   state->callbacks = std::move(callbacks);
+  state->charter = std::move(charter);
+  state->top_k = top_k;
   state->result.kind = kind;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -394,11 +434,18 @@ void Session::run_job(detail::JobState& job) {
   }
 
   try {
-    const core::CharterAnalyzer analyzer(*backend_, options_);
-    if (job.kind == JobKind::kAnalyze) {
-      job.result.report = analyzer.analyze(job.program, &hooks);
+    if (job.kind == JobKind::kCharacterize) {
+      const characterize::GateCharacterizer characterizer(
+          *backend_, characterization_options(job.top_k));
+      job.result.characterization =
+          characterizer.characterize(job.program, job.charter, &hooks);
     } else {
-      job.result.input_tvd = analyzer.input_impact(job.program, &hooks);
+      const core::CharterAnalyzer analyzer(*backend_, options_);
+      if (job.kind == JobKind::kAnalyze) {
+        job.result.report = analyzer.analyze(job.program, &hooks);
+      } else {
+        job.result.input_tvd = analyzer.input_impact(job.program, &hooks);
+      }
     }
     job.set_status(JobStatus::kDone);
   } catch (const Cancelled&) {

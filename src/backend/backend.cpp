@@ -75,6 +75,23 @@ int resolve_fusion_width(const RunOptions& options) {
   return noise::fusion_width();
 }
 
+void FakeBackend::set_readout_confusion(int q, double p_meas1_given0,
+                                        double p_meas0_given1) {
+  require(q >= 0 && q < model_.num_qubits(),
+          "readout confusion qubit out of range");
+  require(p_meas1_given0 >= 0.0 && p_meas1_given0 < 1.0 &&
+              p_meas0_given1 >= 0.0 && p_meas0_given1 < 1.0,
+          "readout confusion probabilities must be in [0, 1)");
+  model_.qubit(q).readout = {p_meas1_given0, p_meas0_given1};
+  model_.toggles().readout = true;
+}
+
+void FakeBackend::set_readout_confusion(double p_meas1_given0,
+                                        double p_meas0_given1) {
+  for (int q = 0; q < model_.num_qubits(); ++q)
+    set_readout_confusion(q, p_meas1_given0, p_meas0_given1);
+}
+
 std::string run_environment_summary() {
   namespace simd = math::simd;
   std::string out = "simd=";

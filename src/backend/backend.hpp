@@ -213,6 +213,21 @@ class FakeBackend : public Backend {
   noise::NoiseModel& model() { return model_; }
   const std::string& name() const override { return topology_.name(); }
 
+  /// Measurement-error confusion-matrix knob: sets qubit \p q's readout
+  /// confusion to the 2x2 row-stochastic matrix
+  ///   [ 1-p_meas1_given0   p_meas1_given0 ]
+  ///   [ p_meas0_given1     1-p_meas0_given1 ]
+  /// and turns the readout toggle on (a knob that silently does nothing
+  /// would be a trap).  Applied engine-independently in finalize(), so the
+  /// density-matrix and trajectory engines honor it identically (<= 1e-12,
+  /// asserted in tests) — which is what makes it usable as an injected
+  /// ground truth for the characterization estimator.  Probabilities must
+  /// be in [0, 1).
+  void set_readout_confusion(int q, double p_meas1_given0,
+                             double p_meas0_given1);
+  /// Same confusion matrix on every qubit.
+  void set_readout_confusion(double p_meas1_given0, double p_meas0_given1);
+
   /// Compiles a logical circuit for this device (noise-aware by default).
   CompiledProgram compile(
       const circ::Circuit& logical,

@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "characterize/characterize.hpp"
+#include "core/reversal.hpp"
+#include "util/error.hpp"
+
+namespace charter::characterize {
+
+GermScheduler::GermScheduler(std::vector<int> depths, bool isolate)
+    : depths_(std::move(depths)), isolate_(isolate) {
+  require(!depths_.empty(), "germ ladder needs at least one depth");
+  for (const int d : depths_)
+    require(d >= 1, "germ depths must be >= 1");
+  std::sort(depths_.begin(), depths_.end());
+  depths_.erase(std::unique(depths_.begin(), depths_.end()), depths_.end());
+}
+
+std::size_t GermScheduler::shared_prefix_ops(std::size_t op_index,
+                                             int depth) const {
+  // insert_reversed_pairs emits: ops [0, op_index], the opening isolation
+  // barrier, then `depth` (rev, fwd) pairs.  Up to there a depth-L sequence
+  // is byte-identical to any deeper sequence of the same gate; the next op
+  // (closing barrier here, pair L+1 in the base) is where they diverge.
+  return op_index + 1 + (isolate_ ? 1 : 0) +
+         2 * static_cast<std::size_t>(depth);
+}
+
+GermLadder GermScheduler::ladder(const backend::CompiledProgram& program,
+                                 std::size_t op_index) const {
+  GermLadder out;
+  out.op_index = op_index;
+  out.sequences.reserve(depths_.size());
+  for (const int depth : depths_) {
+    backend::CompiledProgram spliced = program;
+    spliced.physical = core::insert_reversed_pairs(program.physical,
+                                                   op_index, depth, isolate_);
+    // The deepest sequence is the batch base: like the analyzer's original
+    // job, it claims its full length and is served by the checkpoint sweep
+    // itself.  Every other depth resumes mid-germ-block from the base.
+    const std::size_t prefix = depth == depths_.back()
+                                   ? spliced.physical.size()
+                                   : shared_prefix_ops(op_index, depth);
+    out.sequences.push_back({depth, std::move(spliced), prefix});
+  }
+  return out;
+}
+
+}  // namespace charter::characterize

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file report_io.hpp
+/// CharacterizationReport <-> JSON round-tripping.
+///
+/// Same discipline as core/report_io.hpp: %.17g doubles (exact
+/// round-trip), a schema version that fails loudly on format drift, and a
+/// validate-before-parse reader that accepts exactly the subset the writer
+/// emits — every key is checked before its value is consumed, so a
+/// corrupted or truncated document is rejected with an actionable message
+/// instead of being half-loaded.
+
+#include <string>
+
+#include "characterize/characterize.hpp"
+
+namespace charter::characterize {
+
+/// Serializes with full double precision; stable key order.  The exec
+/// block is the report's own exec_stats.
+std::string characterization_to_json(const CharacterizationReport& report);
+
+/// Parses a document produced by characterization_to_json.  Throws
+/// InvalidArgument on malformed input or a schema version mismatch.
+CharacterizationReport characterization_from_json(const std::string& json);
+
+}  // namespace charter::characterize

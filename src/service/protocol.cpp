@@ -87,12 +87,20 @@ std::uint64_t job_id(const JsonValue& root) {
   return static_cast<std::uint64_t>(v->number);
 }
 
-Request parse_submit(const JsonValue& root, const ServiceLimits& limits) {
-  reject_unknown_fields(root, "submit",
-                        {"op", "tenant", "benchmark", "qasm", "detach",
-                         "shots", "seed", "reversals", "max_gates"});
+Request parse_submit(const JsonValue& root, const ServiceLimits& limits,
+                     bool characterize) {
+  const char* op = characterize ? "characterize" : "submit";
+  if (characterize)
+    reject_unknown_fields(root, op,
+                          {"op", "tenant", "benchmark", "qasm", "detach",
+                           "shots", "seed", "reversals", "max_gates",
+                           "top_k"});
+  else
+    reject_unknown_fields(root, op,
+                          {"op", "tenant", "benchmark", "qasm", "detach",
+                           "shots", "seed", "reversals", "max_gates"});
   Request r;
-  r.op = Op::kSubmit;
+  r.op = characterize ? Op::kCharacterize : Op::kSubmit;
   SubmitRequest& s = r.submit;
   if (root.find("tenant") != nullptr) s.tenant = required_string(root, "tenant");
   if (s.tenant.empty())
@@ -104,7 +112,7 @@ Request parse_submit(const JsonValue& root, const ServiceLimits& limits) {
   const bool has_qasm = root.find("qasm") != nullptr;
   if (has_benchmark == has_qasm)
     bail(ErrorCode::kBadRequest,
-         "submit takes exactly one of 'benchmark' or 'qasm'");
+         std::string(op) + " takes exactly one of 'benchmark' or 'qasm'");
   if (has_benchmark) s.benchmark = required_string(root, "benchmark");
   if (has_qasm) {
     s.qasm = required_string(root, "qasm");
@@ -121,6 +129,11 @@ Request parse_submit(const JsonValue& root, const ServiceLimits& limits) {
   s.max_gates = optional_uint(root, "max_gates", -1);
   if (s.reversals == 0)
     bail(ErrorCode::kBadRequest, "field 'reversals' must be >= 1");
+  if (characterize) {
+    s.top_k = optional_uint(root, "top_k", -1);
+    if (s.top_k == 0)
+      bail(ErrorCode::kBadRequest, "field 'top_k' must be >= 1");
+  }
   return r;
 }
 
@@ -141,7 +154,8 @@ Request parse_request(const std::string& line, const ServiceLimits& limits) {
     bail(ErrorCode::kBadRequest, "request must be a JSON object");
   const std::string op = required_string(root, "op");
 
-  if (op == "submit") return parse_submit(root, limits);
+  if (op == "submit") return parse_submit(root, limits, false);
+  if (op == "characterize") return parse_submit(root, limits, true);
 
   Request r;
   if (op == "ping" || op == "stats" || op == "shutdown") {

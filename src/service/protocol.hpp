@@ -69,18 +69,19 @@ struct ServiceLimits {
 
 /// The operations a request can name.
 enum class Op {
-  kPing,      ///< liveness check
-  kSubmit,    ///< enqueue an analysis job
-  kStatus,    ///< non-blocking job snapshot
-  kWait,      ///< block until the job is terminal
-  kFetch,     ///< full report of a finished job
-  kCancel,    ///< request cooperative cancellation
-  kStats,     ///< scheduler + run-cache counters
-  kShutdown,  ///< ask the daemon to drain and exit
+  kPing,          ///< liveness check
+  kSubmit,        ///< enqueue an analysis job
+  kCharacterize,  ///< enqueue analysis + top-k gate characterization
+  kStatus,        ///< non-blocking job snapshot
+  kWait,          ///< block until the job is terminal
+  kFetch,         ///< full report of a finished job
+  kCancel,        ///< request cooperative cancellation
+  kStats,         ///< scheduler + run-cache counters
+  kShutdown,      ///< ask the daemon to drain and exit
 };
 
-/// Fields of a submit request.  Overrides left at -1 fall back to the
-/// daemon's base configuration.
+/// Fields of a submit (or characterize) request.  Overrides left at -1
+/// fall back to the daemon's base configuration.
 struct SubmitRequest {
   std::string tenant = "default";
   std::string benchmark;  ///< built-in key (algos::find_benchmark)
@@ -93,6 +94,9 @@ struct SubmitRequest {
   std::int64_t seed = -1;
   std::int64_t reversals = -1;
   std::int64_t max_gates = -1;
+  /// Characterize ops only: gates to characterize from the analysis
+  /// ranking (default 3).
+  std::int64_t top_k = -1;
 };
 
 /// One parsed, validated request.

@@ -29,6 +29,7 @@ struct Scheduler::Job {
   backend::CompiledProgram program;
   core::CharterOptions options;
   bool detached = false;
+  int characterize_top_k = 0;  ///< > 0: characterize after the analysis
   std::uint64_t connection = 0;
   util::CancelFlag cancel;
 
@@ -39,6 +40,7 @@ struct Scheduler::Job {
   std::size_t total = 0;               // under mu
   core::CharterReport result;          ///< written before the terminal
                                        ///< transition; immutable afterwards
+  characterize::CharacterizationReport characterization;  ///< same contract
   std::string error;                   // under mu
 
   Job(backend::CompiledProgram p, core::CharterOptions o)
@@ -52,6 +54,7 @@ struct Scheduler::Job {
     s.completed = completed;
     s.total = total;
     s.detached = detached;
+    s.characterize = characterize_top_k > 0;
     s.error = error;
     return s;
   }
@@ -98,10 +101,12 @@ Scheduler::~Scheduler() {
 std::uint64_t Scheduler::submit(const std::string& tenant,
                                 backend::CompiledProgram program,
                                 core::CharterOptions options, bool detached,
-                                std::uint64_t connection) {
+                                std::uint64_t connection,
+                                int characterize_top_k) {
   auto job = std::make_shared<Job>(std::move(program), std::move(options));
   job->tenant = tenant;
   job->detached = detached;
+  job->characterize_top_k = characterize_top_k;
   job->connection = connection;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -155,6 +160,22 @@ core::CharterReport Scheduler::report(std::uint64_t id) const {
                         "job " + std::to_string(id) + " has no report (" +
                             job_phase_name(job->phase) + ")");
   return job->result;
+}
+
+characterize::CharacterizationReport Scheduler::characterization(
+    std::uint64_t id) const {
+  const std::shared_ptr<Job> job = find(id);
+  const std::lock_guard<std::mutex> lock(job->mu);
+  if (job->characterize_top_k <= 0)
+    throw ProtocolError(ErrorCode::kNotFound,
+                        "job " + std::to_string(id) +
+                            " is an analysis job, not a characterization");
+  if (job->phase != JobPhase::kDone)
+    throw ProtocolError(ErrorCode::kNotFound,
+                        "job " + std::to_string(id) +
+                            " has no characterization (" +
+                            job_phase_name(job->phase) + ")");
+  return job->characterization;
 }
 
 bool Scheduler::cancel(std::uint64_t id) {
@@ -353,6 +374,22 @@ void Scheduler::run_job(Job& job) {
   try {
     const core::CharterAnalyzer analyzer(backend_, options);
     job.result = analyzer.analyze(job.program, &hooks);
+    if (job.characterize_top_k > 0) {
+      // Same slot, same pool, same tenant planner: the ranking the
+      // analysis just produced feeds straight into the germ ladders, so a
+      // characterize job costs its tenant exactly one ring turn.
+      characterize::CharacterizeOptions copts;
+      copts.top_k = job.characterize_top_k;
+      copts.isolate = options.isolate;
+      copts.severity_reversals = options.reversals;
+      copts.common_random_numbers = true;
+      copts.run = options.run;
+      copts.exec = options.exec;
+      copts.strategy = options.strategy;
+      const characterize::GateCharacterizer characterizer(backend_, copts);
+      job.characterization =
+          characterizer.characterize(job.program, job.result, &hooks);
+    }
     job.transition(JobPhase::kDone);
   } catch (const Cancelled&) {
     job.transition(JobPhase::kCancelled);

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "backend/backend.hpp"
+#include "characterize/characterize.hpp"
 #include "core/analyzer.hpp"
 #include "exec/strategy.hpp"
 #include "service/protocol.hpp"
@@ -65,6 +66,9 @@ struct JobSnapshot {
   std::size_t completed = 0;  ///< circuit executions finished
   std::size_t total = 0;      ///< executions the sweep will perform
   bool detached = false;
+  /// True for characterize jobs (analysis + germ-ladder estimation);
+  /// their fetch payload is a CharacterizationReport, not a CharterReport.
+  bool characterize = false;
   std::string error;  ///< meaningful when phase == kFailed
 };
 
@@ -101,10 +105,14 @@ class Scheduler {
   /// non-detached jobs are cancelled when it closes.  Returns the job id.
   /// Throws ProtocolError(kQueueFull | kShuttingDown) on admission
   /// failure.
+  /// \p characterize_top_k > 0 turns the job into a characterize job: the
+  /// analysis runs first (same scheduling slot), then the top-k gates of
+  /// its ranking are characterized; fetch serves the
+  /// CharacterizationReport.  0 (default) is a plain analysis job.
   std::uint64_t submit(const std::string& tenant,
                        backend::CompiledProgram program,
                        core::CharterOptions options, bool detached,
-                       std::uint64_t connection);
+                       std::uint64_t connection, int characterize_top_k = 0);
 
   /// Snapshot of one job; throws ProtocolError(kNotFound) for unknown ids.
   JobSnapshot snapshot(std::uint64_t id) const;
@@ -115,6 +123,11 @@ class Scheduler {
   /// The finished report; requires phase == kDone (kNotFound otherwise,
   /// with a message saying what state the job is actually in).
   core::CharterReport report(std::uint64_t id) const;
+
+  /// The finished characterization of a characterize job; kNotFound when
+  /// the job is not done or is a plain analysis job.
+  characterize::CharacterizationReport characterization(
+      std::uint64_t id) const;
 
   /// Requests cooperative cancellation.  True when the request landed on
   /// a non-terminal job (queued jobs resolve to kCancelled without

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "algos/registry.hpp"
+#include "characterize/report_io.hpp"
 #include "circuit/qasm_parser.hpp"
 #include "core/report_io.hpp"
 #include "exec/cache.hpp"
@@ -83,7 +84,9 @@ std::string Service::dispatch(const Request& request,
     case Op::kPing:
       return "{\"ok\":true,\"pong\":true}";
     case Op::kSubmit:
-      return handle_submit(request.submit, connection);
+      return handle_submit(request.submit, connection, false);
+    case Op::kCharacterize:
+      return handle_submit(request.submit, connection, true);
     case Op::kStatus:
       return job_response(scheduler_.snapshot(request.job));
     case Op::kWait:
@@ -94,10 +97,18 @@ std::string Service::dispatch(const Request& request,
              ",\"cancelled\":" + (landed ? "true" : "false") + "}";
     }
     case Op::kFetch: {
-      const core::CharterReport report = scheduler_.report(request.job);
-      // The report is the library's own golden-report JSON (schema'd,
-      // %.17g round-trip exact); its newlines are stripped to respect the
+      // The payload is the library's own golden JSON (schema'd, %.17g
+      // round-trip exact); its newlines are stripped to respect the
       // one-line framing, which its whitespace-skipping parser allows.
+      if (scheduler_.snapshot(request.job).characterize) {
+        const characterize::CharacterizationReport report =
+            scheduler_.characterization(request.job);
+        std::string body = characterize::characterization_to_json(report);
+        body.erase(std::remove(body.begin(), body.end(), '\n'), body.end());
+        return "{\"ok\":true,\"job\":" + std::to_string(request.job) +
+               ",\"status\":\"done\",\"characterization\":" + body + "}";
+      }
+      const core::CharterReport report = scheduler_.report(request.job);
       std::string body = core::report_to_json(report, report.exec_stats);
       body.erase(std::remove(body.begin(), body.end(), '\n'), body.end());
       return "{\"ok\":true,\"job\":" + std::to_string(request.job) +
@@ -133,7 +144,8 @@ std::string Service::dispatch(const Request& request,
 }
 
 std::string Service::handle_submit(const SubmitRequest& submit,
-                                   std::uint64_t connection) {
+                                   std::uint64_t connection,
+                                   bool characterize) {
   // Resolve the circuit before touching the scheduler: a bad program
   // must never consume an admission slot.
   circ::Circuit circuit(1);
@@ -172,10 +184,14 @@ std::string Service::handle_submit(const SubmitRequest& submit,
     throw ProtocolError(ErrorCode::kBadRequest, msg);
   }
 
+  const int top_k =
+      characterize ? (submit.top_k > 0 ? static_cast<int>(submit.top_k) : 3)
+                   : 0;
   std::uint64_t id = 0;
   try {
     id = scheduler_.submit(submit.tenant, backend_.compile(circuit),
-                           config.resolved(), submit.detach, connection);
+                           config.resolved(), submit.detach, connection,
+                           top_k);
   } catch (const ProtocolError&) {
     throw;
   } catch (const Error& e) {

@@ -56,7 +56,7 @@ class Service {
  private:
   std::string dispatch(const Request& request, std::uint64_t connection);
   std::string handle_submit(const SubmitRequest& submit,
-                            std::uint64_t connection);
+                            std::uint64_t connection, bool characterize);
 
   const backend::Backend& backend_;
   const SessionConfig base_;

@@ -110,4 +110,33 @@ double stddev(std::span<const double> values) {
   return std::sqrt(acc / static_cast<double>(values.size()));
 }
 
+double quantile(std::span<const double> values, double q) {
+  require(!values.empty(), "quantile of an empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BootstrapCI percentile_ci(std::span<const double> replicates,
+                          double confidence) {
+  require(!replicates.empty(), "percentile_ci of an empty sample");
+  require(confidence > 0.0 && confidence < 1.0,
+          "confidence must be in (0,1)");
+  const double tail = 0.5 * (1.0 - confidence);
+  return {quantile(replicates, tail), quantile(replicates, 1.0 - tail)};
+}
+
+std::vector<double> resample(std::span<const double> values, util::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out.push_back(values[rng.uniform_int(values.size())]);
+  return out;
+}
+
 }  // namespace charter::stats

@@ -4,11 +4,15 @@
 /// The statistics the paper reports: total variation distance between output
 /// distributions, Pearson correlation with two-sided p-values (SciPy
 /// semantics), Spearman rank correlation, and ranking/top-k helpers used by
-/// Tables V-VII.
+/// Tables V-VII.  Plus the seeded bootstrap primitives (resampling,
+/// percentile intervals) the characterization subsystem builds its
+/// confidence intervals from.
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace charter::stats {
 
@@ -43,5 +47,25 @@ double mean(std::span<const double> values);
 
 /// Population standard deviation of a sample.
 double stddev(std::span<const double> values);
+
+/// Linear-interpolation quantile (SciPy "linear" semantics) of a sample;
+/// \p q in [0, 1].  Throws on an empty sample.
+double quantile(std::span<const double> values, double q);
+
+/// Two-sided bootstrap confidence interval.
+struct BootstrapCI {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile interval at \p confidence (e.g. 0.95) from bootstrap
+/// replicates.  Throws on an empty sample or confidence outside (0, 1).
+BootstrapCI percentile_ci(std::span<const double> replicates,
+                          double confidence);
+
+/// Draws values.size() samples with replacement — the bootstrap resampling
+/// primitive.  Deterministic for a given \p rng state, so CIs built on it
+/// are reproducible bit for bit.
+std::vector<double> resample(std::span<const double> values, util::Rng& rng);
 
 }  // namespace charter::stats

@@ -262,3 +262,78 @@ TEST(Registry, LookupByKey) {
   EXPECT_EQ(spec.qubits, 3);
   EXPECT_THROW(ca::find_benchmark("nope"), charter::NotFound);
 }
+
+// ---- Grover ----
+
+TEST(Grover, AmplifiesTheMarkedState) {
+  for (const std::uint64_t marked : {0u, 3u, 5u, 7u}) {
+    const cc::Circuit c = ca::grover(3, marked);
+    const auto p = cs::ideal_probabilities(c);
+    // 3 qubits, optimal 2 iterations: success probability ~0.945.
+    EXPECT_EQ(argmax(p), marked);
+    EXPECT_GT(p[marked], 0.9) << "marked=" << marked;
+  }
+}
+
+TEST(Grover, AncillaChainVersionStillAmplifies) {
+  // n = 4 uses the CCX ancilla chain (width 2n - 2 = 6); the marked state
+  // lives on the first n qubits and the ancillas must return to |0>.
+  const cc::Circuit c = ca::grover(4, 9, 2);
+  EXPECT_EQ(c.num_qubits(), 6);
+  const auto p = cs::ideal_probabilities(c);
+  // Sum over ancilla values for the data-register marginal.
+  std::vector<double> marginal(16, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) marginal[i & 15u] += p[i];
+  EXPECT_EQ(argmax(marginal), 9u);
+  EXPECT_GT(marginal[9], 0.85);
+  // Ancillas uncomputed: every outcome with nonzero ancilla bits is ~0.
+  double leaked = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if ((i >> 4) != 0) leaked += p[i];
+  EXPECT_NEAR(leaked, 0.0, 1e-9);
+}
+
+TEST(Grover, InputPrepTagsOnlyTheHadamardLayer) {
+  const cc::Circuit c = ca::grover(3, 2);
+  std::size_t tagged = 0;
+  for (const cc::Gate& g : c.ops())
+    if (g.has_flag(cc::kFlagInputPrep)) ++tagged;
+  EXPECT_EQ(tagged, 3u);  // one H per data qubit, nothing else
+}
+
+TEST(Grover, ValidatesArguments) {
+  EXPECT_THROW(ca::grover(1, 0), charter::InvalidArgument);
+  EXPECT_THROW(ca::grover(3, 8), charter::InvalidArgument);  // marked >= 2^n
+  EXPECT_THROW(ca::grover(17, 0), charter::InvalidArgument);
+}
+
+// ---- QAOA p=1 ----
+
+TEST(Qaoa, PDepthOneIsDeterministicAndStructured) {
+  const cc::Circuit a = ca::qaoa_maxcut(5, 1, 21);
+  const cc::Circuit b = ca::qaoa_maxcut(5, 1, 21);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.op(i).params[0], b.op(i).params[0]);
+  // One cost layer (RZZ per edge) and one mixer layer (RX per qubit).
+  EXPECT_EQ(a.count_kind(GateKind::RX), 5u);
+  EXPECT_GE(a.count_kind(GateKind::RZZ), 4u);
+}
+
+// ---- extended registry ----
+
+TEST(Registry, ExtendedAddsCharacterizationBenchmarks) {
+  const auto paper = ca::paper_benchmarks();
+  const auto extended = ca::extended_benchmarks();
+  ASSERT_EQ(extended.size(), paper.size() + 4u);
+  for (std::size_t i = 0; i < paper.size(); ++i)
+    EXPECT_EQ(extended[i].key, paper[i].key);
+
+  for (const char* key : {"qaoa5p1", "qaoa10p1", "grover3", "grover4"}) {
+    const auto spec = ca::find_benchmark(key);
+    const cc::Circuit c = spec.build();
+    EXPECT_EQ(c.num_qubits(), spec.qubits) << key;
+    EXPECT_GT(c.size(), 0u) << key;
+  }
+  EXPECT_EQ(ca::find_benchmark("grover4").qubits, 6);
+}

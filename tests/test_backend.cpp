@@ -219,3 +219,88 @@ TEST(Backend, RejectsForeignPrograms) {
   const cb::CompiledProgram prog = lagos.compile(ca::qft(3, 0));
   EXPECT_THROW(guadalupe.run(prog, {}), charter::InvalidArgument);
 }
+
+TEST(Backend, ReadoutConfusionKnobValidates) {
+  cb::FakeBackend backend = cb::FakeBackend::lagos();
+  EXPECT_THROW(backend.set_readout_confusion(-0.1, 0.0),
+               charter::InvalidArgument);
+  EXPECT_THROW(backend.set_readout_confusion(0.0, 1.0),
+               charter::InvalidArgument);
+  EXPECT_THROW(backend.set_readout_confusion(99, 0.01, 0.01),
+               charter::InvalidArgument);
+  backend.set_readout_confusion(0.02, 0.05);  // valid: takes effect
+  EXPECT_TRUE(backend.model().toggles().readout);
+  EXPECT_DOUBLE_EQ(backend.model().qubit(0).readout.p_meas1_given0, 0.02);
+  EXPECT_DOUBLE_EQ(backend.model().qubit(0).readout.p_meas0_given1, 0.05);
+}
+
+TEST(Backend, ReadoutConfusionChangesTheOutput) {
+  cb::FakeBackend backend = cb::FakeBackend::lagos();
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 3));
+  cb::RunOptions opts;
+  opts.shots = 0;
+  const auto before = backend.run(prog, opts);
+  backend.set_readout_confusion(0.04, 0.08);
+  const auto after = backend.run(prog, opts);
+  EXPECT_GT(charter::stats::tvd(before, after), 1e-3);
+}
+
+// The knob is applied in finalize(), after the engine produced its raw
+// distribution — so the density-matrix and trajectory engines must honor
+// it identically.  With only deterministic (unitary) noise mechanisms
+// left on, every trajectory is the same pure-state evolution and the two
+// engines agree to numerical precision, isolating the confusion matrix as
+// the only post-processing under test.
+TEST(Backend, ReadoutConfusionIsEngineIndependent) {
+  cb::FakeBackend backend = cb::FakeBackend::lagos();
+  cn::NoiseToggles& toggles = backend.model().toggles();
+  toggles.decoherence = false;
+  toggles.depolarizing = false;
+  toggles.prep = false;
+  backend.set_readout_confusion(0, 0.02, 0.05);
+  backend.set_readout_confusion(1, 0.01, 0.03);
+  backend.set_readout_confusion(2, 0.04, 0.00);
+
+  const cb::CompiledProgram prog = backend.compile(ca::qft(3, 3));
+  cb::RunOptions dm;
+  dm.shots = 0;
+  dm.engine = cb::EngineKind::kDensityMatrix;
+  cb::RunOptions mc = dm;
+  mc.engine = cb::EngineKind::kTrajectory;
+  mc.trajectories = 4;
+  const auto p_dm = backend.run(prog, dm);
+  const auto p_mc = backend.run(prog, mc);
+  ASSERT_EQ(p_dm.size(), p_mc.size());
+  for (std::size_t i = 0; i < p_dm.size(); ++i)
+    EXPECT_NEAR(p_dm[i], p_mc[i], 1e-12) << "outcome " << i;
+}
+
+// With every other mechanism off, the confusion matrix is the entire
+// channel and the output marginals are analytic.
+TEST(Backend, ReadoutConfusionMatchesAnalyticMarginals) {
+  const ct::Topology topo = ct::line(2);
+  cn::NoiseModel model = cn::generate_calibration(2, topo.edges(), 3);
+  cn::NoiseToggles& toggles = model.toggles();
+  toggles.decoherence = false;
+  toggles.depolarizing = false;
+  toggles.coherent = false;
+  toggles.static_zz = false;
+  toggles.drive_zz = false;
+  toggles.prep = false;
+  cb::FakeBackend backend(topo, model);
+  backend.set_readout_confusion(0.07, 0.11);
+
+  cc::Circuit idle(1);
+  idle.id(0);
+  cb::RunOptions opts;
+  opts.shots = 0;
+  const auto p0 = backend.run(backend.compile(idle), opts);
+  ASSERT_EQ(p0.size(), 2u);
+  EXPECT_NEAR(p0[1], 0.07, 1e-12);  // p(read 1 | prepared 0)
+
+  cc::Circuit flip(1);
+  flip.x(0);
+  const auto p1 = backend.run(backend.compile(flip), opts);
+  ASSERT_EQ(p1.size(), 2u);
+  EXPECT_NEAR(p1[0], 0.11, 1e-12);  // p(read 0 | |1>), X is noiseless here
+}

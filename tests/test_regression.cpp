@@ -201,3 +201,11 @@ TEST(GoldenReports, RandomBasis5) {
   check_against_fixture("random_basis5",
                         random_basis_circuit(5, 40, 0x5eedULL));
 }
+
+TEST(GoldenReports, Qaoa5P1) {
+  check_against_fixture("qaoa5p1", ca::qaoa_maxcut(5, 1, 21));
+}
+
+TEST(GoldenReports, Grover3) {
+  check_against_fixture("grover3", ca::grover(3, 5));
+}

@@ -21,6 +21,7 @@
 #include <charter/charter.hpp>
 
 #include "algos/registry.hpp"
+#include "characterize/report_io.hpp"
 #include "core/report_io.hpp"
 #include "service/client.hpp"
 #include "service/json.hpp"
@@ -473,4 +474,107 @@ TEST(ServiceSocket, OversizedLineGetsAnErrorAndTheConnectionSurvives) {
   }
   server.request_stop();
   server.wait_until_stopped();
+}
+
+// ---------------------------------------------------------------------------
+// Characterize op
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The characterization payload is the last field of a successful fetch
+/// response, mirroring extract_report_json's framing contract.
+std::string extract_characterization_json(const std::string& response) {
+  const std::string marker = "\"characterization\":";
+  const std::size_t at = response.find(marker);
+  EXPECT_NE(at, std::string::npos) << response;
+  EXPECT_EQ(response.back(), '}') << response;
+  const std::size_t begin = at + marker.size();
+  return response.substr(begin, response.size() - begin - 1);
+}
+
+}  // namespace
+
+TEST(ServiceProtocol, TopKBelongsToCharacterizeOnly) {
+  Harness h;
+  // top_k on a plain submit is an unknown field, named in the error.
+  const cs::JsonValue on_submit = parsed(h.handle(
+      "{\"op\":\"submit\",\"benchmark\":\"qft3\",\"top_k\":2}"));
+  EXPECT_FALSE(ok(on_submit));
+  EXPECT_EQ(error_code(on_submit), "unknown_field");
+  // And a characterize submission validates its range.
+  const cs::JsonValue zero = parsed(h.handle(
+      "{\"op\":\"characterize\",\"benchmark\":\"qft3\",\"top_k\":0}"));
+  EXPECT_FALSE(ok(zero));
+  EXPECT_EQ(error_code(zero), "bad_request");
+}
+
+TEST(ServiceEndToEnd, CharacterizationIsBitIdenticalToDirectSession) {
+  ex::RunCache::global().clear();
+  Harness h;
+  const cs::JsonValue submitted = parsed(h.handle(
+      "{\"op\":\"characterize\",\"benchmark\":\"qft3\",\"shots\":0,"
+      "\"seed\":77,\"reversals\":2,\"top_k\":2}"));
+  ASSERT_TRUE(ok(submitted));
+  const std::uint64_t id = job_id(submitted);
+  ASSERT_EQ(status_of(parsed(h.handle(
+                "{\"op\":\"wait\",\"job\":" + std::to_string(id) + "}"))),
+            "done");
+  EXPECT_TRUE(h.scheduler.snapshot(id).characterize);
+  const charter::characterize::CharacterizationReport daemon_report =
+      charter::characterize::characterization_from_json(
+          extract_characterization_json(h.handle(
+              "{\"op\":\"fetch\",\"job\":" + std::to_string(id) + "}")));
+
+  // The same characterization through the public facade.
+  ex::RunCache::global().clear();
+  const cb::FakeBackend backend = cb::FakeBackend::lagos();
+  charter::Session session(
+      backend, charter::SessionConfig().shots(0).seed(77).reversals(2));
+  const cb::CompiledProgram program =
+      session.compile(charter::algos::find_benchmark("qft3").build());
+  const co::CharterReport charter_report = session.analyze(program);
+  const charter::characterize::CharacterizationReport direct =
+      session.characterize(program, charter_report, 2);
+  ex::RunCache::global().clear();
+
+  EXPECT_EQ(daemon_report.depths, direct.depths);
+  EXPECT_EQ(daemon_report.severity_reversals, direct.severity_reversals);
+  EXPECT_EQ(daemon_report.total_sequences, direct.total_sequences);
+  EXPECT_EQ(daemon_report.rank_agreement, direct.rank_agreement);
+  ASSERT_EQ(daemon_report.gates.size(), direct.gates.size());
+  for (std::size_t g = 0; g < direct.gates.size(); ++g) {
+    const auto& a = daemon_report.gates[g];
+    const auto& b = direct.gates[g];
+    EXPECT_EQ(a.op_index, b.op_index) << "gate " << g;
+    EXPECT_EQ(a.charter_tvd, b.charter_tvd) << "gate " << g;
+    ASSERT_EQ(a.decay.size(), b.decay.size()) << "gate " << g;
+    for (std::size_t i = 0; i < b.decay.size(); ++i)
+      EXPECT_EQ(a.decay[i].tvd, b.decay[i].tvd)
+          << "gate " << g << " depth " << b.decay[i].depth;
+    EXPECT_EQ(a.fit.rho, b.fit.rho) << "gate " << g;
+    EXPECT_EQ(a.fit.phi, b.fit.phi) << "gate " << g;
+    EXPECT_EQ(a.severity, b.severity) << "gate " << g;
+    EXPECT_EQ(a.ci.depol.lower, b.ci.depol.lower) << "gate " << g;
+    EXPECT_EQ(a.ci.depol.upper, b.ci.depol.upper) << "gate " << g;
+    EXPECT_EQ(a.spam_p01, b.spam_p01) << "gate " << g;
+    EXPECT_EQ(a.spam_p10, b.spam_p10) << "gate " << g;
+  }
+  ASSERT_EQ(daemon_report.original_distribution.size(),
+            direct.original_distribution.size());
+  for (std::size_t i = 0; i < direct.original_distribution.size(); ++i)
+    EXPECT_EQ(daemon_report.original_distribution[i],
+              direct.original_distribution[i]);
+}
+
+TEST(ServiceEndToEnd, FetchOfPlainAnalysisJobStillServesReports) {
+  Harness h;
+  const cs::JsonValue submitted = parsed(h.handle(kSmallSubmit));
+  ASSERT_TRUE(ok(submitted));
+  const std::uint64_t id = job_id(submitted);
+  h.handle("{\"op\":\"wait\",\"job\":" + std::to_string(id) + "}");
+  const std::string fetched =
+      h.handle("{\"op\":\"fetch\",\"job\":" + std::to_string(id) + "}");
+  EXPECT_NE(fetched.find("\"report\":"), std::string::npos);
+  EXPECT_EQ(fetched.find("\"characterization\":"), std::string::npos);
 }

@@ -9,6 +9,11 @@
 //   analyze  --algo <key>         per-gate criticality ranking
 //                                 (--progress for live status, --json for
 //                                 machine-readable job output)
+//   analyze  --qasm-dir <dir>     bulk ingestion: one async job per *.qasm
+//                                 file, per-file error isolation
+//   characterize --algo <key>     error-channel estimation (depolarizing +
+//                                 coherent rotation + SPAM bounds) for the
+//                                 top-k gates of the criticality ranking
 //   input    --algo <key>         input-block reversal impact
 //   mitigate --algo <key>         serialize top layers, report error change
 //   qasm     --algo <key>         emit the compiled circuit as OpenQASM 2.0
@@ -21,13 +26,19 @@
 // trajectory, --cost-profile <path>, and --adaptive.  An unknown --algo
 // key lists the valid keys and exits 2.
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <charter/charter.hpp>
 
+#include "characterize/report_io.hpp"
+#include "circuit/qasm_parser.hpp"
 #include "exec/worker.hpp"
 #include "math/simd_dispatch.hpp"
 #include "noise/program.hpp"
@@ -208,7 +219,7 @@ int cmd_version(int argc, const char* const* argv) {
 int cmd_client(int argc, const char* const* argv) {
   namespace cs = charter::service;
   const std::string ops =
-      "ping|submit|status|wait|fetch|cancel|stats|shutdown";
+      "ping|submit|characterize|status|wait|fetch|cancel|stats|shutdown";
   if (argc < 2) {
     std::fprintf(stderr, "usage: charter client <%s> [flags]\n", ops.c_str());
     return 2;
@@ -233,6 +244,8 @@ int cmd_client(int argc, const char* const* argv) {
                "override reversed pairs (-1 = daemon default)");
   cli.add_flag("max-gates", std::int64_t{-1},
                "override analyzed-gate cap (-1 = daemon default)");
+  cli.add_flag("top-k", std::int64_t{-1},
+               "characterize: gates to characterize (-1 = daemon default)");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
 
   std::string request;
@@ -247,16 +260,17 @@ int cmd_client(int argc, const char* const* argv) {
     }
     request = "{\"op\":\"" + op +
               "\",\"job\":" + std::to_string(cli.get_int("job")) + "}";
-  } else if (op == "submit") {
+  } else if (op == "submit" || op == "characterize") {
     const std::string algo = cli.get_string("algo");
     const std::string qasm_file = cli.get_string("qasm-file");
     if (algo.empty() == qasm_file.empty()) {
       std::fprintf(stderr,
-                   "charter client submit needs exactly one of --algo or "
-                   "--qasm-file\n");
+                   "charter client %s needs exactly one of --algo or "
+                   "--qasm-file\n",
+                   op.c_str());
       return 2;
     }
-    request = "{\"op\":\"submit\",\"tenant\":\"" +
+    request = "{\"op\":\"" + op + "\",\"tenant\":\"" +
               cs::json_escape(cli.get_string("tenant")) + "\"";
     if (!algo.empty()) {
       request += ",\"benchmark\":\"" + cs::json_escape(algo) + "\"";
@@ -282,6 +296,8 @@ int cmd_client(int argc, const char* const* argv) {
         request += ",\"" + key + "\":" + std::to_string(cli.get_int(field));
       }
     }
+    if (op == "characterize" && cli.get_int("top-k") >= 1)
+      request += ",\"top_k\":" + std::to_string(cli.get_int("top-k"));
     request += "}";
   } else {
     std::fprintf(stderr, "charter client: unknown op '%s' (expected %s)\n",
@@ -297,7 +313,7 @@ int cmd_client(int argc, const char* const* argv) {
   const cs::JsonValue* ok = parsed.find("ok");
   if (ok == nullptr || !ok->is_bool() || !ok->boolean) return 1;
 
-  if (op == "submit" && cli.get_bool("wait")) {
+  if ((op == "submit" || op == "characterize") && cli.get_bool("wait")) {
     const cs::JsonValue* id = parsed.find("job");
     if (id == nullptr || !id->is_number()) return 1;
     response = client.call_raw(
@@ -316,9 +332,9 @@ int cmd_client(int argc, const char* const* argv) {
 int cmd_list(int argc, const char* const* argv) {
   Cli cli("charter list: the built-in benchmark algorithms");
   if (!cli.parse(argc, argv)) return 0;
-  Table table("Built-in benchmark algorithms (paper Table II):");
+  Table table("Built-in benchmark algorithms (paper Table II + extensions):");
   table.set_header({"Key", "Name", "Qubits", "Gates (logical)"});
-  for (const auto& spec : charter::algos::paper_benchmarks()) {
+  for (const auto& spec : charter::algos::extended_benchmarks()) {
     table.add_row({spec.key, spec.name, std::to_string(spec.qubits),
                    std::to_string(spec.build().size())});
   }
@@ -352,6 +368,92 @@ int cmd_inspect(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Bulk QASM ingestion: every *.qasm file in \p dir becomes one async
+/// Session job.  A file that fails to parse, compile, or analyze is
+/// reported and skipped — it never aborts the batch (per-file error
+/// isolation).  Returns 0 when at least one file succeeded.
+int analyze_qasm_dir(const Cli& cli, const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "charter: cannot open directory %s\n", dir.c_str());
+    return 1;
+  }
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 5 && name.compare(name.size() - 5, 5, ".qasm") == 0)
+      files.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "charter: no *.qasm files in %s\n", dir.c_str());
+    return 1;
+  }
+
+  // Parse every file first (isolated: a bad file is a table row, not an
+  // abort), then pick one device that admits the widest good circuit.
+  struct Entry {
+    std::string file;
+    cc::Circuit circuit{1};
+    std::string error;
+    charter::JobHandle job;
+  };
+  std::vector<Entry> entries;
+  int max_qubits = 0;
+  for (const std::string& file : files) {
+    Entry e;
+    e.file = file;
+    try {
+      e.circuit = cc::parse_qasm_file(dir + "/" + file);
+      max_qubits = std::max(max_qubits, e.circuit.num_qubits());
+    } catch (const charter::Error& err) {
+      e.error = err.what();
+    }
+    entries.push_back(std::move(e));
+  }
+  const cb::FakeBackend backend = max_qubits <= 7
+                                      ? cb::FakeBackend::lagos()
+                                      : cb::FakeBackend::guadalupe();
+  charter::Session session(backend, make_config(cli));
+
+  // One async job per parsed file; compile errors are isolated the same
+  // way.  Submission order fixes job ids, so output order is stable.
+  for (Entry& e : entries) {
+    if (!e.error.empty()) continue;
+    try {
+      e.job = session.submit(session.compile(e.circuit));
+    } catch (const charter::Error& err) {
+      e.error = err.what();
+    }
+  }
+
+  Table table("Bulk analysis of " + dir + " on " + backend.name() + ":");
+  table.set_header({"File", "Status", "Gates", "Top impact (TVD)"});
+  std::size_t succeeded = 0;
+  for (Entry& e : entries) {
+    if (e.error.empty() && e.job.valid()) {
+      const charter::JobResult& r = e.job.wait();
+      if (r.status == charter::JobStatus::kDone) {
+        ++succeeded;
+        const auto ranked = r.report.sorted_by_impact();
+        table.add_row({e.file, "done",
+                       std::to_string(r.report.analyzed_gates),
+                       ranked.empty() ? "-" : Table::fmt(ranked[0].tvd, 3)});
+        continue;
+      }
+      e.error = r.error.empty() ? charter::to_string(r.status) : r.error;
+    }
+    table.add_row({e.file, "failed", "-", "-"});
+    std::fprintf(stderr, "charter: %s: %s\n", e.file.c_str(),
+                 e.error.c_str());
+  }
+  table.add_footnote(std::to_string(succeeded) + " of " +
+                     std::to_string(entries.size()) + " files analyzed");
+  table.print();
+  return succeeded > 0 ? 0 : 1;
+}
+
 int cmd_analyze(int argc, const char* const* argv) {
   Cli cli("charter analyze: per-gate criticality via amplified reversals");
   add_common_flags(cli);
@@ -359,7 +461,12 @@ int cmd_analyze(int argc, const char* const* argv) {
   cli.add_flag("json", false,
                "emit the full report as JSON on stdout (job id/status, "
                "impacts, exec stats) instead of the table");
+  cli.add_flag("qasm-dir", std::string(""),
+               "analyze every *.qasm file in this directory (one async job "
+               "per file; a bad file is reported and skipped)");
   if (!cli.parse(argc, argv)) return 0;
+  if (!cli.get_string("qasm-dir").empty())
+    return analyze_qasm_dir(cli, cli.get_string("qasm-dir"));
   const auto spec = find_spec(cli);
   const bool progress = cli.get_bool("progress");
   const bool json = cli.get_bool("json");
@@ -422,6 +529,78 @@ int cmd_analyze(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_characterize(int argc, const char* const* argv) {
+  Cli cli("charter characterize: error-channel estimation for the top-k "
+          "gates of the criticality ranking");
+  add_common_flags(cli);
+  cli.add_flag("top-k", std::int64_t{3},
+               "gates to characterize, from the Charter ranking");
+  cli.add_flag("progress", false, "stream job progress to stderr");
+  cli.add_flag("json", false,
+               "emit the CharacterizationReport as JSON on stdout");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto spec = find_spec(cli);
+  const cb::FakeBackend backend = make_backend(cli, spec);
+  charter::Session session(backend, make_config(cli));
+  const cb::CompiledProgram prog = session.compile(spec.build());
+
+  charter::JobCallbacks callbacks;
+  if (cli.get_bool("progress")) {
+    callbacks.on_progress = [](const charter::JobProgress& p) {
+      std::fprintf(stderr, "\rcharter: %zu/%zu runs", p.completed, p.total);
+      if (p.completed == p.total) std::fputc('\n', stderr);
+    };
+  }
+  const co::CharterReport report = session.analyze(prog);
+  const charter::JobHandle job = session.submit_characterization(
+      prog, report, static_cast<int>(cli.get_int("top-k")), callbacks);
+  const charter::JobResult& result = job.wait();
+  if (result.status != charter::JobStatus::kDone) {
+    std::fprintf(stderr, "charter: job %llu %s%s%s\n",
+                 static_cast<unsigned long long>(job.id()),
+                 charter::to_string(result.status).c_str(),
+                 result.error.empty() ? "" : ": ", result.error.c_str());
+    return 1;
+  }
+  const charter::characterize::CharacterizationReport& ch =
+      result.characterization;
+
+  if (cli.get_bool("json")) {
+    std::fputs(charter::characterize::characterization_to_json(ch).c_str(),
+               stdout);
+    return 0;
+  }
+
+  Table table(spec.name + " on " + backend.name() +
+              " -- error channels of the top-" +
+              std::to_string(ch.gates.size()) + " gates:");
+  table.set_header({"Gate", "Phys qubits", "Charter TVD", "Depol/app",
+                    "Rotation (rad)", "Severity @r", "SPAM p01/p10"});
+  for (const auto& g : ch.gates) {
+    std::string qubits = std::to_string(g.qubits[0]);
+    if (g.num_qubits == 2) qubits += "," + std::to_string(g.qubits[1]);
+    table.add_row(
+        {cc::gate_name(g.kind), qubits, Table::fmt(g.charter_tvd, 3),
+         Table::fmt(g.fit.depol_per_application(), 4) + " [" +
+             Table::fmt(g.ci.depol.lower, 4) + ", " +
+             Table::fmt(g.ci.depol.upper, 4) + "]",
+         Table::fmt(g.fit.phi, 4) + " [" + Table::fmt(g.ci.rotation.lower, 4) +
+             ", " + Table::fmt(g.ci.rotation.upper, 4) + "]",
+         Table::fmt(g.severity, 3),
+         Table::fmt(g.spam_p01, 3) + "/" + Table::fmt(g.spam_p10, 3)});
+  }
+  table.add_footnote(
+      "germ depths {" + [&] {
+        std::string s;
+        for (std::size_t i = 0; i < ch.depths.size(); ++i)
+          s += (i != 0 ? "," : "") + std::to_string(ch.depths[i]);
+        return s;
+      }() + "}; severity at r=" + std::to_string(ch.severity_reversals) +
+      "; GST-vs-Charter rank agreement " + Table::fmt(ch.rank_agreement, 2));
+  table.print();
+  return 0;
+}
+
 int cmd_input(int argc, const char* const* argv) {
   Cli cli("charter input: combined impact of the input-preparation block");
   add_common_flags(cli);
@@ -479,8 +658,8 @@ int cmd_qasm(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: charter "
-      "<list|version|inspect|analyze|input|mitigate|qasm|client> [flags]\n"
+      "usage: charter <list|version|inspect|analyze|characterize|input|"
+      "mitigate|qasm|client> [flags]\n"
       "run `charter <command> --help` for the command's flags\n"
       "`charter client <op>` talks to a running charterd (see charterd "
       "--help)\n",
@@ -501,6 +680,7 @@ int main(int argc, char** argv) {
       return cmd_version(argc - 1, argv + 1);
     if (cmd == "inspect") return cmd_inspect(argc - 1, argv + 1);
     if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (cmd == "characterize") return cmd_characterize(argc - 1, argv + 1);
     if (cmd == "input") return cmd_input(argc - 1, argv + 1);
     if (cmd == "mitigate") return cmd_mitigate(argc - 1, argv + 1);
     if (cmd == "qasm") return cmd_qasm(argc - 1, argv + 1);

@@ -2,7 +2,8 @@
 """Validate the bench JSON artifacts the CI smoke runs record.
 
 CI uploads BENCH_exec.json / BENCH_kernels.json / BENCH_trajectory.json /
-BENCH_multiprocess.json / BENCH_strategy.json (via actions/upload-artifact)
+BENCH_multiprocess.json / BENCH_strategy.json / BENCH_characterize.json
+(via actions/upload-artifact)
 so the perf trajectory accumulates run over run; this gate fails the job
 when an artifact is missing, malformed, or has lost a metric key — a silent
 schema drift would otherwise leave holes in the trend right when a
@@ -260,12 +261,41 @@ def check_strategy(path, data):
     return ok
 
 
+def check_characterize(path, data):
+    ok = True
+    ok &= require_number(path, data, "qubits", minimum=1)
+    ok &= require_number(path, data, "gates", minimum=1)
+    ok &= require_number(path, data, "depths", minimum=4)
+    ok &= require_number(path, data, "sequences", minimum=1)
+    ok &= require_number(path, data, "jobs", minimum=1)
+    ok &= require_number(path, data, "checkpointed", minimum=1)
+    ok &= require_number(path, data, "checkpoint_fallbacks", minimum=0)
+    for key in ("naive_ms", "spliced_ms"):
+        ok &= require_number(path, data, key, minimum=0.0)
+    for key in ("splice_speedup", "sequences_per_s"):
+        ok &= require_number(path, data, key, minimum=0.0)
+    # Every germ ladder feeds on the base sweep's snapshots: a reuse ratio
+    # near zero means the splice machinery silently stopped engaging.
+    ok &= require_number(
+        path, data, "checkpoint_reuse_ratio", minimum=0.1, maximum=1.0
+    )
+    ok &= require_number(
+        path, data, "rank_agreement", minimum=-1.0, maximum=1.0
+    )
+    if data.get("bit_identical") is not True:
+        ok = fail(path, "spliced characterization not bit-identical to naive")
+    if not isinstance(data.get("simd_active"), str):
+        ok = fail(path, "metric 'simd_active' missing")
+    return ok
+
+
 CHECKERS = {
     "exec_batching": check_exec,
     "sim_kernels": check_kernels,
     "trajectory": check_trajectory,
     "exec_multiprocess": check_multiprocess,
     "strategy": check_strategy,
+    "characterize": check_characterize,
 }
 
 
@@ -298,6 +328,14 @@ def summarize(path, data):
         print(
             f"{path}: strategy simd={data['simd_active']} {picks} "
             f"adaptive_saved={adaptive['savings_pct']:.1f}%"
+        )
+    elif bench == "characterize":
+        print(
+            f"{path}: characterize {data['benchmark']} "
+            f"gates={data['gates']} seq={data['sequences']} "
+            f"splice={data['splice_speedup']:.2f}x "
+            f"reuse={data['checkpoint_reuse_ratio']:.2f} "
+            f"rank_agreement={data['rank_agreement']:.2f}"
         )
     elif bench == "trajectory":
         print(
